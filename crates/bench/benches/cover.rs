@@ -1,0 +1,39 @@
+//! Criterion micro-bench for the pure range-covering algorithms (no crypto):
+//! BRC, URC and the TDAG single-range cover. These dominate neither build
+//! nor search time, but they are the combinatorial heart of the framework
+//! and the ablation the DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsse_cover::{brc, urc, Domain, Range, Tdag};
+use std::time::Duration;
+
+fn bench_cover(c: &mut Criterion) {
+    let domain = Domain::with_bits(30);
+    let tdag = Tdag::new(domain);
+    let mut group = c.benchmark_group("range_cover");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    for &len in &[100u64, 1_000_000] {
+        let range = Range::new(123_456_789, 123_456_789 + len - 1);
+        group.bench_with_input(BenchmarkId::new("BRC", len), &range, |b, r| {
+            b.iter(|| brc(&domain, *r))
+        });
+        group.bench_with_input(BenchmarkId::new("URC", len), &range, |b, r| {
+            b.iter(|| urc(&domain, *r))
+        });
+        group.bench_with_input(BenchmarkId::new("SRC", len), &range, |b, r| {
+            b.iter(|| tdag.src_cover(*r))
+        });
+    }
+
+    group.bench_function("TDAG covering_nodes", |b| {
+        b.iter(|| tdag.covering_nodes(987_654_321 % domain.size()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-bench behind Figure 5(b) / Table 2: `BuildIndex` time per
+//! scheme as the dataset grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse_core::schemes::{AnyScheme, SchemeKind};
+use rsse_workload::{gowalla_like, usps_like};
+use std::time::Duration;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build_gowalla");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &n in &[1_000usize, 4_000] {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let dataset = gowalla_like(n, 1 << 20, &mut rng);
+        for kind in [
+            SchemeKind::ConstantBrc,
+            SchemeKind::LogarithmicBrc,
+            SchemeKind::LogarithmicSrc,
+            SchemeKind::LogarithmicSrcI,
+            SchemeKind::Pb,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &dataset,
+                |b, dataset| {
+                    b.iter(|| {
+                        let mut build_rng = ChaCha20Rng::seed_from_u64(7);
+                        AnyScheme::build(kind, dataset, &mut build_rng)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("index_build_usps");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut rng = ChaCha20Rng::seed_from_u64(2);
+    let dataset = usps_like(2_000, 1 << 16, &mut rng);
+    for kind in [SchemeKind::LogarithmicSrc, SchemeKind::LogarithmicSrcI] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut build_rng = ChaCha20Rng::seed_from_u64(7);
+                AnyScheme::build(kind, &dataset, &mut build_rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-bench behind Figure 7: server search time per scheme, on
+//! a near-uniform and a skewed dataset, for a small and a large range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse_core::schemes::{AnyScheme, SchemeKind};
+use rsse_cover::Range;
+use rsse_workload::{gowalla_like, usps_like};
+use std::time::Duration;
+
+fn bench_search(c: &mut Criterion) {
+    let mut rng = ChaCha20Rng::seed_from_u64(3);
+    let domain_size = 1u64 << 16;
+    let datasets = [
+        ("gowalla", gowalla_like(4_000, domain_size, &mut rng)),
+        ("usps", usps_like(4_000, domain_size, &mut rng)),
+    ];
+    let kinds = [
+        SchemeKind::ConstantBrc,
+        SchemeKind::LogarithmicBrc,
+        SchemeKind::LogarithmicUrc,
+        SchemeKind::LogarithmicSrc,
+        SchemeKind::LogarithmicSrcI,
+        SchemeKind::Pb,
+    ];
+
+    for (label, dataset) in &datasets {
+        let schemes: Vec<AnyScheme> = kinds
+            .iter()
+            .map(|k| AnyScheme::build(*k, dataset, &mut rng))
+            .collect();
+        let mut group = c.benchmark_group(format!("search_{label}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+        // 1% and 10% of the domain, placed mid-domain.
+        for pct in [1u64, 10] {
+            let len = domain_size * pct / 100;
+            let lo = domain_size / 3;
+            let query = Range::new(lo, lo + len - 1);
+            for scheme in &schemes {
+                group.bench_with_input(
+                    BenchmarkId::new(scheme.name(), format!("{pct}%")),
+                    &query,
+                    |b, query| b.iter(|| scheme.query(*query)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

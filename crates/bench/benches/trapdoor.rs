@@ -1,0 +1,49 @@
+//! Criterion micro-bench behind Figure 8(b): owner-side trapdoor generation
+//! time per scheme as the range grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse_core::schemes::{AnyScheme, SchemeKind};
+use rsse_cover::Range;
+use rsse_workload::gowalla_like;
+use std::time::Duration;
+
+fn bench_trapdoor(c: &mut Criterion) {
+    let mut rng = ChaCha20Rng::seed_from_u64(4);
+    let domain_size = 1u64 << 20;
+    let dataset = gowalla_like(1_000, domain_size, &mut rng);
+    let kinds = [
+        SchemeKind::ConstantBrc,
+        SchemeKind::ConstantUrc,
+        SchemeKind::LogarithmicBrc,
+        SchemeKind::LogarithmicUrc,
+        SchemeKind::LogarithmicSrc,
+        SchemeKind::LogarithmicSrcI,
+        SchemeKind::Pb,
+    ];
+    let schemes: Vec<AnyScheme> = kinds
+        .iter()
+        .map(|k| AnyScheme::build(*k, &dataset, &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("trapdoor_generation");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for len in [10u64, 100] {
+        let query = Range::new(123_456, 123_456 + len - 1);
+        for scheme in &schemes {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), len),
+                &query,
+                |b, query| b.iter(|| scheme.trapdoor_cost(*query)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trapdoor);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-bench for the batch-update manager: ingestion (including
+//! any triggered consolidations) and querying across active instances, for
+//! two consolidation steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse_core::schemes::log_brc_urc::LogScheme;
+use rsse_cover::{Domain, Range};
+use rsse_updates::{UpdateConfig, UpdateEntry, UpdateManager};
+use std::time::Duration;
+
+fn ingest(batches: usize, batch_size: usize, step: usize) -> UpdateManager<LogScheme> {
+    let domain = Domain::new(1 << 16);
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let mut manager: UpdateManager<LogScheme> =
+        UpdateManager::new(domain, UpdateConfig { consolidation_step: step });
+    let mut id = 0u64;
+    for b in 0..batches {
+        let entries: Vec<UpdateEntry> = (0..batch_size)
+            .map(|i| {
+                id += 1;
+                UpdateEntry::insert(id, ((b * 131 + i * 17) as u64) % (1 << 16))
+            })
+            .collect();
+        manager.ingest_batch(entries, &mut rng);
+    }
+    manager
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for step in [0usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_16_batches", format!("s={step}")),
+            &step,
+            |b, &step| b.iter(|| ingest(16, 200, step)),
+        );
+        let manager = ingest(16, 200, step);
+        let query = Range::new(10_000, 30_000);
+        group.bench_with_input(
+            BenchmarkId::new("query_across_instances", format!("s={step}")),
+            &query,
+            |b, query| b.iter(|| manager.query(*query)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

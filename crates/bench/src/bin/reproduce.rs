@@ -1,0 +1,112 @@
+//! `reproduce` — regenerates every table and figure of the paper's
+//! evaluation section from the command line.
+//!
+//! ```sh
+//! cargo run -p rsse-bench --release --bin reproduce -- all
+//! cargo run -p rsse-bench --release --bin reproduce -- fig6a fig6b --scale large
+//! ```
+//!
+//! Each experiment prints an aligned table and writes a CSV to
+//! `target/experiments/<name>.csv`. See EXPERIMENTS.md for the mapping to
+//! the paper's artefacts and the observed-vs-expected discussion.
+
+use rsse_bench::experiments;
+use rsse_bench::{DatasetKind, Scale};
+
+const USAGE: &str = "\
+usage: reproduce [EXPERIMENT ...] [--scale small|large|smoke]
+
+experiments:
+  table1    Table 1  — measured per-scheme costs
+  fig5a     Figure 5(a) — index size vs dataset size (Gowalla-like)
+  fig5b     Figure 5(b) — construction time vs dataset size (Gowalla-like)
+  table2    Table 2  — index costs (USPS-like)
+  fig6a     Figure 6(a) — false-positive rate vs range size (Gowalla-like)
+  fig6b     Figure 6(b) — false-positive rate vs range size (USPS-like)
+  fig7a     Figure 7(a) — search time vs range size (Gowalla-like)
+  fig7b     Figure 7(b) — search time vs range size (USPS-like)
+  fig8a     Figure 8(a) — query size vs range size
+  fig8b     Figure 8(b) — query generation time vs range size
+  ablation-cover    BRC/URC/SRC cover statistics (beyond the paper)
+  ablation-updates  consolidation-step sweep (beyond the paper)
+  all       everything above
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::small();
+    let mut experiments_requested: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--scale needs a value\n{USAGE}");
+                    std::process::exit(2);
+                };
+                match Scale::parse(value) {
+                    Some(parsed) => scale = parsed,
+                    None => {
+                        eprintln!("unknown scale '{value}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => experiments_requested.push(other.to_string()),
+        }
+    }
+    if experiments_requested.is_empty() {
+        experiments_requested.push("all".to_string());
+    }
+
+    let expand = |name: &str| -> Vec<String> {
+        if name == "all" {
+            [
+                "table1", "fig5a", "fig5b", "table2", "fig6a", "fig6b", "fig7a", "fig7b",
+                "fig8a", "fig8b", "ablation-cover", "ablation-updates",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        } else {
+            vec![name.to_string()]
+        }
+    };
+    let list: Vec<String> = experiments_requested.iter().flat_map(|n| expand(n)).collect();
+
+    // Figure 5(a)/(b) and Figure 8(a)/(b) come from the same sweep; avoid
+    // running it twice when both variants are requested.
+    let mut done: Vec<String> = Vec::new();
+    for name in &list {
+        let slug: String = match name.as_str() {
+            "fig5a" | "fig5b" => "fig5".to_string(),
+            "fig8a" | "fig8b" => "fig8".to_string(),
+            other => other.to_string(),
+        };
+        if done.contains(&slug) {
+            continue;
+        }
+        done.push(slug.clone());
+        let report = match slug.as_str() {
+            "table1" => experiments::table1(&scale),
+            "fig5" => experiments::fig5_index_costs(&scale),
+            "table2" => experiments::table2(&scale),
+            "fig6a" => experiments::fig6_false_positives(DatasetKind::Gowalla, &scale),
+            "fig6b" => experiments::fig6_false_positives(DatasetKind::Usps, &scale),
+            "fig7a" => experiments::fig7_search_time(DatasetKind::Gowalla, &scale),
+            "fig7b" => experiments::fig7_search_time(DatasetKind::Usps, &scale),
+            "fig8" => experiments::fig8_query_costs(&scale),
+            "ablation-cover" => experiments::ablation_cover(&scale),
+            "ablation-updates" => experiments::ablation_updates(&scale),
+            unknown => {
+                eprintln!("unknown experiment '{unknown}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        report.emit(&slug);
+    }
+}

@@ -1,0 +1,177 @@
+//! Report building: aligned text tables on stdout plus CSV files under
+//! `target/experiments/`, one per regenerated table/figure.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A tabular report: a header row plus data rows of equal arity.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    ///
+    /// # Panics
+    /// Panics if the row arity does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in report '{}'",
+            self.title
+        );
+        self.rows.push(row);
+    }
+
+    /// The report title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Renders the report as CSV.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the table to stdout and writes the CSV next to the build
+    /// artefacts (`target/experiments/<slug>.csv`). Returns the CSV path if
+    /// the write succeeded.
+    pub fn emit(&self, slug: &str) -> Option<PathBuf> {
+        println!("{}", self.to_table());
+        let dir = PathBuf::from("target/experiments");
+        if fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        match fs::write(&path, self.to_csv()) {
+            Ok(()) => {
+                println!("[csv written to {}]\n", path.display());
+                Some(path)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Formats a duration in seconds with three significant decimals.
+pub fn secs(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64())
+}
+
+/// Formats a duration in milliseconds.
+pub fn millis(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64() * 1e3)
+}
+
+/// Formats a byte count as mebibytes.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_and_csv_render() {
+        let mut report = Report::new("demo", &["scheme", "value"]);
+        report.push_row(vec!["A".into(), "1".into()]);
+        report.push_row(vec!["B, long".into(), "2".into()]);
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        let table = report.to_table();
+        assert!(table.contains("=== demo ==="));
+        assert!(table.contains("scheme"));
+        let csv = report.to_csv();
+        assert!(csv.starts_with("scheme,value"));
+        assert!(csv.contains("\"B, long\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut report = Report::new("demo", &["a", "b"]);
+        report.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(millis(Duration::from_micros(250)), "0.250");
+        assert_eq!(mib(1024 * 1024), "1.00");
+    }
+}

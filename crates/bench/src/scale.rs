@@ -1,0 +1,149 @@
+//! Experiment scales.
+//!
+//! The paper runs on up to 5M tuples over a ~10^8-value domain on a 16 GB
+//! i7. The harness defaults to a laptop/CI scale that finishes in minutes
+//! while preserving every comparative trend (who wins, by what shape); the
+//! `--scale large` flag moves closer to the paper's sizes.
+
+/// Which of the two evaluation datasets a figure uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Gowalla-like: near-uniform, ~95% distinct values.
+    Gowalla,
+    /// USPS-like: heavily skewed, ~5% distinct values.
+    Usps,
+}
+
+impl DatasetKind {
+    /// Display name used in report headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Gowalla => "Gowalla-like",
+            DatasetKind::Usps => "USPS-like",
+        }
+    }
+}
+
+/// Sizing knobs for all experiments.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// Dataset sizes swept in Figure 5.
+    pub fig5_sizes: Vec<usize>,
+    /// Dataset size for Table 1 and Figure 5's fixed-size runs.
+    pub gowalla_n: usize,
+    /// Domain size for Gowalla-like datasets (Table 1, Figure 5, Figure 8).
+    pub gowalla_domain: u64,
+    /// Dataset size for Table 2.
+    pub usps_n: usize,
+    /// Domain size for USPS-like datasets (Table 2).
+    pub usps_domain: u64,
+    /// Dataset size for the range-size sweeps of Figures 6–7. Kept separate
+    /// because the Constant schemes' O(R) search makes full-domain sweeps
+    /// over the Figure-5 domain prohibitively slow at laptop scale.
+    pub sweep_n: usize,
+    /// Domain size for the Figure 6–7 sweeps.
+    pub sweep_domain: u64,
+    /// Queries averaged per sweep point (the paper uses 200K).
+    pub queries_per_point: usize,
+    /// Range sizes (% of the domain) swept in Figures 6–7.
+    pub range_percents: Vec<f64>,
+    /// Absolute range sizes swept in Figure 8.
+    pub fig8_range_sizes: Vec<u64>,
+    /// RNG seed so every run is reproducible.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default laptop/CI scale (finishes in a few minutes in release).
+    pub fn small() -> Self {
+        Self {
+            fig5_sizes: vec![5_000, 10_000, 20_000],
+            gowalla_n: 10_000,
+            gowalla_domain: 1 << 20,
+            usps_n: 8_000,
+            usps_domain: 1 << 18,
+            sweep_n: 10_000,
+            sweep_domain: 1 << 16,
+            queries_per_point: 30,
+            range_percents: vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+            fig8_range_sizes: vec![1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+            seed: 2016,
+        }
+    }
+
+    /// A larger scale, closer in spirit to the paper's sweeps (tens of
+    /// minutes in release).
+    pub fn large() -> Self {
+        Self {
+            fig5_sizes: vec![25_000, 50_000, 100_000, 200_000],
+            gowalla_n: 100_000,
+            gowalla_domain: 1 << 24,
+            usps_n: 50_000,
+            usps_domain: 1 << 19,
+            sweep_n: 50_000,
+            sweep_domain: 1 << 18,
+            queries_per_point: 100,
+            ..Self::small()
+        }
+    }
+
+    /// A tiny smoke-test scale used by unit tests of the harness itself.
+    pub fn smoke() -> Self {
+        Self {
+            fig5_sizes: vec![200, 400],
+            gowalla_n: 400,
+            gowalla_domain: 1 << 12,
+            usps_n: 400,
+            usps_domain: 1 << 12,
+            sweep_n: 400,
+            sweep_domain: 1 << 10,
+            queries_per_point: 5,
+            range_percents: vec![10.0, 50.0, 100.0],
+            fig8_range_sizes: vec![1, 10, 100],
+            seed: 7,
+        }
+    }
+
+    /// Parses `small` / `large` from the command line.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "small" => Some(Self::small()),
+            "large" => Some(Self::large()),
+            "smoke" => Some(Self::smoke()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_scales() {
+        assert!(Scale::parse("small").is_some());
+        assert!(Scale::parse("large").is_some());
+        assert!(Scale::parse("smoke").is_some());
+        assert!(Scale::parse("huge").is_none());
+    }
+
+    #[test]
+    fn large_scale_is_larger() {
+        let small = Scale::small();
+        let large = Scale::large();
+        assert!(large.gowalla_n > small.gowalla_n);
+        assert!(large.fig5_sizes.last() > small.fig5_sizes.last());
+    }
+
+    #[test]
+    fn dataset_kind_names() {
+        assert_eq!(DatasetKind::Gowalla.name(), "Gowalla-like");
+        assert_eq!(DatasetKind::Usps.name(), "USPS-like");
+    }
+}

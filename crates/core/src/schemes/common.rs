@@ -1,0 +1,136 @@
+//! Helpers shared by the scheme implementations.
+
+use crate::dataset::{decode_id_payload, DocId};
+use rsse_cover::{Domain, Range};
+use rsse_sse::{EncryptedIndex, SearchToken, SseScheme};
+
+/// Which exact range-covering technique a BRC/URC-based scheme uses for its
+/// trapdoors (Section 2.2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoverKind {
+    /// Best Range Cover — minimum number of nodes, leaks range position
+    /// through the level profile of the cover.
+    Brc,
+    /// Uniform Range Cover — worst-case decomposition, level profile depends
+    /// only on the range size.
+    Urc,
+}
+
+impl CoverKind {
+    /// Computes the cover of `range` with the selected technique.
+    pub fn cover(&self, domain: &Domain, range: Range) -> Vec<rsse_cover::Node> {
+        match self {
+            CoverKind::Brc => rsse_cover::brc(domain, range),
+            CoverKind::Urc => rsse_cover::urc(domain, range),
+        }
+    }
+
+    /// Scheme-name suffix used in reports ("BRC" / "URC").
+    pub fn label(&self) -> &'static str {
+        match self {
+            CoverKind::Brc => "BRC",
+            CoverKind::Urc => "URC",
+        }
+    }
+}
+
+/// Clamps a query range to the domain. Queries entirely outside the domain
+/// are answered with `None` (empty result) without contacting the server.
+pub fn clamp_query(domain: &Domain, range: Range) -> Option<Range> {
+    domain.clamp(range)
+}
+
+/// Runs an SSE search for each token and decodes the id payloads, returning
+/// the flattened ids together with the per-token group sizes (the result
+/// partitioning the server observes).
+pub fn search_ids(
+    index: &EncryptedIndex,
+    tokens: &[SearchToken],
+) -> (Vec<DocId>, Vec<usize>) {
+    let mut ids = Vec::new();
+    let mut groups = Vec::with_capacity(tokens.len());
+    for token in tokens {
+        let payloads = SseScheme::search(index, token);
+        groups.push(payloads.len());
+        for payload in payloads {
+            if let Some(id) = decode_id_payload(&payload) {
+                ids.push(id);
+            }
+        }
+    }
+    (ids, groups)
+}
+
+/// Encodes a `(value, start, end)` triple — the "(domain value, tuple
+/// range)" documents indexed by Logarithmic-SRC-i's first index — as a
+/// 24-byte payload.
+pub fn encode_value_span(value: u64, start: u64, end: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    out.extend_from_slice(&value.to_le_bytes());
+    out.extend_from_slice(&start.to_le_bytes());
+    out.extend_from_slice(&end.to_le_bytes());
+    out
+}
+
+/// Decodes a payload produced by [`encode_value_span`].
+pub fn decode_value_span(payload: &[u8]) -> Option<(u64, u64, u64)> {
+    if payload.len() != 24 {
+        return None;
+    }
+    let value = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let start = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    let end = u64::from_le_bytes(payload[16..24].try_into().ok()?);
+    Some((value, start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rsse_sse::SseDatabase;
+
+    #[test]
+    fn cover_kind_dispatches() {
+        let domain = Domain::new(8);
+        let range = Range::new(2, 7);
+        assert_eq!(CoverKind::Brc.cover(&domain, range).len(), 2);
+        assert_eq!(CoverKind::Urc.cover(&domain, range).len(), 4);
+        assert_eq!(CoverKind::Brc.label(), "BRC");
+        assert_eq!(CoverKind::Urc.label(), "URC");
+    }
+
+    #[test]
+    fn clamp_query_filters_out_of_domain() {
+        let domain = Domain::new(10);
+        assert_eq!(clamp_query(&domain, Range::new(5, 100)), Some(Range::new(5, 9)));
+        assert_eq!(clamp_query(&domain, Range::new(50, 100)), None);
+    }
+
+    #[test]
+    fn value_span_roundtrip() {
+        let encoded = encode_value_span(7, 100, 200);
+        assert_eq!(encoded.len(), 24);
+        assert_eq!(decode_value_span(&encoded), Some((7, 100, 200)));
+        assert_eq!(decode_value_span(b"short"), None);
+    }
+
+    #[test]
+    fn search_ids_groups_by_token() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        db.add(b"a".to_vec(), 1u64.to_le_bytes().to_vec());
+        db.add(b"a".to_vec(), 2u64.to_le_bytes().to_vec());
+        db.add(b"b".to_vec(), 3u64.to_le_bytes().to_vec());
+        let index = SseScheme::build_index(&key, &db, &mut rng);
+        let tokens = vec![
+            SseScheme::trapdoor(&key, b"a"),
+            SseScheme::trapdoor(&key, b"b"),
+            SseScheme::trapdoor(&key, b"missing"),
+        ];
+        let (ids, groups) = search_ids(&index, &tokens);
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(groups, vec![2, 1, 0]);
+    }
+}

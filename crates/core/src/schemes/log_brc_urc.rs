@@ -1,0 +1,293 @@
+//! The Logarithmic-BRC and Logarithmic-URC schemes (Section 6.1).
+//!
+//! Each tuple is replicated once per node on the path from the binary-tree
+//! root to its value's leaf (`⌈log m⌉ + 1` keywords), and a query is covered
+//! with BRC or URC exactly as in the Constant schemes — but the covering
+//! nodes are ordinary SSE keywords, so no DPRF is needed, the search time
+//! drops to `O(log R + r)`, and the heavy structural leakage of the Constant
+//! schemes (the exact mapping of ids onto subtree leaves) disappears. What
+//! remains visible to the server is only the *partitioning of the result
+//! into one group per covering node*.
+
+use crate::dataset::Dataset;
+use crate::metrics::{IndexStats, QueryStats};
+use crate::schemes::common::{clamp_query, search_ids, CoverKind};
+use crate::traits::{QueryOutcome, RangeScheme};
+use rand::{CryptoRng, RngCore};
+use rsse_cover::{Domain, Node, Range};
+use rsse_crypto::{permute, Key, KeyChain};
+use rsse_sse::{padding, EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+
+/// Owner-side state of Logarithmic-BRC / Logarithmic-URC.
+#[derive(Clone, Debug)]
+pub struct LogScheme {
+    key: SseKey,
+    shuffle_key: Key,
+    domain: Domain,
+    kind: CoverKind,
+}
+
+/// Server-side state: one encrypted multimap with `O(n log m)` entries.
+#[derive(Clone, Debug)]
+pub struct LogServer {
+    index: EncryptedIndex,
+}
+
+impl LogScheme {
+    /// Builds the scheme with an explicit covering technique and optional
+    /// padding of the multimap to `n · (⌈log m⌉ + 1)` entries.
+    pub fn build_full<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        pad: bool,
+        rng: &mut R,
+    ) -> (Self, LogServer) {
+        let domain = *dataset.domain();
+        let chain = KeyChain::generate(rng);
+        let key = SseScheme::key_from(chain.derive(b"sse"));
+        let shuffle_key = chain.derive(b"shuffle");
+
+        let mut db = SseDatabase::new();
+        for record in dataset.records() {
+            for node in Node::path_to_root(&domain, record.value) {
+                db.add(node.keyword().to_vec(), record.id_payload());
+            }
+        }
+        // Randomly permute the documents sharing a keyword, as prescribed by
+        // BuildIndex, so storage order leaks nothing about attribute order.
+        db.shuffle_lists(&shuffle_key);
+        if pad {
+            let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), false);
+            padding::pad_to(&mut db, target, 8);
+        }
+        let index = SseScheme::build_index(&key, &db, rng);
+        (
+            Self {
+                key,
+                shuffle_key,
+                domain,
+                kind,
+            },
+            LogServer { index },
+        )
+    }
+
+    /// Builds the scheme with the given covering technique (no padding).
+    pub fn build_with<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        rng: &mut R,
+    ) -> (Self, LogServer) {
+        Self::build_full(dataset, kind, false, rng)
+    }
+
+    /// The covering technique this client uses.
+    pub fn cover_kind(&self) -> CoverKind {
+        self.kind
+    }
+
+    /// `Trpdr`: one SSE token per covering node, randomly permuted.
+    /// Returns `None` if the range lies entirely outside the domain.
+    pub fn trapdoor(&self, range: Range) -> Option<Vec<SearchToken>> {
+        let clamped = clamp_query(&self.domain, range)?;
+        let cover = self.kind.cover(&self.domain, clamped);
+        let mut tokens: Vec<SearchToken> = cover
+            .iter()
+            .map(|node| SseScheme::trapdoor(&self.key, &node.keyword()))
+            .collect();
+        let mut label = Vec::with_capacity(17);
+        label.push(b'L');
+        label.extend_from_slice(&clamped.lo().to_le_bytes());
+        label.extend_from_slice(&clamped.hi().to_le_bytes());
+        permute::keyed_shuffle(&self.shuffle_key, &label, &mut tokens);
+        Some(tokens)
+    }
+
+    /// `Search`: one SSE search per token; the union of the groups is the
+    /// result.
+    pub fn search(server: &LogServer, tokens: &[SearchToken]) -> QueryOutcome {
+        let (ids, groups) = search_ids(&server.index, tokens);
+        let touched = groups.iter().sum();
+        QueryOutcome {
+            ids,
+            stats: QueryStats {
+                tokens_sent: tokens.len(),
+                token_bytes: tokens.len() * SearchToken::SIZE_BYTES,
+                rounds: 1,
+                entries_touched: touched,
+                result_groups: tokens.len(),
+            },
+        }
+    }
+
+    /// The per-token result-group sizes of a query — the "result
+    /// partitioning" leakage that distinguishes this scheme from
+    /// Logarithmic-SRC (used by leakage tests and the ablation benches).
+    pub fn result_partitioning(&self, server: &LogServer, range: Range) -> Vec<usize> {
+        match self.trapdoor(range) {
+            Some(tokens) => {
+                let (_, groups) = search_ids(&server.index, &tokens);
+                groups
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+impl RangeScheme for LogScheme {
+    type Server = LogServer;
+    const NAME: &'static str = "Logarithmic-BRC/URC";
+
+    fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
+        Self::build_with(dataset, CoverKind::Brc, rng)
+    }
+
+    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+        match self.trapdoor(range) {
+            Some(tokens) => Self::search(server, &tokens),
+            None => QueryOutcome::default(),
+        }
+    }
+
+    fn index_stats(server: &Self::Server) -> IndexStats {
+        IndexStats {
+            entries: server.index.len(),
+            storage_bytes: server.index.storage_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Record;
+    use crate::schemes::testutil;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn brc_and_urc_are_exact_on_query_mix() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        for dataset in [testutil::skewed_dataset(), testutil::uniform_dataset()] {
+            for kind in [CoverKind::Brc, CoverKind::Urc] {
+                let (client, server) = LogScheme::build_with(&dataset, kind, &mut rng);
+                for range in testutil::query_mix(dataset.domain().size()) {
+                    let outcome = client.query(&server, range);
+                    testutil::assert_exact(&dataset, range, &outcome);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_has_n_log_m_entries() {
+        let dataset = testutil::skewed_dataset(); // domain 64 → 7 keywords/tuple
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let (_, server) = LogScheme::build(&dataset, &mut rng);
+        assert_eq!(
+            LogScheme::index_stats(&server).entries,
+            dataset.len() * (dataset.domain().bits() as usize + 1)
+        );
+    }
+
+    #[test]
+    fn padded_build_hides_dataset_size_detail_and_still_answers() {
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let dataset = testutil::skewed_dataset();
+        let (client, server) = LogScheme::build_full(&dataset, CoverKind::Brc, true, &mut rng);
+        assert_eq!(
+            LogScheme::index_stats(&server).entries,
+            dataset.len() * (dataset.domain().bits() as usize + 1)
+        );
+        let range = Range::new(2, 7);
+        testutil::assert_exact(&dataset, range, &client.query(&server, range));
+    }
+
+    #[test]
+    fn query_size_is_logarithmic_and_urc_uniform() {
+        let dataset = testutil::uniform_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let (brc, _) = LogScheme::build_with(&dataset, CoverKind::Brc, &mut rng);
+        let (urc, _) = LogScheme::build_with(&dataset, CoverKind::Urc, &mut rng);
+        for len in [5u64, 17, 60, 128] {
+            let t1 = urc.trapdoor(Range::new(3, 3 + len - 1)).unwrap();
+            let t2 = urc.trapdoor(Range::new(100, 100 + len - 1)).unwrap();
+            assert_eq!(t1.len(), t2.len(), "URC token count must not leak position");
+        }
+        let t = brc.trapdoor(Range::new(0, 127)).unwrap();
+        assert_eq!(t.len(), 1);
+        let t = brc.trapdoor(Range::new(1, 254)).unwrap();
+        assert!(t.len() <= 2 * 8);
+    }
+
+    #[test]
+    fn result_partitioning_matches_group_structure() {
+        // Section 6.1: the only extra leakage is the partitioning of results
+        // into per-node groups. Check the group sizes sum to r and that SRC
+        // would not see this (covered in log_src tests).
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let (client, server) = LogScheme::build_with(&dataset, CoverKind::Brc, &mut rng);
+        let range = Range::new(2, 7);
+        let groups = client.result_partitioning(&server, range);
+        assert!(groups.len() >= 2, "BRC covers [2,7] with multiple nodes");
+        assert_eq!(
+            groups.iter().sum::<usize>(),
+            dataset.result_size(range),
+            "groups must partition the exact result"
+        );
+    }
+
+    #[test]
+    fn entries_touched_equals_result_size() {
+        // No false positives: server work is log R + r.
+        let dataset = testutil::uniform_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let (client, server) = LogScheme::build_with(&dataset, CoverKind::Urc, &mut rng);
+        let range = Range::new(10, 200);
+        let outcome = client.query(&server, range);
+        assert_eq!(outcome.stats.entries_touched, dataset.result_size(range));
+        assert_eq!(outcome.stats.rounds, 1);
+        assert_eq!(outcome.stats.result_groups, outcome.stats.tokens_sent);
+    }
+
+    #[test]
+    fn out_of_domain_query_is_empty() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let (client, server) = LogScheme::build(&dataset, &mut rng);
+        assert!(client.query(&server, Range::new(200, 300)).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_datasets_random_queries_are_exact(
+            values in proptest::collection::vec(0u64..128, 1..60),
+            lo in 0u64..128,
+            len in 1u64..128,
+            kind_is_brc in any::<bool>())
+        {
+            let domain = Domain::new(128);
+            let records: Vec<Record> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Record::new(i as u64, v))
+                .collect();
+            let dataset = Dataset::new(domain, records).unwrap();
+            let mut rng = ChaCha20Rng::seed_from_u64(42);
+            let kind = if kind_is_brc { CoverKind::Brc } else { CoverKind::Urc };
+            let (client, server) = LogScheme::build_with(&dataset, kind, &mut rng);
+            let hi = (lo + len - 1).min(127);
+            let range = Range::new(lo, hi);
+            let outcome = client.query(&server, range);
+            let expected = {
+                let mut e = dataset.matching_ids(range);
+                e.sort_unstable();
+                e
+            };
+            prop_assert_eq!(testutil::sorted_ids(&outcome), expected);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The Logarithmic-SRC-i scheme (Section 6.3) — the paper's best
+//! security/efficiency trade-off.
+//!
+//! Logarithmic-SRC can return up to `O(n)` false positives under skew
+//! because its single covering node is chosen over the *domain*, where a
+//! huge pile of tuples may sit on one value just outside the query. SRC-i
+//! fixes this with a double index and one extra round:
+//!
+//! * `I1` indexes, for every **distinct domain value**, the contiguous range
+//!   of positions its tuples occupy in the value-sorted order — a single
+//!   `(value, [start, end])` document per distinct value — under the TDAG
+//!   over the *domain* (`TDAG1`).
+//! * `I2` indexes the tuples themselves, sorted by value (ties shuffled),
+//!   under the TDAG over the *positions* `0 … n−1` (`TDAG2`).
+//!
+//! A query first asks `I1` for the SRC node of its range, learns which
+//! position spans belong to qualifying values, merges them into one position
+//! range, and then asks `I2` for the SRC node of that position range. False
+//! positives drop to `O(R + r)` regardless of skew.
+
+use crate::dataset::{Dataset, Record};
+use crate::metrics::{IndexStats, QueryStats};
+use crate::schemes::common::{clamp_query, decode_value_span, encode_value_span, search_ids};
+use crate::traits::{QueryOutcome, RangeScheme};
+use rand::{CryptoRng, RngCore};
+use rsse_cover::{Domain, Range, Tdag};
+use rsse_crypto::{permute, KeyChain};
+use rsse_sse::{EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+
+/// Owner-side state of Logarithmic-SRC-i.
+#[derive(Clone, Debug)]
+pub struct LogSrcIScheme {
+    key1: SseKey,
+    key2: SseKey,
+    tdag1: Tdag,
+    tdag2: Tdag,
+}
+
+/// Server-side state: the two encrypted indexes.
+#[derive(Clone, Debug)]
+pub struct LogSrcIServer {
+    index1: EncryptedIndex,
+    index2: EncryptedIndex,
+}
+
+impl LogSrcIScheme {
+    /// Builds both indexes.
+    pub fn build_impl<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        rng: &mut R,
+    ) -> (Self, LogSrcIServer) {
+        let domain = *dataset.domain();
+        let chain = KeyChain::generate(rng);
+        let key1 = SseScheme::key_from(chain.derive(b"sse-i1"));
+        let key2 = SseScheme::key_from(chain.derive(b"sse-i2"));
+        let shuffle_key = chain.derive(b"shuffle");
+
+        // Sort tuples by value; shuffle ties so the position of a tuple
+        // within its value group is independent of its id.
+        let mut sorted: Vec<Record> = dataset.sorted_by_value();
+        let mut start = 0usize;
+        while start < sorted.len() {
+            let value = sorted[start].value;
+            let mut end = start;
+            while end < sorted.len() && sorted[end].value == value {
+                end += 1;
+            }
+            permute::keyed_shuffle(&shuffle_key, &value.to_le_bytes(), &mut sorted[start..end]);
+            start = end;
+        }
+
+        // TDAG1 over the domain indexes (value, position-span) documents.
+        let tdag1 = Tdag::new(domain);
+        let mut db1 = SseDatabase::new();
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let value = sorted[i].value;
+            let mut j = i;
+            while j < sorted.len() && sorted[j].value == value {
+                j += 1;
+            }
+            let payload = encode_value_span(value, i as u64, (j - 1) as u64);
+            for node in tdag1.covering_nodes(value) {
+                db1.add(node.keyword().to_vec(), payload.clone());
+            }
+            i = j;
+        }
+        db1.shuffle_lists(&chain.derive(b"shuffle-i1"));
+
+        // TDAG2 over positions 0..n indexes the tuples themselves.
+        let position_domain = Domain::new(sorted.len().max(1) as u64);
+        let tdag2 = Tdag::new(position_domain);
+        let mut db2 = SseDatabase::new();
+        for (position, record) in sorted.iter().enumerate() {
+            for node in tdag2.covering_nodes(position as u64) {
+                db2.add(node.keyword().to_vec(), record.id_payload());
+            }
+        }
+        db2.shuffle_lists(&chain.derive(b"shuffle-i2"));
+
+        let index1 = SseScheme::build_index(&key1, &db1, rng);
+        let index2 = SseScheme::build_index(&key2, &db2, rng);
+        (
+            Self {
+                key1,
+                key2,
+                tdag1,
+                tdag2,
+            },
+            LogSrcIServer { index1, index2 },
+        )
+    }
+
+    /// First-stage trapdoor: the SRC token over `TDAG1` for the query range.
+    pub fn trapdoor_stage1(&self, range: Range) -> Option<SearchToken> {
+        let clamped = clamp_query(self.tdag1.domain(), range)?;
+        let node = self.tdag1.src_cover(clamped);
+        Some(SseScheme::trapdoor(&self.key1, &node.keyword()))
+    }
+
+    /// Second-stage trapdoor: the SRC token over `TDAG2` for a merged
+    /// position range.
+    pub fn trapdoor_stage2(&self, positions: Range) -> Option<SearchToken> {
+        let clamped = clamp_query(self.tdag2.domain(), positions)?;
+        let node = self.tdag2.src_cover(clamped);
+        Some(SseScheme::trapdoor(&self.key2, &node.keyword()))
+    }
+
+    /// Owner-side processing between the two rounds: decode the
+    /// `(value, span)` documents returned by `I1`, keep those whose value
+    /// satisfies the query, and merge their spans into one position range.
+    pub fn merge_spans(range: Range, stage1_payloads: &[Vec<u8>]) -> Option<Range> {
+        let mut merged: Option<Range> = None;
+        for payload in stage1_payloads {
+            let Some((value, start, end)) = decode_value_span(payload) else {
+                continue;
+            };
+            if !range.contains(value) {
+                continue;
+            }
+            let span = Range::new(start, end);
+            merged = Some(match merged {
+                Some(current) => current.union_hull(span),
+                None => span,
+            });
+        }
+        merged
+    }
+
+    /// The two TDAGs (domain, positions) — exposed for tests and benches.
+    pub fn tdags(&self) -> (&Tdag, &Tdag) {
+        (&self.tdag1, &self.tdag2)
+    }
+}
+
+impl RangeScheme for LogSrcIScheme {
+    type Server = LogSrcIServer;
+    const NAME: &'static str = "Logarithmic-SRC-i";
+
+    fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
+        Self::build_impl(dataset, rng)
+    }
+
+    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+        let Some(clamped) = clamp_query(self.tdag1.domain(), range) else {
+            return QueryOutcome::default();
+        };
+        // Round 1: query I1 for the (value, span) documents.
+        let token1 = self
+            .trapdoor_stage1(clamped)
+            .expect("clamped range is inside the domain");
+        let stage1 = SseScheme::search(&server.index1, &token1);
+        let stage1_touched = stage1.len();
+
+        // Owner merges the qualifying spans.
+        let Some(positions) = Self::merge_spans(clamped, &stage1) else {
+            // No qualifying value: empty result after a single round.
+            return QueryOutcome {
+                ids: Vec::new(),
+                stats: QueryStats {
+                    tokens_sent: 1,
+                    token_bytes: SearchToken::SIZE_BYTES,
+                    rounds: 1,
+                    entries_touched: stage1_touched,
+                    result_groups: 1,
+                },
+            };
+        };
+
+        // Round 2: query I2 for the tuples in the merged position range.
+        let token2 = self
+            .trapdoor_stage2(positions)
+            .expect("merged positions are valid indices into the sorted dataset");
+        let (ids, groups2) = search_ids(&server.index2, &[token2]);
+        QueryOutcome {
+            ids,
+            stats: QueryStats {
+                tokens_sent: 2,
+                token_bytes: 2 * SearchToken::SIZE_BYTES,
+                rounds: 2,
+                entries_touched: stage1_touched + groups2.iter().sum::<usize>(),
+                result_groups: 1,
+            },
+        }
+    }
+
+    fn index_stats(server: &Self::Server) -> IndexStats {
+        IndexStats {
+            entries: server.index1.len(),
+            storage_bytes: server.index1.storage_bytes(),
+        }
+        .merged(IndexStats {
+            entries: server.index2.len(),
+            storage_bytes: server.index2.storage_bytes(),
+        })
+    }
+}
+
+/// Index statistics of the two sub-indexes separately (the size of `I1`
+/// leaks the number of distinct values — part of the scheme's extra
+/// leakage, reported in the qualitative comparison of Section 6.3).
+pub fn per_index_stats(server: &LogSrcIServer) -> (IndexStats, IndexStats) {
+    (
+        IndexStats {
+            entries: server.index1.len(),
+            storage_bytes: server.index1.storage_bytes(),
+        },
+        IndexStats {
+            entries: server.index2.len(),
+            storage_bytes: server.index2.storage_bytes(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Evaluation;
+    use crate::schemes::log_src::LogSrcScheme;
+    use crate::schemes::testutil;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn results_are_complete_on_query_mix() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        for dataset in [testutil::skewed_dataset(), testutil::uniform_dataset()] {
+            let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
+            for range in testutil::query_mix(dataset.domain().size()) {
+                let outcome = client.query(&server, range);
+                testutil::assert_complete(&dataset, range, &outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_figure4() {
+        // D = {d0..d15} with d0..d9 on value 2, d10 on 4, d11-d12 on 5,
+        // d13-d14 on 6, d15 on 7; query [3,5] must return d10, d11, d12 and
+        // at most O(R + r) extras — in particular *not* the ten tuples on
+        // value 2, which plain SRC would return.
+        let records: Vec<Record> = (0..16u64)
+            .map(|i| {
+                let value = match i {
+                    0..=9 => 2,
+                    10 => 4,
+                    11 | 12 => 5,
+                    13 | 14 => 6,
+                    _ => 7,
+                };
+                Record::new(i, value)
+            })
+            .collect();
+        let dataset = Dataset::new(Domain::new(8), records).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
+        let range = Range::new(3, 5);
+        let outcome = client.query(&server, range);
+        let eval = testutil::assert_complete(&dataset, range, &outcome);
+        assert!(
+            eval.false_positives <= 4,
+            "SRC-i should return only a handful of false positives, got {}",
+            eval.false_positives
+        );
+        // ids 0..9 are the value-2 pile; none of them may be returned.
+        assert!(
+            !outcome.ids.iter().any(|id| *id <= 9),
+            "the value-2 pile must not be returned: {:?}",
+            outcome.ids
+        );
+        assert_eq!(outcome.stats.rounds, 2);
+        assert_eq!(outcome.stats.tokens_sent, 2);
+    }
+
+    #[test]
+    fn src_i_beats_src_under_skew() {
+        // The headline claim of Section 6.3, and the shape of Figure 6(b).
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let (src, src_server) = LogSrcScheme::build(&dataset, &mut rng);
+        let (srci, srci_server) = LogSrcIScheme::build(&dataset, &mut rng);
+        let range = Range::new(3, 5);
+        let expected = dataset.matching_ids(range);
+        let src_eval = Evaluation::compare(&src.query(&src_server, range).ids, &expected);
+        let srci_eval = Evaluation::compare(&srci.query(&srci_server, range).ids, &expected);
+        assert!(srci_eval.false_positives < src_eval.false_positives);
+    }
+
+    #[test]
+    fn empty_result_needs_single_round() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
+        // [40,45] contains no tuple values, and the SRC node around it
+        // contains none either.
+        let outcome = client.query(&server, Range::new(40, 45));
+        assert!(outcome.is_empty());
+        assert_eq!(outcome.stats.rounds, 1);
+    }
+
+    #[test]
+    fn i1_size_tracks_distinct_values() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
+        let (i1, i2) = per_index_stats(&server);
+        let (tdag1, _) = client.tdags();
+        let expected_i1: usize = {
+            use std::collections::BTreeSet;
+            let distinct: BTreeSet<u64> = dataset.records().iter().map(|r| r.value).collect();
+            distinct
+                .iter()
+                .map(|v| tdag1.covering_nodes(*v).len())
+                .sum()
+        };
+        assert_eq!(i1.entries, expected_i1);
+        // I2 indexes every tuple once per covering TDAG2 node.
+        assert!(i2.entries >= dataset.len());
+        assert_eq!(
+            LogSrcIScheme::index_stats(&server).entries,
+            i1.entries + i2.entries
+        );
+    }
+
+    #[test]
+    fn merge_spans_filters_and_merges() {
+        let payloads = vec![
+            encode_value_span(2, 0, 9),
+            encode_value_span(4, 10, 10),
+            encode_value_span(5, 11, 12),
+        ];
+        // Query [3,5]: value 2 is filtered out, spans [10,10] and [11,12]
+        // merge into [10,12] — the exact example of Section 6.3.
+        assert_eq!(
+            LogSrcIScheme::merge_spans(Range::new(3, 5), &payloads),
+            Some(Range::new(10, 12))
+        );
+        assert_eq!(LogSrcIScheme::merge_spans(Range::new(0, 1), &payloads), None);
+        // Corrupt payloads are ignored rather than crashing the owner.
+        assert_eq!(
+            LogSrcIScheme::merge_spans(Range::new(0, 10), &[vec![1, 2, 3]]),
+            None
+        );
+    }
+
+    #[test]
+    fn out_of_domain_query_is_empty() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
+        assert!(client.query(&server, Range::new(500, 600)).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn complete_and_false_positives_bounded_by_cover(
+            values in proptest::collection::vec(0u64..100, 1..40),
+            lo in 0u64..100,
+            len in 1u64..100)
+        {
+            let domain = Domain::new(100);
+            let records: Vec<Record> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Record::new(i as u64, v))
+                .collect();
+            let dataset = Dataset::new(domain, records).unwrap();
+            let mut rng = ChaCha20Rng::seed_from_u64(8);
+            let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
+            let hi = (lo + len - 1).min(99);
+            let range = Range::new(lo, hi);
+            let outcome = client.query(&server, range);
+            let expected = dataset.matching_ids(range);
+            let eval = Evaluation::compare(&outcome.ids, &expected);
+            prop_assert!(eval.is_complete(), "missed ids for {range}");
+            // The second index's cover is at most 4× the merged position
+            // span, so false positives are bounded by 4(r + R) generously.
+            let r = expected.len() as u64;
+            prop_assert!((eval.false_positives as u64) <= 4 * (r + range.len()) + 4);
+        }
+    }
+}

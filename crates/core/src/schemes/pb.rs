@@ -1,0 +1,348 @@
+//! PB — the basic scheme of Li et al. (PVLDB 2014), the paper's closest
+//! competitor and the baseline of its experimental comparison.
+//!
+//! PB builds a binary tree over the *dataset* (not the domain): tuples are
+//! randomly permuted and assigned to the leaves; every node stores a Bloom
+//! filter over the dyadic ranges `DR(d)` of the tuples in its subtree. A
+//! range query is decomposed into its minimal dyadic ranges (BRC), hashed
+//! under the owner's secret key, and the server walks the tree top-down,
+//! descending into any node whose filter claims to contain one of the query
+//! ranges; matching leaves yield the result ids.
+//!
+//! Costs (Table 1): `O(n log n log m)` storage (a filter per node, sized to
+//! its subtree), `Ω(log n · log R + r)` search, `O(log R)` query size and
+//! `O(r)` Bloom-filter false positives — all strictly worse than
+//! Logarithmic-BRC/URC, which is the point of the comparison. Security-wise
+//! the construction only meets the weak, non-adaptive definitions of Goh,
+//! which the paper discusses at length; it is reproduced here purely as a
+//! baseline.
+
+use crate::dataset::{Dataset, DocId};
+use crate::metrics::{IndexStats, QueryStats};
+use crate::schemes::common::clamp_query;
+use crate::traits::{QueryOutcome, RangeScheme};
+use rand::{CryptoRng, RngCore};
+use rsse_bloom::{element_hashes, BloomFilter, BloomParams};
+use rsse_cover::{brc, Domain, Node, Range};
+use rsse_crypto::{permute, Key, KeyChain};
+
+/// Default per-node Bloom-filter false-positive rate (the "fixed ratio" of
+/// Li et al.).
+pub const DEFAULT_BLOOM_FP_RATE: f64 = 0.01;
+
+/// Owner-side state of PB.
+#[derive(Clone, Debug)]
+pub struct PbScheme {
+    hash_key: Key,
+    domain: Domain,
+    num_hashes: u32,
+}
+
+/// One node of the PB tree.
+#[derive(Clone, Debug)]
+struct PbNode {
+    filter: BloomFilter,
+    /// `Some(id)` at occupied leaves, `None` elsewhere.
+    record: Option<DocId>,
+}
+
+/// Server-side state of PB: a heap-layout binary tree of Bloom filters.
+#[derive(Clone, Debug)]
+pub struct PbServer {
+    /// Heap layout: node `i` has children `2i + 1` and `2i + 2`; the first
+    /// `leaf_offset` entries are internal nodes.
+    nodes: Vec<PbNode>,
+    leaf_offset: usize,
+}
+
+/// The PB trapdoor: the keyed hash values of every minimal dyadic range of
+/// the query (`O(log R)` ranges × `k` hashes each).
+#[derive(Clone, Debug)]
+pub struct PbTrapdoor {
+    hashes_per_range: Vec<Vec<u64>>,
+}
+
+impl PbTrapdoor {
+    /// Serialized size of the trapdoor in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.hashes_per_range
+            .iter()
+            .map(|h| h.len() * std::mem::size_of::<u64>())
+            .sum()
+    }
+
+    /// Number of dyadic ranges in the trapdoor.
+    pub fn range_count(&self) -> usize {
+        self.hashes_per_range.len()
+    }
+}
+
+impl PbScheme {
+    /// Builds PB with an explicit per-node false-positive rate.
+    pub fn build_with<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        fp_rate: f64,
+        rng: &mut R,
+    ) -> (Self, PbServer) {
+        let domain = *dataset.domain();
+        let chain = KeyChain::generate(rng);
+        let hash_key = chain.derive(b"pb-hash");
+        // With the standard optimal sizing, the number of hash functions
+        // depends only on the false-positive rate, so one trapdoor works for
+        // every node's filter regardless of its size.
+        let num_hashes = (-fp_rate.ln() / std::f64::consts::LN_2).round().max(1.0) as u32;
+
+        // Randomly permute the tuples over the leaves.
+        let mut records = dataset.records().to_vec();
+        permute::rng_shuffle(rng, &mut records);
+        let n_leaves = records.len().next_power_of_two().max(1);
+        let leaf_offset = n_leaves - 1;
+        let path_len = domain.bits() as usize + 1;
+
+        // Count how many tuples fall under each node to size its filter.
+        let total_nodes = leaf_offset + n_leaves;
+        let mut subtree_counts = vec![0usize; total_nodes];
+        for leaf in 0..records.len() {
+            let mut node = leaf_offset + leaf;
+            loop {
+                subtree_counts[node] += 1;
+                if node == 0 {
+                    break;
+                }
+                node = (node - 1) / 2;
+            }
+        }
+
+        let mut nodes: Vec<PbNode> = subtree_counts
+            .iter()
+            .map(|&count| {
+                let expected = (count * path_len).max(1);
+                let mut params = BloomParams::optimal(expected, fp_rate);
+                params.num_hashes = num_hashes;
+                PbNode {
+                    filter: BloomFilter::new(params),
+                    record: None,
+                }
+            })
+            .collect();
+
+        // Insert every tuple's dyadic ranges into all its ancestors' filters.
+        for (leaf, record) in records.iter().enumerate() {
+            let dyadic: Vec<[u8; 13]> = Node::path_to_root(&domain, record.value)
+                .iter()
+                .map(Node::keyword)
+                .collect();
+            let mut node = leaf_offset + leaf;
+            nodes[node].record = Some(record.id);
+            loop {
+                for keyword in &dyadic {
+                    let hashes = element_hashes(&hash_key, keyword, num_hashes);
+                    nodes[node].filter.insert_hashes(&hashes);
+                }
+                if node == 0 {
+                    break;
+                }
+                node = (node - 1) / 2;
+            }
+        }
+
+        (
+            Self {
+                hash_key,
+                domain,
+                num_hashes,
+            },
+            PbServer { nodes, leaf_offset },
+        )
+    }
+
+    /// `Trpdr`: the keyed hashes of the query's minimal dyadic ranges.
+    pub fn trapdoor(&self, range: Range) -> Option<PbTrapdoor> {
+        let clamped = clamp_query(&self.domain, range)?;
+        let cover = brc(&self.domain, clamped);
+        let hashes_per_range = cover
+            .iter()
+            .map(|node| element_hashes(&self.hash_key, &node.keyword(), self.num_hashes))
+            .collect();
+        Some(PbTrapdoor { hashes_per_range })
+    }
+
+    /// `Search`: top-down traversal of the Bloom-filter tree.
+    pub fn search(server: &PbServer, trapdoor: &PbTrapdoor) -> QueryOutcome {
+        let mut ids = Vec::new();
+        let mut visited = 0usize;
+        if !server.nodes.is_empty() {
+            let mut stack = vec![0usize];
+            while let Some(node_index) = stack.pop() {
+                visited += 1;
+                let node = &server.nodes[node_index];
+                let matched = trapdoor
+                    .hashes_per_range
+                    .iter()
+                    .any(|hashes| !node.filter.is_empty() && node.filter.contains_hashes(hashes));
+                if !matched {
+                    continue;
+                }
+                if node_index >= server.leaf_offset {
+                    if let Some(id) = node.record {
+                        ids.push(id);
+                    }
+                } else {
+                    stack.push(2 * node_index + 1);
+                    stack.push(2 * node_index + 2);
+                }
+            }
+        }
+        QueryOutcome {
+            ids,
+            stats: QueryStats {
+                tokens_sent: trapdoor.range_count(),
+                token_bytes: trapdoor.size_bytes(),
+                rounds: 1,
+                entries_touched: visited,
+                result_groups: trapdoor.range_count(),
+            },
+        }
+    }
+
+    /// The number of keyed hash functions in use (public parameter).
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+}
+
+impl RangeScheme for PbScheme {
+    type Server = PbServer;
+    const NAME: &'static str = "PB (Li et al.)";
+
+    fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
+        Self::build_with(dataset, DEFAULT_BLOOM_FP_RATE, rng)
+    }
+
+    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+        match self.trapdoor(range) {
+            Some(trapdoor) => Self::search(server, &trapdoor),
+            None => QueryOutcome::default(),
+        }
+    }
+
+    fn index_stats(server: &Self::Server) -> IndexStats {
+        let storage_bytes = server
+            .nodes
+            .iter()
+            .map(|n| n.filter.storage_bytes() + if n.record.is_some() { 8 } else { 0 })
+            .sum();
+        IndexStats {
+            entries: server.nodes.len(),
+            storage_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Record;
+    use crate::schemes::testutil;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn results_are_complete_on_query_mix() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        for dataset in [testutil::skewed_dataset(), testutil::uniform_dataset()] {
+            let (client, server) = PbScheme::build(&dataset, &mut rng);
+            for range in testutil::query_mix(dataset.domain().size()) {
+                let outcome = client.query(&server, range);
+                // Bloom filters never yield false negatives, so PB is always
+                // complete; false positives are possible and expected.
+                testutil::assert_complete(&dataset, range, &outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_small_with_default_parameters() {
+        let dataset = testutil::uniform_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let (client, server) = PbScheme::build(&dataset, &mut rng);
+        let mut fp = 0usize;
+        let mut total = 0usize;
+        for lo in (0..250u64).step_by(10) {
+            let range = Range::new(lo, (lo + 20).min(255));
+            let outcome = client.query(&server, range);
+            let eval = testutil::assert_complete(&dataset, range, &outcome);
+            fp += eval.false_positives;
+            total += outcome.len().max(1);
+        }
+        assert!(
+            (fp as f64) < 0.25 * total as f64,
+            "PB false positives unexpectedly high: {fp}/{total}"
+        );
+    }
+
+    #[test]
+    fn storage_is_superlinear_in_n() {
+        // O(n log n log m): doubling n should more than double storage.
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let small = Dataset::new(
+            Domain::new(1 << 16),
+            (0..64u64).map(|i| Record::new(i, i * 100)).collect(),
+        )
+        .unwrap();
+        let large = Dataset::new(
+            Domain::new(1 << 16),
+            (0..128u64).map(|i| Record::new(i, i * 100)).collect(),
+        )
+        .unwrap();
+        let (_, s_small) = PbScheme::build(&small, &mut rng);
+        let (_, s_large) = PbScheme::build(&large, &mut rng);
+        let b_small = PbScheme::index_stats(&s_small).storage_bytes;
+        let b_large = PbScheme::index_stats(&s_large).storage_bytes;
+        assert!(b_large > 2 * b_small);
+    }
+
+    #[test]
+    fn trapdoor_size_is_logarithmic_in_range() {
+        let dataset = testutil::uniform_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let (client, _) = PbScheme::build(&dataset, &mut rng);
+        let small = client.trapdoor(Range::new(7, 10)).unwrap();
+        let large = client.trapdoor(Range::new(1, 254)).unwrap();
+        assert!(small.range_count() <= large.range_count());
+        assert!(large.range_count() <= 2 * 8);
+        assert_eq!(
+            large.size_bytes(),
+            large.range_count() * client.num_hashes() as usize * 8
+        );
+    }
+
+    #[test]
+    fn search_visits_a_tree_prefix() {
+        let dataset = testutil::uniform_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let (client, server) = PbScheme::build(&dataset, &mut rng);
+        let outcome = client.query(&server, Range::point(11 % 256));
+        // A point query visits at most one root-to-leaf path per match plus
+        // the pruned frontier — far fewer nodes than the whole tree.
+        assert!(outcome.stats.entries_touched < server.nodes.len());
+        assert_eq!(outcome.stats.rounds, 1);
+    }
+
+    #[test]
+    fn empty_dataset_answers_empty() {
+        let dataset = Dataset::new(Domain::new(64), vec![]).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let (client, server) = PbScheme::build(&dataset, &mut rng);
+        let outcome = client.query(&server, Range::new(0, 63));
+        assert!(outcome.is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_query_is_empty() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let (client, server) = PbScheme::build(&dataset, &mut rng);
+        assert!(client.query(&server, Range::new(100, 110)).is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! The encrypted record store and owner-side result refinement.
+//!
+//! The RSSE indexes only ever return *tuple ids*. The records themselves are
+//! encrypted with a semantically secure cipher, stored at the server keyed
+//! by id, and fetched after the search — "the server can send the
+//! corresponding document to the owner, who decrypts in a final step that is
+//! orthogonal to the SSE instantiation" (Section 2.2). This module provides
+//! that final step so that the examples and the update workflow can run the
+//! complete end-to-end protocol:
+//!
+//! * [`RecordStoreOwner`] encrypts [`StoredRecord`]s (attribute value plus an
+//!   opaque body) before outsourcing and decrypts fetched ciphertexts;
+//! * [`EncryptedRecordStore`] is the server-side id → ciphertext map;
+//! * [`RecordStoreOwner::refine`] fetches the ids returned by a range query,
+//!   decrypts them and drops false positives — the owner-side filtering the
+//!   SRC family and PB rely on.
+
+use crate::dataset::{Dataset, DocId, Record};
+use crate::traits::QueryOutcome;
+use rand::{CryptoRng, RngCore};
+use rsse_cover::Range;
+use rsse_crypto::{Key, StreamCipher};
+use std::collections::HashMap;
+
+/// A full record as the owner sees it: the indexed attribute value plus an
+/// arbitrary encrypted body (the remaining columns of the tuple).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// Unique tuple id, shared with the RSSE index.
+    pub id: DocId,
+    /// Query-attribute value.
+    pub value: u64,
+    /// Opaque record body (all non-indexed columns, serialized).
+    pub body: Vec<u8>,
+}
+
+impl StoredRecord {
+    /// Creates a record.
+    pub fn new(id: DocId, value: u64, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            id,
+            value,
+            body: body.into(),
+        }
+    }
+
+    /// The `(id, value)` pair indexed by the RSSE schemes.
+    pub fn index_record(&self) -> Record {
+        Record::new(self.id, self.value)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.body.len());
+        out.extend_from_slice(&self.value.to_le_bytes());
+        out.extend_from_slice(&(self.body.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    fn decode(id: DocId, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let value = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let body_len = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
+        if bytes.len() != 16 + body_len {
+            return None;
+        }
+        Some(Self {
+            id,
+            value,
+            body: bytes[16..].to_vec(),
+        })
+    }
+}
+
+/// Server-side storage of the individually encrypted records.
+#[derive(Clone, Debug, Default)]
+pub struct EncryptedRecordStore {
+    records: HashMap<DocId, Vec<u8>>,
+}
+
+impl EncryptedRecordStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate server-side storage in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.records.values().map(|c| c.len() + 8).sum()
+    }
+
+    /// Stores (or replaces) a ciphertext under an id. Called with
+    /// owner-produced ciphertexts only.
+    pub fn put(&mut self, id: DocId, ciphertext: Vec<u8>) {
+        self.records.insert(id, ciphertext);
+    }
+
+    /// Fetches the ciphertext of one id, as requested by the owner after a
+    /// search.
+    pub fn get(&self, id: DocId) -> Option<&[u8]> {
+        self.records.get(&id).map(Vec::as_slice)
+    }
+
+    /// Removes a record (used by the update manager's consolidation).
+    pub fn remove(&mut self, id: DocId) -> bool {
+        self.records.remove(&id).is_some()
+    }
+}
+
+/// The owner's keys and helpers for the record store.
+#[derive(Clone, Debug)]
+pub struct RecordStoreOwner {
+    cipher: StreamCipher,
+}
+
+impl RecordStoreOwner {
+    /// Creates an owner with a fresh record-encryption key.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> Self {
+        Self {
+            cipher: StreamCipher::new(&Key::generate(rng)),
+        }
+    }
+
+    /// Creates an owner from an existing key (e.g. derived from the master
+    /// key chain of a scheme deployment).
+    pub fn from_key(key: &Key) -> Self {
+        Self {
+            cipher: StreamCipher::new(key),
+        }
+    }
+
+    /// Encrypts one record for outsourcing.
+    pub fn encrypt<R: RngCore + CryptoRng>(&self, rng: &mut R, record: &StoredRecord) -> Vec<u8> {
+        self.cipher.encrypt(rng, &record.encode())
+    }
+
+    /// Encrypts a whole collection into a server-side store and returns the
+    /// plaintext [`Dataset`] to feed into a scheme's `BuildIndex`.
+    pub fn outsource<R: RngCore + CryptoRng>(
+        &self,
+        records: &[StoredRecord],
+        domain: rsse_cover::Domain,
+        rng: &mut R,
+    ) -> Result<(Dataset, EncryptedRecordStore), crate::dataset::DatasetError> {
+        let mut store = EncryptedRecordStore::new();
+        for record in records {
+            store.put(record.id, self.encrypt(rng, record));
+        }
+        let dataset = Dataset::new(domain, records.iter().map(StoredRecord::index_record).collect())?;
+        Ok((dataset, store))
+    }
+
+    /// Decrypts one fetched ciphertext.
+    pub fn decrypt(&self, id: DocId, ciphertext: &[u8]) -> Option<StoredRecord> {
+        let plaintext = self.cipher.decrypt(ciphertext)?;
+        StoredRecord::decode(id, &plaintext)
+    }
+
+    /// The owner-side refinement step: fetch every id a query returned,
+    /// decrypt it, and keep only the records that actually satisfy the
+    /// range — eliminating the false positives of the SRC family and PB.
+    pub fn refine(
+        &self,
+        outcome: &QueryOutcome,
+        range: Range,
+        store: &EncryptedRecordStore,
+    ) -> Vec<StoredRecord> {
+        let mut results = Vec::with_capacity(outcome.ids.len());
+        for &id in &outcome.ids {
+            let Some(ciphertext) = store.get(id) else {
+                continue;
+            };
+            let Some(record) = self.decrypt(id, ciphertext) else {
+                continue;
+            };
+            if range.contains(record.value) {
+                results.push(record);
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::log_src::LogSrcScheme;
+    use crate::schemes::testutil;
+    use crate::traits::RangeScheme;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rsse_cover::Domain;
+
+    fn sample_records() -> Vec<StoredRecord> {
+        (0..50u64)
+            .map(|i| StoredRecord::new(i, (i * 13) % 64, format!("row-{i}").into_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let record = StoredRecord::new(7, 42, b"hello".to_vec());
+        let decoded = StoredRecord::decode(7, &record.encode()).unwrap();
+        assert_eq!(decoded, record);
+        assert!(StoredRecord::decode(7, b"short").is_none());
+        // Length mismatch is rejected.
+        let mut bytes = record.encode();
+        bytes.push(0);
+        assert!(StoredRecord::decode(7, &bytes).is_none());
+    }
+
+    #[test]
+    fn outsource_encrypt_fetch_decrypt_roundtrip() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let owner = RecordStoreOwner::generate(&mut rng);
+        let records = sample_records();
+        let (dataset, store) = owner
+            .outsource(&records, Domain::new(64), &mut rng)
+            .unwrap();
+        assert_eq!(dataset.len(), 50);
+        assert_eq!(store.len(), 50);
+        assert!(!store.is_empty());
+        assert!(store.storage_bytes() > 50 * 16);
+        for record in &records {
+            let fetched = owner.decrypt(record.id, store.get(record.id).unwrap()).unwrap();
+            assert_eq!(&fetched, record);
+        }
+    }
+
+    #[test]
+    fn ciphertexts_hide_record_contents() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let owner = RecordStoreOwner::generate(&mut rng);
+        let record = StoredRecord::new(1, 3, b"super secret payroll entry".to_vec());
+        let ciphertext = owner.encrypt(&mut rng, &record);
+        assert!(!ciphertext
+            .windows(record.body.len())
+            .any(|w| w == record.body.as_slice()));
+        // A different owner cannot decrypt it into the same record.
+        let other = RecordStoreOwner::generate(&mut rng);
+        assert_ne!(other.decrypt(1, &ciphertext), Some(record));
+    }
+
+    #[test]
+    fn refine_removes_false_positives_end_to_end() {
+        // Full pipeline: outsource records, index them with the SRC scheme
+        // (which produces false positives under skew), query, fetch and
+        // refine — the refined result must equal the plaintext ground truth.
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let owner = RecordStoreOwner::generate(&mut rng);
+        let dataset = testutil::skewed_dataset();
+        let records: Vec<StoredRecord> = dataset
+            .records()
+            .iter()
+            .map(|r| StoredRecord::new(r.id, r.value, format!("body-{}", r.id).into_bytes()))
+            .collect();
+        let (index_dataset, store) = owner
+            .outsource(&records, *dataset.domain(), &mut rng)
+            .unwrap();
+        let (client, server) = LogSrcScheme::build(&index_dataset, &mut rng);
+
+        let range = Range::new(3, 5);
+        let outcome = client.query(&server, range);
+        // The raw outcome over-approximates under skew…
+        assert!(outcome.ids.len() > dataset.result_size(range));
+        // …but refinement restores the exact answer.
+        let refined = owner.refine(&outcome, range, &store);
+        let mut refined_ids: Vec<DocId> = refined.iter().map(|r| r.id).collect();
+        refined_ids.sort_unstable();
+        let mut expected = dataset.matching_ids(range);
+        expected.sort_unstable();
+        assert_eq!(refined_ids, expected);
+        for record in refined {
+            assert!(range.contains(record.value));
+            assert!(record.body.starts_with(b"body-"));
+        }
+    }
+
+    #[test]
+    fn refine_skips_missing_and_corrupt_entries() {
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let owner = RecordStoreOwner::generate(&mut rng);
+        let mut store = EncryptedRecordStore::new();
+        store.put(1, owner.encrypt(&mut rng, &StoredRecord::new(1, 5, b"ok".to_vec())));
+        store.put(2, vec![0u8; 4]); // corrupt
+        let outcome = QueryOutcome {
+            ids: vec![1, 2, 3], // 3 is missing entirely
+            stats: Default::default(),
+        };
+        let refined = owner.refine(&outcome, Range::new(0, 10), &store);
+        assert_eq!(refined.len(), 1);
+        assert_eq!(refined[0].id, 1);
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let owner = RecordStoreOwner::generate(&mut rng);
+        let mut store = EncryptedRecordStore::new();
+        store.put(9, owner.encrypt(&mut rng, &StoredRecord::new(9, 1, b"v1".to_vec())));
+        store.put(9, owner.encrypt(&mut rng, &StoredRecord::new(9, 2, b"v2".to_vec())));
+        assert_eq!(store.len(), 1);
+        let fetched = owner.decrypt(9, store.get(9).unwrap()).unwrap();
+        assert_eq!(fetched.body, b"v2");
+        assert!(store.remove(9));
+        assert!(!store.remove(9));
+        assert!(store.get(9).is_none());
+    }
+
+    #[test]
+    fn from_key_is_deterministic_across_sessions() {
+        let key = Key::from_bytes([7u8; 32]);
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let session1 = RecordStoreOwner::from_key(&key);
+        let ciphertext = session1.encrypt(&mut rng, &StoredRecord::new(1, 2, b"x".to_vec()));
+        // A later session with the same key can still decrypt.
+        let session2 = RecordStoreOwner::from_key(&key);
+        assert_eq!(
+            session2.decrypt(1, &ciphertext),
+            Some(StoredRecord::new(1, 2, b"x".to_vec()))
+        );
+    }
+}

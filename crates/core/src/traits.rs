@@ -1,0 +1,72 @@
+//! The unifying RSSE client/server interface implemented by every scheme.
+
+use crate::dataset::{Dataset, DocId};
+use crate::metrics::{IndexStats, QueryStats};
+use rand::{CryptoRng, RngCore};
+use rsse_cover::Range;
+
+/// The owner-visible outcome of a range query.
+///
+/// `ids` is the list of tuple ids the server returned. Depending on the
+/// scheme it may contain false positives (SRC family, PB); it never misses a
+/// matching tuple. `stats` records the communication and server-work costs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Tuple ids returned by the server (possibly with false positives).
+    pub ids: Vec<DocId>,
+    /// Cost accounting for the query.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    /// Number of ids returned.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the query returned nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// A complete RSSE scheme: an owner-side client bound to a server-side
+/// encrypted index.
+///
+/// `build` plays the role of `Setup` + `BuildIndex` of the paper (the key is
+/// generated internally and kept in the client); `query` bundles `Trpdr` and
+/// `Search`, including the extra communication round of Logarithmic-SRC-i.
+/// Schemes with configuration knobs (cover technique, padding, Bloom-filter
+/// rate) additionally expose `build_with`-style constructors.
+pub trait RangeScheme: Sized {
+    /// The server-side state (encrypted indexes).
+    type Server;
+
+    /// Human-readable scheme name as used in the paper's tables and figures.
+    const NAME: &'static str;
+
+    /// Builds the owner state and the encrypted server state for a dataset.
+    fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server);
+
+    /// Issues a range query against the server and returns the outcome.
+    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome;
+
+    /// Index size statistics of the server state.
+    fn index_stats(server: &Self::Server) -> IndexStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_len_and_emptiness() {
+        let outcome = QueryOutcome {
+            ids: vec![3, 4],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(outcome.len(), 2);
+        assert!(!outcome.is_empty());
+        assert!(QueryOutcome::default().is_empty());
+    }
+}

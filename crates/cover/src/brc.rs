@@ -1,0 +1,170 @@
+//! Best Range Cover (BRC): the minimum dyadic decomposition of a range.
+
+use crate::domain::{Domain, Range};
+use crate::node::Node;
+
+/// Computes the *Best Range Cover* of `range`: the unique minimum-cardinality
+/// set of binary-tree nodes whose dyadic intervals exactly tile the range.
+///
+/// For a range of size `R` the cover contains `O(log R)` nodes (at most two
+/// per level). Nodes are returned left-to-right, i.e. ordered by the ranges
+/// they cover; callers that must hide this order (every scheme in the paper)
+/// shuffle the resulting token vector.
+///
+/// # Panics
+/// Panics if the range does not fit inside the domain.
+pub fn brc(domain: &Domain, range: Range) -> Vec<Node> {
+    assert!(
+        domain.contains(range.lo()) && range.hi() < domain.padded_size(),
+        "range {range} outside domain of padded size {}",
+        domain.padded_size()
+    );
+    let mut cover = Vec::new();
+    let mut lo = range.lo();
+    let hi = range.hi();
+    while lo <= hi {
+        // The largest aligned dyadic block starting at `lo`…
+        let align = if lo == 0 { 63 } else { lo.trailing_zeros() };
+        // …shrunk until it fits inside [lo, hi].
+        let remaining = hi - lo + 1;
+        let fit = 63 - remaining.leading_zeros(); // floor(log2(remaining))
+        let level = align.min(fit).min(domain.bits());
+        cover.push(Node::new(level, lo >> level));
+        let width = 1u64 << level;
+        if hi - lo + 1 == width {
+            break;
+        }
+        lo += width;
+    }
+    cover
+}
+
+/// Maximum number of nodes BRC can output for a range of size `range_len`
+/// (two per level up to `⌊log₂ R⌋`, a standard bound used in cost analyses).
+pub fn brc_worst_case_nodes(range_len: u64) -> u32 {
+    if range_len <= 1 {
+        return 1;
+    }
+    let levels = 64 - range_len.leading_zeros();
+    2 * levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_exact_cover(domain: &Domain, range: Range, cover: &[Node]) {
+        // Nodes tile the range exactly: disjoint, inside, and complete.
+        let mut covered = 0u64;
+        for (i, node) in cover.iter().enumerate() {
+            let r = node.range();
+            assert!(range.covers(r), "node {node:?} leaks outside {range}");
+            covered += r.len();
+            for other in &cover[i + 1..] {
+                assert!(!r.intersects(other.range()), "overlap {node:?} {other:?}");
+            }
+        }
+        assert_eq!(covered, range.len(), "cover size mismatch for {range}");
+        let _ = domain;
+    }
+
+    #[test]
+    fn paper_example_2_to_7() {
+        let domain = Domain::new(8);
+        let cover = brc(&domain, Range::new(2, 7));
+        assert_eq!(cover, vec![Node::new(1, 1), Node::new(2, 1)]);
+    }
+
+    #[test]
+    fn paper_example_1_to_6() {
+        // Section 2.2: BRC covers [1,6] with N_1, N_{2,3}, N_{4,5}, N_6.
+        let domain = Domain::new(8);
+        let cover = brc(&domain, Range::new(1, 6));
+        assert_eq!(
+            cover,
+            vec![
+                Node::new(0, 1),
+                Node::new(1, 1),
+                Node::new(1, 2),
+                Node::new(0, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn aligned_range_is_single_node() {
+        let domain = Domain::new(1 << 10);
+        let cover = brc(&domain, Range::new(256, 511));
+        assert_eq!(cover, vec![Node::new(8, 1)]);
+    }
+
+    #[test]
+    fn single_point_is_a_leaf() {
+        let domain = Domain::new(1 << 10);
+        let cover = brc(&domain, Range::point(777));
+        assert_eq!(cover, vec![Node::leaf(777)]);
+    }
+
+    #[test]
+    fn full_domain_is_the_root() {
+        let domain = Domain::with_bits(12);
+        let cover = brc(&domain, domain.full_range());
+        assert_eq!(cover, vec![Node::root(&domain)]);
+    }
+
+    #[test]
+    fn covers_are_exact_on_small_domain_exhaustively() {
+        let domain = Domain::new(64);
+        for lo in 0..64u64 {
+            for hi in lo..64u64 {
+                let range = Range::new(lo, hi);
+                let cover = brc(&domain, range);
+                assert_exact_cover(&domain, range, &cover);
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_is_logarithmic() {
+        let domain = Domain::with_bits(30);
+        let range = Range::new(12345, 12345 + 999_999);
+        let cover = brc(&domain, range);
+        assert!(cover.len() as u32 <= brc_worst_case_nodes(range.len()));
+        assert!(cover.len() <= 2 * 20, "1M-value range needs ≤ 40 nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_range_panics() {
+        let domain = Domain::new(8);
+        let _ = brc(&domain, Range::new(4, 9));
+    }
+
+    proptest! {
+        #[test]
+        fn random_ranges_are_exactly_covered(lo in 0u64..5000, len in 1u64..5000) {
+            let domain = Domain::new(10_000);
+            let hi = (lo + len - 1).min(domain.size() - 1);
+            let range = Range::new(lo, hi);
+            let cover = brc(&domain, range);
+            assert_exact_cover(&domain, range, &cover);
+            prop_assert!(cover.len() as u32 <= brc_worst_case_nodes(range.len()));
+        }
+
+        #[test]
+        fn minimality_vs_level_bound(lo in 0u64..(1u64 << 16), len in 1u64..(1u64 << 16)) {
+            // BRC never uses more than two nodes at any level.
+            let domain = Domain::with_bits(17);
+            let hi = (lo + len - 1).min(domain.size() - 1);
+            let cover = brc(&domain, Range::new(lo, hi));
+            let mut per_level = std::collections::HashMap::new();
+            for node in &cover {
+                *per_level.entry(node.level()).or_insert(0u32) += 1;
+            }
+            for (_, count) in per_level {
+                prop_assert!(count <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The query-attribute domain and ranges over it.
+
+use std::fmt;
+
+/// The query attribute domain `A = {0, 1, …, size-1}`.
+///
+/// The paper assumes positive integer domains (any real attribute is scaled
+/// and translated into one). The dyadic binary tree is built over the
+/// smallest power of two that is at least `size`, so a domain of size `m`
+/// has `bits = ⌈log₂ m⌉` levels of internal nodes above the leaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Domain {
+    size: u64,
+    bits: u32,
+}
+
+impl Domain {
+    /// Creates a domain of `size` values `0 … size-1`.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or exceeds `2^63` (so that node arithmetic
+    /// never overflows `u64`).
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "domain must contain at least one value");
+        assert!(size <= 1 << 63, "domain size must be at most 2^63");
+        let bits = if size == 1 {
+            0
+        } else {
+            64 - (size - 1).leading_zeros()
+        };
+        Self { size, bits }
+    }
+
+    /// Creates a domain with exactly `bits` bits, i.e. size `2^bits`.
+    pub fn with_bits(bits: u32) -> Self {
+        assert!(bits <= 63, "at most 63-bit domains are supported");
+        Self {
+            size: 1u64 << bits,
+            bits,
+        }
+    }
+
+    /// Number of values in the domain (`m` in the paper).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of bits needed to address a value, `⌈log₂ m⌉`.
+    ///
+    /// This is also the level of the binary-tree root (leaves are level 0).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of leaves of the (full) binary tree built over the domain,
+    /// i.e. the domain size rounded up to a power of two.
+    pub fn padded_size(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Whether `value` belongs to the domain.
+    pub fn contains(&self, value: u64) -> bool {
+        value < self.size
+    }
+
+    /// The full range `[0, size-1]`.
+    pub fn full_range(&self) -> Range {
+        Range::new(0, self.size - 1)
+    }
+
+    /// Clamps a range to the domain. Returns `None` if they do not overlap.
+    pub fn clamp(&self, range: Range) -> Option<Range> {
+        if range.lo() >= self.size {
+            return None;
+        }
+        Some(Range::new(range.lo(), range.hi().min(self.size - 1)))
+    }
+}
+
+/// An inclusive range `[lo, hi]` of domain values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Range {
+    lo: u64,
+    hi: u64,
+}
+
+impl Range {
+    /// Creates the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "invalid range: lo={lo} > hi={hi}");
+        Self { lo, hi }
+    }
+
+    /// A range containing a single value.
+    pub fn point(value: u64) -> Self {
+        Self::new(value, value)
+    }
+
+    /// Lower endpoint (inclusive).
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper endpoint (inclusive).
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Number of values covered (the paper's `R`).
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// A range always contains at least one value.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `value` lies inside the range.
+    pub fn contains(&self, value: u64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+
+    /// Whether `other` is completely contained in `self`.
+    pub fn covers(&self, other: Range) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two ranges share at least one value.
+    pub fn intersects(&self, other: Range) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The intersection of the two ranges, if any.
+    pub fn intersection(&self, other: Range) -> Option<Range> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Range::new(self.lo.max(other.lo), self.hi.min(other.hi)))
+    }
+
+    /// The smallest range containing both ranges.
+    pub fn union_hull(&self, other: Range) -> Range {
+        Range::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Iterates over the values in the range.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.lo..=self.hi
+    }
+}
+
+impl fmt::Debug for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn domain_bit_computation() {
+        assert_eq!(Domain::new(1).bits(), 0);
+        assert_eq!(Domain::new(2).bits(), 1);
+        assert_eq!(Domain::new(3).bits(), 2);
+        assert_eq!(Domain::new(8).bits(), 3);
+        assert_eq!(Domain::new(9).bits(), 4);
+        assert_eq!(Domain::new(1 << 20).bits(), 20);
+        assert_eq!(Domain::new((1 << 20) + 1).bits(), 21);
+    }
+
+    #[test]
+    fn padded_size_is_next_power_of_two() {
+        assert_eq!(Domain::new(5).padded_size(), 8);
+        assert_eq!(Domain::new(8).padded_size(), 8);
+        assert_eq!(Domain::new(1000).padded_size(), 1024);
+    }
+
+    #[test]
+    fn with_bits_matches_new() {
+        assert_eq!(Domain::with_bits(10), Domain::new(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_domain_rejected() {
+        let _ = Domain::new(0);
+    }
+
+    #[test]
+    fn domain_membership_and_full_range() {
+        let d = Domain::new(100);
+        assert!(d.contains(0));
+        assert!(d.contains(99));
+        assert!(!d.contains(100));
+        assert_eq!(d.full_range(), Range::new(0, 99));
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        let d = Domain::new(10);
+        assert_eq!(d.clamp(Range::new(5, 20)), Some(Range::new(5, 9)));
+        assert_eq!(d.clamp(Range::new(0, 3)), Some(Range::new(0, 3)));
+        assert_eq!(d.clamp(Range::new(10, 20)), None);
+    }
+
+    #[test]
+    fn range_basic_operations() {
+        let r = Range::new(3, 7);
+        assert_eq!(r.len(), 5);
+        assert!(r.contains(3) && r.contains(7) && !r.contains(8));
+        assert!(r.covers(Range::new(4, 6)));
+        assert!(!r.covers(Range::new(4, 8)));
+        assert!(r.intersects(Range::new(7, 9)));
+        assert!(!r.intersects(Range::new(8, 9)));
+        assert_eq!(r.intersection(Range::new(5, 9)), Some(Range::new(5, 7)));
+        assert_eq!(r.intersection(Range::new(8, 9)), None);
+        assert_eq!(r.union_hull(Range::new(10, 12)), Range::new(3, 12));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_rejected() {
+        let _ = Range::new(5, 4);
+    }
+
+    #[test]
+    fn point_range() {
+        let p = Range::point(42);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.lo(), p.hi());
+    }
+
+    #[test]
+    fn display_formats_inclusive() {
+        assert_eq!(format!("{}", Range::new(2, 7)), "[2, 7]");
+        assert_eq!(format!("{:?}", Range::new(2, 7)), "[2, 7]");
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_is_symmetric_and_contained(a in 0u64..1000, b in 0u64..1000,
+                                                   c in 0u64..1000, d in 0u64..1000) {
+            let r1 = Range::new(a.min(b), a.max(b));
+            let r2 = Range::new(c.min(d), c.max(d));
+            let i12 = r1.intersection(r2);
+            let i21 = r2.intersection(r1);
+            prop_assert_eq!(i12, i21);
+            if let Some(i) = i12 {
+                prop_assert!(r1.covers(i));
+                prop_assert!(r2.covers(i));
+            }
+        }
+
+        #[test]
+        fn bits_is_minimal(size in 1u64..(1 << 40)) {
+            let d = Domain::new(size);
+            prop_assert!(d.padded_size() >= size);
+            if d.bits() > 0 {
+                prop_assert!((1u64 << (d.bits() - 1)) < size);
+            }
+        }
+    }
+}

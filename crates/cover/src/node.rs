@@ -1,0 +1,220 @@
+//! Nodes of the full binary tree (dyadic intervals) over the domain.
+
+use crate::domain::{Domain, Range};
+use std::fmt;
+
+/// A node of the full binary tree built bottom-up over the domain.
+///
+/// The node at `(level, index)` covers the dyadic interval
+/// `[index · 2^level, (index + 1) · 2^level − 1]`; leaves are at level 0 and
+/// the root of a `b`-bit domain is at level `b`. Using Figure 1 of the paper
+/// (domain `{0…7}`), `N_{4,7}` is `Node { level: 2, index: 1 }`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node {
+    level: u32,
+    index: u64,
+}
+
+impl Node {
+    /// Creates the node at `(level, index)`.
+    pub fn new(level: u32, index: u64) -> Self {
+        assert!(level <= 63, "node level must be at most 63");
+        Self { level, index }
+    }
+
+    /// The leaf node for a domain value.
+    pub fn leaf(value: u64) -> Self {
+        Self::new(0, value)
+    }
+
+    /// The root node of a domain.
+    pub fn root(domain: &Domain) -> Self {
+        Self::new(domain.bits(), 0)
+    }
+
+    /// The level (subtree height) of the node; leaves are level 0.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Position of the node among its level, left to right.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The dyadic interval covered by this node.
+    pub fn range(&self) -> Range {
+        let lo = self.index << self.level;
+        let hi = lo + (1u64 << self.level) - 1;
+        Range::new(lo, hi)
+    }
+
+    /// Number of leaves (domain values) below this node.
+    pub fn width(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Whether the node's subtree contains `value`.
+    pub fn contains(&self, value: u64) -> bool {
+        self.range().contains(value)
+    }
+
+    /// The parent node (one level up); `None` if already at `max_level`.
+    pub fn parent(&self, max_level: u32) -> Option<Node> {
+        if self.level >= max_level {
+            None
+        } else {
+            Some(Node::new(self.level + 1, self.index >> 1))
+        }
+    }
+
+    /// The two children of the node; `None` for leaves.
+    pub fn children(&self) -> Option<(Node, Node)> {
+        if self.level == 0 {
+            None
+        } else {
+            Some((
+                Node::new(self.level - 1, self.index << 1),
+                Node::new(self.level - 1, (self.index << 1) + 1),
+            ))
+        }
+    }
+
+    /// The ancestor of `value` at level `level`.
+    pub fn ancestor_of(value: u64, level: u32) -> Node {
+        Node::new(level, value >> level)
+    }
+
+    /// All nodes on the path from the leaf of `value` up to the domain root,
+    /// leaf first. These are exactly the `⌈log m⌉ + 1` dyadic ranges covering
+    /// the value (the `DR(d)` of Li et al., and the keywords assigned to a
+    /// tuple by the Logarithmic-BRC/URC schemes).
+    pub fn path_to_root(domain: &Domain, value: u64) -> Vec<Node> {
+        assert!(domain.contains(value), "value {value} outside the domain");
+        (0..=domain.bits())
+            .map(|level| Node::ancestor_of(value, level))
+            .collect()
+    }
+
+    /// A stable byte-string keyword identifying the node, suitable for use as
+    /// an SSE keyword. Distinct nodes always map to distinct keywords, and
+    /// keywords of binary-tree nodes never collide with TDAG keywords (the
+    /// first byte is a structure tag).
+    pub fn keyword(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0] = b'B';
+        out[1..5].copy_from_slice(&self.level.to_le_bytes());
+        out[5..13].copy_from_slice(&self.index.to_le_bytes());
+        out
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.range();
+        write!(f, "N[{},{}]@L{}", r.lo(), r.hi(), self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn figure1_node_ranges() {
+        // Domain {0..7}: N_{2,3} is level 1 index 1, N_{4,7} is level 2 index 1.
+        assert_eq!(Node::new(1, 1).range(), Range::new(2, 3));
+        assert_eq!(Node::new(2, 1).range(), Range::new(4, 7));
+        assert_eq!(Node::new(3, 0).range(), Range::new(0, 7));
+        assert_eq!(Node::new(0, 6).range(), Range::new(6, 6));
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let node = Node::new(2, 5);
+        let (left, right) = node.children().unwrap();
+        assert_eq!(left.range().lo(), node.range().lo());
+        assert_eq!(right.range().hi(), node.range().hi());
+        assert_eq!(left.parent(10).unwrap(), node);
+        assert_eq!(right.parent(10).unwrap(), node);
+        assert!(Node::leaf(3).children().is_none());
+        assert!(Node::new(4, 0).parent(4).is_none());
+    }
+
+    #[test]
+    fn path_to_root_covers_value_at_every_level() {
+        let domain = Domain::new(8);
+        let path = Node::path_to_root(&domain, 3);
+        assert_eq!(path.len(), 4);
+        for (level, node) in path.iter().enumerate() {
+            assert_eq!(node.level(), level as u32);
+            assert!(node.contains(3));
+        }
+        // Worked example from Section 6.1: d.a = 3 maps to N_3, N_{2,3},
+        // N_{0,3}, N_{0,7}.
+        assert_eq!(path[0].range(), Range::new(3, 3));
+        assert_eq!(path[1].range(), Range::new(2, 3));
+        assert_eq!(path[2].range(), Range::new(0, 3));
+        assert_eq!(path[3].range(), Range::new(0, 7));
+    }
+
+    #[test]
+    fn keywords_are_unique() {
+        let mut seen = HashSet::new();
+        for level in 0..6u32 {
+            for index in 0..(1 << (6 - level)) {
+                assert!(seen.insert(Node::new(level, index).keyword()));
+            }
+        }
+    }
+
+    #[test]
+    fn root_covers_padded_domain() {
+        let domain = Domain::new(100);
+        let root = Node::root(&domain);
+        assert_eq!(root.range(), Range::new(0, 127));
+        assert_eq!(root.width(), 128);
+    }
+
+    #[test]
+    fn debug_rendering_is_compact() {
+        assert_eq!(format!("{:?}", Node::new(2, 1)), "N[4,7]@L2");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the domain")]
+    fn path_for_out_of_domain_value_panics() {
+        let domain = Domain::new(8);
+        let _ = Node::path_to_root(&domain, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn ancestor_contains_value(value in 0u64..(1 << 20), level in 0u32..21) {
+            let node = Node::ancestor_of(value, level);
+            prop_assert!(node.contains(value));
+            prop_assert_eq!(node.width(), 1u64 << level);
+        }
+
+        #[test]
+        fn children_partition_parent(level in 1u32..20, index in 0u64..1024) {
+            let node = Node::new(level, index);
+            let (l, r) = node.children().unwrap();
+            prop_assert_eq!(l.width() + r.width(), node.width());
+            prop_assert_eq!(l.range().hi() + 1, r.range().lo());
+            prop_assert!(node.range().covers(l.range()));
+            prop_assert!(node.range().covers(r.range()));
+        }
+
+        #[test]
+        fn path_to_root_is_nested(value in 0u64..1000) {
+            let domain = Domain::new(1000);
+            let path = Node::path_to_root(&domain, value);
+            for pair in path.windows(2) {
+                prop_assert!(pair[1].range().covers(pair[0].range()));
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The TDAG (tree-like directed acyclic graph) and Single Range Cover (SRC).
+//!
+//! The Logarithmic-SRC scheme covers every query with a *single* node so the
+//! server cannot partition the results into sub-range groups. Covering with
+//! the binary tree alone is hopeless — a tiny range straddling the middle of
+//! the domain is only covered by the root — so the paper injects, at every
+//! level, one extra node "between" every two adjacent nodes (linking every
+//! pair of cousins through a new parent). Lemma 1 then guarantees that any
+//! range of size `R` is covered by a TDAG node of width at most `4R`.
+
+use crate::domain::{Domain, Range};
+use std::fmt;
+
+/// A node of the TDAG built over a domain.
+///
+/// `level` is the subtree height (width `2^level`); `start` is the first
+/// domain value covered. Regular (binary-tree) nodes have `start` divisible
+/// by `2^level`; injected nodes are shifted by half a width,
+/// `start ≡ 2^(level-1) (mod 2^level)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TdagNode {
+    level: u32,
+    start: u64,
+}
+
+impl TdagNode {
+    /// Creates a TDAG node; `start` must be aligned either to the node width
+    /// or to half the node width.
+    pub fn new(level: u32, start: u64) -> Self {
+        assert!(level <= 63);
+        let width = 1u64 << level;
+        let half = width >> 1;
+        assert!(
+            start % width == 0 || (level > 0 && start % width == half),
+            "start {start} is not a valid regular or injected position at level {level}"
+        );
+        Self { level, start }
+    }
+
+    /// The node's level (subtree height); leaves are level 0.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// First domain value covered by this node.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Number of domain values covered.
+    pub fn width(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// The range of domain values covered by this node.
+    pub fn range(&self) -> Range {
+        Range::new(self.start, self.start + self.width() - 1)
+    }
+
+    /// Whether this is one of the injected ("gray" in Figure 3) nodes.
+    pub fn is_injected(&self) -> bool {
+        self.level > 0 && self.start % self.width() != 0
+    }
+
+    /// Whether the node's subtree contains `value`.
+    pub fn contains(&self, value: u64) -> bool {
+        self.range().contains(value)
+    }
+
+    /// A stable byte-string keyword identifying the node, suitable for use
+    /// as an SSE keyword. The leading tag keeps TDAG keywords disjoint from
+    /// binary-tree keywords.
+    pub fn keyword(&self) -> [u8; 13] {
+        let mut out = [0u8; 13];
+        out[0] = b'T';
+        out[1..5].copy_from_slice(&self.level.to_le_bytes());
+        out[5..13].copy_from_slice(&self.start.to_le_bytes());
+        out
+    }
+}
+
+impl fmt::Debug for TdagNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.range();
+        let tag = if self.is_injected() { "i" } else { "" };
+        write!(f, "T[{},{}]@L{}{}", r.lo(), r.hi(), self.level, tag)
+    }
+}
+
+/// The TDAG built over a domain.
+#[derive(Clone, Copy, Debug)]
+pub struct Tdag {
+    domain: Domain,
+}
+
+impl Tdag {
+    /// Builds the (implicit) TDAG over `domain`.
+    pub fn new(domain: Domain) -> Self {
+        Self { domain }
+    }
+
+    /// The underlying domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The root node (covers the whole padded domain).
+    pub fn root(&self) -> TdagNode {
+        TdagNode::new(self.domain.bits(), 0)
+    }
+
+    /// All TDAG nodes whose subtree contains `value`, bottom-up.
+    ///
+    /// These are the keywords assigned to a tuple with attribute value
+    /// `value` in the Logarithmic-SRC BuildIndex: the `⌈log m⌉ + 1` regular
+    /// nodes on the root path plus, at each level, the (at most one)
+    /// injected node containing the value — `O(log m)` keywords in total.
+    pub fn covering_nodes(&self, value: u64) -> Vec<TdagNode> {
+        assert!(
+            self.domain.contains(value),
+            "value {value} outside the domain"
+        );
+        let bits = self.domain.bits();
+        let padded = self.domain.padded_size();
+        let mut out = Vec::with_capacity(2 * bits as usize + 1);
+        for level in 0..=bits {
+            let width = 1u64 << level;
+            // Regular node containing the value.
+            out.push(TdagNode::new(level, (value >> level) << level));
+            // Injected node containing the value, if one exists at this level.
+            if level >= 1 && level < bits {
+                let half = width >> 1;
+                if value >= half {
+                    let start = (((value - half) >> level) << level) + half;
+                    if start + width <= padded {
+                        out.push(TdagNode::new(level, start));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Single Range Cover: the lowest TDAG node that fully covers `range`.
+    ///
+    /// By Lemma 1 of the paper the returned node has width at most `4R`
+    /// (where `R = range.len()`), so the number of false positives a query
+    /// can incur from over-covering is `O(R)` for uniform data.
+    ///
+    /// # Panics
+    /// Panics if the range does not fit in the (padded) domain.
+    pub fn src_cover(&self, range: Range) -> TdagNode {
+        assert!(
+            range.hi() < self.domain.padded_size(),
+            "range {range} outside the padded domain"
+        );
+        let bits = self.domain.bits();
+        // Smallest level whose nodes are wide enough to possibly cover R.
+        let needed = range.len();
+        let first_level = 64 - (needed - 1).leading_zeros().min(63);
+        let first_level = if needed == 1 { 0 } else { first_level };
+        for level in first_level..=bits {
+            let width = 1u64 << level;
+            // Regular node?
+            if (range.lo() >> level) == (range.hi() >> level) {
+                return TdagNode::new(level, (range.lo() >> level) << level);
+            }
+            // Injected node?
+            if level >= 1 && level < bits {
+                let half = width >> 1;
+                if range.lo() >= half {
+                    let lo_s = range.lo() - half;
+                    let hi_s = range.hi() - half;
+                    if (lo_s >> level) == (hi_s >> level) {
+                        let start = ((lo_s >> level) << level) + half;
+                        if start + width <= self.domain.padded_size() {
+                            return TdagNode::new(level, start);
+                        }
+                    }
+                }
+            }
+        }
+        self.root()
+    }
+
+    /// Total number of nodes in the TDAG (regular + injected) — useful for
+    /// storage accounting. For a `b`-bit domain this is
+    /// `(2^{b+1} - 1) + Σ_{ℓ=1}^{b-1} (2^{b-ℓ} - 1)`.
+    pub fn node_count(&self) -> u64 {
+        let bits = self.domain.bits();
+        let regular = (1u128 << (bits + 1)) - 1;
+        let injected: u128 = (1..bits)
+            .map(|level| (1u128 << (bits - level)) - 1)
+            .sum();
+        (regular + injected) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn figure3_structure() {
+        // Domain {0..7}: injected nodes are N_{1,2}, N_{3,4}, N_{5,6} at
+        // level 1 and N_{2,5} at level 2; none at level 0 or at the root.
+        let tdag = Tdag::new(Domain::new(8));
+        let injected: Vec<TdagNode> = (0..8)
+            .flat_map(|v| tdag.covering_nodes(v))
+            .filter(TdagNode::is_injected)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        let mut ranges: Vec<Range> = injected.iter().map(TdagNode::range).collect();
+        ranges.sort();
+        assert_eq!(
+            ranges,
+            vec![
+                Range::new(1, 2),
+                Range::new(2, 5),
+                Range::new(3, 4),
+                Range::new(5, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn node_count_matches_enumeration_for_8_leaves() {
+        // 15 regular nodes + 3 + 1 injected = 19.
+        let tdag = Tdag::new(Domain::new(8));
+        assert_eq!(tdag.node_count(), 19);
+    }
+
+    #[test]
+    fn covering_nodes_contains_value_and_is_logarithmic() {
+        let domain = Domain::with_bits(20);
+        let tdag = Tdag::new(domain);
+        let nodes = tdag.covering_nodes(123_456);
+        assert!(nodes.iter().all(|n| n.contains(123_456)));
+        // At most one regular + one injected node per level.
+        assert!(nodes.len() <= 2 * (domain.bits() as usize) + 1);
+        // At each level at most 2 nodes.
+        for level in 0..=domain.bits() {
+            let at_level = nodes.iter().filter(|n| n.level() == level).count();
+            assert!(at_level <= 2, "level {level} has {at_level} covering nodes");
+        }
+    }
+
+    #[test]
+    fn src_cover_paper_examples() {
+        let tdag = Tdag::new(Domain::new(8));
+        assert_eq!(tdag.src_cover(Range::new(2, 7)).range(), Range::new(0, 7));
+        let n = tdag.src_cover(Range::new(3, 5));
+        assert_eq!(n.range(), Range::new(2, 5));
+        assert!(n.is_injected());
+        // A single value is covered by its leaf.
+        assert_eq!(tdag.src_cover(Range::point(6)).range(), Range::point(6));
+        // [3,4] straddles the midpoint of the domain's left half; the lowest
+        // covering node is the injected N_{3,4}.
+        assert_eq!(tdag.src_cover(Range::new(3, 4)).range(), Range::new(3, 4));
+    }
+
+    #[test]
+    fn src_cover_is_lowest_on_small_domain() {
+        // Exhaustively verify on a 32-value domain that (a) the cover
+        // contains the range and (b) no lower-level TDAG node covers it.
+        let domain = Domain::new(32);
+        let tdag = Tdag::new(domain);
+        for lo in 0..32u64 {
+            for hi in lo..32u64 {
+                let range = Range::new(lo, hi);
+                let cover = tdag.src_cover(range);
+                assert!(cover.range().covers(range), "{range} not covered");
+                // Any strictly lower node wide enough must fail to cover.
+                for level in 0..cover.level() {
+                    let width = 1u64 << level;
+                    if width < range.len() {
+                        continue;
+                    }
+                    for value in [lo] {
+                        let aligned = TdagNode::new(level, (value >> level) << level);
+                        assert!(
+                            !aligned.range().covers(range) || aligned == cover,
+                            "{range}: lower regular node {aligned:?} also covers"
+                        );
+                    }
+                    if level >= 1 && level < domain.bits() && lo >= width / 2 {
+                        let start = (((lo - width / 2) >> level) << level) + width / 2;
+                        if start + width <= domain.padded_size() {
+                            let inj = TdagNode::new(level, start);
+                            assert!(
+                                !inj.range().covers(range),
+                                "{range}: lower injected node {inj:?} also covers"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_holds_exhaustively_small() {
+        let domain = Domain::new(64);
+        let tdag = Tdag::new(domain);
+        for lo in 0..64u64 {
+            for hi in lo..64u64 {
+                let range = Range::new(lo, hi);
+                let cover = tdag.src_cover(range);
+                assert!(
+                    cover.width() <= 4 * range.len(),
+                    "Lemma 1 violated for {range}: cover width {}",
+                    cover.width()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_distinguish_regular_from_injected() {
+        let regular = TdagNode::new(1, 2);
+        let injected = TdagNode::new(1, 1);
+        assert!(!regular.is_injected());
+        assert!(injected.is_injected());
+        assert_ne!(regular.keyword(), injected.keyword());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid")]
+    fn misaligned_node_rejected() {
+        let _ = TdagNode::new(2, 3);
+    }
+
+    #[test]
+    fn covering_nodes_are_exactly_the_nodes_containing_value() {
+        // On a small domain, enumerate all valid TDAG nodes and check that
+        // covering_nodes(v) returns exactly those containing v.
+        let domain = Domain::new(16);
+        let tdag = Tdag::new(domain);
+        let mut all_nodes = Vec::new();
+        for level in 0..=domain.bits() {
+            let width = 1u64 << level;
+            let mut start = 0;
+            while start + width <= domain.padded_size() {
+                all_nodes.push(TdagNode::new(level, start));
+                start += width;
+            }
+            if level >= 1 && level < domain.bits() {
+                let mut start = width / 2;
+                while start + width <= domain.padded_size() {
+                    all_nodes.push(TdagNode::new(level, start));
+                    start += width;
+                }
+            }
+        }
+        for v in 0..16u64 {
+            let expected: HashSet<TdagNode> = all_nodes
+                .iter()
+                .copied()
+                .filter(|n| n.contains(v))
+                .collect();
+            let got: HashSet<TdagNode> = tdag.covering_nodes(v).into_iter().collect();
+            assert_eq!(got, expected, "value {v}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn src_cover_contains_range_and_respects_lemma1(lo in 0u64..100_000, len in 1u64..50_000) {
+            let domain = Domain::with_bits(17);
+            let lo = lo.min(domain.size() - 1);
+            let hi = (lo + len - 1).min(domain.size() - 1);
+            let range = Range::new(lo, hi);
+            let tdag = Tdag::new(domain);
+            let cover = tdag.src_cover(range);
+            prop_assert!(cover.range().covers(range));
+            prop_assert!(cover.width() <= 4 * range.len());
+        }
+
+        #[test]
+        fn covering_nodes_always_include_src_of_point_queries(v in 0u64..(1u64 << 14)) {
+            let domain = Domain::with_bits(14);
+            let tdag = Tdag::new(domain);
+            let nodes: HashSet<_> = tdag.covering_nodes(v).into_iter().collect();
+            prop_assert!(nodes.contains(&tdag.src_cover(Range::point(v))));
+            // The root is always among the covering nodes.
+            prop_assert!(nodes.contains(&tdag.root()));
+        }
+
+        #[test]
+        fn any_query_keyword_is_indexed_for_all_matching_values(lo in 0u64..4096, len in 1u64..2048) {
+            // The SRC node of a query must be among the covering nodes of
+            // every value inside the query — otherwise Logarithmic-SRC would
+            // return false negatives. This is the correctness core of the
+            // scheme.
+            let domain = Domain::with_bits(12);
+            let lo = lo.min(domain.size() - 1);
+            let hi = (lo + len - 1).min(domain.size() - 1);
+            let range = Range::new(lo, hi);
+            let tdag = Tdag::new(domain);
+            let cover = tdag.src_cover(range);
+            for v in [range.lo(), (range.lo() + range.hi()) / 2, range.hi()] {
+                let nodes: HashSet<_> = tdag.covering_nodes(v).into_iter().collect();
+                prop_assert!(nodes.contains(&cover), "value {v} misses SRC node {cover:?}");
+            }
+        }
+    }
+}

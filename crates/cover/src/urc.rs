@@ -1,0 +1,209 @@
+//! Uniform Range Cover (URC): the position-independent worst-case
+//! decomposition of Kiayias et al. (CCS 2013).
+//!
+//! BRC leaks information about the *position* of a range: two ranges of the
+//! same size may be covered by different numbers of nodes at different
+//! levels, so the token count alone can rule out certain positions. URC
+//! fixes this: starting from the BRC cover, it keeps breaking nodes into
+//! their two children until the cover contains at least one node at every
+//! level `0 … max`, where `max` is the highest level present. The resulting
+//! *multiset of node levels depends only on the range size* (verified by a
+//! property test below), so the token vector is indistinguishable across all
+//! placements of a range of a given size — while still containing only
+//! `O(log R)` nodes.
+
+use crate::brc::brc;
+use crate::domain::{Domain, Range};
+use crate::node::Node;
+
+/// Computes the *Uniform Range Cover* of `range`.
+///
+/// The returned nodes exactly tile the range (no false positives, like BRC)
+/// but their level multiset is canonical for the range size.
+///
+/// # Panics
+/// Panics if the range does not fit inside the domain.
+pub fn urc(domain: &Domain, range: Range) -> Vec<Node> {
+    let mut cover = brc(domain, range);
+    loop {
+        let max_level = cover.iter().map(Node::level).max().unwrap_or(0);
+        // Find the smallest level in 0..=max_level with no node.
+        let mut present = vec![false; max_level as usize + 1];
+        for node in &cover {
+            present[node.level() as usize] = true;
+        }
+        let Some(missing) = present.iter().position(|p| !p) else {
+            break; // every level 0..=max is populated: done
+        };
+        // Break one node at the smallest populated level above `missing`.
+        // (Choosing the leftmost such node keeps the algorithm deterministic;
+        // the choice does not affect the level multiset.)
+        let candidate = cover
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| (n.level() as usize) > missing)
+            .min_by_key(|(_, n)| (n.level(), n.index()))
+            .map(|(i, _)| i)
+            .expect("a level above `missing` is populated by construction");
+        let node = cover.remove(candidate);
+        let (left, right) = node
+            .children()
+            .expect("nodes above a missing level cannot be leaves");
+        cover.push(left);
+        cover.push(right);
+    }
+    cover.sort();
+    cover
+}
+
+/// The canonical multiset of node levels URC produces for any range of size
+/// `range_len`, returned as `counts[level] = number of nodes at that level`.
+///
+/// Exposed so that leakage analyses and tests can compare against the actual
+/// decomposition; it is computed by running URC at the left-aligned position.
+pub fn urc_level_profile(domain: &Domain, range_len: u64) -> Vec<u32> {
+    assert!(range_len >= 1 && range_len <= domain.padded_size());
+    let cover = urc(domain, Range::new(0, range_len - 1));
+    let max = cover.iter().map(Node::level).max().unwrap_or(0);
+    let mut counts = vec![0u32; max as usize + 1];
+    for node in &cover {
+        counts[node.level() as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn level_multiset(cover: &[Node]) -> Vec<u32> {
+        let max = cover.iter().map(Node::level).max().unwrap_or(0);
+        let mut counts = vec![0u32; max as usize + 1];
+        for node in cover {
+            counts[node.level() as usize] += 1;
+        }
+        counts
+    }
+
+    fn assert_exact_cover(range: Range, cover: &[Node]) {
+        let mut covered = 0u64;
+        for (i, node) in cover.iter().enumerate() {
+            assert!(range.covers(node.range()));
+            covered += node.width();
+            for other in &cover[i + 1..] {
+                assert!(!node.range().intersects(other.range()));
+            }
+        }
+        assert_eq!(covered, range.len());
+    }
+
+    #[test]
+    fn paper_example_2_to_7() {
+        let domain = Domain::new(8);
+        let cover = urc(&domain, Range::new(2, 7));
+        assert_eq!(
+            cover,
+            vec![
+                Node::new(0, 2),
+                Node::new(0, 3),
+                Node::new(1, 2),
+                Node::new(1, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_example_1_to_6_has_same_profile_as_2_to_7() {
+        // Section 2.2: [1,6] and [2,7] have the same size and must be
+        // represented by the same number of nodes at the same levels.
+        let domain = Domain::new(8);
+        let a = urc(&domain, Range::new(2, 7));
+        let b = urc(&domain, Range::new(1, 6));
+        assert_eq!(level_multiset(&a), level_multiset(&b));
+        assert_eq!(level_multiset(&a), vec![2, 2]);
+    }
+
+    #[test]
+    fn urc_still_covers_exactly() {
+        let domain = Domain::new(256);
+        for (lo, hi) in [(0, 255), (3, 77), (100, 100), (128, 191), (1, 254)] {
+            let range = Range::new(lo, hi);
+            assert_exact_cover(range, &urc(&domain, range));
+        }
+    }
+
+    #[test]
+    fn profile_matches_left_aligned_instance() {
+        let domain = Domain::with_bits(12);
+        for len in [1u64, 2, 3, 5, 8, 13, 100, 1000] {
+            let profile = urc_level_profile(&domain, len);
+            let cover = urc(&domain, Range::new(17, 17 + len - 1));
+            assert_eq!(level_multiset(&cover), profile, "len={len}");
+        }
+    }
+
+    #[test]
+    fn urc_node_count_stays_logarithmic() {
+        let domain = Domain::with_bits(24);
+        for len in [10u64, 1000, 100_000, 1_000_000] {
+            let cover = urc(&domain, Range::new(12345, 12345 + len - 1));
+            // URC at most doubles BRC's 2·log R bound.
+            assert!(
+                cover.len() as u64 <= 4 * 64,
+                "unexpectedly large URC cover: {} nodes",
+                cover.len()
+            );
+            assert!(cover.len() as u64 <= 2 * (64 - len.leading_zeros() as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn exhaustive_position_independence_small_domain() {
+        // For every range size over a 64-value domain, every placement must
+        // produce the same level multiset — the defining property of URC.
+        let domain = Domain::new(64);
+        for len in 1u64..=64 {
+            let reference = urc_level_profile(&domain, len);
+            for lo in 0..=(64 - len) {
+                let cover = urc(&domain, Range::new(lo, lo + len - 1));
+                assert_eq!(
+                    level_multiset(&cover),
+                    reference,
+                    "len={len} lo={lo}: URC leaked position"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_is_one_leaf() {
+        let domain = Domain::new(1 << 16);
+        assert_eq!(urc(&domain, Range::point(999)), vec![Node::leaf(999)]);
+    }
+
+    proptest! {
+        #[test]
+        fn position_independence_random(len in 1u64..512, lo1 in 0u64..512, lo2 in 0u64..512) {
+            let domain = Domain::with_bits(10);
+            let lo1 = lo1.min(domain.size() - len);
+            let lo2 = lo2.min(domain.size() - len);
+            let a = urc(&domain, Range::new(lo1, lo1 + len - 1));
+            let b = urc(&domain, Range::new(lo2, lo2 + len - 1));
+            prop_assert_eq!(level_multiset(&a), level_multiset(&b));
+        }
+
+        #[test]
+        fn urc_is_exact(lo in 0u64..4000, len in 1u64..4000) {
+            let domain = Domain::new(8192);
+            let hi = (lo + len - 1).min(domain.size() - 1);
+            let range = Range::new(lo, hi);
+            let cover = urc(&domain, range);
+            let total: u64 = cover.iter().map(Node::width).sum();
+            prop_assert_eq!(total, range.len());
+            for node in &cover {
+                prop_assert!(range.covers(node.range()));
+            }
+        }
+    }
+}

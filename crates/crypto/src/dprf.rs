@@ -1,0 +1,239 @@
+//! Delegatable PRF (DPRF) in the sense of Kiayias, Papadopoulos,
+//! Triandopoulos, Zacharias (CCS 2013), built on the GGM tree.
+//!
+//! The owner holds the GGM root seed over an ℓ-bit domain. To delegate the
+//! PRF over a sub-range, it hands the server the GGM seeds of the nodes that
+//! cover the range (the *token*, produced by the `T` function of the DPRF —
+//! in our layering the covering nodes themselves are computed by
+//! `rsse-cover`'s BRC or URC and passed in here). Each seed is paired with
+//! the *level* of its node so the server knows how far to expand; from those
+//! seeds the server's `C` function derives the leaf-level DPRF values of
+//! every domain point in the range — and, by PRG security, learns nothing
+//! about values outside the delegated sub-ranges.
+
+use crate::ggm::{Ggm, Seed};
+use crate::prf::{Key, KEY_LEN};
+
+/// A delegated GGM inner-node seed together with the level of its node.
+///
+/// `level` is the height of the node's subtree: a node at level `h` covers
+/// `2^h` consecutive leaves. Level 0 seeds are already leaf-level DPRF
+/// values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct GgmNodeSeed {
+    /// GGM seed of the delegated node.
+    pub seed: Seed,
+    /// Height of the delegated node's subtree (0 = leaf).
+    pub level: u32,
+}
+
+impl std::fmt::Debug for GgmNodeSeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GgmNodeSeed {{ level: {}, seed: <{} bytes> }}", self.level, KEY_LEN)
+    }
+}
+
+/// A DPRF delegation token: the (randomly permutable) set of GGM node seeds
+/// covering the delegated range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DprfToken {
+    /// Delegated node seeds. The order carries no information; callers are
+    /// expected to shuffle before sending (the schemes do).
+    pub nodes: Vec<GgmNodeSeed>,
+}
+
+impl DprfToken {
+    /// Number of delegated nodes (the `O(log R)` of the paper).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the token delegates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Serialized size in bytes: each node ships a seed plus its level.
+    /// Used by the Figure 8(a) experiment (query size at the owner).
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * (KEY_LEN + 4)
+    }
+}
+
+/// A delegatable PRF over an `ℓ`-bit domain (domain values `0 .. 2^ℓ`).
+#[derive(Clone, Debug)]
+pub struct Dprf {
+    root: Seed,
+    depth: u32,
+    ggm: Ggm,
+}
+
+impl Dprf {
+    /// Creates a DPRF keyed by `key` over a domain of `depth` bits.
+    pub fn new(key: &Key, depth: u32) -> Self {
+        assert!(depth <= 63, "domain depth must fit in 63 bits");
+        Self {
+            root: *key.as_bytes(),
+            depth,
+            ggm: Ggm::new(),
+        }
+    }
+
+    /// Number of bits of the domain (the height of the GGM tree).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Evaluates the full (leaf-level) DPRF on a single domain value.
+    ///
+    /// Only the key holder can call this; the server obtains the same values
+    /// through [`expand_token`](Self::expand_token).
+    pub fn eval(&self, value: u64) -> Seed {
+        assert!(
+            self.depth == 63 || value < (1u64 << self.depth),
+            "value {value} outside the {}-bit domain",
+            self.depth
+        );
+        self.ggm.walk(&self.root, value, self.depth)
+    }
+
+    /// Delegates the PRF over the sub-ranges described by `nodes`.
+    ///
+    /// Each node is given as `(level, index)`: the node at height `level`
+    /// covering leaves `[index * 2^level, (index + 1) * 2^level)`. The
+    /// covering-node lists are produced by the BRC/URC algorithms of
+    /// `rsse-cover`; this function only turns them into GGM seeds.
+    pub fn delegate(&self, nodes: &[(u32, u64)]) -> DprfToken {
+        let mut out = Vec::with_capacity(nodes.len());
+        for &(level, index) in nodes {
+            assert!(level <= self.depth, "node level exceeds tree depth");
+            let prefix_depth = self.depth - level;
+            assert!(
+                prefix_depth == 0 || index < (1u64 << prefix_depth),
+                "node index {index} out of range at level {level}"
+            );
+            let seed = self.ggm.walk(&self.root, index, prefix_depth);
+            out.push(GgmNodeSeed { seed, level });
+        }
+        DprfToken { nodes: out }
+    }
+
+    /// Server-side expansion: derives all leaf-level DPRF values delegated by
+    /// `token`, in the order the token lists its nodes (leaves of each node
+    /// left-to-right). Requires no secret key.
+    pub fn expand_token(token: &DprfToken) -> Vec<Seed> {
+        let ggm = Ggm::new();
+        let total: usize = token
+            .nodes
+            .iter()
+            .map(|n| 1usize << n.level.min(31))
+            .sum();
+        let mut out = Vec::with_capacity(total);
+        for node in &token.nodes {
+            out.extend(ggm.expand_subtree(&node.seed, node.level));
+        }
+        out
+    }
+
+    /// Convenience: number of leaf values a token expands to.
+    pub fn token_coverage(token: &DprfToken) -> u64 {
+        token.nodes.iter().map(|n| 1u64 << n.level).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prf::Key;
+    use proptest::prelude::*;
+
+    fn key(byte: u8) -> Key {
+        Key::from_bytes([byte; KEY_LEN])
+    }
+
+    #[test]
+    fn eval_is_deterministic_and_value_sensitive() {
+        let dprf = Dprf::new(&key(1), 8);
+        assert_eq!(dprf.eval(5), dprf.eval(5));
+        assert_ne!(dprf.eval(5), dprf.eval(6));
+    }
+
+    #[test]
+    fn delegation_of_single_leaf_equals_eval() {
+        let dprf = Dprf::new(&key(2), 8);
+        let token = dprf.delegate(&[(0, 77)]);
+        let leaves = Dprf::expand_token(&token);
+        assert_eq!(leaves, vec![dprf.eval(77)]);
+    }
+
+    #[test]
+    fn delegation_of_inner_node_covers_exact_range() {
+        // Node (level=2, index=3) covers leaves 12..16 of the domain.
+        let dprf = Dprf::new(&key(3), 6);
+        let token = dprf.delegate(&[(2, 3)]);
+        let leaves = Dprf::expand_token(&token);
+        assert_eq!(leaves.len(), 4);
+        for (i, leaf) in leaves.iter().enumerate() {
+            assert_eq!(*leaf, dprf.eval(12 + i as u64));
+        }
+    }
+
+    #[test]
+    fn paper_example_range_2_to_7() {
+        // Figure 1 of the paper: domain {0..7}, BRC of [2,7] = {N_{2,3}, N_{4,7}}
+        // i.e. nodes (level 1, index 1) and (level 2, index 1).
+        let dprf = Dprf::new(&key(4), 3);
+        let token = dprf.delegate(&[(1, 1), (2, 1)]);
+        assert_eq!(token.len(), 2);
+        assert_eq!(Dprf::token_coverage(&token), 6);
+        let leaves = Dprf::expand_token(&token);
+        let expected: Vec<_> = (2..=7).map(|v| dprf.eval(v)).collect();
+        assert_eq!(leaves, expected);
+    }
+
+    #[test]
+    fn token_size_accounts_seed_and_level() {
+        let dprf = Dprf::new(&key(5), 10);
+        let token = dprf.delegate(&[(0, 1), (3, 2), (5, 0)]);
+        assert_eq!(token.size_bytes(), 3 * (KEY_LEN + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn eval_out_of_domain_panics() {
+        let dprf = Dprf::new(&key(6), 4);
+        let _ = dprf.eval(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn delegate_out_of_range_node_panics() {
+        let dprf = Dprf::new(&key(6), 4);
+        let _ = dprf.delegate(&[(2, 4)]); // only indices 0..4 exist at level 2
+    }
+
+    #[test]
+    fn debug_output_hides_seed_bytes() {
+        let dprf = Dprf::new(&key(9), 4);
+        let token = dprf.delegate(&[(1, 0)]);
+        let rendered = format!("{:?}", token.nodes[0]);
+        assert!(rendered.contains("<32 bytes>"));
+    }
+
+    proptest! {
+        #[test]
+        fn expansion_matches_direct_eval(start in 0u64..200, level in 0u32..5) {
+            let depth = 8u32;
+            let max_index = 1u64 << (depth - level);
+            let index = start % max_index;
+            let dprf = Dprf::new(&key(8), depth);
+            let token = dprf.delegate(&[(level, index)]);
+            let leaves = Dprf::expand_token(&token);
+            let base = index << level;
+            prop_assert_eq!(leaves.len() as u64, 1u64 << level);
+            for (i, leaf) in leaves.iter().enumerate() {
+                prop_assert_eq!(*leaf, dprf.eval(base + i as u64));
+            }
+        }
+    }
+}

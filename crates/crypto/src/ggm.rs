@@ -1,0 +1,171 @@
+//! The GGM length-doubling pseudorandom generator.
+//!
+//! Goldreich–Goldwasser–Micali construct a PRF from any length-doubling PRG
+//! `G : {0,1}^λ → {0,1}^{2λ}` by walking a binary tree: the secret key is the
+//! root seed, and the PRF value of an ℓ-bit input `a_{ℓ-1} … a_0` is obtained
+//! by applying `G` ℓ times, each time keeping the left half (`G_0`) or the
+//! right half (`G_1`) of the output depending on the next input bit
+//! (most-significant bit first, matching the binary-tree picture of Figure 1
+//! in the paper).
+//!
+//! The delegatable PRF of Kiayias et al. — used by the Constant-BRC/URC
+//! schemes — exploits exactly this structure: revealing the seed of an inner
+//! node of the GGM tree delegates the PRF on the whole sub-range below it.
+
+use crate::prf::{Key, Prf, KEY_LEN};
+
+/// Domain-separation tags for the two halves of the PRG output.
+const LEFT_TAG: &[u8] = b"GGM-G0";
+const RIGHT_TAG: &[u8] = b"GGM-G1";
+
+/// A GGM seed: the λ-bit state attached to one node of the GGM tree.
+pub type Seed = [u8; KEY_LEN];
+
+/// The GGM pseudorandom generator `G(x) = (G_0(x), G_1(x))`.
+///
+/// Implemented as `G_b(x) = HMAC_x(tag_b)`, i.e. the current seed keys the
+/// PRF and the child selector is the message — the standard way to realise a
+/// PRG from a PRF.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ggm;
+
+impl Ggm {
+    /// Creates a GGM evaluator.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Expands a seed into its two children `(G_0(seed), G_1(seed))`.
+    pub fn expand(&self, seed: &Seed) -> (Seed, Seed) {
+        (self.child(seed, false), self.child(seed, true))
+    }
+
+    /// Computes one child of a seed; `right == false` gives `G_0`,
+    /// `right == true` gives `G_1`.
+    pub fn child(&self, seed: &Seed, right: bool) -> Seed {
+        let prf = Prf::new(&Key::from_bytes(*seed));
+        prf.eval(if right { RIGHT_TAG } else { LEFT_TAG })
+    }
+
+    /// Walks `depth` levels down from `seed`, choosing children according to
+    /// the top `depth` bits of `path` (most-significant of those bits first).
+    ///
+    /// With `seed` being the root key and `depth` the bit-length of the
+    /// domain, this is exactly the GGM PRF evaluation
+    /// `f_k(a) = G_{a_0}( … (G_{a_{ℓ-1}}(k)) … )` from the paper.
+    pub fn walk(&self, seed: &Seed, path: u64, depth: u32) -> Seed {
+        debug_assert!(depth <= 64);
+        let mut current = *seed;
+        for level in (0..depth).rev() {
+            let bit = (path >> level) & 1 == 1;
+            current = self.child(&current, bit);
+        }
+        current
+    }
+
+    /// Expands the full subtree of height `height` below `seed`, returning
+    /// the `2^height` leaf seeds in left-to-right order.
+    ///
+    /// This is what the server does in the Constant schemes: given the GGM
+    /// value of a covering node (and its level), it derives the DPRF values
+    /// of every leaf in that node's sub-range.
+    pub fn expand_subtree(&self, seed: &Seed, height: u32) -> Vec<Seed> {
+        assert!(height <= 32, "refusing to expand more than 2^32 leaves");
+        let mut frontier = vec![*seed];
+        for _ in 0..height {
+            let mut next = Vec::with_capacity(frontier.len() * 2);
+            for s in &frontier {
+                let (l, r) = self.expand(s);
+                next.push(l);
+                next.push(r);
+            }
+            frontier = next;
+        }
+        frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seed(byte: u8) -> Seed {
+        [byte; KEY_LEN]
+    }
+
+    #[test]
+    fn children_are_distinct_and_deterministic() {
+        let g = Ggm::new();
+        let (l, r) = g.expand(&seed(1));
+        assert_ne!(l, r);
+        assert_eq!(l, g.child(&seed(1), false));
+        assert_eq!(r, g.child(&seed(1), true));
+    }
+
+    #[test]
+    fn walk_matches_manual_expansion() {
+        let g = Ggm::new();
+        let root = seed(42);
+        // value 6 = 0b110 over a 3-bit domain: right, right, left — the
+        // worked example from Section 2.2 of the paper.
+        let expected = g.child(&g.child(&g.child(&root, true), true), false);
+        assert_eq!(g.walk(&root, 6, 3), expected);
+    }
+
+    #[test]
+    fn walk_depth_zero_is_identity() {
+        let g = Ggm::new();
+        assert_eq!(g.walk(&seed(9), 0, 0), seed(9));
+    }
+
+    #[test]
+    fn expand_subtree_leaves_match_walks() {
+        let g = Ggm::new();
+        let root = seed(5);
+        let leaves = g.expand_subtree(&root, 4);
+        assert_eq!(leaves.len(), 16);
+        for (i, leaf) in leaves.iter().enumerate() {
+            assert_eq!(*leaf, g.walk(&root, i as u64, 4), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn sibling_subtrees_do_not_collide() {
+        let g = Ggm::new();
+        let root = seed(7);
+        let (l, r) = g.expand(&root);
+        let left_leaves = g.expand_subtree(&l, 3);
+        let right_leaves = g.expand_subtree(&r, 3);
+        for ll in &left_leaves {
+            assert!(!right_leaves.contains(ll));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn delegation_consistency(path in 0u64..1024, root_byte in any::<u8>()) {
+            // Expanding from an inner node must agree with walking all the
+            // way from the root: this is the core property that makes DPRF
+            // delegation sound.
+            let g = Ggm::new();
+            let root = seed(root_byte);
+            let depth = 10u32;
+            let split = 4u32; // delegate at depth 4 (node covers 2^6 leaves)
+            let prefix = path >> (depth - split);
+            let suffix = path & ((1 << (depth - split)) - 1);
+            let inner = g.walk(&root, prefix, split);
+            let via_inner = g.walk(&inner, suffix, depth - split);
+            let direct = g.walk(&root, path, depth);
+            prop_assert_eq!(via_inner, direct);
+        }
+
+        #[test]
+        fn distinct_paths_distinct_values(a in 0u64..4096, b in 0u64..4096) {
+            prop_assume!(a != b);
+            let g = Ggm::new();
+            let root = seed(13);
+            prop_assert_ne!(g.walk(&root, a, 12), g.walk(&root, b, 12));
+        }
+    }
+}

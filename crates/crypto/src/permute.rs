@@ -1,0 +1,123 @@
+//! Keyed pseudorandom permutations of in-memory sequences.
+//!
+//! Several places in the paper require a *random permutation* whose
+//! randomness must not be visible to the server: the documents associated
+//! with the same keyword are shuffled before `BuildIndex` (Logarithmic
+//! schemes, SRC-i), and the token vectors output by `Trpdr` are shuffled so
+//! the server cannot tell which sub-range each token corresponds to.
+//!
+//! [`keyed_shuffle`] implements a Fisher–Yates shuffle driven by a PRF
+//! keystream, so the permutation is (a) pseudorandom to anyone without the
+//! key and (b) reproducible by the owner, which keeps `BuildIndex`
+//! deterministic given its key — convenient for testing and for the
+//! update-manager's re-build during consolidation.
+//! [`rng_shuffle`] is the plain randomized variant used when the permutation
+//! never needs to be reproduced.
+
+use crate::prf::{Key, Prf};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// Deterministically shuffles `items` using a PRF keyed by `key` and
+/// domain-separated by `label`.
+pub fn keyed_shuffle<T>(key: &Key, label: &[u8], items: &mut [T]) {
+    if items.len() <= 1 {
+        return;
+    }
+    let prf = Prf::new(key);
+    // Fisher–Yates: for i from n-1 down to 1, swap items[i] with items[j],
+    // j uniform in 0..=i derived from the PRF stream.
+    for i in (1..items.len()).rev() {
+        let sample = prf.eval_parts(&[label, &(i as u64).to_le_bytes()]);
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&sample[..8]);
+        let j = (u64::from_le_bytes(word) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Shuffles `items` with a caller-provided RNG (non-reproducible variant).
+pub fn rng_shuffle<T, R: RngCore>(rng: &mut R, items: &mut [T]) {
+    items.shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prf::KEY_LEN;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use std::collections::HashSet;
+
+    fn key(byte: u8) -> Key {
+        Key::from_bytes([byte; KEY_LEN])
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut items: Vec<u32> = (0..100).collect();
+        keyed_shuffle(&key(1), b"docs", &mut items);
+        let set: HashSet<_> = items.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert!((0..100).all(|v| set.contains(&v)));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_key_and_label() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        keyed_shuffle(&key(2), b"x", &mut a);
+        keyed_shuffle(&key(2), b"x", &mut b);
+        assert_eq!(a, b);
+
+        let mut c: Vec<u32> = (0..50).collect();
+        keyed_shuffle(&key(2), b"y", &mut c);
+        assert_ne!(a, c, "different labels must give different permutations");
+
+        let mut d: Vec<u32> = (0..50).collect();
+        keyed_shuffle(&key(3), b"x", &mut d);
+        assert_ne!(a, d, "different keys must give different permutations");
+    }
+
+    #[test]
+    fn tiny_inputs_are_handled() {
+        let mut empty: Vec<u8> = vec![];
+        keyed_shuffle(&key(4), b"l", &mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![42];
+        keyed_shuffle(&key(4), b"l", &mut one);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn rng_shuffle_is_a_permutation() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let mut items: Vec<u32> = (0..64).collect();
+        rng_shuffle(&mut rng, &mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_actually_moves_elements() {
+        // With 64 elements the probability that a pseudorandom permutation is
+        // the identity is negligible; treat identity as a failure.
+        let mut items: Vec<u32> = (0..64).collect();
+        keyed_shuffle(&key(6), b"move", &mut items);
+        assert_ne!(items, (0..64).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_inputs_stay_permutations(mut items in proptest::collection::vec(any::<u16>(), 0..128),
+                                              key_byte in any::<u8>()) {
+            let mut original = items.clone();
+            keyed_shuffle(&key(key_byte), b"prop", &mut items);
+            original.sort_unstable();
+            items.sort_unstable();
+            prop_assert_eq!(items, original);
+        }
+    }
+}

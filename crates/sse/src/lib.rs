@@ -1,0 +1,31 @@
+//! Static single-keyword Searchable Symmetric Encryption (SSE).
+//!
+//! The RSSE framework of *Practical Private Range Search Revisited* treats
+//! SSE as a black box: any secure SSE scheme can instantiate every range
+//! scheme in the paper. This crate provides that black box — a
+//! response-revealing **encrypted multimap** in the style of the Π_bas
+//! construction of Cash et al. (NDSS 2014), which is also the SSE scheme the
+//! paper's own evaluation builds on:
+//!
+//! * [`SseDatabase`] — the plaintext multimap `keyword → list of payloads`
+//!   handed to `BuildIndex` (payloads are opaque byte strings; the range
+//!   schemes store encrypted tuple ids or (value, position-range) pairs);
+//! * [`SseScheme`] — the four algorithms of the paper's Section 2.2:
+//!   [`SseScheme::setup`], [`SseScheme::build_index`],
+//!   [`SseScheme::trapdoor`], [`SseScheme::search`];
+//! * [`EncryptedIndex`] — the server-side dictionary of PRF-labelled,
+//!   individually encrypted entries;
+//! * [`padding`] — owner-side padding of the multimap to a fixed size, the
+//!   countermeasure the paper prescribes for Quadratic and Logarithmic-SRC
+//!   so that the index size leaks only `n` and `m`;
+//! * [`leakage`] — explicit `L1`/`L2` leakage profiles (size, access
+//!   pattern, search pattern) used by the security-oriented tests.
+
+pub mod database;
+pub mod leakage;
+pub mod padding;
+pub mod pibas;
+
+pub use database::SseDatabase;
+pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
+pub use pibas::{EncryptedIndex, SearchToken, SseKey, SseScheme};

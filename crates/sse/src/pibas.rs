@@ -1,0 +1,392 @@
+//! The Π_bas-style encrypted multimap (Cash et al., NDSS 2014).
+//!
+//! `BuildIndex` turns the plaintext multimap into a flat dictionary: the
+//! `c`-th payload of keyword `w` is stored under label `F(K1_w, c)` with
+//! value `Enc(K2_w, payload)`, where `K1_w, K2_w` are two per-keyword keys
+//! derived from the master key. A search token for `w` is just `(K1_w,
+//! K2_w)`: the server recomputes labels for `c = 0, 1, 2, …` until it misses,
+//! decrypting each hit. The server therefore learns the access pattern (how
+//! many and which dictionary entries matched) and the search pattern (token
+//! equality), and nothing else — the leakage profile the paper assumes of
+//! its underlying SSE.
+
+use crate::database::SseDatabase;
+use rand::{CryptoRng, RngCore};
+use rsse_crypto::{Key, Prf, StreamCipher, KEY_LEN};
+use std::collections::HashMap;
+
+/// Byte length of dictionary labels (128-bit truncated PRF outputs).
+pub const LABEL_LEN: usize = 16;
+
+/// Dictionary label type.
+pub type Label = [u8; LABEL_LEN];
+
+/// Owner-side secret key of the SSE scheme.
+#[derive(Clone, Debug)]
+pub struct SseKey {
+    master: Key,
+}
+
+/// Search token for one keyword: the two per-keyword keys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchToken {
+    label_key: Key,
+    payload_key: Key,
+}
+
+impl SearchToken {
+    /// Serialized size of a token in bytes (used for query-size accounting).
+    pub const SIZE_BYTES: usize = 2 * KEY_LEN;
+
+    /// Derives a token from an externally supplied 32-byte seed.
+    ///
+    /// This is the hook the Constant-BRC/URC schemes use: instead of letting
+    /// the SSE scheme derive the per-keyword keys from its own master key,
+    /// the per-keyword keys are derived from the *DPRF value* of the
+    /// keyword, so that the server — after expanding a delegated GGM token
+    /// into leaf DPRF values — can reconstruct exactly the tokens for the
+    /// delegated sub-range and nothing else.
+    pub fn derive_from_seed(seed: &[u8; KEY_LEN]) -> Self {
+        let seed_key = Key::from_bytes(*seed);
+        let prf = Prf::new(&seed_key);
+        Self {
+            label_key: Key::from_bytes(prf.eval(b"label")),
+            payload_key: Key::from_bytes(prf.eval(b"payload")),
+        }
+    }
+}
+
+/// The server-side encrypted index: a flat dictionary from labels to
+/// individually encrypted payloads.
+#[derive(Clone, Debug, Default)]
+pub struct EncryptedIndex {
+    dictionary: HashMap<Label, Vec<u8>>,
+    payload_bytes: usize,
+}
+
+impl EncryptedIndex {
+    /// Number of entries in the dictionary (the only thing the index leaks,
+    /// `L1` in the paper's terminology).
+    pub fn len(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dictionary.is_empty()
+    }
+
+    /// Approximate server-side storage footprint in bytes
+    /// (labels + encrypted payloads).
+    pub fn storage_bytes(&self) -> usize {
+        self.dictionary.len() * LABEL_LEN + self.payload_bytes
+    }
+
+    fn insert(&mut self, label: Label, value: Vec<u8>) {
+        self.payload_bytes += value.len();
+        self.dictionary.insert(label, value);
+    }
+
+    fn get(&self, label: &Label) -> Option<&Vec<u8>> {
+        self.dictionary.get(label)
+    }
+}
+
+/// The static SSE scheme (Setup, BuildIndex, Trpdr, Search).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SseScheme;
+
+impl SseScheme {
+    /// `Setup(1^λ)`: samples the owner's secret key.
+    pub fn setup<R: RngCore + CryptoRng>(rng: &mut R) -> SseKey {
+        SseKey {
+            master: Key::generate(rng),
+        }
+    }
+
+    /// Deterministically derives an SSE key from an existing key — used by
+    /// the range schemes, which derive all their sub-keys from one master.
+    pub fn key_from(master: Key) -> SseKey {
+        SseKey { master }
+    }
+
+    /// `BuildIndex(k, D)`: encrypts the multimap into a flat dictionary.
+    pub fn build_index<R: RngCore + CryptoRng>(
+        key: &SseKey,
+        database: &SseDatabase,
+        rng: &mut R,
+    ) -> EncryptedIndex {
+        let mut index = EncryptedIndex::default();
+        for (keyword, payloads) in database.iter() {
+            let token = Self::trapdoor(key, keyword);
+            let label_prf = Prf::new(&token.label_key);
+            let cipher = StreamCipher::new(&token.payload_key);
+            for (counter, payload) in payloads.iter().enumerate() {
+                let label: Label = label_prf.eval_truncated(&(counter as u64).to_le_bytes());
+                let value = cipher.encrypt(rng, payload);
+                index.insert(label, value);
+            }
+        }
+        index
+    }
+
+    /// Variant of `BuildIndex` that takes pre-derived per-keyword tokens.
+    ///
+    /// Used by schemes (Constant-BRC/URC) whose decryption capability must
+    /// come from a delegatable PRF rather than from the SSE master key; the
+    /// index produced is structurally identical to [`build_index`]'s and is
+    /// searched with the exact same [`search`] algorithm.
+    ///
+    /// [`build_index`]: Self::build_index
+    /// [`search`]: Self::search
+    pub fn build_index_from_token_lists<R: RngCore + CryptoRng>(
+        lists: &[(SearchToken, Vec<Vec<u8>>)],
+        rng: &mut R,
+    ) -> EncryptedIndex {
+        let mut index = EncryptedIndex::default();
+        for (token, payloads) in lists {
+            let label_prf = Prf::new(&token.label_key);
+            let cipher = StreamCipher::new(&token.payload_key);
+            for (counter, payload) in payloads.iter().enumerate() {
+                let label: Label = label_prf.eval_truncated(&(counter as u64).to_le_bytes());
+                let value = cipher.encrypt(rng, payload);
+                index.insert(label, value);
+            }
+        }
+        index
+    }
+
+    /// `Trpdr(k, w)`: derives the search token for keyword `w`.
+    ///
+    /// Deterministic, as in the paper: issuing the same keyword twice yields
+    /// the same token (this *is* the search-pattern leakage).
+    pub fn trapdoor(key: &SseKey, keyword: &[u8]) -> SearchToken {
+        let prf = Prf::new(&key.master);
+        SearchToken {
+            label_key: Key::from_bytes(prf.eval_parts(&[b"label", keyword])),
+            payload_key: Key::from_bytes(prf.eval_parts(&[b"payload", keyword])),
+        }
+    }
+
+    /// `Search(t, I)`: returns the decrypted payloads for the token's
+    /// keyword, in storage-counter order.
+    pub fn search(index: &EncryptedIndex, token: &SearchToken) -> Vec<Vec<u8>> {
+        let label_prf = Prf::new(&token.label_key);
+        let cipher = StreamCipher::new(&token.payload_key);
+        let mut results = Vec::new();
+        let mut counter = 0u64;
+        loop {
+            let label: Label = label_prf.eval_truncated(&counter.to_le_bytes());
+            match index.get(&label) {
+                Some(ciphertext) => {
+                    let plaintext = cipher
+                        .decrypt(ciphertext)
+                        .expect("well-formed index entries always decrypt");
+                    results.push(plaintext);
+                    counter += 1;
+                }
+                None => break,
+            }
+        }
+        results
+    }
+
+    /// Like [`search`](Self::search) but only counts matches without
+    /// decrypting — handy for benchmarks isolating dictionary lookups.
+    pub fn search_count(index: &EncryptedIndex, token: &SearchToken) -> usize {
+        let label_prf = Prf::new(&token.label_key);
+        let mut counter = 0u64;
+        loop {
+            let label: Label = label_prf.eval_truncated(&counter.to_le_bytes());
+            if index.get(&label).is_none() {
+                return counter as usize;
+            }
+            counter += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn sample_db() -> SseDatabase {
+        let mut db = SseDatabase::new();
+        db.add(b"apple".to_vec(), 1u64.to_le_bytes().to_vec());
+        db.add(b"apple".to_vec(), 2u64.to_le_bytes().to_vec());
+        db.add(b"apple".to_vec(), 3u64.to_le_bytes().to_vec());
+        db.add(b"banana".to_vec(), 9u64.to_le_bytes().to_vec());
+        db
+    }
+
+    #[test]
+    fn roundtrip_search_returns_exactly_the_payloads() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let key = SseScheme::setup(&mut rng);
+        let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
+        assert_eq!(index.len(), 4);
+
+        let token = SseScheme::trapdoor(&key, b"apple");
+        let results = SseScheme::search(&index, &token);
+        assert_eq!(
+            results,
+            vec![
+                1u64.to_le_bytes().to_vec(),
+                2u64.to_le_bytes().to_vec(),
+                3u64.to_le_bytes().to_vec()
+            ]
+        );
+
+        let token = SseScheme::trapdoor(&key, b"banana");
+        assert_eq!(SseScheme::search(&index, &token).len(), 1);
+    }
+
+    #[test]
+    fn absent_keyword_returns_nothing() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let key = SseScheme::setup(&mut rng);
+        let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
+        let token = SseScheme::trapdoor(&key, b"cherry");
+        assert!(SseScheme::search(&index, &token).is_empty());
+        assert_eq!(SseScheme::search_count(&index, &token), 0);
+    }
+
+    #[test]
+    fn trapdoors_are_deterministic_and_keyword_specific() {
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let key = SseScheme::setup(&mut rng);
+        assert_eq!(
+            SseScheme::trapdoor(&key, b"apple"),
+            SseScheme::trapdoor(&key, b"apple")
+        );
+        assert_ne!(
+            SseScheme::trapdoor(&key, b"apple"),
+            SseScheme::trapdoor(&key, b"banana")
+        );
+    }
+
+    #[test]
+    fn wrong_key_finds_nothing() {
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let key = SseScheme::setup(&mut rng);
+        let other = SseScheme::setup(&mut rng);
+        let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
+        let token = SseScheme::trapdoor(&other, b"apple");
+        assert!(SseScheme::search(&index, &token).is_empty());
+    }
+
+    #[test]
+    fn index_entries_look_unlinkable() {
+        // The index must not contain the plaintext payloads anywhere.
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        let secret = b"super-secret-payload-value".to_vec();
+        db.add(b"w".to_vec(), secret.clone());
+        let index = SseScheme::build_index(&key, &db, &mut rng);
+        for value in index.dictionary.values() {
+            assert!(!value
+                .windows(secret.len())
+                .any(|window| window == secret.as_slice()));
+        }
+    }
+
+    #[test]
+    fn search_count_matches_search_len() {
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let key = SseScheme::setup(&mut rng);
+        let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
+        for kw in [b"apple".as_slice(), b"banana".as_slice(), b"none".as_slice()] {
+            let token = SseScheme::trapdoor(&key, kw);
+            assert_eq!(
+                SseScheme::search_count(&index, &token),
+                SseScheme::search(&index, &token).len()
+            );
+        }
+    }
+
+    #[test]
+    fn storage_accounting_counts_labels_and_ciphertexts() {
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let key = SseScheme::setup(&mut rng);
+        let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
+        // 4 entries, each: 16-byte label + (16-byte nonce + 8-byte payload).
+        assert_eq!(index.storage_bytes(), 4 * (LABEL_LEN + 16 + 8));
+    }
+
+    #[test]
+    fn key_from_round_trips_master() {
+        let master = Key::from_bytes([9u8; KEY_LEN]);
+        let key = SseScheme::key_from(master.clone());
+        let mut rng = ChaCha20Rng::seed_from_u64(8);
+        let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
+        // A key reconstructed from the same master must produce working tokens.
+        let key2 = SseScheme::key_from(master);
+        let token = SseScheme::trapdoor(&key2, b"apple");
+        assert_eq!(SseScheme::search(&index, &token).len(), 3);
+    }
+
+    #[test]
+    fn token_lists_build_is_searchable_with_same_tokens() {
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let seed_a = [1u8; KEY_LEN];
+        let seed_b = [2u8; KEY_LEN];
+        let ta = SearchToken::derive_from_seed(&seed_a);
+        let tb = SearchToken::derive_from_seed(&seed_b);
+        let index = SseScheme::build_index_from_token_lists(
+            &[
+                (ta.clone(), vec![b"x".to_vec(), b"y".to_vec()]),
+                (tb.clone(), vec![b"z".to_vec()]),
+            ],
+            &mut rng,
+        );
+        assert_eq!(index.len(), 3);
+        assert_eq!(SseScheme::search(&index, &ta), vec![b"x".to_vec(), b"y".to_vec()]);
+        assert_eq!(SseScheme::search(&index, &tb), vec![b"z".to_vec()]);
+        // A token from an unrelated seed finds nothing.
+        let tc = SearchToken::derive_from_seed(&[3u8; KEY_LEN]);
+        assert!(SseScheme::search(&index, &tc).is_empty());
+    }
+
+    #[test]
+    fn derive_from_seed_is_deterministic() {
+        let seed = [7u8; KEY_LEN];
+        assert_eq!(
+            SearchToken::derive_from_seed(&seed),
+            SearchToken::derive_from_seed(&seed)
+        );
+        assert_ne!(
+            SearchToken::derive_from_seed(&seed),
+            SearchToken::derive_from_seed(&[8u8; KEY_LEN])
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn arbitrary_multimaps_roundtrip(entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..8),
+             proptest::collection::vec(any::<u8>(), 0..24)), 0..60),
+            seed in any::<u64>())
+        {
+            let mut rng = ChaCha20Rng::seed_from_u64(seed);
+            let key = SseScheme::setup(&mut rng);
+            let mut db = SseDatabase::new();
+            for (k, v) in &entries {
+                db.add(k.clone(), v.clone());
+            }
+            let index = SseScheme::build_index(&key, &db, &mut rng);
+            prop_assert_eq!(index.len(), db.entry_count());
+            // Every keyword's payload list is returned exactly (same multiset,
+            // Π_bas preserves insertion order per keyword).
+            for (keyword, expected) in db.iter() {
+                let token = SseScheme::trapdoor(&key, keyword);
+                let got = SseScheme::search(&index, &token);
+                prop_assert_eq!(got, expected.to_vec());
+            }
+        }
+    }
+}

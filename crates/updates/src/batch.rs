@@ -1,0 +1,81 @@
+//! Update batches: the unit of ingestion.
+
+use rsse_core::{DocId, Record};
+
+/// The kind of change an update entry applies to a tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// A brand-new tuple.
+    Insert,
+    /// Replaces the attribute value (or payload) of an existing tuple.
+    Modify,
+    /// Removes an existing tuple. Deletions are stored as insertions
+    /// carrying a flag, as in the paper, and physically purged at the next
+    /// consolidation.
+    Delete,
+}
+
+/// One update: the affected tuple (with its *current* attribute value — for
+/// deletions, the value the tuple had, so that the deletion marker is
+/// returned by the same queries that would have returned the tuple) and the
+/// operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateEntry {
+    /// The affected tuple.
+    pub record: Record,
+    /// What happens to it.
+    pub op: UpdateOp,
+}
+
+impl UpdateEntry {
+    /// Convenience constructor for an insertion.
+    pub fn insert(id: DocId, value: u64) -> Self {
+        Self {
+            record: Record::new(id, value),
+            op: UpdateOp::Insert,
+        }
+    }
+
+    /// Convenience constructor for a modification (the record carries the
+    /// *new* value).
+    pub fn modify(id: DocId, new_value: u64) -> Self {
+        Self {
+            record: Record::new(id, new_value),
+            op: UpdateOp::Modify,
+        }
+    }
+
+    /// Convenience constructor for a deletion (the record carries the value
+    /// the tuple currently has).
+    pub fn delete(id: DocId, current_value: u64) -> Self {
+        Self {
+            record: Record::new(id, current_value),
+            op: UpdateOp::Delete,
+        }
+    }
+
+    /// Whether this entry ultimately removes the tuple.
+    pub fn is_deletion(&self) -> bool {
+        self.op == UpdateOp::Delete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let ins = UpdateEntry::insert(1, 10);
+        assert_eq!(ins.op, UpdateOp::Insert);
+        assert_eq!(ins.record, Record::new(1, 10));
+        assert!(!ins.is_deletion());
+
+        let modify = UpdateEntry::modify(2, 20);
+        assert_eq!(modify.op, UpdateOp::Modify);
+
+        let del = UpdateEntry::delete(3, 30);
+        assert!(del.is_deletion());
+        assert_eq!(del.record.value, 30);
+    }
+}

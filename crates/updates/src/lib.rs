@@ -1,0 +1,24 @@
+//! Batch updates over static RSSE schemes (Section 7 of the paper).
+//!
+//! Dynamic SSE schemes handle updates with purpose-built dynamic indexes;
+//! the paper instead adopts the bulk-loading strategy of large-scale
+//! analytic databases (Vertica): updates arrive in **batches**, every batch
+//! becomes an independent *static* RSSE instance under a **fresh key**, and
+//! instances are periodically **consolidated** (merged, filtered of
+//! deletions, and re-encrypted) following a log-structured-merge schedule
+//! controlled by the consolidation step `s`.
+//!
+//! The approach gives *forward privacy* for free: a trapdoor issued against
+//! the indexes that existed at time `t` is useless against any index created
+//! after `t`, because later batches are encrypted under independent keys.
+//! The cost is that a query must be sent to every active instance — the
+//! manager keeps their number at `O(s·log_s b)` for `b` ingested batches.
+//!
+//! [`UpdateManager`] is generic over any [`RangeScheme`], exactly as the
+//! paper's mechanism is generic over any static RSSE construction.
+
+pub mod batch;
+pub mod manager;
+
+pub use batch::{UpdateEntry, UpdateOp};
+pub use manager::{UpdateConfig, UpdateManager};

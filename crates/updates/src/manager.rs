@@ -1,0 +1,413 @@
+//! The owner-side update manager: ingestion, querying across active
+//! instances, and hierarchical consolidation.
+
+use crate::batch::{UpdateEntry, UpdateOp};
+use rand::{CryptoRng, RngCore};
+use rsse_core::{Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record};
+use rsse_cover::{Domain, Range};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Configuration of the update manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateConfig {
+    /// The consolidation step `s`: once `s` instances accumulate at a level
+    /// of the merge hierarchy, they are consolidated into a single instance
+    /// at the next level. `s = 0` disables consolidation (every batch stays
+    /// a separate index forever).
+    pub consolidation_step: usize,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        Self {
+            consolidation_step: 4,
+        }
+    }
+}
+
+/// One active instance: a static RSSE index over one batch (or one
+/// consolidated group of batches), plus the owner-side metadata needed to
+/// refine query results (which ids this batch touched, and how).
+struct BatchInstance<S: RangeScheme> {
+    /// Monotonically increasing sequence number; larger = newer. Used to let
+    /// newer batches supersede older ones during result refinement.
+    seq: u64,
+    client: S,
+    server: S::Server,
+    /// The plaintext updates of this instance (owner-side only; the owner
+    /// can always re-derive them by downloading and decrypting its data, as
+    /// the paper's consolidation step requires).
+    entries: Vec<UpdateEntry>,
+    /// Latest operation per id inside this instance.
+    ops: HashMap<DocId, UpdateOp>,
+}
+
+impl<S: RangeScheme> BatchInstance<S> {
+    fn build<R: RngCore + CryptoRng>(
+        domain: Domain,
+        seq: u64,
+        entries: Vec<UpdateEntry>,
+        rng: &mut R,
+    ) -> Self {
+        // Within a batch, the latest entry for an id wins.
+        let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
+        for entry in &entries {
+            latest.insert(entry.record.id, *entry);
+        }
+        let records: Vec<Record> = latest.values().map(|e| e.record).collect();
+        let ops: HashMap<DocId, UpdateOp> = latest.iter().map(|(id, e)| (*id, e.op)).collect();
+        let dataset = Dataset::new(domain, records)
+            .expect("update entries validated against the domain before ingestion");
+        let (client, server) = S::build(&dataset, rng);
+        Self {
+            seq,
+            client,
+            server,
+            entries,
+            ops,
+        }
+    }
+}
+
+/// Owner-side manager of a dynamically updated, privately searchable
+/// dataset.
+pub struct UpdateManager<S: RangeScheme> {
+    domain: Domain,
+    config: UpdateConfig,
+    /// `levels[l]` holds the not-yet-consolidated instances at height `l` of
+    /// the s-ary merge tree (level 0 = raw batches).
+    levels: Vec<Vec<BatchInstance<S>>>,
+    next_seq: u64,
+    batches_ingested: usize,
+    consolidations: usize,
+}
+
+impl<S: RangeScheme> UpdateManager<S> {
+    /// Creates an empty manager over `domain`.
+    pub fn new(domain: Domain, config: UpdateConfig) -> Self {
+        Self {
+            domain,
+            config,
+            levels: Vec::new(),
+            next_seq: 0,
+            batches_ingested: 0,
+            consolidations: 0,
+        }
+    }
+
+    /// The attribute domain shared by all batches.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of currently active (separately queried) index instances.
+    pub fn active_instances(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Number of raw batches ingested so far.
+    pub fn batches_ingested(&self) -> usize {
+        self.batches_ingested
+    }
+
+    /// Number of consolidation (merge + re-encrypt) operations performed.
+    pub fn consolidations(&self) -> usize {
+        self.consolidations
+    }
+
+    /// Combined index statistics over all active instances.
+    pub fn index_stats(&self) -> IndexStats {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|instance| S::index_stats(&instance.server))
+            .fold(IndexStats::default(), IndexStats::merged)
+    }
+
+    /// Ingests one batch of updates: builds a fresh static index under a
+    /// fresh key and triggers any due consolidations.
+    ///
+    /// # Panics
+    /// Panics if an entry's value lies outside the manager's domain.
+    pub fn ingest_batch<R: RngCore + CryptoRng>(&mut self, entries: Vec<UpdateEntry>, rng: &mut R) {
+        for entry in &entries {
+            assert!(
+                self.domain.contains(entry.record.value),
+                "update value {} outside domain of size {}",
+                entry.record.value,
+                self.domain.size()
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.batches_ingested += 1;
+        let instance = BatchInstance::build(self.domain, seq, entries, rng);
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(instance);
+        self.consolidate_due_levels(rng);
+    }
+
+    fn consolidate_due_levels<R: RngCore + CryptoRng>(&mut self, rng: &mut R) {
+        let step = self.config.consolidation_step;
+        if step == 0 {
+            return;
+        }
+        let mut level = 0;
+        while level < self.levels.len() {
+            if self.levels[level].len() >= step {
+                let group: Vec<BatchInstance<S>> = self.levels[level].drain(..).collect();
+                let merged = self.merge_instances(group, rng);
+                if self.levels.len() <= level + 1 {
+                    self.levels.push(Vec::new());
+                }
+                self.levels[level + 1].push(merged);
+                self.consolidations += 1;
+            }
+            level += 1;
+        }
+    }
+
+    /// Merges a group of instances into one: replays their updates in
+    /// sequence order, drops deleted tuples, and rebuilds a single index
+    /// under a fresh key (the "download, merge, re-encrypt" of the paper).
+    fn merge_instances<R: RngCore + CryptoRng>(
+        &mut self,
+        mut group: Vec<BatchInstance<S>>,
+        rng: &mut R,
+    ) -> BatchInstance<S> {
+        group.sort_by_key(|instance| instance.seq);
+        let newest_seq = group.last().map(|i| i.seq).unwrap_or(0);
+        let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
+        for instance in &group {
+            for entry in &instance.entries {
+                latest.insert(entry.record.id, *entry);
+            }
+        }
+        let surviving: Vec<UpdateEntry> = latest
+            .into_values()
+            .filter(|entry| !entry.is_deletion())
+            .map(|entry| UpdateEntry {
+                record: entry.record,
+                op: UpdateOp::Insert,
+            })
+            .collect();
+        BatchInstance::build(self.domain, newest_seq, surviving, rng)
+    }
+
+    /// Issues a range query against every active instance, merges the
+    /// results and refines them at the owner: ids superseded by a newer
+    /// batch are dropped, and ids whose newest operation is a deletion are
+    /// filtered out.
+    pub fn query(&self, range: Range) -> QueryOutcome {
+        // Owner-side refinement metadata: the newest sequence number that
+        // touched each id, across all active instances.
+        let mut newest_touch: HashMap<DocId, u64> = HashMap::new();
+        for instance in self.levels.iter().flatten() {
+            for (&id, _) in &instance.ops {
+                let entry = newest_touch.entry(id).or_insert(instance.seq);
+                if instance.seq > *entry {
+                    *entry = instance.seq;
+                }
+            }
+        }
+
+        let mut ids: Vec<DocId> = Vec::new();
+        let mut seen: HashSet<DocId> = HashSet::new();
+        let mut stats = QueryStats::default();
+        for instance in self.levels.iter().flatten() {
+            let outcome = instance.client.query(&instance.server, range);
+            stats.tokens_sent += outcome.stats.tokens_sent;
+            stats.token_bytes += outcome.stats.token_bytes;
+            stats.rounds = stats.rounds.max(outcome.stats.rounds);
+            stats.entries_touched += outcome.stats.entries_touched;
+            stats.result_groups += outcome.stats.result_groups;
+            for id in outcome.ids {
+                // Only the instance that holds the *newest* version of the
+                // tuple is authoritative for it.
+                if newest_touch.get(&id) != Some(&instance.seq) {
+                    continue;
+                }
+                if instance.ops.get(&id) == Some(&UpdateOp::Delete) {
+                    continue;
+                }
+                if seen.insert(id) {
+                    ids.push(id);
+                }
+            }
+        }
+        QueryOutcome { ids, stats }
+    }
+
+    /// The plaintext ground truth of the manager's current logical state —
+    /// what a trusted database would answer. Used by tests and the update
+    /// ablation experiment.
+    pub fn ground_truth(&self, range: Range) -> Vec<DocId> {
+        let mut latest: BTreeMap<DocId, (u64, UpdateEntry)> = BTreeMap::new();
+        for instance in self.levels.iter().flatten() {
+            for entry in &instance.entries {
+                let candidate = (instance.seq, *entry);
+                match latest.get(&entry.record.id) {
+                    Some((seq, _)) if *seq > instance.seq => {}
+                    _ => {
+                        latest.insert(entry.record.id, candidate);
+                    }
+                }
+            }
+        }
+        latest
+            .values()
+            .filter(|(_, entry)| !entry.is_deletion() && range.contains(entry.record.value))
+            .map(|(_, entry)| entry.record.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rsse_core::schemes::log_brc_urc::LogScheme;
+    use rsse_core::schemes::log_src_i::LogSrcIScheme;
+
+    type LogManager = UpdateManager<LogScheme>;
+
+    fn manager(step: usize) -> LogManager {
+        LogManager::new(
+            Domain::new(256),
+            UpdateConfig {
+                consolidation_step: step,
+            },
+        )
+    }
+
+    fn sorted(mut ids: Vec<DocId>) -> Vec<DocId> {
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn inserts_across_batches_are_all_visible() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut mgr = manager(4);
+        mgr.ingest_batch((0..10).map(|i| UpdateEntry::insert(i, i * 10)).collect(), &mut rng);
+        mgr.ingest_batch((10..20).map(|i| UpdateEntry::insert(i, i * 10)).collect(), &mut rng);
+        let outcome = mgr.query(Range::new(0, 255));
+        assert_eq!(
+            sorted(outcome.ids),
+            sorted(mgr.ground_truth(Range::new(0, 255)))
+        );
+        assert_eq!(mgr.active_instances(), 2);
+        assert_eq!(mgr.batches_ingested(), 2);
+    }
+
+    #[test]
+    fn deletions_are_filtered_at_the_owner() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let mut mgr = manager(10);
+        mgr.ingest_batch(vec![
+            UpdateEntry::insert(1, 50),
+            UpdateEntry::insert(2, 60),
+            UpdateEntry::insert(3, 70),
+        ], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::delete(2, 60)], &mut rng);
+        let outcome = mgr.query(Range::new(0, 255));
+        assert_eq!(sorted(outcome.ids), vec![1, 3]);
+        assert_eq!(sorted(mgr.ground_truth(Range::new(0, 255))), vec![1, 3]);
+    }
+
+    #[test]
+    fn modifications_supersede_older_values() {
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let mut mgr = manager(10);
+        mgr.ingest_batch(vec![UpdateEntry::insert(7, 10)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::modify(7, 200)], &mut rng);
+        // The tuple must be found at its new value…
+        assert_eq!(mgr.query(Range::new(150, 255)).ids, vec![7]);
+        // …and no longer at its old one.
+        assert!(mgr.query(Range::new(0, 50)).is_empty());
+    }
+
+    #[test]
+    fn consolidation_keeps_instance_count_logarithmic() {
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let step = 3;
+        let mut mgr = manager(step);
+        let batches = 27;
+        for b in 0..batches {
+            let entries = (0..5u64)
+                .map(|i| UpdateEntry::insert(b as u64 * 100 + i, (b as u64 * 7 + i) % 256))
+                .collect();
+            mgr.ingest_batch(entries, &mut rng);
+            // The paper's bound: at most s instances per level, log_s(b)+1 levels.
+            let max_active = step * ((batches as f64).log(step as f64).ceil() as usize + 1);
+            assert!(
+                mgr.active_instances() <= max_active,
+                "too many active instances: {}",
+                mgr.active_instances()
+            );
+        }
+        assert!(mgr.consolidations() > 0);
+        // 27 batches with s=3 fully telescope into a single level-3 instance.
+        assert_eq!(mgr.active_instances(), 1);
+        // All inserted tuples remain visible after the merges.
+        assert_eq!(
+            mgr.query(Range::new(0, 255)).ids.len(),
+            batches * 5
+        );
+    }
+
+    #[test]
+    fn consolidation_purges_deleted_tuples() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let mut mgr = manager(2);
+        mgr.ingest_batch(vec![UpdateEntry::insert(1, 10), UpdateEntry::insert(2, 20)], &mut rng);
+        let before = mgr.index_stats();
+        mgr.ingest_batch(vec![UpdateEntry::delete(1, 10)], &mut rng);
+        // The two batches merged (s = 2) and the deleted tuple is physically
+        // gone, so the consolidated index holds a single tuple.
+        assert_eq!(mgr.active_instances(), 1);
+        assert!(mgr.index_stats().entries < before.entries + 5);
+        assert_eq!(mgr.query(Range::new(0, 255)).ids, vec![2]);
+    }
+
+    #[test]
+    fn query_stats_accumulate_across_instances() {
+        let mut rng = ChaCha20Rng::seed_from_u64(6);
+        let mut mgr = manager(0); // never consolidate
+        for b in 0..4u64 {
+            mgr.ingest_batch(vec![UpdateEntry::insert(b, b * 11)], &mut rng);
+        }
+        assert_eq!(mgr.active_instances(), 4);
+        let outcome = mgr.query(Range::new(0, 255));
+        assert_eq!(outcome.ids.len(), 4);
+        assert!(outcome.stats.tokens_sent >= 4, "one token set per instance");
+    }
+
+    #[test]
+    fn works_with_interactive_schemes_too() {
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        let mut mgr: UpdateManager<LogSrcIScheme> =
+            UpdateManager::new(Domain::new(128), UpdateConfig::default());
+        mgr.ingest_batch(
+            (0..20).map(|i| UpdateEntry::insert(i, (i * 13) % 128)).collect(),
+            &mut rng,
+        );
+        mgr.ingest_batch(vec![UpdateEntry::delete(3, 39), UpdateEntry::insert(100, 64)], &mut rng);
+        let range = Range::new(0, 127);
+        assert_eq!(
+            sorted(mgr.query(range).ids.clone()),
+            sorted(mgr.ground_truth(range))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_update_is_rejected() {
+        let mut rng = ChaCha20Rng::seed_from_u64(8);
+        let mut mgr = manager(4);
+        mgr.ingest_batch(vec![UpdateEntry::insert(1, 10_000)], &mut rng);
+    }
+}

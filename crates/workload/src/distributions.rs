@@ -1,0 +1,175 @@
+//! Value distributions used by the dataset generators.
+
+use rand::Rng;
+use rsse_cover::Domain;
+
+/// A source of attribute values over a domain.
+pub trait ValueDistribution {
+    /// Samples one attribute value in `[0, domain.size())`.
+    fn sample<R: Rng + ?Sized>(&self, domain: &Domain, rng: &mut R) -> u64;
+}
+
+/// Uniform values over the whole domain — the "Gowalla is relatively uniform
+/// on A" profile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformValues;
+
+impl ValueDistribution for UniformValues {
+    fn sample<R: Rng + ?Sized>(&self, domain: &Domain, rng: &mut R) -> u64 {
+        rng.gen_range(0..domain.size())
+    }
+}
+
+/// A Zipf-like distribution over a fixed set of *support points*: a small
+/// number of distinct values receive most of the mass — the "USPS is heavily
+/// skewed, 5% distinct values" profile.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    support: Vec<u64>,
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution with the given support points (distinct
+    /// values) and exponent `s` (s = 0 degenerates to uniform over the
+    /// support; s ≈ 1 is classic Zipf).
+    pub fn new(support: Vec<u64>, s: f64) -> Self {
+        assert!(!support.is_empty(), "Zipf needs at least one support point");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let weights: Vec<f64> = (1..=support.len())
+            .map(|rank| 1.0 / (rank as f64).powf(s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall on the last bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            support,
+            cumulative,
+        }
+    }
+
+    /// The number of distinct values this distribution can produce.
+    pub fn support_size(&self) -> usize {
+        self.support.len()
+    }
+}
+
+impl ValueDistribution for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, domain: &Domain, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.support.len() - 1);
+        let value = self.support[idx];
+        debug_assert!(domain.contains(value));
+        value.min(domain.size() - 1)
+    }
+}
+
+/// Values drawn near a set of cluster centres with small jitter — produces
+/// data with moderate skew and locality (e.g. timestamps concentrated around
+/// working hours).
+#[derive(Clone, Debug)]
+pub struct ClusteredValues {
+    centres: Vec<u64>,
+    spread: u64,
+}
+
+impl ClusteredValues {
+    /// Creates a clustered distribution around `centres`, each sample jittered
+    /// uniformly within ±`spread`.
+    pub fn new(centres: Vec<u64>, spread: u64) -> Self {
+        assert!(!centres.is_empty(), "need at least one cluster centre");
+        Self { centres, spread }
+    }
+}
+
+impl ValueDistribution for ClusteredValues {
+    fn sample<R: Rng + ?Sized>(&self, domain: &Domain, rng: &mut R) -> u64 {
+        let centre = self.centres[rng.gen_range(0..self.centres.len())];
+        let jitter = rng.gen_range(0..=2 * self.spread) as i64 - self.spread as i64;
+        let value = centre as i64 + jitter;
+        value.clamp(0, domain.size() as i64 - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_spreads_over_domain() {
+        let domain = Domain::new(1000);
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let dist = UniformValues;
+        let samples: Vec<u64> = (0..2000).map(|_| dist.sample(&domain, &mut rng)).collect();
+        assert!(samples.iter().all(|&v| v < 1000));
+        let distinct: std::collections::HashSet<_> = samples.iter().collect();
+        assert!(distinct.len() > 700, "uniform sampling should be diverse");
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_top_ranks() {
+        let domain = Domain::new(10_000);
+        let support: Vec<u64> = (0..100).map(|i| i * 97).collect();
+        let zipf = Zipf::new(support.clone(), 1.2);
+        assert_eq!(zipf.support_size(), 100);
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..5000 {
+            *counts.entry(zipf.sample(&domain, &mut rng)).or_default() += 1;
+        }
+        // Every sampled value comes from the support.
+        assert!(counts.keys().all(|v| support.contains(v)));
+        // The most frequent value dominates (heavy head).
+        let max = *counts.values().max().unwrap();
+        assert!(max > 5000 / 10, "head value should take a large share, got {max}");
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_roughly_uniform_over_support() {
+        let domain = Domain::new(1000);
+        let zipf = Zipf::new((0..10).collect(), 0.0);
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&domain, &mut rng) as usize] += 1;
+        }
+        for count in counts {
+            assert!((700..1300).contains(&count), "count {count} far from uniform");
+        }
+    }
+
+    #[test]
+    fn clustered_values_stay_near_centres_and_in_domain() {
+        let domain = Domain::new(1000);
+        let dist = ClusteredValues::new(vec![5, 500, 995], 10);
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = dist.sample(&domain, &mut rng);
+            assert!(v < 1000);
+            assert!(
+                v <= 15 || (490..=510).contains(&v) || v >= 985,
+                "sample {v} not near any centre"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one support point")]
+    fn empty_zipf_support_rejected() {
+        let _ = Zipf::new(vec![], 1.0);
+    }
+}

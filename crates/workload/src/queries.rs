@@ -1,0 +1,140 @@
+//! Range-query workload generators.
+//!
+//! The paper's Figures 6 and 7 sweep the query range size as a *percentage
+//! of the domain* (10%–100%) and average over 200K random queries per point;
+//! Figure 8 sweeps absolute range sizes 1–100. These helpers generate both
+//! kinds of workloads reproducibly.
+
+use rand::Rng;
+use rsse_cover::{Domain, Range};
+
+/// A named set of query ranges (one point of a sweep).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySet {
+    /// Label of the sweep point (e.g. "10%" or "R=64").
+    pub label: String,
+    /// The query ranges.
+    pub ranges: Vec<Range>,
+}
+
+impl QuerySet {
+    /// Number of queries in the set.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// The absolute range length corresponding to `percent` of the domain
+/// (at least 1).
+pub fn percent_of_domain(domain: &Domain, percent: f64) -> u64 {
+    assert!((0.0..=100.0).contains(&percent), "percent must be in [0,100]");
+    ((domain.size() as f64 * percent / 100.0).round() as u64).clamp(1, domain.size())
+}
+
+/// Generates `count` uniformly placed queries of exactly `len` values each.
+pub fn random_queries_of_len<R: Rng + ?Sized>(
+    domain: &Domain,
+    len: u64,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Range> {
+    let len = len.clamp(1, domain.size());
+    let max_lo = domain.size() - len;
+    (0..count)
+        .map(|_| {
+            let lo = if max_lo == 0 { 0 } else { rng.gen_range(0..=max_lo) };
+            Range::new(lo, lo + len - 1)
+        })
+        .collect()
+}
+
+/// Generates one [`QuerySet`] per percentage point in `percents`, each with
+/// `count` random queries of that relative size.
+pub fn random_queries_percent<R: Rng + ?Sized>(
+    domain: &Domain,
+    percents: &[f64],
+    count: usize,
+    rng: &mut R,
+) -> Vec<QuerySet> {
+    percents
+        .iter()
+        .map(|&p| QuerySet {
+            label: format!("{p:.0}%"),
+            ranges: random_queries_of_len(domain, percent_of_domain(domain, p), count, rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn percent_conversion_clamps_to_domain() {
+        let domain = Domain::new(1000);
+        assert_eq!(percent_of_domain(&domain, 10.0), 100);
+        assert_eq!(percent_of_domain(&domain, 100.0), 1000);
+        assert_eq!(percent_of_domain(&domain, 0.0), 1);
+    }
+
+    #[test]
+    fn queries_fit_in_domain_and_have_requested_length() {
+        let domain = Domain::new(512);
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        for len in [1u64, 7, 100, 512, 600] {
+            let queries = random_queries_of_len(&domain, len, 50, &mut rng);
+            assert_eq!(queries.len(), 50);
+            let effective = len.min(512);
+            for q in queries {
+                assert_eq!(q.len(), effective);
+                assert!(q.hi() < 512);
+            }
+        }
+    }
+
+    #[test]
+    fn percent_sweep_builds_labelled_sets() {
+        let domain = Domain::new(10_000);
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let sets = random_queries_percent(&domain, &[10.0, 50.0, 100.0], 20, &mut rng);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].label, "10%");
+        assert_eq!(sets[0].len(), 20);
+        assert!(!sets[0].is_empty());
+        assert!(sets[2].ranges.iter().all(|r| r.len() == 10_000));
+    }
+
+    #[test]
+    fn full_domain_queries_are_the_whole_domain() {
+        let domain = Domain::new(64);
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let queries = random_queries_of_len(&domain, 64, 5, &mut rng);
+        assert!(queries.iter().all(|q| *q == Range::new(0, 63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "percent")]
+    fn out_of_range_percent_rejected() {
+        let _ = percent_of_domain(&Domain::new(10), 150.0);
+    }
+
+    proptest! {
+        #[test]
+        fn random_queries_always_valid(len in 1u64..2000, seed in any::<u64>()) {
+            let domain = Domain::new(1024);
+            let mut rng = ChaCha20Rng::seed_from_u64(seed);
+            for q in random_queries_of_len(&domain, len, 10, &mut rng) {
+                prop_assert!(q.hi() < domain.size());
+                prop_assert!(q.len() <= domain.size());
+            }
+        }
+    }
+}

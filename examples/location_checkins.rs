@@ -1,0 +1,84 @@
+//! Gowalla-style scenario: a location-based service outsources its check-in
+//! log and runs time-window analytics over the encrypted data.
+//!
+//! This mirrors the paper's Gowalla evaluation profile: a large,
+//! near-uniform timestamp domain where ~95% of tuples carry distinct values.
+//! On such data Logarithmic-SRC already has few false positives, and the
+//! Constant/Logarithmic BRC-URC schemes return exact results; the example
+//! compares them on sliding time-window queries.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example location_checkins
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse::prelude::*;
+
+fn main() {
+    let mut rng = ChaCha20Rng::seed_from_u64(2009);
+
+    // One year of check-ins at second granularity, scaled down to keep the
+    // example fast: a 2^20-value "timestamp" domain, 20,000 check-ins.
+    let domain_size = 1u64 << 20;
+    let dataset = gowalla_like(20_000, domain_size, &mut rng);
+    let profile = DatasetProfile::of(&dataset);
+    println!(
+        "check-in log: {} events, domain {} ticks, {:.1}% distinct timestamps\n",
+        profile.n,
+        profile.domain_size,
+        100.0 * profile.distinct_ratio
+    );
+
+    // The analyst owns the key; the storage provider holds only encrypted
+    // indexes. Build the two schemes the paper recommends for this profile.
+    let src = AnyScheme::build(SchemeKind::LogarithmicSrc, &dataset, &mut rng);
+    let src_i = AnyScheme::build(SchemeKind::LogarithmicSrcI, &dataset, &mut rng);
+    let urc = AnyScheme::build(SchemeKind::LogarithmicUrc, &dataset, &mut rng);
+
+    println!(
+        "{:<20} {:>14} {:>12}",
+        "scheme", "index entries", "storage MiB"
+    );
+    for scheme in [&urc, &src, &src_i] {
+        let stats = scheme.index_stats();
+        println!(
+            "{:<20} {:>14} {:>12.2}",
+            scheme.name(),
+            stats.entries,
+            stats.storage_mib()
+        );
+    }
+
+    // Sliding "activity in the last window" queries of growing width.
+    println!("\nsliding time-window queries:");
+    println!(
+        "{:<14} {:>8} | {:>22} | {:>22} | {:>22}",
+        "window", "matches", "Log-URC (tok, fp)", "Log-SRC (tok, fp)", "Log-SRC-i (tok, fp)"
+    );
+    for window_pct in [1u64, 5, 10, 25] {
+        let window = domain_size * window_pct / 100;
+        let end = domain_size - 1;
+        let query = Range::new(end - window + 1, end);
+        let expected = dataset.matching_ids(query);
+
+        let mut row = format!("{:<14} {:>8} |", format!("last {window_pct}%"), expected.len());
+        for scheme in [&urc, &src, &src_i] {
+            let outcome = scheme.query(query);
+            let eval = Evaluation::compare(&outcome.ids, &expected);
+            assert!(eval.is_complete(), "{} missed check-ins", scheme.name());
+            row.push_str(&format!(
+                " {:>13} tok, {:>4} fp |",
+                outcome.stats.tokens_sent, eval.false_positives
+            ));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nOn near-uniform data the single-token SRC schemes pay only a small\n\
+         false-positive overhead, while URC needs O(log R) tokens but is exact —\n\
+         the trade-off of the paper's Figure 6(a)/7(a)."
+    );
+}

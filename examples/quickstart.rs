@@ -1,0 +1,73 @@
+//! Quickstart: outsource a dataset, run private range queries with every
+//! scheme, and compare their costs.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. The owner's plaintext data: (id, attribute value) tuples.
+    //    Here: 5,000 tuples over a 2^16-value domain.
+    // ---------------------------------------------------------------
+    let mut rng = ChaCha20Rng::seed_from_u64(42);
+    let domain = Domain::new(1 << 16);
+    let records: Vec<Record> = (0..5_000u64)
+        .map(|i| Record::new(i, (i * 7919 + 13) % domain.size()))
+        .collect();
+    let dataset = Dataset::new(domain, records).expect("values fit the domain");
+    println!(
+        "dataset: n = {} tuples, domain m = {} values, {} distinct values\n",
+        dataset.len(),
+        domain.size(),
+        dataset.distinct_values()
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Build every scheme the paper evaluates and issue the same query.
+    // ---------------------------------------------------------------
+    let query = Range::new(10_000, 12_000);
+    let expected = dataset.matching_ids(query);
+    println!("query {query} — {} matching tuples\n", expected.len());
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "scheme", "index entries", "MiB", "tokens", "bytes", "touched", "FPs"
+    );
+    for kind in SchemeKind::EVALUATED {
+        let scheme = AnyScheme::build(kind, &dataset, &mut rng);
+        let stats = scheme.index_stats();
+        let outcome = scheme.query(query);
+        let eval = Evaluation::compare(&outcome.ids, &expected);
+        assert!(eval.is_complete(), "{} missed results", scheme.name());
+        println!(
+            "{:<22} {:>12} {:>10.2} {:>8} {:>8} {:>8} {:>7}",
+            scheme.name(),
+            stats.entries,
+            stats.storage_mib(),
+            outcome.stats.tokens_sent,
+            outcome.stats.token_bytes,
+            outcome.stats.entries_touched,
+            eval.false_positives,
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // 3. The schemes without false positives return the exact answer.
+    // ---------------------------------------------------------------
+    let exact = AnyScheme::build(SchemeKind::LogarithmicUrc, &dataset, &mut rng);
+    let outcome = exact.query(query);
+    let eval = Evaluation::compare(&outcome.ids, &expected);
+    assert!(eval.is_exact());
+    println!(
+        "\nLogarithmic-URC returned the exact {} results with {} tokens over {} round(s).",
+        outcome.ids.len(),
+        outcome.stats.tokens_sent,
+        outcome.stats.rounds
+    );
+}

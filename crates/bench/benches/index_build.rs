@@ -39,6 +39,26 @@ fn bench_index_build(c: &mut Criterion) {
     }
     group.finish();
 
+    // The 100k-record uniform dataset is the PR-gating perf target (see
+    // BENCH_pr1.json): Constant covers the DPRF+SSE hot path, SRC covers the
+    // replicated TDAG-keyword path with ~n·log m index entries.
+    let mut group = c.benchmark_group("index_build_100k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let dataset = gowalla_like(100_000, 1 << 20, &mut rng);
+    for kind in [SchemeKind::ConstantBrc, SchemeKind::LogarithmicSrc] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut build_rng = ChaCha20Rng::seed_from_u64(7);
+                AnyScheme::build(kind, &dataset, &mut build_rng)
+            });
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("index_build_usps");
     group
         .sample_size(10)

@@ -52,5 +52,48 @@ fn bench_search(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_search);
+/// The PR-gating perf target: search over a 100k-record uniform dataset
+/// (see BENCH_pr1.json for the tracked before/after numbers).
+fn bench_search_100k(c: &mut Criterion) {
+    let kinds = [
+        SchemeKind::ConstantBrc,
+        SchemeKind::LogarithmicBrc,
+        SchemeKind::LogarithmicSrc,
+    ];
+    // The setup (100k-record dataset + three index builds) dwarfs the
+    // measurements; skip it entirely when BENCH_FILTER excludes the group.
+    let ids = kinds
+        .iter()
+        .flat_map(|k| [1u64, 10].map(|pct| format!("search_100k/{}/{pct}%", k.name())));
+    if !criterion::any_id_matches(ids) {
+        return;
+    }
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let domain_size = 1u64 << 20;
+    let dataset = gowalla_like(100_000, domain_size, &mut rng);
+    let schemes: Vec<AnyScheme> = kinds
+        .iter()
+        .map(|k| AnyScheme::build(*k, &dataset, &mut rng))
+        .collect();
+    let mut group = c.benchmark_group("search_100k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for pct in [1u64, 10] {
+        let len = domain_size * pct / 100;
+        let lo = domain_size / 3;
+        let query = Range::new(lo, lo + len - 1);
+        for scheme in &schemes {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("{pct}%")),
+                &query,
+                |b, query| b.iter(|| scheme.query(*query)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_search_100k);
 criterion_main!(benches);

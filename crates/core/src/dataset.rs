@@ -32,6 +32,12 @@ impl Record {
     pub(crate) fn id_payload(&self) -> Vec<u8> {
         self.id.to_le_bytes().to_vec()
     }
+
+    /// Allocation-free variant of [`id_payload`](Self::id_payload) for the
+    /// fixed-stride BuildIndex fast path.
+    pub(crate) fn id_payload_array(&self) -> [u8; 8] {
+        self.id.to_le_bytes()
+    }
 }
 
 /// Decodes an 8-byte SSE payload back into a [`DocId`].

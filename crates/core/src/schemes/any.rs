@@ -111,6 +111,10 @@ impl SchemeKind {
     }
 }
 
+// One `AnyScheme` exists per built index, so the size spread between
+// variants is irrelevant next to the indexes they own; boxing would only
+// add an indirection on the query path.
+#[allow(clippy::large_enum_variant)]
 enum Inner {
     Quadratic(QuadraticScheme, QuadraticServer),
     Constant(ConstantScheme, ConstantServer),

@@ -1,8 +1,15 @@
 //! Helpers shared by the scheme implementations.
 
 use crate::dataset::{decode_id_payload, DocId};
+use rand::{CryptoRng, RngCore};
+use rayon::prelude::*;
 use rsse_cover::{Domain, Range};
-use rsse_sse::{EncryptedIndex, SearchToken, SseScheme};
+use rsse_sse::{EncryptedIndex, SearchToken, SseKey, SseScheme};
+
+/// Token counts at or above this run the per-token searches on all cores.
+/// Below it (the Logarithmic schemes' `O(log R)` token vectors) threading
+/// overhead would exceed the scan work.
+const PARALLEL_SEARCH_TOKENS: usize = 64;
 
 /// Which exact range-covering technique a BRC/URC-based scheme uses for its
 /// trapdoors (Section 2.2 of the paper).
@@ -43,32 +50,95 @@ pub fn clamp_query(domain: &Domain, range: Range) -> Option<Range> {
 /// Runs an SSE search for each token and decodes the id payloads, returning
 /// the flattened ids together with the per-token group sizes (the result
 /// partitioning the server observes).
+///
+/// Large token vectors — the Constant schemes expand a trapdoor into one
+/// token per domain value of the range — are searched in parallel; results
+/// are merged in token order either way, so the outcome is deterministic.
 pub fn search_ids(
     index: &EncryptedIndex,
     tokens: &[SearchToken],
 ) -> (Vec<DocId>, Vec<usize>) {
+    let per_token: Vec<(Vec<DocId>, usize)> = if tokens.len() >= PARALLEL_SEARCH_TOKENS {
+        tokens
+            .par_iter()
+            .map(|token| search_one(index, token))
+            .collect()
+    } else {
+        tokens
+            .iter()
+            .map(|token| search_one(index, token))
+            .collect()
+    };
     let mut ids = Vec::new();
     let mut groups = Vec::with_capacity(tokens.len());
-    for token in tokens {
-        let payloads = SseScheme::search(index, token);
-        groups.push(payloads.len());
-        for payload in payloads {
-            if let Some(id) = decode_id_payload(&payload) {
-                ids.push(id);
-            }
-        }
+    for (token_ids, matched) in per_token {
+        groups.push(matched);
+        ids.extend(token_ids);
     }
     (ids, groups)
+}
+
+/// One token's scan: decoded ids plus the raw match count (group sizes
+/// count matched entries, decodable or not — e.g. padding dummies).
+fn search_one(index: &EncryptedIndex, token: &SearchToken) -> (Vec<DocId>, usize) {
+    let payloads = SseScheme::search(index, token);
+    let matched = payloads.len();
+    let ids = payloads
+        .iter()
+        .filter_map(|payload| decode_id_payload(payload))
+        .collect();
+    (ids, matched)
+}
+
+/// Builds an encrypted index from flat `(keyword, payload)` entries with
+/// fixed-size keywords and payloads — the BuildIndex fast path shared by
+/// the replication-based schemes.
+///
+/// Semantically equivalent to filling an [`rsse_sse::SseDatabase`], calling
+/// `shuffle_lists`, and running `SseScheme::build_index`, but without the
+/// byte-keyed `BTreeMap` and the two heap allocations per entry: entries
+/// are grouped by one cache-friendly sort of flat arrays, each group is
+/// shuffled with the same `(shuffle_key, keyword)`-keyed permutation, and
+/// the fixed-stride SSE build encrypts straight out of the payload arrays.
+pub fn grouped_fixed_index<const K: usize, const P: usize, R: RngCore + CryptoRng>(
+    key: &SseKey,
+    shuffle_key: &rsse_crypto::Key,
+    mut entries: Vec<([u8; K], [u8; P])>,
+    rng: &mut R,
+) -> EncryptedIndex {
+    // Sort by (keyword, payload): groups become contiguous, and the total
+    // order keeps the build deterministic (the keyed shuffle below sets the
+    // final in-list order, exactly as `SseDatabase::shuffle_lists` did).
+    entries.sort_unstable();
+    let mut lists: Vec<(Vec<u8>, Vec<[u8; P]>)> = Vec::new();
+    for (keyword, payload) in entries {
+        match lists.last_mut() {
+            Some((last, payloads)) if last.as_slice() == keyword.as_slice() => {
+                payloads.push(payload);
+            }
+            _ => lists.push((keyword.to_vec(), vec![payload])),
+        }
+    }
+    for (keyword, payloads) in lists.iter_mut() {
+        rsse_crypto::permute::keyed_shuffle(shuffle_key, keyword, payloads);
+    }
+    SseScheme::build_index_fixed(key, &lists, rng)
 }
 
 /// Encodes a `(value, start, end)` triple — the "(domain value, tuple
 /// range)" documents indexed by Logarithmic-SRC-i's first index — as a
 /// 24-byte payload.
 pub fn encode_value_span(value: u64, start: u64, end: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(24);
-    out.extend_from_slice(&value.to_le_bytes());
-    out.extend_from_slice(&start.to_le_bytes());
-    out.extend_from_slice(&end.to_le_bytes());
+    encode_value_span_array(value, start, end).to_vec()
+}
+
+/// Allocation-free variant of [`encode_value_span`] for the fixed-stride
+/// BuildIndex fast path.
+pub fn encode_value_span_array(value: u64, start: u64, end: u64) -> [u8; 24] {
+    let mut out = [0u8; 24];
+    out[0..8].copy_from_slice(&value.to_le_bytes());
+    out[8..16].copy_from_slice(&start.to_le_bytes());
+    out[16..24].copy_from_slice(&end.to_le_bytes());
     out
 }
 

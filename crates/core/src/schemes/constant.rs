@@ -20,6 +20,7 @@ use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::{clamp_query, search_ids, CoverKind};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
+use rayon::prelude::*;
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Dprf, DprfToken, Key, KeyChain};
 use rsse_sse::{EncryptedIndex, SearchToken, SseScheme};
@@ -108,12 +109,22 @@ impl ConstantScheme {
                 .or_default()
                 .push(record.id_payload());
         }
-        let mut lists = Vec::with_capacity(by_value.len());
-        for (value, mut payloads) in by_value {
-            permute::keyed_shuffle(&shuffle_key, &value.to_le_bytes(), &mut payloads);
-            let seed = dprf.eval(value);
-            lists.push((SearchToken::derive_from_seed(&seed), payloads));
-        }
+        // The DPRF values of all distinct attribute values come from one
+        // shared-prefix walk over the sorted set (each needed GGM node is
+        // derived exactly once) instead of an `O(log m)` walk per value;
+        // the remaining per-value work — keyed shuffle and token
+        // derivation — fans out across cores in deterministic value order.
+        let grouped: Vec<(u64, Vec<Vec<u8>>)> = by_value.into_iter().collect();
+        let values: Vec<u64> = grouped.iter().map(|(value, _)| *value).collect();
+        let seeds = dprf.eval_sorted(&values);
+        let jobs: Vec<_> = grouped.into_iter().zip(seeds).collect();
+        let lists: Vec<(SearchToken, Vec<Vec<u8>>)> = jobs
+            .into_par_iter()
+            .map(|((value, mut payloads), seed)| {
+                permute::keyed_shuffle(&shuffle_key, &value.to_le_bytes(), &mut payloads);
+                (SearchToken::derive_from_seed(&seed), payloads)
+            })
+            .collect();
         let index = SseScheme::build_index_from_token_lists(&lists, rng);
         (
             Self {

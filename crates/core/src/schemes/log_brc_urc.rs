@@ -11,7 +11,7 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, search_ids, CoverKind};
+use crate::schemes::common::{clamp_query, grouped_fixed_index, search_ids, CoverKind};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Node, Range};
@@ -47,20 +47,32 @@ impl LogScheme {
         let key = SseScheme::key_from(chain.derive(b"sse"));
         let shuffle_key = chain.derive(b"shuffle");
 
-        let mut db = SseDatabase::new();
-        for record in dataset.records() {
-            for node in Node::path_to_root(&domain, record.value) {
-                db.add(node.keyword().to_vec(), record.id_payload());
+        // Randomly permuting the documents sharing a keyword, as prescribed
+        // by BuildIndex, happens inside both build paths below (the keyed
+        // shuffle), so storage order leaks nothing about attribute order.
+        let index = if pad {
+            let mut db = SseDatabase::new();
+            for record in dataset.records() {
+                for node in Node::path_to_root(&domain, record.value) {
+                    db.add(node.keyword().to_vec(), record.id_payload());
+                }
             }
-        }
-        // Randomly permute the documents sharing a keyword, as prescribed by
-        // BuildIndex, so storage order leaks nothing about attribute order.
-        db.shuffle_lists(&shuffle_key);
-        if pad {
+            db.shuffle_lists(&shuffle_key);
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), false);
             padding::pad_to(&mut db, target, 8);
-        }
-        let index = SseScheme::build_index(&key, &db, rng);
+            SseScheme::build_index(&key, &db, rng)
+        } else {
+            // Unpadded fast path: flat (node keyword, id) entries, grouped
+            // by one sort — no per-entry allocations before encryption.
+            let mut entries = Vec::with_capacity(dataset.len() * (domain.bits() as usize + 1));
+            for record in dataset.records() {
+                let payload = record.id_payload_array();
+                for node in Node::path_to_root(&domain, record.value) {
+                    entries.push((node.keyword(), payload));
+                }
+            }
+            grouped_fixed_index(&key, &shuffle_key, entries, rng)
+        };
         (
             Self {
                 key,

@@ -12,7 +12,7 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, search_ids};
+use crate::schemes::common::{clamp_query, grouped_fixed_index, search_ids};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Range, Tdag};
@@ -46,18 +46,29 @@ impl LogSrcScheme {
         let key = SseScheme::key_from(chain.derive(b"sse"));
         let shuffle_key: Key = chain.derive(b"shuffle");
 
-        let mut db = SseDatabase::new();
-        for record in dataset.records() {
-            for node in tdag.covering_nodes(record.value) {
-                db.add(node.keyword().to_vec(), record.id_payload());
+        let index = if pad {
+            let mut db = SseDatabase::new();
+            for record in dataset.records() {
+                for node in tdag.covering_nodes(record.value) {
+                    db.add(node.keyword().to_vec(), record.id_payload());
+                }
             }
-        }
-        db.shuffle_lists(&shuffle_key);
-        if pad {
+            db.shuffle_lists(&shuffle_key);
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), true);
             padding::pad_to(&mut db, target, 8);
-        }
-        let index = SseScheme::build_index(&key, &db, rng);
+            SseScheme::build_index(&key, &db, rng)
+        } else {
+            // Unpadded fast path: flat (TDAG keyword, id) entries grouped by
+            // one sort, keyed-shuffled per keyword inside the helper.
+            let mut entries = Vec::with_capacity(dataset.len() * (domain.bits() as usize + 2));
+            for record in dataset.records() {
+                let payload = record.id_payload_array();
+                for node in tdag.covering_nodes(record.value) {
+                    entries.push((node.keyword(), payload));
+                }
+            }
+            grouped_fixed_index(&key, &shuffle_key, entries, rng)
+        };
         (Self { key, tdag }, LogSrcServer { index })
     }
 

@@ -20,12 +20,14 @@
 
 use crate::dataset::{Dataset, Record};
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, decode_value_span, encode_value_span, search_ids};
+use crate::schemes::common::{
+    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index, search_ids,
+};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Range, Tdag};
 use rsse_crypto::{permute, KeyChain};
-use rsse_sse::{EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{EncryptedIndex, SearchToken, SseKey, SseScheme};
 
 /// Owner-side state of Logarithmic-SRC-i.
 #[derive(Clone, Debug)]
@@ -71,7 +73,7 @@ impl LogSrcIScheme {
 
         // TDAG1 over the domain indexes (value, position-span) documents.
         let tdag1 = Tdag::new(domain);
-        let mut db1 = SseDatabase::new();
+        let mut entries1: Vec<([u8; 13], [u8; 24])> = Vec::new();
         let mut i = 0usize;
         while i < sorted.len() {
             let value = sorted[i].value;
@@ -79,27 +81,26 @@ impl LogSrcIScheme {
             while j < sorted.len() && sorted[j].value == value {
                 j += 1;
             }
-            let payload = encode_value_span(value, i as u64, (j - 1) as u64);
+            let payload = encode_value_span_array(value, i as u64, (j - 1) as u64);
             for node in tdag1.covering_nodes(value) {
-                db1.add(node.keyword().to_vec(), payload.clone());
+                entries1.push((node.keyword(), payload));
             }
             i = j;
         }
-        db1.shuffle_lists(&chain.derive(b"shuffle-i1"));
+        let index1 = grouped_fixed_index(&key1, &chain.derive(b"shuffle-i1"), entries1, rng);
 
         // TDAG2 over positions 0..n indexes the tuples themselves.
         let position_domain = Domain::new(sorted.len().max(1) as u64);
         let tdag2 = Tdag::new(position_domain);
-        let mut db2 = SseDatabase::new();
+        let mut entries2: Vec<([u8; 13], [u8; 8])> =
+            Vec::with_capacity(sorted.len() * (position_domain.bits() as usize + 2));
         for (position, record) in sorted.iter().enumerate() {
+            let payload = record.id_payload_array();
             for node in tdag2.covering_nodes(position as u64) {
-                db2.add(node.keyword().to_vec(), record.id_payload());
+                entries2.push((node.keyword(), payload));
             }
         }
-        db2.shuffle_lists(&chain.derive(b"shuffle-i2"));
-
-        let index1 = SseScheme::build_index(&key1, &db1, rng);
-        let index2 = SseScheme::build_index(&key2, &db2, rng);
+        let index2 = grouped_fixed_index(&key2, &chain.derive(b"shuffle-i2"), entries2, rng);
         (
             Self {
                 key1,
@@ -235,6 +236,7 @@ pub fn per_index_stats(server: &LogSrcIServer) -> (IndexStats, IndexStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schemes::common::encode_value_span;
     use crate::metrics::Evaluation;
     use crate::schemes::log_src::LogSrcScheme;
     use crate::schemes::testutil;

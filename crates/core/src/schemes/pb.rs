@@ -22,6 +22,7 @@ use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::clamp_query;
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
+use rayon::prelude::*;
 use rsse_bloom::{element_hashes, BloomFilter, BloomParams};
 use rsse_cover::{brc, Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
@@ -127,17 +128,28 @@ impl PbScheme {
             .collect();
 
         // Insert every tuple's dyadic ranges into all its ancestors' filters.
-        for (leaf, record) in records.iter().enumerate() {
-            let dyadic: Vec<[u8; 13]> = Node::path_to_root(&domain, record.value)
-                .iter()
-                .map(Node::keyword)
-                .collect();
+        // The keyed hashes depend only on the record's dyadic keywords, so
+        // they are computed once per record (in parallel) instead of once
+        // per (ancestor, keyword) pair — the tree walk itself is pure
+        // bit-setting. One flat `Vec<u64>` per record (keywords concatenated
+        // at stride `num_hashes`) keeps the peak footprint to a single
+        // allocation per record.
+        let record_hashes: Vec<Vec<u64>> = records
+            .par_iter()
+            .map(|record| {
+                let mut flat = Vec::with_capacity(path_len * num_hashes as usize);
+                for node in Node::path_to_root(&domain, record.value) {
+                    flat.extend(element_hashes(&hash_key, &node.keyword(), num_hashes));
+                }
+                flat
+            })
+            .collect();
+        for (leaf, (record, dyadic_hashes)) in records.iter().zip(&record_hashes).enumerate() {
             let mut node = leaf_offset + leaf;
             nodes[node].record = Some(record.id);
             loop {
-                for keyword in &dyadic {
-                    let hashes = element_hashes(&hash_key, keyword, num_hashes);
-                    nodes[node].filter.insert_hashes(&hashes);
+                for hashes in dyadic_hashes.chunks(num_hashes as usize) {
+                    nodes[node].filter.insert_hashes(hashes);
                 }
                 if node == 0 {
                     break;
@@ -322,7 +334,7 @@ mod tests {
         let dataset = testutil::uniform_dataset();
         let mut rng = ChaCha20Rng::seed_from_u64(5);
         let (client, server) = PbScheme::build(&dataset, &mut rng);
-        let outcome = client.query(&server, Range::point(11 % 256));
+        let outcome = client.query(&server, Range::point(11));
         // A point query visits at most one root-to-leaf path per match plus
         // the pruned frontier — far fewer nodes than the whole tree.
         assert!(outcome.stats.entries_touched < server.nodes.len());

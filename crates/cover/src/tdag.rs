@@ -31,7 +31,7 @@ impl TdagNode {
         let width = 1u64 << level;
         let half = width >> 1;
         assert!(
-            start % width == 0 || (level > 0 && start % width == half),
+            start.is_multiple_of(width) || (level > 0 && start % width == half),
             "start {start} is not a valid regular or injected position at level {level}"
         );
         Self { level, start }
@@ -59,7 +59,7 @@ impl TdagNode {
 
     /// Whether this is one of the injected ("gray" in Figure 3) nodes.
     pub fn is_injected(&self) -> bool {
-        self.level > 0 && self.start % self.width() != 0
+        self.level > 0 && !self.start.is_multiple_of(self.width())
     }
 
     /// Whether the node's subtree contains `value`.
@@ -279,13 +279,11 @@ mod tests {
                     if width < range.len() {
                         continue;
                     }
-                    for value in [lo] {
-                        let aligned = TdagNode::new(level, (value >> level) << level);
-                        assert!(
-                            !aligned.range().covers(range) || aligned == cover,
-                            "{range}: lower regular node {aligned:?} also covers"
-                        );
-                    }
+                    let aligned = TdagNode::new(level, (lo >> level) << level);
+                    assert!(
+                        !aligned.range().covers(range) || aligned == cover,
+                        "{range}: lower regular node {aligned:?} also covers"
+                    );
                     if level >= 1 && level < domain.bits() && lo >= width / 2 {
                         let start = (((lo - width / 2) >> level) << level) + width / 2;
                         if start + width <= domain.padded_size() {

@@ -36,6 +36,24 @@ impl StreamCipher {
         self.encrypt_with_nonce(&nonce, plaintext)
     }
 
+    /// Encrypts `plaintext` appending the ciphertext to `out` (no per-entry
+    /// allocation — the hot path the arena-backed index builds on).
+    /// Returns the ciphertext length appended.
+    pub fn encrypt_to<R: RngCore + CryptoRng>(
+        &self,
+        rng: &mut R,
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> usize {
+        let start = out.len();
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        self.xor_keystream(&nonce, &mut out[start + NONCE_LEN..]);
+        out.len() - start
+    }
+
     /// Deterministic encryption under an explicit nonce.
     ///
     /// Callers must never reuse a nonce under the same key for different
@@ -69,12 +87,12 @@ impl StreamCipher {
     }
 
     fn xor_keystream(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        let mut block = [0u8; KEY_LEN];
         let mut block_index = 0u64;
         let mut offset = 0usize;
         while offset < data.len() {
-            let block = self
-                .prf
-                .eval_parts(&[nonce, &block_index.to_le_bytes()]);
+            self.prf
+                .eval_parts_into(&[nonce, &block_index.to_le_bytes()], &mut block);
             let take = (data.len() - offset).min(KEY_LEN);
             for i in 0..take {
                 data[offset + i] ^= block[i];

@@ -11,12 +11,31 @@
 //! The delegatable PRF of Kiayias et al. — used by the Constant-BRC/URC
 //! schemes — exploits exactly this structure: revealing the seed of an inner
 //! node of the GGM tree delegates the PRF on the whole sub-range below it.
+//!
+//! # Hot-path layout
+//!
+//! Expanding a node keys one HMAC state from its seed and finalizes it twice
+//! (once per child tag), instead of building two independently keyed PRFs:
+//! 6 compression-function calls per node instead of 8, and no intermediate
+//! key objects. [`Ggm::expand_subtree`] works level by level **in place**
+//! inside the output buffer (parents at the front, expanded back-to-front),
+//! so a full `2^h`-leaf expansion performs exactly one allocation; subtrees
+//! of [`PARALLEL_HEIGHT`] or more levels are split across threads, which is
+//! what makes the Constant schemes' `O(R)` server expansion scale.
 
-use crate::prf::{Key, Prf, KEY_LEN};
+use crate::prf::KEY_LEN;
+use hmac::Hmac;
+use sha2::Sha256;
 
 /// Domain-separation tags for the two halves of the PRG output.
 const LEFT_TAG: &[u8] = b"GGM-G0";
 const RIGHT_TAG: &[u8] = b"GGM-G1";
+
+/// Subtrees at least this high are expanded on multiple threads.
+const PARALLEL_HEIGHT: u32 = 12;
+
+/// Maximum extra split depth for parallel expansion (2^4 = 16 leaf tasks).
+const PARALLEL_SPLITS: u32 = 4;
 
 /// A GGM seed: the λ-bit state attached to one node of the GGM tree.
 pub type Seed = [u8; KEY_LEN];
@@ -37,14 +56,37 @@ impl Ggm {
 
     /// Expands a seed into its two children `(G_0(seed), G_1(seed))`.
     pub fn expand(&self, seed: &Seed) -> (Seed, Seed) {
-        (self.child(seed, false), self.child(seed, true))
+        let mut left = [0u8; KEY_LEN];
+        let mut right = [0u8; KEY_LEN];
+        self.expand_into(seed, &mut left, &mut right);
+        (left, right)
+    }
+
+    /// Buffer-reusing expansion: writes both children of `seed`, keying the
+    /// HMAC state once and finalizing it per child.
+    pub fn expand_into(&self, seed: &Seed, left: &mut Seed, right: &mut Seed) {
+        let mut mac = Hmac::<Sha256>::new_keyed(seed);
+        mac.update(LEFT_TAG);
+        mac.finalize_into_reset(left);
+        mac.update(RIGHT_TAG);
+        mac.finalize_into(right);
     }
 
     /// Computes one child of a seed; `right == false` gives `G_0`,
     /// `right == true` gives `G_1`.
     pub fn child(&self, seed: &Seed, right: bool) -> Seed {
-        let prf = Prf::new(&Key::from_bytes(*seed));
-        prf.eval(if right { RIGHT_TAG } else { LEFT_TAG })
+        let mut out = [0u8; KEY_LEN];
+        self.child_into(seed, right, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`child`](Self::child). `out` may alias a
+    /// buffer that held the parent seed — the seed is fully absorbed before
+    /// `out` is written.
+    pub fn child_into(&self, seed: &Seed, right: bool, out: &mut Seed) {
+        let mut mac = Hmac::<Sha256>::new_keyed(seed);
+        mac.update(if right { RIGHT_TAG } else { LEFT_TAG });
+        mac.finalize_into(out);
     }
 
     /// Walks `depth` levels down from `seed`, choosing children according to
@@ -56,9 +98,11 @@ impl Ggm {
     pub fn walk(&self, seed: &Seed, path: u64, depth: u32) -> Seed {
         debug_assert!(depth <= 64);
         let mut current = *seed;
+        let mut next = [0u8; KEY_LEN];
         for level in (0..depth).rev() {
             let bit = (path >> level) & 1 == 1;
-            current = self.child(&current, bit);
+            self.child_into(&current, bit, &mut next);
+            current = next;
         }
         current
     }
@@ -71,17 +115,57 @@ impl Ggm {
     /// of every leaf in that node's sub-range.
     pub fn expand_subtree(&self, seed: &Seed, height: u32) -> Vec<Seed> {
         assert!(height <= 32, "refusing to expand more than 2^32 leaves");
-        let mut frontier = vec![*seed];
-        for _ in 0..height {
-            let mut next = Vec::with_capacity(frontier.len() * 2);
-            for s in &frontier {
-                let (l, r) = self.expand(s);
-                next.push(l);
-                next.push(r);
-            }
-            frontier = next;
+        let mut out = vec![[0u8; KEY_LEN]; 1usize << height];
+        self.expand_subtree_into(seed, height, &mut out);
+        out
+    }
+
+    /// Expands the subtree below `seed` into a caller-provided buffer of
+    /// exactly `2^height` seeds (left-to-right leaf order).
+    pub fn expand_subtree_into(&self, seed: &Seed, height: u32, out: &mut [Seed]) {
+        assert!(height <= 32, "refusing to expand more than 2^32 leaves");
+        assert_eq!(
+            out.len(),
+            1usize << height,
+            "output buffer must hold exactly 2^height seeds"
+        );
+        if height >= PARALLEL_HEIGHT {
+            self.expand_parallel(seed, height, out, PARALLEL_SPLITS);
+        } else {
+            out[0] = *seed;
+            self.expand_levels_in_place(height, out);
         }
-        frontier
+    }
+
+    /// In-place level-by-level expansion: nodes of level `l` occupy
+    /// `out[..2^l]`; expanding back-to-front writes each parent's children
+    /// to slots `2i` and `2i+1` without clobbering unexpanded parents
+    /// (`2i ≥ i`, and slot `i` is read before it is overwritten).
+    fn expand_levels_in_place(&self, height: u32, out: &mut [Seed]) {
+        for level in 0..height {
+            let nodes = 1usize << level;
+            for i in (0..nodes).rev() {
+                let parent = out[i];
+                let (l, r) = out.split_at_mut(2 * i + 1);
+                self.expand_into(&parent, &mut l[2 * i], &mut r[0]);
+            }
+        }
+    }
+
+    /// Splits the top `splits` levels sequentially, then expands the
+    /// resulting sub-subtrees on worker threads (two per `join`, recursing).
+    fn expand_parallel(&self, seed: &Seed, height: u32, out: &mut [Seed], splits: u32) {
+        if splits == 0 || height < PARALLEL_HEIGHT {
+            out[0] = *seed;
+            self.expand_levels_in_place(height, out);
+            return;
+        }
+        let (left, right) = self.expand(seed);
+        let (lo, hi) = out.split_at_mut(out.len() / 2);
+        rayon::join(
+            || self.expand_parallel(&left, height - 1, lo, splits - 1),
+            || self.expand_parallel(&right, height - 1, hi, splits - 1),
+        );
     }
 }
 
@@ -131,6 +215,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_expansion_matches_walks() {
+        // Height above PARALLEL_HEIGHT exercises the threaded path.
+        let g = Ggm::new();
+        let root = seed(17);
+        let height = PARALLEL_HEIGHT + 1;
+        let leaves = g.expand_subtree(&root, height);
+        assert_eq!(leaves.len(), 1 << height);
+        for &i in &[0usize, 1, 4095, 4096, (1 << height) - 1] {
+            assert_eq!(leaves[i], g.walk(&root, i as u64, height), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn expand_into_matches_expand() {
+        let g = Ggm::new();
+        let (l, r) = g.expand(&seed(3));
+        let mut l2 = [0u8; KEY_LEN];
+        let mut r2 = [0u8; KEY_LEN];
+        g.expand_into(&seed(3), &mut l2, &mut r2);
+        assert_eq!((l, r), (l2, r2));
+    }
+
+    #[test]
     fn sibling_subtrees_do_not_collide() {
         let g = Ggm::new();
         let root = seed(7);
@@ -166,6 +273,19 @@ mod tests {
             let g = Ggm::new();
             let root = seed(13);
             prop_assert_ne!(g.walk(&root, a, 12), g.walk(&root, b, 12));
+        }
+
+        #[test]
+        fn subtree_expansion_agrees_with_walks(height in 0u32..8, root_byte in any::<u8>()) {
+            // The buffer-reuse rewrite must agree with repeated walk calls
+            // at every height and position (the ISSUE's regression guard).
+            let g = Ggm::new();
+            let root = seed(root_byte);
+            let leaves = g.expand_subtree(&root, height);
+            prop_assert_eq!(leaves.len() as u64, 1u64 << height);
+            for (i, leaf) in leaves.iter().enumerate() {
+                prop_assert_eq!(*leaf, g.walk(&root, i as u64, height));
+            }
         }
     }
 }

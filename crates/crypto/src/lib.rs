@@ -44,19 +44,20 @@ use rand::{CryptoRng, RngCore};
 #[derive(Clone, Debug)]
 pub struct KeyChain {
     master: Key,
+    /// Cached keyed PRF state — derivations share one key schedule.
+    prf: Prf,
 }
 
 impl KeyChain {
     /// Creates a key chain from an existing master key.
     pub fn new(master: Key) -> Self {
-        Self { master }
+        let prf = Prf::new(&master);
+        Self { master, prf }
     }
 
     /// Generates a fresh random master key and wraps it in a chain.
     pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> Self {
-        Self {
-            master: Key::generate(rng),
-        }
+        Self::new(Key::generate(rng))
     }
 
     /// Returns the master key.
@@ -66,8 +67,7 @@ impl KeyChain {
 
     /// Derives the sub-key identified by `label`.
     pub fn derive(&self, label: &[u8]) -> Key {
-        let prf = Prf::new(&self.master);
-        Key::from_bytes(prf.eval(label))
+        Key::from_bytes(self.prf.eval(label))
     }
 
     /// Derives the sub-key identified by a label and a numeric index.

@@ -20,17 +20,32 @@ use rand::RngCore;
 
 /// Deterministically shuffles `items` using a PRF keyed by `key` and
 /// domain-separated by `label`.
+///
+/// Swap indices come from a PRF *keystream* — each 32-byte PRF output
+/// yields four `u64` draws — rather than one PRF evaluation per swap, so a
+/// length-`n` shuffle costs `⌈(n−1)/4⌉` PRF calls on a cached key state.
+/// The Logarithmic schemes shuffle every keyword list during BuildIndex
+/// (`n · log m` elements in total), which makes this one of the three
+/// PRF-bound build phases.
 pub fn keyed_shuffle<T>(key: &Key, label: &[u8], items: &mut [T]) {
     if items.len() <= 1 {
         return;
     }
     let prf = Prf::new(key);
+    let mut block = [0u8; 32];
+    let mut block_index = 0u64;
+    let mut used = 4usize; // draws consumed from `block`; 4 = refill needed
     // Fisher–Yates: for i from n-1 down to 1, swap items[i] with items[j],
     // j uniform in 0..=i derived from the PRF stream.
     for i in (1..items.len()).rev() {
-        let sample = prf.eval_parts(&[label, &(i as u64).to_le_bytes()]);
+        if used == 4 {
+            prf.eval_parts_into(&[label, &block_index.to_le_bytes()], &mut block);
+            block_index += 1;
+            used = 0;
+        }
         let mut word = [0u8; 8];
-        word.copy_from_slice(&sample[..8]);
+        word.copy_from_slice(&block[8 * used..8 * used + 8]);
+        used += 1;
         let j = (u64::from_le_bytes(word) % (i as u64 + 1)) as usize;
         items.swap(i, j);
     }

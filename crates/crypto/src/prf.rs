@@ -58,26 +58,43 @@ impl AsRef<[u8]> for Key {
 }
 
 /// HMAC-SHA-256 based PRF, `f_k : {0,1}* → {0,1}^256`.
+///
+/// Keying runs the HMAC key schedule (two compression-function calls)
+/// exactly once, in [`Prf::new`]; the keyed state is cached and cloned per
+/// evaluation. Every hot path in the workspace — index labels, the stream
+/// cipher keystream, GGM expansion — evaluates the same key many times, so
+/// this halves the per-evaluation compression count compared to re-keying.
 #[derive(Clone)]
 pub struct Prf {
-    key: Key,
+    /// Cached keyed HMAC state; cloning it is a flat ~230-byte copy.
+    mac: HmacSha256,
+    /// Two-byte key fingerprint, kept only for `Debug`.
+    fingerprint: [u8; 2],
 }
 
 impl Prf {
-    /// Creates a PRF instance keyed with `key`.
+    /// Creates a PRF instance keyed with `key` (runs the key schedule once).
     pub fn new(key: &Key) -> Self {
-        Self { key: key.clone() }
+        Self {
+            mac: HmacSha256::new_from_slice(key.as_bytes())
+                .expect("HMAC accepts keys of any length"),
+            fingerprint: [key.0[0], key.0[1]],
+        }
     }
 
     /// Evaluates the PRF on `input`, returning the full 32-byte output.
     pub fn eval(&self, input: &[u8]) -> [u8; KEY_LEN] {
-        let mut mac = HmacSha256::new_from_slice(self.key.as_bytes())
-            .expect("HMAC accepts keys of any length");
-        mac.update(input);
-        let out = mac.finalize().into_bytes();
         let mut bytes = [0u8; KEY_LEN];
-        bytes.copy_from_slice(&out);
+        self.eval_into(input, &mut bytes);
         bytes
+    }
+
+    /// Evaluates the PRF on `input` into a caller-provided buffer, avoiding
+    /// any per-call allocation. This is the hot-path entry point: callers
+    /// that evaluate in a loop (labels, keystream blocks, GGM nodes) reuse
+    /// one output buffer across iterations.
+    pub fn eval_into(&self, input: &[u8], out: &mut [u8; KEY_LEN]) {
+        self.mac.mac_with(|h| h.update(input), out);
     }
 
     /// Evaluates the PRF on the concatenation of several input parts.
@@ -85,21 +102,35 @@ impl Prf {
     /// Each part is length-prefixed so that `eval_parts(&[a, b])` and
     /// `eval_parts(&[a ++ b])` can never collide.
     pub fn eval_parts(&self, parts: &[&[u8]]) -> [u8; KEY_LEN] {
-        let mut mac = HmacSha256::new_from_slice(self.key.as_bytes())
-            .expect("HMAC accepts keys of any length");
-        for part in parts {
-            mac.update(&(part.len() as u64).to_le_bytes());
-            mac.update(part);
-        }
-        let out = mac.finalize().into_bytes();
         let mut bytes = [0u8; KEY_LEN];
-        bytes.copy_from_slice(&out);
+        self.eval_parts_into(parts, &mut bytes);
         bytes
     }
 
-    /// Evaluates the PRF on a `u64` (little-endian encoded).
+    /// Buffer-reusing variant of [`eval_parts`](Self::eval_parts).
+    pub fn eval_parts_into(&self, parts: &[&[u8]], out: &mut [u8; KEY_LEN]) {
+        self.mac.mac_with(
+            |h| {
+                for part in parts {
+                    h.update((part.len() as u64).to_le_bytes());
+                    h.update(part);
+                }
+            },
+            out,
+        );
+    }
+
+    /// Evaluates the PRF on a `u64` (little-endian encoded) — the
+    /// counter-mode fast path used for dictionary labels and keystreams.
     pub fn eval_u64(&self, input: u64) -> [u8; KEY_LEN] {
-        self.eval(&input.to_le_bytes())
+        let mut bytes = [0u8; KEY_LEN];
+        self.eval_u64_into(input, &mut bytes);
+        bytes
+    }
+
+    /// Buffer-reusing variant of [`eval_u64`](Self::eval_u64).
+    pub fn eval_u64_into(&self, input: u64, out: &mut [u8; KEY_LEN]) {
+        self.eval_into(&input.to_le_bytes(), out);
     }
 
     /// Evaluates the PRF and truncates the output to `N` bytes.
@@ -116,7 +147,11 @@ impl Prf {
 
 impl fmt::Debug for Prf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Prf({:?})", self.key)
+        write!(
+            f,
+            "Prf(Key(fp={:02x}{:02x}..))",
+            self.fingerprint[0], self.fingerprint[1]
+        )
     }
 }
 

@@ -83,10 +83,16 @@ impl SseDatabase {
     /// The Logarithmic schemes require the documents sharing a keyword to be
     /// randomly permuted before indexing so that storage order leaks nothing
     /// about attribute order.
+    ///
+    /// Each list's permutation is a pure function of `(key, keyword)`, so
+    /// the lists shuffle independently on all cores.
     pub fn shuffle_lists(&mut self, key: &rsse_crypto::Key) {
-        for (keyword, list) in self.entries.iter_mut() {
-            rsse_crypto::permute::keyed_shuffle(key, keyword, list);
-        }
+        use rayon::prelude::*;
+        let lists: Vec<(&Vec<u8>, &mut Vec<Vec<u8>>)> = self.entries.iter_mut().collect();
+        let _: Vec<()> = lists
+            .into_par_iter()
+            .map(|(keyword, list)| rsse_crypto::permute::keyed_shuffle(key, keyword, list))
+            .collect();
     }
 }
 

@@ -9,11 +9,38 @@
 //! many and which dictionary entries matched) and the search pattern (token
 //! equality), and nothing else — the leakage profile the paper assumes of
 //! its underlying SSE.
+//!
+//! # Storage and build layout (hot path)
+//!
+//! [`EncryptedIndex`] is **arena-backed**: all ciphertexts live in one
+//! contiguous byte buffer, and a `label → (offset, len)` table resolves
+//! lookups — one allocation for the whole index instead of one `Vec<u8>`
+//! per entry, and cache-friendly sequential writes during build.
+//!
+//! The lookup table uses [`LabelHasher`], a trivial hasher that folds the
+//! label bytes into a `u64` instead of running SipHash. That is safe *in
+//! this trust model* because labels are not attacker-chosen: every label is
+//! a truncated PRF output produced owner-side under a secret key, so label
+//! distribution is computationally indistinguishable from uniform and no
+//! party in the protocol can craft colliding inputs. (An adversarial
+//! *client* inserting chosen labels is outside the paper's model — the
+//! owner is the only writer.) HashDoS-resistant hashing would only re-hash
+//! already-pseudorandom bytes.
+//!
+//! `BuildIndex` parallelizes across keywords with rayon: per-keyword nonce
+//! seeds are drawn from the caller's RNG *sequentially* (keeping the build
+//! a deterministic function of key + RNG stream), the per-keyword label
+//! PRF + encryption work runs on all cores, and the chunks are merged into
+//! the arena in keyword order, so the resulting index is deterministic
+//! regardless of thread scheduling.
 
 use crate::database::SseDatabase;
-use rand::{CryptoRng, RngCore};
+use rand::{CryptoRng, RngCore, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use rayon::prelude::*;
 use rsse_crypto::{Key, Prf, StreamCipher, KEY_LEN};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Byte length of dictionary labels (128-bit truncated PRF outputs).
 pub const LABEL_LEN: usize = 16;
@@ -21,10 +48,36 @@ pub const LABEL_LEN: usize = 16;
 /// Dictionary label type.
 pub type Label = [u8; LABEL_LEN];
 
-/// Owner-side secret key of the SSE scheme.
+/// Trivial hasher for PRF-output labels: folds the written bytes into a
+/// `u64` with an xor/rotate, i.e. essentially "use the first 8 label bytes".
+///
+/// See the module docs for why dropping SipHash is sound here: labels are
+/// owner-side PRF outputs (uniform, non-adversarial), so the first 8 bytes
+/// are already an ideal hash value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LabelHasher(u64);
+
+impl Hasher for LabelHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = self.0.rotate_left(1) ^ u64::from_le_bytes(word);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LabelTable = HashMap<Label, (u32, u32), BuildHasherDefault<LabelHasher>>;
+
+/// Owner-side secret key of the SSE scheme: the keyed PRF state on the
+/// master key, cached so every trapdoor derivation shares one key schedule.
 #[derive(Clone, Debug)]
 pub struct SseKey {
-    master: Key,
+    prf: Prf,
 }
 
 /// Search token for one keyword: the two per-keyword keys.
@@ -57,39 +110,146 @@ impl SearchToken {
 }
 
 /// The server-side encrypted index: a flat dictionary from labels to
-/// individually encrypted payloads.
+/// encrypted payloads, stored as one contiguous ciphertext arena plus a
+/// `label → (offset, len)` table.
 #[derive(Clone, Debug, Default)]
 pub struct EncryptedIndex {
-    dictionary: HashMap<Label, Vec<u8>>,
-    payload_bytes: usize,
+    table: LabelTable,
+    arena: Vec<u8>,
 }
 
 impl EncryptedIndex {
     /// Number of entries in the dictionary (the only thing the index leaks,
     /// `L1` in the paper's terminology).
     pub fn len(&self) -> usize {
-        self.dictionary.len()
+        self.table.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.dictionary.is_empty()
+        self.table.is_empty()
     }
 
     /// Approximate server-side storage footprint in bytes
     /// (labels + encrypted payloads).
     pub fn storage_bytes(&self) -> usize {
-        self.dictionary.len() * LABEL_LEN + self.payload_bytes
+        self.table.len() * LABEL_LEN + self.arena.len()
     }
 
-    fn insert(&mut self, label: Label, value: Vec<u8>) {
-        self.payload_bytes += value.len();
-        self.dictionary.insert(label, value);
+    /// Looks up the ciphertext stored under `label`.
+    pub fn get(&self, label: &Label) -> Option<&[u8]> {
+        self.table
+            .get(label)
+            .map(|&(offset, len)| &self.arena[offset as usize..(offset + len) as usize])
     }
 
-    fn get(&self, label: &Label) -> Option<&Vec<u8>> {
-        self.dictionary.get(label)
+    /// Iterates over the stored ciphertexts (used by leakage-oriented tests).
+    pub fn ciphertexts(&self) -> impl Iterator<Item = &[u8]> {
+        self.table
+            .values()
+            .map(|&(offset, len)| &self.arena[offset as usize..(offset + len) as usize])
     }
+
+    /// Appends an entry; the value bytes were already appended to the arena
+    /// by the caller at `offset`.
+    fn insert_span(&mut self, label: Label, offset: usize, len: usize) {
+        assert!(
+            offset + len <= u32::MAX as usize,
+            "arena limited to 4 GiB per index; shard the dataset first"
+        );
+        self.table.insert(label, (offset as u32, len as u32));
+    }
+}
+
+/// One keyword's worth of encrypted entries, produced on a worker thread
+/// and merged into the arena in deterministic keyword order.
+struct KeywordChunk {
+    /// Entry labels in counter order.
+    labels: Vec<Label>,
+    /// Ciphertext spans (offset within `buf`, len), parallel to `labels`.
+    spans: Vec<(u32, u32)>,
+    /// Concatenated ciphertexts for this keyword.
+    buf: Vec<u8>,
+}
+
+/// Encrypts one keyword's payload list with a cached label PRF and cipher
+/// state; `nonce_seed` keys the per-entry encryption nonce stream.
+fn encrypt_list(token: &SearchToken, payloads: &[Vec<u8>], nonce_seed: [u8; KEY_LEN]) -> KeywordChunk {
+    let total: usize = payloads
+        .iter()
+        .map(|p| StreamCipher::ciphertext_len(p.len()))
+        .sum();
+    encrypt_payloads(
+        token,
+        payloads.iter().map(Vec::as_slice),
+        payloads.len(),
+        total,
+        nonce_seed,
+    )
+}
+
+/// Generic encryption core shared by the `Vec`-payload and fixed-stride
+/// build paths.
+fn encrypt_payloads<'a>(
+    token: &SearchToken,
+    payloads: impl Iterator<Item = &'a [u8]>,
+    count: usize,
+    total_ciphertext: usize,
+    nonce_seed: [u8; KEY_LEN],
+) -> KeywordChunk {
+    let label_prf = Prf::new(&token.label_key);
+    let cipher = StreamCipher::new(&token.payload_key);
+    let mut nonce_rng = ChaCha20Rng::from_seed(nonce_seed);
+    let mut chunk = KeywordChunk {
+        labels: Vec::with_capacity(count),
+        spans: Vec::with_capacity(count),
+        buf: Vec::with_capacity(total_ciphertext),
+    };
+    let mut label_full = [0u8; KEY_LEN];
+    for (counter, payload) in payloads.enumerate() {
+        label_prf.eval_u64_into(counter as u64, &mut label_full);
+        let mut label = [0u8; LABEL_LEN];
+        label.copy_from_slice(&label_full[..LABEL_LEN]);
+        let offset = chunk.buf.len();
+        let len = cipher.encrypt_to(&mut nonce_rng, payload, &mut chunk.buf);
+        chunk.labels.push(label);
+        chunk.spans.push((offset as u32, len as u32));
+    }
+    chunk
+}
+
+/// Merges per-keyword chunks (already in deterministic keyword order) into
+/// the final arena-backed index.
+fn merge_chunks(chunks: Vec<KeywordChunk>) -> EncryptedIndex {
+    let entries: usize = chunks.iter().map(|c| c.labels.len()).sum();
+    let arena_len: usize = chunks.iter().map(|c| c.buf.len()).sum();
+    let mut index = EncryptedIndex {
+        table: LabelTable::with_capacity_and_hasher(entries, BuildHasherDefault::default()),
+        arena: Vec::with_capacity(arena_len),
+    };
+    for chunk in chunks {
+        let base = index.arena.len();
+        index.arena.extend_from_slice(&chunk.buf);
+        for (label, (offset, len)) in chunk.labels.into_iter().zip(chunk.spans) {
+            index.insert_span(label, base + offset as usize, len as usize);
+        }
+    }
+    index
+}
+
+/// Draws one 32-byte nonce seed per keyword from the caller's RNG.
+///
+/// Drawing happens sequentially, in keyword order, so the whole build stays
+/// a deterministic function of (key, RNG stream) no matter how the
+/// follow-on encryption work is scheduled across threads.
+fn draw_nonce_seeds<R: RngCore + CryptoRng>(count: usize, rng: &mut R) -> Vec<[u8; KEY_LEN]> {
+    (0..count)
+        .map(|_| {
+            let mut seed = [0u8; KEY_LEN];
+            rng.fill_bytes(&mut seed);
+            seed
+        })
+        .collect()
 }
 
 /// The static SSE scheme (Setup, BuildIndex, Trpdr, Search).
@@ -99,35 +259,38 @@ pub struct SseScheme;
 impl SseScheme {
     /// `Setup(1^λ)`: samples the owner's secret key.
     pub fn setup<R: RngCore + CryptoRng>(rng: &mut R) -> SseKey {
-        SseKey {
-            master: Key::generate(rng),
-        }
+        Self::key_from(Key::generate(rng))
     }
 
     /// Deterministically derives an SSE key from an existing key — used by
     /// the range schemes, which derive all their sub-keys from one master.
     pub fn key_from(master: Key) -> SseKey {
-        SseKey { master }
+        SseKey {
+            prf: Prf::new(&master),
+        }
     }
 
     /// `BuildIndex(k, D)`: encrypts the multimap into a flat dictionary.
+    ///
+    /// Per-keyword work (trapdoor derivation, label PRF, payload
+    /// encryption) runs in parallel across all cores; the merge order is
+    /// the database's keyword order, so the output is deterministic.
     pub fn build_index<R: RngCore + CryptoRng>(
         key: &SseKey,
         database: &SseDatabase,
         rng: &mut R,
     ) -> EncryptedIndex {
-        let mut index = EncryptedIndex::default();
-        for (keyword, payloads) in database.iter() {
-            let token = Self::trapdoor(key, keyword);
-            let label_prf = Prf::new(&token.label_key);
-            let cipher = StreamCipher::new(&token.payload_key);
-            for (counter, payload) in payloads.iter().enumerate() {
-                let label: Label = label_prf.eval_truncated(&(counter as u64).to_le_bytes());
-                let value = cipher.encrypt(rng, payload);
-                index.insert(label, value);
-            }
-        }
-        index
+        let keywords: Vec<(&[u8], &[Vec<u8>])> = database.iter().collect();
+        let seeds = draw_nonce_seeds(keywords.len(), rng);
+        let jobs: Vec<_> = keywords.into_iter().zip(seeds).collect();
+        let chunks: Vec<KeywordChunk> = jobs
+            .into_par_iter()
+            .map(|((keyword, payloads), seed)| {
+                let token = Self::trapdoor(key, keyword);
+                encrypt_list(&token, payloads, seed)
+            })
+            .collect();
+        merge_chunks(chunks)
     }
 
     /// Variant of `BuildIndex` that takes pre-derived per-keyword tokens.
@@ -143,17 +306,43 @@ impl SseScheme {
         lists: &[(SearchToken, Vec<Vec<u8>>)],
         rng: &mut R,
     ) -> EncryptedIndex {
-        let mut index = EncryptedIndex::default();
-        for (token, payloads) in lists {
-            let label_prf = Prf::new(&token.label_key);
-            let cipher = StreamCipher::new(&token.payload_key);
-            for (counter, payload) in payloads.iter().enumerate() {
-                let label: Label = label_prf.eval_truncated(&(counter as u64).to_le_bytes());
-                let value = cipher.encrypt(rng, payload);
-                index.insert(label, value);
-            }
-        }
-        index
+        let seeds = draw_nonce_seeds(lists.len(), rng);
+        let jobs: Vec<_> = lists.iter().zip(seeds).collect();
+        let chunks: Vec<KeywordChunk> = jobs
+            .into_par_iter()
+            .map(|((token, payloads), seed)| encrypt_list(token, payloads, seed))
+            .collect();
+        merge_chunks(chunks)
+    }
+
+    /// Fixed-stride `BuildIndex`: every payload of a keyword is a `[u8; P]`
+    /// array, stored contiguously. This is the fast path the range schemes
+    /// use — their payloads are fixed-size id or value-span encodings — and
+    /// it avoids one heap allocation per plaintext payload on top of the
+    /// arena's per-ciphertext savings. Identical output layout to
+    /// [`build_index`](Self::build_index): the index is searched with the
+    /// same tokens and algorithms.
+    pub fn build_index_fixed<const P: usize, R: RngCore + CryptoRng>(
+        key: &SseKey,
+        lists: &[(Vec<u8>, Vec<[u8; P]>)],
+        rng: &mut R,
+    ) -> EncryptedIndex {
+        let seeds = draw_nonce_seeds(lists.len(), rng);
+        let jobs: Vec<_> = lists.iter().zip(seeds).collect();
+        let chunks: Vec<KeywordChunk> = jobs
+            .into_par_iter()
+            .map(|((keyword, payloads), seed)| {
+                let token = Self::trapdoor(key, keyword);
+                encrypt_payloads(
+                    &token,
+                    payloads.iter().map(|p| p.as_slice()),
+                    payloads.len(),
+                    payloads.len() * StreamCipher::ciphertext_len(P),
+                    seed,
+                )
+            })
+            .collect();
+        merge_chunks(chunks)
     }
 
     /// `Trpdr(k, w)`: derives the search token for keyword `w`.
@@ -161,48 +350,138 @@ impl SseScheme {
     /// Deterministic, as in the paper: issuing the same keyword twice yields
     /// the same token (this *is* the search-pattern leakage).
     pub fn trapdoor(key: &SseKey, keyword: &[u8]) -> SearchToken {
-        let prf = Prf::new(&key.master);
         SearchToken {
-            label_key: Key::from_bytes(prf.eval_parts(&[b"label", keyword])),
-            payload_key: Key::from_bytes(prf.eval_parts(&[b"payload", keyword])),
+            label_key: Key::from_bytes(key.prf.eval_parts(&[b"label", keyword])),
+            payload_key: Key::from_bytes(key.prf.eval_parts(&[b"payload", keyword])),
+        }
+    }
+
+    /// The shared counter-scan: walks labels `F(K1_w, 0), F(K1_w, 1), …`
+    /// until the first miss, invoking `visit` on each hit's ciphertext.
+    fn scan_entries<'a>(
+        index: &'a EncryptedIndex,
+        token: &SearchToken,
+        mut visit: impl FnMut(&'a [u8]),
+    ) -> usize {
+        let label_prf = Prf::new(&token.label_key);
+        let mut label_full = [0u8; KEY_LEN];
+        let mut label = [0u8; LABEL_LEN];
+        let mut counter = 0u64;
+        loop {
+            label_prf.eval_u64_into(counter, &mut label_full);
+            label.copy_from_slice(&label_full[..LABEL_LEN]);
+            match index.get(&label) {
+                Some(ciphertext) => {
+                    visit(ciphertext);
+                    counter += 1;
+                }
+                None => return counter as usize,
+            }
         }
     }
 
     /// `Search(t, I)`: returns the decrypted payloads for the token's
     /// keyword, in storage-counter order.
+    ///
+    /// A corrupt (undecryptable) entry is **skipped**, not a panic: the
+    /// server must stay available even if a stored ciphertext was damaged.
+    /// Use [`try_search`](Self::try_search) to surface corruption instead.
     pub fn search(index: &EncryptedIndex, token: &SearchToken) -> Vec<Vec<u8>> {
-        let label_prf = Prf::new(&token.label_key);
         let cipher = StreamCipher::new(&token.payload_key);
         let mut results = Vec::new();
-        let mut counter = 0u64;
-        loop {
-            let label: Label = label_prf.eval_truncated(&counter.to_le_bytes());
-            match index.get(&label) {
-                Some(ciphertext) => {
-                    let plaintext = cipher
-                        .decrypt(ciphertext)
-                        .expect("well-formed index entries always decrypt");
-                    results.push(plaintext);
-                    counter += 1;
-                }
-                None => break,
+        Self::scan_entries(index, token, |ciphertext| {
+            if let Some(plaintext) = cipher.decrypt(ciphertext) {
+                results.push(plaintext);
             }
-        }
+        });
         results
+    }
+
+    /// Like [`search`](Self::search) but propagates corruption: returns
+    /// `Err` with the counter position of the first undecryptable entry.
+    pub fn try_search(
+        index: &EncryptedIndex,
+        token: &SearchToken,
+    ) -> Result<Vec<Vec<u8>>, CorruptEntry> {
+        let cipher = StreamCipher::new(&token.payload_key);
+        let mut results = Vec::new();
+        let mut corrupt: Option<usize> = None;
+        let mut position = 0usize;
+        Self::scan_entries(index, token, |ciphertext| {
+            match cipher.decrypt(ciphertext) {
+                Some(plaintext) => results.push(plaintext),
+                None => {
+                    if corrupt.is_none() {
+                        corrupt = Some(position);
+                    }
+                }
+            }
+            position += 1;
+        });
+        match corrupt {
+            Some(position) => Err(CorruptEntry { position }),
+            None => Ok(results),
+        }
     }
 
     /// Like [`search`](Self::search) but only counts matches without
     /// decrypting — handy for benchmarks isolating dictionary lookups.
     pub fn search_count(index: &EncryptedIndex, token: &SearchToken) -> usize {
-        let label_prf = Prf::new(&token.label_key);
-        let mut counter = 0u64;
-        loop {
-            let label: Label = label_prf.eval_truncated(&counter.to_le_bytes());
-            if index.get(&label).is_none() {
-                return counter as usize;
+        Self::scan_entries(index, token, |_| {})
+    }
+}
+
+/// Error returned by [`SseScheme::try_search`] when a stored entry fails to
+/// decrypt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptEntry {
+    /// Counter position of the first corrupt entry within the keyword's list.
+    pub position: usize,
+}
+
+impl std::fmt::Display for CorruptEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "index entry at counter {} failed to decrypt", self.position)
+    }
+}
+
+impl std::error::Error for CorruptEntry {}
+
+/// Reference (pre-arena) implementation used by the equivalence property
+/// tests: one `HashMap<Label, Vec<u8>>` with a heap allocation per entry
+/// and SipHash hashing, built sequentially. Kept runnable so the tests can
+/// prove the arena-backed path byte-identical, and as a baseline for the
+/// `index_build` benches.
+pub mod reference {
+    use super::*;
+
+    /// The old per-entry dictionary.
+    #[derive(Clone, Debug, Default)]
+    pub struct ReferenceIndex {
+        /// Label → individually allocated ciphertext.
+        pub dictionary: HashMap<Label, Vec<u8>>,
+    }
+
+    /// Sequential `BuildIndex` against the per-entry dictionary, consuming
+    /// the RNG exactly like [`SseScheme::build_index`] (one nonce seed per
+    /// keyword) so both paths produce byte-identical ciphertexts.
+    pub fn build_index<R: RngCore + CryptoRng>(
+        key: &SseKey,
+        database: &SseDatabase,
+        rng: &mut R,
+    ) -> ReferenceIndex {
+        let mut dictionary = HashMap::new();
+        for (keyword, payloads) in database.iter() {
+            let token = SseScheme::trapdoor(key, keyword);
+            let mut seed = [0u8; KEY_LEN];
+            rng.fill_bytes(&mut seed);
+            let chunk = encrypt_list(&token, payloads, seed);
+            for (label, (offset, len)) in chunk.labels.iter().zip(&chunk.spans) {
+                let span = &chunk.buf[*offset as usize..(*offset + *len) as usize];
+                dictionary.insert(*label, span.to_vec());
             }
-            counter += 1;
         }
+        ReferenceIndex { dictionary }
     }
 }
 
@@ -287,7 +566,7 @@ mod tests {
         let secret = b"super-secret-payload-value".to_vec();
         db.add(b"w".to_vec(), secret.clone());
         let index = SseScheme::build_index(&key, &db, &mut rng);
-        for value in index.dictionary.values() {
+        for value in index.ciphertexts() {
             assert!(!value
                 .windows(secret.len())
                 .any(|window| window == secret.as_slice()));
@@ -364,6 +643,46 @@ mod tests {
         );
     }
 
+    #[test]
+    fn corrupt_entry_is_skipped_not_panicking() {
+        // Build an index whose only entry is too short to decrypt (shorter
+        // than a nonce) by corrupting the arena directly.
+        let mut rng = ChaCha20Rng::seed_from_u64(10);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        db.add(b"w".to_vec(), b"payload".to_vec());
+        db.add(b"w".to_vec(), b"payload-2".to_vec());
+        let mut index = SseScheme::build_index(&key, &db, &mut rng);
+        // Truncate the first entry's span to 3 bytes (< NONCE_LEN).
+        let token = SseScheme::trapdoor(&key, b"w");
+        let label_prf = Prf::new(&Key::from_bytes(*token.label_key.as_bytes()));
+        let first: Label = label_prf.eval_truncated(&0u64.to_le_bytes());
+        let span = index.table.get_mut(&first).expect("entry exists");
+        span.1 = 3;
+
+        // search skips the corrupt entry, still returning the healthy one.
+        let results = SseScheme::search(&index, &token);
+        assert_eq!(results, vec![b"payload-2".to_vec()]);
+        // try_search reports the corrupt position.
+        assert_eq!(
+            SseScheme::try_search(&index, &token),
+            Err(CorruptEntry { position: 0 })
+        );
+        // search_count is unaffected (it never decrypts).
+        assert_eq!(SseScheme::search_count(&index, &token), 2);
+    }
+
+    #[test]
+    fn label_hasher_uses_label_bytes() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let build: BuildHasherDefault<LabelHasher> = BuildHasherDefault::default();
+        let a = build.hash_one([1u8; LABEL_LEN]);
+        let b = build.hash_one([1u8; LABEL_LEN]);
+        let c = build.hash_one([2u8; LABEL_LEN]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
@@ -386,6 +705,38 @@ mod tests {
                 let token = SseScheme::trapdoor(&key, keyword);
                 let got = SseScheme::search(&index, &token);
                 prop_assert_eq!(got, expected.to_vec());
+            }
+        }
+
+        /// The ISSUE's acceptance property: for arbitrary multimaps, the
+        /// arena-backed index stores **byte-identical** (label, ciphertext)
+        /// pairs to the reference per-entry dictionary, given the same key
+        /// and RNG stream — and searches agree byte-for-byte.
+        #[test]
+        fn arena_index_is_byte_identical_to_reference(entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..6),
+             proptest::collection::vec(any::<u8>(), 0..40)), 0..50),
+            seed in any::<u64>())
+        {
+            let mut db = SseDatabase::new();
+            for (k, v) in &entries {
+                db.add(k.clone(), v.clone());
+            }
+            let key = SseScheme::key_from(Key::from_bytes([0xA5; KEY_LEN]));
+
+            let mut rng_arena = ChaCha20Rng::seed_from_u64(seed);
+            let arena = SseScheme::build_index(&key, &db, &mut rng_arena);
+            let mut rng_reference = ChaCha20Rng::seed_from_u64(seed);
+            let reference = reference::build_index(&key, &db, &mut rng_reference);
+
+            prop_assert_eq!(arena.len(), reference.dictionary.len());
+            for (label, ciphertext) in &reference.dictionary {
+                prop_assert_eq!(arena.get(label), Some(ciphertext.as_slice()),
+                    "label spans must match the reference dictionary");
+            }
+            for (keyword, expected) in db.iter() {
+                let token = SseScheme::trapdoor(&key, keyword);
+                prop_assert_eq!(SseScheme::search(&arena, &token), expected.to_vec());
             }
         }
     }

@@ -205,7 +205,7 @@ impl<S: RangeScheme> UpdateManager<S> {
         // touched each id, across all active instances.
         let mut newest_touch: HashMap<DocId, u64> = HashMap::new();
         for instance in self.levels.iter().flatten() {
-            for (&id, _) in &instance.ops {
+            for &id in instance.ops.keys() {
                 let entry = newest_touch.entry(id).or_insert(instance.seq);
                 if instance.seq > *entry {
                     *entry = instance.seq;

@@ -95,7 +95,11 @@ fn src_i_false_positives_never_exceed_src_under_skew() {
 
     let mut src_fp_total = 0usize;
     let mut src_i_fp_total = 0usize;
-    let queries = rsse::workload::random_queries_of_len(dataset.domain(), 1 << 9, 20, &mut rng);
+    // The claim is about the aggregate trend, and individual query draws are
+    // noisy: at 20 queries roughly a quarter of RNG seeds violate the
+    // inequality by a few percent. 100 queries leaves a ~30% margin across
+    // every seed we scanned.
+    let queries = rsse::workload::random_queries_of_len(dataset.domain(), 1 << 9, 100, &mut rng);
     for query in queries {
         let expected = dataset.matching_ids(query);
         let src_eval = Evaluation::compare(&src.query(query).ids, &expected);
@@ -139,7 +143,7 @@ fn query_size_behaviour_matches_figure8() {
     for &lo in &positions {
         let range = Range::new(lo, lo + len - 1);
         let (count, bytes) = find(SchemeKind::LogarithmicBrc).trapdoor_cost(range);
-        assert!(count >= 1 && count <= 2 * 10);
+        assert!((1..=2 * 10).contains(&count));
         assert!(bytes >= count * 32);
     }
 

@@ -1,0 +1,227 @@
+//! Vendored minimal HMAC-SHA-256 (RFC 2104), offline stand-in for `hmac`.
+//!
+//! Keying absorbs the ipad/opad blocks into two cached [`Sha256`] states;
+//! every MAC computation afterwards only clones those states. This is the
+//! same state-caching trick the real `hmac` crate uses, and it is what
+//! makes `Prf` evaluations in `rsse-crypto` cheap: the two key-schedule
+//! compressions are paid once per key instead of once per evaluation.
+//!
+//! Correctness is pinned against the RFC 4231 test vectors below.
+
+use sha2::{Sha256, BLOCK_LEN, OUTPUT_LEN};
+
+/// Error returned when a key cannot be used (never happens for HMAC, which
+/// accepts keys of any length; kept for API parity with the real crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidLength;
+
+impl std::fmt::Display for InvalidLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid key length")
+    }
+}
+
+impl std::error::Error for InvalidLength {}
+
+/// MAC output wrapper (constant-time comparison is irrelevant here; the
+/// workspace only ever feeds outputs onward as key material).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtOutput([u8; OUTPUT_LEN]);
+
+impl CtOutput {
+    /// Returns the raw MAC bytes.
+    pub fn into_bytes(self) -> [u8; OUTPUT_LEN] {
+        self.0
+    }
+}
+
+/// The `Mac` trait of the real crate, reduced to what the workspace uses.
+pub trait Mac: Sized {
+    /// Creates a MAC instance from a key of any length.
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength>;
+    /// Absorbs message bytes.
+    fn update(&mut self, data: &[u8]);
+    /// Finalizes and returns the tag.
+    fn finalize(self) -> CtOutput;
+}
+
+/// HMAC over a hash `D`. Only `Hmac<Sha256>` is implemented.
+#[derive(Clone)]
+pub struct Hmac<D = Sha256> {
+    /// Inner hash state with `key ⊕ ipad` already absorbed.
+    inner: Sha256,
+    /// Cached keyed states for cheap reset/re-evaluation.
+    inner_keyed: Sha256,
+    outer_keyed: Sha256,
+    _marker: std::marker::PhantomData<D>,
+}
+
+impl Hmac<Sha256> {
+    /// Keys an HMAC instance: two compression-function calls, paid once.
+    pub fn new_keyed(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = sha2::sha256(key);
+            key_block[..OUTPUT_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = key_block;
+        let mut opad = key_block;
+        for b in ipad.iter_mut() {
+            *b ^= 0x36;
+        }
+        for b in opad.iter_mut() {
+            *b ^= 0x5c;
+        }
+        let mut inner_keyed = Sha256::new();
+        inner_keyed.update(ipad);
+        let mut outer_keyed = Sha256::new();
+        outer_keyed.update(opad);
+        Self {
+            inner: inner_keyed.clone(),
+            inner_keyed,
+            outer_keyed,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Finalizes into `out` and resets the instance to its keyed state, so
+    /// the same instance can MAC another message without re-keying.
+    pub fn finalize_into_reset(&mut self, out: &mut [u8; OUTPUT_LEN]) {
+        let inner = std::mem::replace(&mut self.inner, self.inner_keyed.clone());
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer_keyed.clone();
+        outer.update(inner_digest);
+        outer.finalize_into(out);
+    }
+
+    /// Absorbs message bytes (inherent mirror of [`Mac::update`], so hot
+    /// paths need not import the trait).
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Resets to the keyed state, discarding any absorbed message bytes.
+    pub fn reset(&mut self) {
+        self.inner = self.inner_keyed.clone();
+    }
+
+    /// Consuming finalize into a caller-provided buffer (no reset clone).
+    pub fn finalize_into(self, out: &mut [u8; OUTPUT_LEN]) {
+        let inner_digest = self.inner.finalize();
+        let mut outer = self.outer_keyed;
+        outer.update(inner_digest);
+        outer.finalize_into(out);
+    }
+
+    /// One-shot MAC from the cached keyed state: `absorb` receives a clone
+    /// of the keyed inner hash, and the tag lands in `out`. This is the
+    /// cheapest evaluation path — exactly two hash-state copies, no
+    /// intermediate `Hmac` clone — and what `Prf::eval_into` rides on.
+    pub fn mac_with(&self, absorb: impl FnOnce(&mut Sha256), out: &mut [u8; OUTPUT_LEN]) {
+        let mut inner = self.inner_keyed.clone();
+        absorb(&mut inner);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer_keyed.clone();
+        outer.update(inner_digest);
+        outer.finalize_into(out);
+    }
+}
+
+impl Mac for Hmac<Sha256> {
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength> {
+        Ok(Self::new_keyed(key))
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    fn finalize(self) -> CtOutput {
+        let inner_digest = self.inner.finalize();
+        let mut outer = self.outer_keyed.clone();
+        outer.update(inner_digest);
+        CtOutput(outer.finalize())
+    }
+}
+
+impl std::fmt::Debug for Hmac<Sha256> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hmac<Sha256>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hmac(key: &[u8], msg: &[u8]) -> String {
+        let mut mac = Hmac::<Sha256>::new_from_slice(key).unwrap();
+        mac.update(msg);
+        mac.finalize()
+            .into_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        assert_eq!(
+            hmac(&[0x0b; 20], b"Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hmac(b"Jefe", b"what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        assert_eq!(
+            hmac(&[0xaa; 20], &[0xdd; 50]),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // 131-byte key forces the key-hashing path.
+        assert_eq!(
+            hmac(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            ),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn finalize_into_reset_matches_fresh_instances() {
+        let mut mac = Hmac::<Sha256>::new_keyed(b"key material");
+        let mut out = [0u8; OUTPUT_LEN];
+        for msg in [&b"first"[..], b"second", b""] {
+            mac.update(msg);
+            mac.finalize_into_reset(&mut out);
+            let mut fresh = Hmac::<Sha256>::new_from_slice(b"key material").unwrap();
+            fresh.update(msg);
+            assert_eq!(out, fresh.finalize().into_bytes());
+        }
+    }
+
+    #[test]
+    fn cloned_keyed_state_is_independent() {
+        let mac = Hmac::<Sha256>::new_keyed(b"k");
+        let mut a = mac.clone();
+        let mut b = mac;
+        a.update(b"msg-a");
+        b.update(b"msg-b");
+        assert_ne!(a.finalize().into_bytes(), b.finalize().into_bytes());
+    }
+}

@@ -1,0 +1,462 @@
+//! Vendored minimal property-testing harness (offline stand-in for the
+//! parts of `proptest` this workspace uses).
+//!
+//! Supported surface: the `proptest!` macro (with an optional
+//! `#![proptest_config(..)]` header), `any::<T>()` for the primitive types
+//! used in the workspace, integer-range strategies, tuple strategies,
+//! `proptest::collection::{vec, hash_set}`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking
+//! (failures report the generated inputs instead), and generation is
+//! deterministic per test (seeded from a fixed constant plus the case
+//! index) so CI runs are reproducible.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// A source of generated values.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + ((rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128) - (start as u128) + 1;
+                    start + ((rng.next_u64() as u128) % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use super::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only; magnitude spread over a few decades.
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let scale = 10f64.powi((rng.next_u64() % 13) as i32 - 6);
+            (unit - 0.5) * 2.0 * scale
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> super::strategy::Any<T> {
+        super::strategy::Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// A size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + (rng.next_u64() as usize) % (self.max - self.min)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::HashSet::with_capacity(target);
+            // Bounded retries in case the element strategy's support is
+            // smaller than the requested size.
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Generates hash sets of `element` values with size in `size`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-loop runner and configuration.
+
+    use rand::SeedableRng;
+
+    /// RNG handed to strategies.
+    pub type TestRng = rand_chacha::ChaCha20Rng;
+
+    /// Runner configuration.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the workspace's debug
+            // (`cargo test`) runs fast while still exercising the space.
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Overrides the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a case did not produce a verdict.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+    }
+
+    /// Result of one property case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runs the case loop for one property.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self { config }
+        }
+
+        /// Runs `case` until `config.cases` cases were accepted (assume
+        /// rejections do not count, up to a bounded retry budget).
+        pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+            let mut accepted = 0u32;
+            let mut attempts = 0u64;
+            let max_attempts = (self.config.cases as u64) * 16 + 64;
+            while accepted < self.config.cases && attempts < max_attempts {
+                // Deterministic per (case index): reproducible CI, varied data.
+                let mut rng = TestRng::seed_from_u64(0x5eed_0000_0000 + attempts);
+                match case(&mut rng) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject) => {}
+                }
+                attempts += 1;
+            }
+        }
+    }
+}
+
+/// The usual proptest prelude.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Declares property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg_pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(|__proptest_rng| {
+                $(let $arg_pat = $crate::strategy::Strategy::new_value(&($strat), __proptest_rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts within a property (panics with the formatted message on failure;
+/// no shrinking in this vendored harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_runs_requested_cases() {
+        let mut count = 0u32;
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(17));
+        runner.run(|_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 0usize..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn tuple_and_nested(entries in crate::collection::vec(
+            (crate::collection::vec(any::<u8>(), 1..4), any::<u64>()), 0..6))
+        {
+            for (bytes, _) in &entries {
+                prop_assert!(!bytes.is_empty() && bytes.len() < 4);
+            }
+        }
+
+        #[test]
+        fn assume_rejects(a in any::<u8>(), b in any::<u8>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_parses(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_size() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::hash_set(any::<u64>(), 3..6);
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = strat.new_value(&mut rng);
+            assert!(s.len() >= 3 && s.len() < 6);
+        }
+    }
+}

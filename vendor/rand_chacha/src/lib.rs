@@ -1,0 +1,182 @@
+//! Vendored ChaCha20-based RNG (offline stand-in for `rand_chacha`).
+//!
+//! Implements the RFC 8439 ChaCha20 block function with a 64-bit block
+//! counter, exposed through the vendored `rand` traits. Output does not
+//! bit-match the real `rand_chacha` crate (which nobody in this workspace
+//! relies on — tests only require determinism), but the generator is a
+//! genuine ChaCha20 keystream: seeded from 256 bits of key material and
+//! suitable as a `CryptoRng`.
+
+use rand::{CryptoRng, RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// ChaCha20 keystream generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha20Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u8; 64],
+    /// Next unconsumed byte in `buffer`; 64 means "refill needed".
+    cursor: usize,
+}
+
+impl ChaCha20Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        for (i, word) in working.iter().enumerate() {
+            self.buffer[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    fn take(&mut self, n: usize, out: &mut [u8]) {
+        debug_assert!(n <= 8 && out.len() >= n);
+        if self.cursor + n > 64 {
+            self.refill();
+        }
+        out[..n].copy_from_slice(&self.buffer[self.cursor..self.cursor + n]);
+        self.cursor += n;
+    }
+}
+
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha20Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        Self {
+            key,
+            counter: 0,
+            buffer: [0u8; 64],
+            cursor: 64,
+        }
+    }
+}
+
+impl RngCore for ChaCha20Rng {
+    fn next_u32(&mut self) -> u32 {
+        let mut out = [0u8; 4];
+        self.take(4, &mut out);
+        u32::from_le_bytes(out)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut out = [0u8; 8];
+        self.take(8, &mut out);
+        u64::from_le_bytes(out)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.cursor == 64 {
+                self.refill();
+            }
+            let take = (dest.len() - filled).min(64 - self.cursor);
+            dest[filled..filled + take]
+                .copy_from_slice(&self.buffer[self.cursor..self.cursor + take]);
+            self.cursor += take;
+            filled += take;
+        }
+    }
+}
+
+impl CryptoRng for ChaCha20Rng {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2 with nonce/stream-id fixed to zero is not directly
+        // comparable (the RFC vector uses counter=1 and a nonce), so pin the
+        // keystream of the all-zero key instead, which is the well-known
+        // ChaCha20 test vector: first block of ChaCha20(key=0^32, nonce=0,
+        // counter=0).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut block = [0u8; 16];
+        rng.fill_bytes(&mut block);
+        let expected: [u8; 16] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha20Rng::seed_from_u64(7);
+        let mut b = ChaCha20Rng::seed_from_u64(7);
+        let mut c = ChaCha20Rng::seed_from_u64(8);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn fill_bytes_spans_blocks_consistently() {
+        let mut a = ChaCha20Rng::seed_from_u64(3);
+        let mut big = [0u8; 200];
+        a.fill_bytes(&mut big);
+
+        let mut b = ChaCha20Rng::seed_from_u64(3);
+        let mut parts = [0u8; 200];
+        let (first, rest) = parts.split_at_mut(33);
+        b.fill_bytes(first);
+        b.fill_bytes(rest);
+        assert_eq!(big, parts);
+    }
+
+    #[test]
+    fn mixed_width_draws_are_deterministic() {
+        let mut a = ChaCha20Rng::seed_from_u64(5);
+        let seq_a = (a.next_u32(), a.next_u64(), a.next_u32());
+        let mut b = ChaCha20Rng::seed_from_u64(5);
+        let seq_b = (b.next_u32(), b.next_u64(), b.next_u32());
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Vendored minimal rayon-style data parallelism (offline stand-in).
+//!
+//! Supports the subset this workspace uses: `par_iter()` /
+//! `into_par_iter()` over slices and vectors, `.map(..)`, and
+//! `.collect::<Vec<_>>()`, plus a [`join`] helper. Work is distributed over
+//! `std::thread::scope` workers pulling striped indices, and results are
+//! reassembled **in input order**, so a parallel map is a drop-in,
+//! deterministic replacement for the sequential one.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used for parallel maps.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("parallel task panicked"))
+    })
+}
+
+/// A materialized parallel iterator: the owned items awaiting a map.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A parallel map pipeline: items plus the function to apply.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Attaches the mapping function.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Executes the map on a scoped thread pool and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_results(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Collection types a parallel map can gather into.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from in-order results.
+    fn from_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+fn parallel_map<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Workers pull indices from a shared counter (dynamic load balancing —
+    // per-item costs can be very uneven, e.g. skewed keyword lists), write
+    // results into their own (index, result) vectors, and the results are
+    // reassembled in input order afterwards.
+    let slots: Vec<std::sync::Mutex<Option<I>>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new(Some(item)))
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let slots = &slots;
+                let next = &next;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("no poisoning: slots are taken exactly once")
+                            .take()
+                            .expect("each slot is claimed by exactly one worker");
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel map worker panicked"))
+            .collect()
+    });
+
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual rayon prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes_by_value() {
+        let input: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![9];
+        let out: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Mix of cheap and expensive items; result must still be ordered.
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| {
+                if x % 7 == 0 {
+                    (0..50_000u64).fold(x, |acc, v| acc.wrapping_add(v % 13))
+                } else {
+                    x
+                }
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+    }
+}

@@ -4,10 +4,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use rsse_core::schemes::{AnyScheme, SchemeKind};
+use rsse_core::schemes::log_brc_urc::LogScheme;
+use rsse_core::schemes::{AnyScheme, CoverKind, SchemeKind};
 use rsse_cover::Range;
 use rsse_workload::{gowalla_like, usps_like};
 use std::time::Duration;
+
+/// Shard-bit settings tracked by the PR 2 sharding benches.
+const SHARD_BITS: [u32; 3] = [0, 4, 8];
 
 fn bench_search(c: &mut Criterion) {
     let mut rng = ChaCha20Rng::seed_from_u64(3);
@@ -95,5 +99,98 @@ fn bench_search_100k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_search_100k);
+/// The PR 2 sharding target: single-query search over the 100k-record
+/// dataset at `k ∈ {0, 4, 8}` shard bits, plus the multi-client batched
+/// path (see BENCH_pr2.json).
+///
+/// * `search_sharded/.../k{bits}` — one 1% range query, classic per-token
+///   path, against a `2^bits`-way sharded dictionary.
+/// * `search_batched/sequential/k0` — 32 concurrent client queries answered
+///   one token at a time against the unsharded index: the PR 1 baseline.
+/// * `search_batched/batched/k{bits}` — the same 32 queries through
+///   `QueryServer::answer_many`: one lockstep pass per query with shared
+///   label-PRF scratch, shard-grouped probes, and scratch-buffer
+///   decryption.
+fn bench_search_sharded(c: &mut Criterion) {
+    let single_ids = SHARD_BITS
+        .iter()
+        .map(|k| format!("search_sharded/Logarithmic-BRC/k{k}"));
+    let batched_ids = SHARD_BITS
+        .iter()
+        .map(|k| format!("search_batched/batched/k{k}"))
+        .chain(["search_batched/sequential/k0".to_string()]);
+    if !criterion::any_id_matches(single_ids.chain(batched_ids)) {
+        return;
+    }
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let domain_size = 1u64 << 20;
+    let dataset = gowalla_like(100_000, domain_size, &mut rng);
+    let builds: Vec<(u32, _, _)> = SHARD_BITS
+        .iter()
+        .map(|&bits| {
+            let mut build_rng = ChaCha20Rng::seed_from_u64(7);
+            let (client, server) =
+                LogScheme::build_sharded_with(&dataset, CoverKind::Brc, bits, &mut build_rng);
+            (bits, client, server)
+        })
+        .collect();
+
+    // Single-query, per-token path at each sharding level.
+    let len = domain_size / 100;
+    let lo = domain_size / 3;
+    let query = Range::new(lo, lo + len - 1);
+    let mut group = c.benchmark_group("search_sharded");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (bits, client, server) in &builds {
+        group.bench_function(
+            BenchmarkId::new("Logarithmic-BRC", format!("k{bits}")),
+            |b| {
+                b.iter(|| {
+                    use rsse_core::RangeScheme;
+                    client.query(server, query)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Multi-client batch: 32 queries of 1% each, spread over the domain.
+    let ranges: Vec<Range> = (0..32u64)
+        .map(|i| {
+            let lo = (i * 76_543) % (domain_size - len);
+            Range::new(lo, lo + len - 1)
+        })
+        .collect();
+    let mut group = c.benchmark_group("search_batched");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    {
+        // Baseline: the k=0 build queried one token at a time, query after
+        // query — what a PR 1 server did for 32 concurrent clients.
+        let (_, client, server) = &builds[0];
+        group.bench_function(BenchmarkId::new("sequential", "k0"), |b| {
+            b.iter(|| {
+                use rsse_core::RangeScheme;
+                ranges
+                    .iter()
+                    .map(|&range| client.query(server, range))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    for (bits, client, server) in &builds {
+        let query_server = server.clone().into_query_server();
+        group.bench_function(BenchmarkId::new("batched", format!("k{bits}")), |b| {
+            b.iter(|| client.query_many(&query_server, &ranges))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_search_100k, bench_search_sharded);
 criterion_main!(benches);

@@ -414,7 +414,7 @@ pub fn ablation_updates(scale: &Scale) -> Report {
     for s in [0usize, 2, 4, 8] {
         let mut rng = ChaCha20Rng::seed_from_u64(scale.seed + 100 + s as u64);
         let mut manager: UpdateManager<LogScheme> =
-            UpdateManager::new(domain, UpdateConfig { consolidation_step: s });
+            UpdateManager::new(domain, UpdateConfig { consolidation_step: s, ..UpdateConfig::default() });
         let mut next_id = 0u64;
         for b in 0..batches {
             let entries: Vec<UpdateEntry> = (0..batch_size)

@@ -15,7 +15,7 @@
 //! | Logarithmic-BRC/URC  | [`schemes::log_brc_urc`] | O(log R)  | O(log R + r)| O(n·log m)  | none |
 //! | Logarithmic-SRC      | [`schemes::log_src`]     | O(1)      | O(n)        | O(n·log m)  | O(n) |
 //! | Logarithmic-SRC-i    | [`schemes::log_src_i`]   | O(1)      | O(R + r)    | O(n·log m)  | O(R + r) |
-//! | PB (Li et al. [26])  | [`schemes::pb`]          | O(log R)  | Ω(log n·log R + r) | O(n·log n·log m) | O(r) |
+//! | PB (Li et al. \[26\])  | [`schemes::pb`]          | O(log R)  | Ω(log n·log R + r) | O(n·log n·log m) | O(r) |
 //! | Plain per-value SSE  | [`schemes::plain_sse`]   | O(R)      | O(R + r)    | O(n)        | none |
 //!
 //! (n = dataset size, m = domain size, R = query range size, r = result
@@ -44,13 +44,17 @@
 //! assert_eq!(got, expected);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod dataset;
 pub mod leakage;
 pub mod metrics;
 pub mod schemes;
+pub mod server;
 pub mod store;
 pub mod traits;
 
 pub use dataset::{Dataset, DatasetError, DocId, Record};
 pub use metrics::{Evaluation, IndexStats, QueryStats};
+pub use server::QueryServer;
 pub use traits::{QueryOutcome, RangeScheme};

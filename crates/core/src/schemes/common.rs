@@ -4,7 +4,7 @@ use crate::dataset::{decode_id_payload, DocId};
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
 use rsse_cover::{Domain, Range};
-use rsse_sse::{EncryptedIndex, SearchToken, SseKey, SseScheme};
+use rsse_sse::{EncryptedIndex, IndexLookup, SearchToken, ShardedIndex, SseKey, SseScheme};
 
 /// Token counts at or above this run the per-token searches on all cores.
 /// Below it (the Logarithmic schemes' `O(log R)` token vectors) threading
@@ -51,11 +51,13 @@ pub fn clamp_query(domain: &Domain, range: Range) -> Option<Range> {
 /// the flattened ids together with the per-token group sizes (the result
 /// partitioning the server observes).
 ///
-/// Large token vectors — the Constant schemes expand a trapdoor into one
-/// token per domain value of the range — are searched in parallel; results
-/// are merged in token order either way, so the outcome is deterministic.
-pub fn search_ids(
-    index: &EncryptedIndex,
+/// Generic over the dictionary layout ([`EncryptedIndex`] or
+/// [`ShardedIndex`]). Large token vectors — the Constant schemes expand a
+/// trapdoor into one token per domain value of the range — are searched in
+/// parallel; results are merged in token order either way, so the outcome
+/// is deterministic.
+pub fn search_ids<I: IndexLookup + Sync>(
+    index: &I,
     tokens: &[SearchToken],
 ) -> (Vec<DocId>, Vec<usize>) {
     let per_token: Vec<(Vec<DocId>, usize)> = if tokens.len() >= PARALLEL_SEARCH_TOKENS {
@@ -80,7 +82,7 @@ pub fn search_ids(
 
 /// One token's scan: decoded ids plus the raw match count (group sizes
 /// count matched entries, decodable or not — e.g. padding dummies).
-fn search_one(index: &EncryptedIndex, token: &SearchToken) -> (Vec<DocId>, usize) {
+fn search_one<I: IndexLookup>(index: &I, token: &SearchToken) -> (Vec<DocId>, usize) {
     let payloads = SseScheme::search(index, token);
     let matched = payloads.len();
     let ids = payloads
@@ -103,12 +105,36 @@ fn search_one(index: &EncryptedIndex, token: &SearchToken) -> (Vec<DocId>, usize
 pub fn grouped_fixed_index<const K: usize, const P: usize, R: RngCore + CryptoRng>(
     key: &SseKey,
     shuffle_key: &rsse_crypto::Key,
-    mut entries: Vec<([u8; K], [u8; P])>,
+    entries: Vec<([u8; K], [u8; P])>,
     rng: &mut R,
 ) -> EncryptedIndex {
-    // Sort by (keyword, payload): groups become contiguous, and the total
-    // order keeps the build deterministic (the keyed shuffle below sets the
-    // final in-list order, exactly as `SseDatabase::shuffle_lists` did).
+    SseScheme::build_index_fixed(key, &grouped_lists(shuffle_key, entries), rng)
+}
+
+/// Sharded variant of [`grouped_fixed_index`]: identical grouping, keyed
+/// shuffle and per-keyword encryption (and identical RNG consumption, so
+/// ciphertexts match byte-for-byte across `shard_bits` values), with the
+/// entries distributed over `2^shard_bits` label-prefix shards assembled in
+/// parallel.
+pub fn grouped_fixed_index_sharded<const K: usize, const P: usize, R: RngCore + CryptoRng>(
+    key: &SseKey,
+    shuffle_key: &rsse_crypto::Key,
+    entries: Vec<([u8; K], [u8; P])>,
+    shard_bits: u32,
+    rng: &mut R,
+) -> ShardedIndex {
+    SseScheme::build_index_fixed_sharded(key, &grouped_lists(shuffle_key, entries), shard_bits, rng)
+}
+
+/// The grouping core shared by the two builds above: sort flat entries by
+/// (keyword, payload) — groups become contiguous and the total order keeps
+/// the build deterministic — then apply the `(shuffle_key, keyword)`-keyed
+/// permutation that sets each list's final storage order, exactly as
+/// `SseDatabase::shuffle_lists` did.
+fn grouped_lists<const K: usize, const P: usize>(
+    shuffle_key: &rsse_crypto::Key,
+    mut entries: Vec<([u8; K], [u8; P])>,
+) -> Vec<(Vec<u8>, Vec<[u8; P]>)> {
     entries.sort_unstable();
     let mut lists: Vec<(Vec<u8>, Vec<[u8; P]>)> = Vec::new();
     for (keyword, payload) in entries {
@@ -122,7 +148,7 @@ pub fn grouped_fixed_index<const K: usize, const P: usize, R: RngCore + CryptoRn
     for (keyword, payloads) in lists.iter_mut() {
         rsse_crypto::permute::keyed_shuffle(shuffle_key, keyword, payloads);
     }
-    SseScheme::build_index_fixed(key, &lists, rng)
+    lists
 }
 
 /// Encodes a `(value, start, end)` triple — the "(domain value, tuple

@@ -23,7 +23,7 @@ use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Dprf, DprfToken, Key, KeyChain};
-use rsse_sse::{EncryptedIndex, SearchToken, SseScheme};
+use rsse_sse::{SearchToken, ShardedIndex, SseScheme};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -61,12 +61,20 @@ pub struct ConstantScheme {
     history: Vec<Range>,
 }
 
-/// Server-side state: the `O(n)`-entry encrypted index plus the (public)
+/// Server-side state: the `O(n)`-entry encrypted index (sharded by label
+/// prefix when built through a `*_sharded` constructor) plus the (public)
 /// depth of the GGM tree, which the server needs to expand tokens.
 #[derive(Clone, Debug)]
 pub struct ConstantServer {
-    index: EncryptedIndex,
+    index: ShardedIndex,
     depth: u32,
+}
+
+impl ConstantServer {
+    /// Number of label-prefix bits sharding the dictionary.
+    pub fn shard_bits(&self) -> u32 {
+        self.index.shard_bits()
+    }
 }
 
 /// The trapdoor of the Constant schemes: a delegated DPRF token.
@@ -88,10 +96,22 @@ impl ConstantTrapdoor {
 }
 
 impl ConstantScheme {
-    /// Builds the scheme with an explicit covering technique.
+    /// Builds the scheme with an explicit covering technique and an
+    /// unsharded (single-arena) dictionary.
     pub fn build_with<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         kind: CoverKind,
+        rng: &mut R,
+    ) -> (Self, ConstantServer) {
+        Self::build_sharded_with(dataset, kind, 0, rng)
+    }
+
+    /// Builds the scheme with an explicit covering technique and the
+    /// dictionary split into `2^shard_bits` label-prefix shards.
+    pub fn build_sharded_with<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        shard_bits: u32,
         rng: &mut R,
     ) -> (Self, ConstantServer) {
         let domain = *dataset.domain();
@@ -125,7 +145,7 @@ impl ConstantScheme {
                 (SearchToken::derive_from_seed(&seed), payloads)
             })
             .collect();
-        let index = SseScheme::build_index_from_token_lists(&lists, rng);
+        let index = SseScheme::build_index_from_token_lists_sharded(&lists, shard_bits, rng);
         (
             Self {
                 dprf,
@@ -221,6 +241,14 @@ impl RangeScheme for ConstantScheme {
 
     fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
         Self::build_with(dataset, CoverKind::Brc, rng)
+    }
+
+    fn build_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, Self::Server) {
+        Self::build_sharded_with(dataset, CoverKind::Brc, shard_bits, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {

@@ -11,12 +11,13 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index, search_ids, CoverKind};
+use crate::schemes::common::{clamp_query, grouped_fixed_index_sharded, search_ids, CoverKind};
+use crate::server::QueryServer;
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
-use rsse_sse::{padding, EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme};
 
 /// Owner-side state of Logarithmic-BRC / Logarithmic-URC.
 #[derive(Clone, Debug)]
@@ -27,19 +28,41 @@ pub struct LogScheme {
     kind: CoverKind,
 }
 
-/// Server-side state: one encrypted multimap with `O(n log m)` entries.
+/// Server-side state: one encrypted multimap with `O(n log m)` entries,
+/// split into `2^k` label-prefix shards (`k = 0`, a single arena, unless
+/// built through a `*_sharded` constructor).
 #[derive(Clone, Debug)]
 pub struct LogServer {
-    index: EncryptedIndex,
+    index: ShardedIndex,
+}
+
+impl LogServer {
+    /// Number of label-prefix bits sharding the dictionary.
+    pub fn shard_bits(&self) -> u32 {
+        self.index.shard_bits()
+    }
+
+    /// The underlying sharded dictionary.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Converts this server into a [`QueryServer`] answering batched
+    /// multi-query workloads over the same dictionary.
+    pub fn into_query_server(self) -> QueryServer {
+        QueryServer::new(self.index)
+    }
 }
 
 impl LogScheme {
-    /// Builds the scheme with an explicit covering technique and optional
-    /// padding of the multimap to `n · (⌈log m⌉ + 1)` entries.
-    pub fn build_full<R: RngCore + CryptoRng>(
+    /// Builds the scheme with an explicit covering technique, optional
+    /// padding of the multimap to `n · (⌈log m⌉ + 1)` entries, and the
+    /// dictionary split into `2^shard_bits` label-prefix shards.
+    pub fn build_full_sharded<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         kind: CoverKind,
         pad: bool,
+        shard_bits: u32,
         rng: &mut R,
     ) -> (Self, LogServer) {
         let domain = *dataset.domain();
@@ -60,7 +83,7 @@ impl LogScheme {
             db.shuffle_lists(&shuffle_key);
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), false);
             padding::pad_to(&mut db, target, 8);
-            SseScheme::build_index(&key, &db, rng)
+            SseScheme::build_index_sharded(&key, &db, shard_bits, rng)
         } else {
             // Unpadded fast path: flat (node keyword, id) entries, grouped
             // by one sort — no per-entry allocations before encryption.
@@ -71,7 +94,7 @@ impl LogScheme {
                     entries.push((node.keyword(), payload));
                 }
             }
-            grouped_fixed_index(&key, &shuffle_key, entries, rng)
+            grouped_fixed_index_sharded(&key, &shuffle_key, entries, shard_bits, rng)
         };
         (
             Self {
@@ -84,6 +107,17 @@ impl LogScheme {
         )
     }
 
+    /// Builds the scheme with an explicit covering technique and optional
+    /// padding, with an unsharded (single-arena) dictionary.
+    pub fn build_full<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        pad: bool,
+        rng: &mut R,
+    ) -> (Self, LogServer) {
+        Self::build_full_sharded(dataset, kind, pad, 0, rng)
+    }
+
     /// Builds the scheme with the given covering technique (no padding).
     pub fn build_with<R: RngCore + CryptoRng>(
         dataset: &Dataset,
@@ -91,6 +125,35 @@ impl LogScheme {
         rng: &mut R,
     ) -> (Self, LogServer) {
         Self::build_full(dataset, kind, false, rng)
+    }
+
+    /// Builds the scheme with the given covering technique and a
+    /// `2^shard_bits`-way sharded dictionary (no padding).
+    pub fn build_sharded_with<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, LogServer) {
+        Self::build_full_sharded(dataset, kind, false, shard_bits, rng)
+    }
+
+    /// Issues many range queries against a [`QueryServer`] over this
+    /// scheme's dictionary, one batched server pass per query, returning
+    /// outcomes in query order (out-of-domain queries come back empty).
+    pub fn query_many(&self, server: &QueryServer, ranges: &[Range]) -> Vec<QueryOutcome> {
+        let token_vectors: Vec<Option<Vec<SearchToken>>> =
+            ranges.iter().map(|&range| self.trapdoor(range)).collect();
+        let present: Vec<Vec<SearchToken>> =
+            token_vectors.iter().flatten().cloned().collect();
+        let mut answered = server.answer_many(&present).into_iter();
+        token_vectors
+            .into_iter()
+            .map(|tokens| match tokens {
+                Some(_) => answered.next().expect("one answer per present query"),
+                None => QueryOutcome::default(),
+            })
+            .collect()
     }
 
     /// The covering technique this client uses.
@@ -152,6 +215,14 @@ impl RangeScheme for LogScheme {
 
     fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
         Self::build_with(dataset, CoverKind::Brc, rng)
+    }
+
+    fn build_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, Self::Server) {
+        Self::build_sharded_with(dataset, CoverKind::Brc, shard_bits, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {

@@ -12,12 +12,12 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index, search_ids};
+use crate::schemes::common::{clamp_query, grouped_fixed_index_sharded, search_ids};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Range, Tdag};
 use rsse_crypto::{Key, KeyChain};
-use rsse_sse::{padding, EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme};
 
 /// Owner-side state of Logarithmic-SRC.
 #[derive(Clone, Debug)]
@@ -26,10 +26,18 @@ pub struct LogSrcScheme {
     tdag: Tdag,
 }
 
-/// Server-side state: one encrypted multimap with `O(n log m)` entries.
+/// Server-side state: one encrypted multimap with `O(n log m)` entries
+/// (sharded by label prefix when built through a `*_sharded` constructor).
 #[derive(Clone, Debug)]
 pub struct LogSrcServer {
-    index: EncryptedIndex,
+    index: ShardedIndex,
+}
+
+impl LogSrcServer {
+    /// Number of label-prefix bits sharding the dictionary.
+    pub fn shard_bits(&self) -> u32 {
+        self.index.shard_bits()
+    }
 }
 
 impl LogSrcScheme {
@@ -38,6 +46,17 @@ impl LogSrcScheme {
     pub fn build_full<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         pad: bool,
+        rng: &mut R,
+    ) -> (Self, LogSrcServer) {
+        Self::build_full_sharded(dataset, pad, 0, rng)
+    }
+
+    /// Sharded variant of [`build_full`](Self::build_full): the dictionary
+    /// is split into `2^shard_bits` label-prefix shards.
+    pub fn build_full_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        pad: bool,
+        shard_bits: u32,
         rng: &mut R,
     ) -> (Self, LogSrcServer) {
         let domain = *dataset.domain();
@@ -56,7 +75,7 @@ impl LogSrcScheme {
             db.shuffle_lists(&shuffle_key);
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), true);
             padding::pad_to(&mut db, target, 8);
-            SseScheme::build_index(&key, &db, rng)
+            SseScheme::build_index_sharded(&key, &db, shard_bits, rng)
         } else {
             // Unpadded fast path: flat (TDAG keyword, id) entries grouped by
             // one sort, keyed-shuffled per keyword inside the helper.
@@ -67,7 +86,7 @@ impl LogSrcScheme {
                     entries.push((node.keyword(), payload));
                 }
             }
-            grouped_fixed_index(&key, &shuffle_key, entries, rng)
+            grouped_fixed_index_sharded(&key, &shuffle_key, entries, shard_bits, rng)
         };
         (Self { key, tdag }, LogSrcServer { index })
     }
@@ -92,6 +111,14 @@ impl RangeScheme for LogSrcScheme {
 
     fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
         Self::build_full(dataset, false, rng)
+    }
+
+    fn build_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, Self::Server) {
+        Self::build_full_sharded(dataset, false, shard_bits, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {

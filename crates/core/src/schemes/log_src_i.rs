@@ -21,13 +21,14 @@
 use crate::dataset::{Dataset, Record};
 use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::{
-    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index, search_ids,
+    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index_sharded,
+    search_ids,
 };
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Range, Tdag};
 use rsse_crypto::{permute, KeyChain};
-use rsse_sse::{EncryptedIndex, SearchToken, SseKey, SseScheme};
+use rsse_sse::{SearchToken, ShardedIndex, SseKey, SseScheme};
 
 /// Owner-side state of Logarithmic-SRC-i.
 #[derive(Clone, Debug)]
@@ -38,17 +39,28 @@ pub struct LogSrcIScheme {
     tdag2: Tdag,
 }
 
-/// Server-side state: the two encrypted indexes.
+/// Server-side state: the two encrypted indexes (each sharded by label
+/// prefix when built through [`LogSrcIScheme::build_impl_sharded`]).
 #[derive(Clone, Debug)]
 pub struct LogSrcIServer {
-    index1: EncryptedIndex,
-    index2: EncryptedIndex,
+    index1: ShardedIndex,
+    index2: ShardedIndex,
 }
 
 impl LogSrcIScheme {
-    /// Builds both indexes.
+    /// Builds both indexes with unsharded (single-arena) dictionaries.
     pub fn build_impl<R: RngCore + CryptoRng>(
         dataset: &Dataset,
+        rng: &mut R,
+    ) -> (Self, LogSrcIServer) {
+        Self::build_impl_sharded(dataset, 0, rng)
+    }
+
+    /// Builds both indexes, each split into `2^shard_bits` label-prefix
+    /// shards.
+    pub fn build_impl_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        shard_bits: u32,
         rng: &mut R,
     ) -> (Self, LogSrcIServer) {
         let domain = *dataset.domain();
@@ -87,7 +99,8 @@ impl LogSrcIScheme {
             }
             i = j;
         }
-        let index1 = grouped_fixed_index(&key1, &chain.derive(b"shuffle-i1"), entries1, rng);
+        let index1 =
+            grouped_fixed_index_sharded(&key1, &chain.derive(b"shuffle-i1"), entries1, shard_bits, rng);
 
         // TDAG2 over positions 0..n indexes the tuples themselves.
         let position_domain = Domain::new(sorted.len().max(1) as u64);
@@ -100,7 +113,8 @@ impl LogSrcIScheme {
                 entries2.push((node.keyword(), payload));
             }
         }
-        let index2 = grouped_fixed_index(&key2, &chain.derive(b"shuffle-i2"), entries2, rng);
+        let index2 =
+            grouped_fixed_index_sharded(&key2, &chain.derive(b"shuffle-i2"), entries2, shard_bits, rng);
         (
             Self {
                 key1,
@@ -160,6 +174,14 @@ impl RangeScheme for LogSrcIScheme {
 
     fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server) {
         Self::build_impl(dataset, rng)
+    }
+
+    fn build_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, Self::Server) {
+        Self::build_impl_sharded(dataset, shard_bits, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {

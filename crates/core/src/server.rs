@@ -1,0 +1,216 @@
+//! The multi-query batched search server.
+//!
+//! The paper's server model (Sections 6–7) is a machine answering many
+//! concurrent range queries, each of which expands into a *vector* of SSE
+//! tokens — one per BRC/URC covering node. Issuing those tokens one
+//! [`SseScheme::search`] call at a time pays per-token fixed costs (scratch
+//! setup, result allocation, scattered dictionary probes) that have nothing
+//! to do with the cover size. [`QueryServer`] is the batched alternative:
+//!
+//! * one query's whole token vector is answered in a single lockstep pass
+//!   ([`SseScheme::search_batch_scan`]) sharing one label-PRF scratch
+//!   buffer across tokens and resolving every counter round's probes
+//!   together, grouped by shard of the underlying [`ShardedIndex`];
+//! * payloads are decrypted into one reused buffer per query
+//!   (`StreamCipher::decrypt_into`) and decoded straight into the flat id
+//!   list — no per-payload heap allocation;
+//! * multiple concurrent queries fan out across cores with
+//!   [`QueryServer::answer_many`]; shards are immutable behind `&self`, so
+//!   the concurrent reads are lock-free.
+//!
+//! Results are **deterministic and identical to the per-token path**: per
+//! query, ids come back grouped by token in token order, each group in
+//! storage-counter order, and `answer_many` returns outcomes in query
+//! order regardless of scheduling.
+
+use crate::dataset::{decode_id_payload, DocId};
+use crate::metrics::QueryStats;
+use crate::traits::QueryOutcome;
+use rayon::prelude::*;
+use rsse_crypto::StreamCipher;
+use rsse_sse::{SearchToken, ShardedIndex, SseScheme};
+
+/// A server-side search endpoint answering whole token vectors — and whole
+/// batches of concurrent queries — over one sharded encrypted dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use rsse_core::{Dataset, Record, RangeScheme};
+/// use rsse_core::schemes::{CoverKind, log_brc_urc::LogScheme};
+/// use rsse_cover::{Domain, Range};
+/// use rand::SeedableRng;
+///
+/// let dataset = Dataset::new(
+///     Domain::new(1 << 10),
+///     (0..200).map(|i| Record::new(i, (i * 37) % 1024)).collect(),
+/// ).unwrap();
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(7);
+///
+/// // Build with a 2^4-way sharded dictionary and stand up the server.
+/// let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, 4, &mut rng);
+/// let server = server.into_query_server();
+///
+/// // A batch of concurrent range queries: one token vector each.
+/// let ranges = [Range::new(0, 100), Range::new(500, 800)];
+/// let queries: Vec<_> = ranges.iter().map(|&r| client.trapdoor(r).unwrap()).collect();
+/// let outcomes = server.answer_many(&queries);
+///
+/// for (range, outcome) in ranges.iter().zip(&outcomes) {
+///     let mut got = outcome.ids.clone();
+///     let mut expected = dataset.matching_ids(*range);
+///     got.sort(); expected.sort();
+///     assert_eq!(got, expected);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryServer {
+    index: ShardedIndex,
+}
+
+impl QueryServer {
+    /// Wraps a sharded dictionary in a batched search endpoint.
+    pub fn new(index: ShardedIndex) -> Self {
+        Self { index }
+    }
+
+    /// The underlying sharded dictionary.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Number of label-prefix bits sharding the dictionary.
+    pub fn shard_bits(&self) -> u32 {
+        self.index.shard_bits()
+    }
+
+    /// Answers one range query's whole token vector in a single batched
+    /// pass.
+    ///
+    /// Returns the same ids as running [`SseScheme::search`] token by token
+    /// and decoding each payload list — grouped by token in token order,
+    /// each group in storage-counter order — but shares the label-PRF
+    /// scratch across tokens, groups each counter round's dictionary probes
+    /// by shard, and decrypts every hit into one reused buffer.
+    pub fn answer(&self, tokens: &[SearchToken]) -> QueryOutcome {
+        let ciphers: Vec<StreamCipher> = tokens.iter().map(SearchToken::payload_cipher).collect();
+        let mut per_token: Vec<Vec<DocId>> = tokens.iter().map(|_| Vec::new()).collect();
+        let mut scratch: Vec<u8> = Vec::new();
+        let counts = SseScheme::search_batch_scan(&self.index, tokens, |t, ciphertext| {
+            if ciphers[t].decrypt_into(ciphertext, &mut scratch) {
+                if let Some(id) = decode_id_payload(&scratch) {
+                    per_token[t].push(id);
+                }
+            }
+        });
+        let mut ids: Vec<DocId> = Vec::with_capacity(per_token.iter().map(Vec::len).sum());
+        for group in per_token {
+            ids.extend(group);
+        }
+        QueryOutcome {
+            ids,
+            stats: QueryStats {
+                tokens_sent: tokens.len(),
+                token_bytes: tokens.len() * SearchToken::SIZE_BYTES,
+                rounds: 1,
+                entries_touched: counts.iter().sum(),
+                result_groups: tokens.len(),
+            },
+        }
+    }
+
+    /// Answers a batch of concurrent queries — one token vector per client
+    /// — in parallel, returning outcomes in query order.
+    ///
+    /// The shards are immutable behind `&self`, so the per-query worker
+    /// threads read them lock-free; each query is answered with the batched
+    /// single-query pass of [`answer`](Self::answer), and the output order
+    /// is the input order regardless of thread scheduling.
+    pub fn answer_many(&self, queries: &[Vec<SearchToken>]) -> Vec<QueryOutcome> {
+        queries
+            .par_iter()
+            .map(|tokens| self.answer(tokens))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::schemes::common::search_ids;
+    use crate::schemes::log_brc_urc::LogScheme;
+    use crate::schemes::testutil;
+    use crate::schemes::CoverKind;
+    use crate::traits::RangeScheme;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rsse_cover::Range;
+
+    #[test]
+    fn answer_matches_per_token_search_ids() {
+        let dataset = testutil::uniform_dataset();
+        for bits in [0u32, 3, 6] {
+            let mut rng = ChaCha20Rng::seed_from_u64(1);
+            let (client, server) =
+                LogScheme::build_sharded_with(&dataset, CoverKind::Urc, bits, &mut rng);
+            let index = server.index().clone();
+            let qs = server.into_query_server();
+            assert_eq!(qs.shard_bits(), bits);
+            for range in testutil::query_mix(dataset.domain().size()) {
+                let tokens = client.trapdoor(range).unwrap();
+                let outcome = qs.answer(&tokens);
+                let (expected_ids, groups) = search_ids(&index, &tokens);
+                assert_eq!(outcome.ids, expected_ids, "ids must match per-token order");
+                assert_eq!(outcome.stats.entries_touched, groups.iter().sum::<usize>());
+                assert_eq!(outcome.stats.tokens_sent, tokens.len());
+                assert_eq!(outcome.stats.result_groups, tokens.len());
+            }
+        }
+    }
+
+    #[test]
+    fn answer_many_is_deterministic_and_query_ordered() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, 4, &mut rng);
+        let qs = server.into_query_server();
+        let ranges: Vec<Range> = (0..16u64).map(|i| Range::new(i, i + 7)).collect();
+        let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
+            .iter()
+            .map(|&r| client.trapdoor(r).unwrap())
+            .collect();
+        let a = qs.answer_many(&queries);
+        let b = qs.answer_many(&queries);
+        assert_eq!(a, b, "same batch must produce identical outcomes");
+        for (outcome, range) in a.iter().zip(&ranges) {
+            testutil::assert_exact(&dataset, *range, outcome);
+        }
+    }
+
+    #[test]
+    fn query_many_handles_out_of_domain_queries() {
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, 2, &mut rng);
+        let qs = server.into_query_server();
+        let ranges = [Range::new(2, 7), Range::new(1000, 2000), Range::new(0, 63)];
+        let outcomes = client.query_many(&qs, &ranges);
+        assert_eq!(outcomes.len(), 3);
+        testutil::assert_exact(&dataset, ranges[0], &outcomes[0]);
+        assert!(outcomes[1].is_empty(), "out-of-domain query must be empty");
+        testutil::assert_exact(&dataset, ranges[2], &outcomes[2]);
+    }
+
+    #[test]
+    fn query_many_agrees_with_single_query_path() {
+        let dataset = testutil::uniform_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Urc, 5, &mut rng);
+        let single_server = server.clone();
+        let qs = server.into_query_server();
+        let ranges: Vec<Range> = testutil::query_mix(dataset.domain().size());
+        let batched = client.query_many(&qs, &ranges);
+        for (range, outcome) in ranges.iter().zip(&batched) {
+            assert_eq!(outcome.ids, client.query(&single_server, *range).ids);
+        }
+    }
+}

@@ -38,6 +38,27 @@ impl QueryOutcome {
 /// `Search`, including the extra communication round of Logarithmic-SRC-i.
 /// Schemes with configuration knobs (cover technique, padding, Bloom-filter
 /// rate) additionally expose `build_with`-style constructors.
+///
+/// # Examples
+///
+/// ```
+/// use rsse_core::{Dataset, Record, RangeScheme};
+/// use rsse_core::schemes::log_brc_urc::LogScheme;
+/// use rsse_cover::{Domain, Range};
+/// use rand::SeedableRng;
+///
+/// let dataset = Dataset::new(
+///     Domain::new(256),
+///     (0..50).map(|i| Record::new(i, (i * 3) % 256)).collect(),
+/// ).unwrap();
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+///
+/// // `build` + `query` is the whole lifecycle; `build_sharded` selects a
+/// // sharded server layout for schemes that support one.
+/// let (client, server) = LogScheme::build_sharded(&dataset, 4, &mut rng);
+/// let outcome = client.query(&server, Range::new(10, 40));
+/// assert!(!outcome.is_empty());
+/// ```
 pub trait RangeScheme: Sized {
     /// The server-side state (encrypted indexes).
     type Server;
@@ -47,6 +68,27 @@ pub trait RangeScheme: Sized {
 
     /// Builds the owner state and the encrypted server state for a dataset.
     fn build<R: RngCore + CryptoRng>(dataset: &Dataset, rng: &mut R) -> (Self, Self::Server);
+
+    /// Builds the owner state and a server state whose encrypted
+    /// dictionaries are split into `2^shard_bits` label-prefix shards (see
+    /// `rsse_sse::sharded`): shards assemble in parallel during BuildIndex
+    /// and are probed lock-free by concurrent searches.
+    ///
+    /// Query results are **identical** to [`build`](Self::build)'s for every
+    /// `shard_bits` — sharding changes the storage layout, not the
+    /// functionality — so the default implementation simply ignores the
+    /// knob and delegates to `build`; schemes with sharded server layouts
+    /// (Logarithmic-BRC/URC, Constant-BRC/URC, Logarithmic-SRC and SRC-i)
+    /// override it. The update manager routes every batch build and
+    /// consolidation rebuild through this entry point.
+    fn build_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, Self::Server) {
+        let _ = shard_bits;
+        Self::build(dataset, rng)
+    }
 
     /// Issues a range query against the server and returns the outcome.
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome;

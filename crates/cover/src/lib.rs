@@ -10,9 +10,9 @@
 //!   and inclusive ranges over it;
 //! * [`Node`] — nodes of the full binary tree built bottom-up over `A`
 //!   (dyadic intervals);
-//! * [`brc`] — *Best Range Cover*: the minimum set of dyadic intervals that
+//! * [`brc()`] — *Best Range Cover*: the minimum set of dyadic intervals that
 //!   exactly covers a range (`O(log R)` nodes);
-//! * [`urc`] — *Uniform Range Cover* (Kiayias et al.): a worst-case
+//! * [`urc()`] — *Uniform Range Cover* (Kiayias et al.): a worst-case
 //!   decomposition whose multiset of node levels depends only on the range
 //!   *size*, not its position, removing the positional leakage of BRC;
 //! * [`Tdag`] / [`TdagNode`] — the tree-like DAG of the Logarithmic-SRC

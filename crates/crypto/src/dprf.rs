@@ -61,6 +61,26 @@ impl DprfToken {
 }
 
 /// A delegatable PRF over an `ℓ`-bit domain (domain values `0 .. 2^ℓ`).
+///
+/// # Examples
+///
+/// The owner delegates a sub-range; the server expands the token into
+/// exactly that range's leaf values and nothing else:
+///
+/// ```
+/// use rsse_crypto::{Dprf, Key};
+///
+/// let dprf = Dprf::new(&Key::from_bytes([7u8; 32]), 4); // domain 0..16
+///
+/// // Delegate the aligned range [8, 12): one level-2 node (index 2).
+/// let token = dprf.delegate(&[(2, 2)]);
+/// assert_eq!(Dprf::token_coverage(&token), 4);
+///
+/// // Server-side expansion reproduces the owner's per-value PRF outputs.
+/// let leaves = Dprf::expand_token(&token);
+/// let expected: Vec<_> = (8..12).map(|v| dprf.eval(v)).collect();
+/// assert_eq!(leaves, expected);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Dprf {
     root: Seed,

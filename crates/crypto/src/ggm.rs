@@ -20,8 +20,8 @@
 //! key objects. [`Ggm::expand_subtree`] works level by level **in place**
 //! inside the output buffer (parents at the front, expanded back-to-front),
 //! so a full `2^h`-leaf expansion performs exactly one allocation; subtrees
-//! of [`PARALLEL_HEIGHT`] or more levels are split across threads, which is
-//! what makes the Constant schemes' `O(R)` server expansion scale.
+//! of `PARALLEL_HEIGHT` (12) or more levels are split across threads, which
+//! is what makes the Constant schemes' `O(R)` server expansion scale.
 
 use crate::prf::KEY_LEN;
 use hmac::Hmac;

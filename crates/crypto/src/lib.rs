@@ -22,6 +22,8 @@
 //! document lists and token vectors, and a simple [`KeyChain`] helper for
 //! deriving independent sub-keys from a master key.
 
+#![deny(missing_docs)]
+
 pub mod cipher;
 pub mod dprf;
 pub mod ggm;

@@ -64,6 +64,23 @@ impl AsRef<[u8]> for Key {
 /// evaluation. Every hot path in the workspace — index labels, the stream
 /// cipher keystream, GGM expansion — evaluates the same key many times, so
 /// this halves the per-evaluation compression count compared to re-keying.
+///
+/// # Examples
+///
+/// ```
+/// use rsse_crypto::{Key, Prf, KEY_LEN};
+///
+/// let prf = Prf::new(&Key::from_bytes([7u8; KEY_LEN]));
+///
+/// // Deterministic and input-sensitive.
+/// assert_eq!(prf.eval(b"label"), prf.eval(b"label"));
+/// assert_ne!(prf.eval(b"label"), prf.eval(b"other"));
+///
+/// // Hot loops reuse one output buffer via the `_into` entry points.
+/// let mut out = [0u8; KEY_LEN];
+/// prf.eval_u64_into(42, &mut out);
+/// assert_eq!(out, prf.eval_u64(42));
+/// ```
 #[derive(Clone)]
 pub struct Prf {
     /// Cached keyed HMAC state; cloning it is a flat ~230-byte copy.

@@ -15,6 +15,9 @@
 //!   [`SseScheme::trapdoor`], [`SseScheme::search`];
 //! * [`EncryptedIndex`] — the server-side dictionary of PRF-labelled,
 //!   individually encrypted entries;
+//! * [`ShardedIndex`] — the same dictionary split into `2^k`
+//!   label-prefix-keyed shards for parallel builds, lock-free concurrent
+//!   reads and shard-grouped batched search (see [`sharded`]);
 //! * [`padding`] — owner-side padding of the multimap to a fixed size, the
 //!   countermeasure the paper prescribes for Quadratic and Logarithmic-SRC
 //!   so that the index size leaks only `n` and `m`;
@@ -25,7 +28,9 @@ pub mod database;
 pub mod leakage;
 pub mod padding;
 pub mod pibas;
+pub mod sharded;
 
 pub use database::SseDatabase;
 pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
-pub use pibas::{EncryptedIndex, SearchToken, SseKey, SseScheme};
+pub use pibas::{EncryptedIndex, IndexLookup, SearchToken, SseKey, SseScheme};
+pub use sharded::ShardedIndex;

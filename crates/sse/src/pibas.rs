@@ -71,7 +71,7 @@ impl Hasher for LabelHasher {
     }
 }
 
-type LabelTable = HashMap<Label, (u32, u32), BuildHasherDefault<LabelHasher>>;
+pub(crate) type LabelTable = HashMap<Label, (u32, u32), BuildHasherDefault<LabelHasher>>;
 
 /// Owner-side secret key of the SSE scheme: the keyed PRF state on the
 /// master key, cached so every trapdoor derivation shares one key schedule.
@@ -107,15 +107,69 @@ impl SearchToken {
             payload_key: Key::from_bytes(prf.eval(b"payload")),
         }
     }
+
+    /// The keyed cipher decrypting this token's payloads — what `Search`
+    /// instantiates server-side. Exposed so batched callers can decrypt
+    /// hits from [`SseScheme::search_batch_scan`] themselves (e.g. into one
+    /// reused scratch buffer instead of a fresh allocation per payload).
+    pub fn payload_cipher(&self) -> StreamCipher {
+        StreamCipher::new(&self.payload_key)
+    }
+}
+
+/// Read-side interface shared by the dictionary variants: the single-arena
+/// [`EncryptedIndex`] and the [`ShardedIndex`](crate::sharded::ShardedIndex).
+///
+/// All search algorithms ([`SseScheme::search`], [`SseScheme::try_search`],
+/// [`SseScheme::search_batch`], …) are generic over this trait, so a scheme
+/// can move between the unsharded and sharded server layouts without
+/// touching its query logic.
+pub trait IndexLookup {
+    /// Looks up the ciphertext stored under `label`.
+    fn get(&self, label: &Label) -> Option<&[u8]>;
+
+    /// Resolves a batch of probes, writing `out[i] = get(&labels[i])`.
+    ///
+    /// The default implementation probes in input order; sharded
+    /// implementations override it to group probes by shard for table
+    /// locality. `out` is cleared first, and results always come back in
+    /// probe order regardless of the internal grouping.
+    fn get_many<'a>(&'a self, labels: &[Label], out: &mut Vec<Option<&'a [u8]>>) {
+        out.clear();
+        out.extend(labels.iter().map(|label| self.get(label)));
+    }
 }
 
 /// The server-side encrypted index: a flat dictionary from labels to
 /// encrypted payloads, stored as one contiguous ciphertext arena plus a
 /// `label → (offset, len)` table.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rsse_sse::{SseDatabase, SseScheme};
+///
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+/// let key = SseScheme::setup(&mut rng);
+/// let mut db = SseDatabase::new();
+/// db.add(b"keyword".to_vec(), b"payload".to_vec());
+///
+/// let index = SseScheme::build_index(&key, &db, &mut rng);
+/// assert_eq!(index.len(), 1);
+/// let token = SseScheme::trapdoor(&key, b"keyword");
+/// assert_eq!(SseScheme::search(&index, &token), vec![b"payload".to_vec()]);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct EncryptedIndex {
     table: LabelTable,
     arena: Vec<u8>,
+}
+
+impl IndexLookup for EncryptedIndex {
+    fn get(&self, label: &Label) -> Option<&[u8]> {
+        EncryptedIndex::get(self, label)
+    }
 }
 
 impl EncryptedIndex {
@@ -159,17 +213,46 @@ impl EncryptedIndex {
         );
         self.table.insert(label, (offset as u32, len as u32));
     }
+
+    /// Creates an empty index with pre-sized table and arena — the shard
+    /// builder knows both exactly from its tally pass.
+    pub(crate) fn with_capacity(entries: usize, arena_bytes: usize) -> Self {
+        Self {
+            table: LabelTable::with_capacity_and_hasher(entries, BuildHasherDefault::default()),
+            arena: Vec::with_capacity(arena_bytes),
+        }
+    }
+
+    /// Appends one `(label, ciphertext)` entry at the end of the arena.
+    pub(crate) fn append_entry(&mut self, label: Label, ciphertext: &[u8]) {
+        let offset = self.arena.len();
+        self.arena.extend_from_slice(ciphertext);
+        self.insert_span(label, offset, ciphertext.len());
+    }
+
+    /// Raw arena bytes (used by the byte-identity property tests).
+    #[cfg(test)]
+    pub(crate) fn arena_bytes_raw(&self) -> &[u8] {
+        &self.arena
+    }
+
+    /// Raw label table (used by the byte-identity property tests).
+    #[cfg(test)]
+    pub(crate) fn table_raw(&self) -> &LabelTable {
+        &self.table
+    }
 }
 
 /// One keyword's worth of encrypted entries, produced on a worker thread
-/// and merged into the arena in deterministic keyword order.
-struct KeywordChunk {
+/// and merged into the arena (or distributed across shards) in
+/// deterministic keyword order.
+pub(crate) struct KeywordChunk {
     /// Entry labels in counter order.
-    labels: Vec<Label>,
+    pub(crate) labels: Vec<Label>,
     /// Ciphertext spans (offset within `buf`, len), parallel to `labels`.
-    spans: Vec<(u32, u32)>,
+    pub(crate) spans: Vec<(u32, u32)>,
     /// Concatenated ciphertexts for this keyword.
-    buf: Vec<u8>,
+    pub(crate) buf: Vec<u8>,
 }
 
 /// Encrypts one keyword's payload list with a cached label PRF and cipher
@@ -220,7 +303,7 @@ fn encrypt_payloads<'a>(
 
 /// Merges per-keyword chunks (already in deterministic keyword order) into
 /// the final arena-backed index.
-fn merge_chunks(chunks: Vec<KeywordChunk>) -> EncryptedIndex {
+pub(crate) fn merge_chunks(chunks: Vec<KeywordChunk>) -> EncryptedIndex {
     let entries: usize = chunks.iter().map(|c| c.labels.len()).sum();
     let arena_len: usize = chunks.iter().map(|c| c.buf.len()).sum();
     let mut index = EncryptedIndex {
@@ -280,17 +363,28 @@ impl SseScheme {
         database: &SseDatabase,
         rng: &mut R,
     ) -> EncryptedIndex {
+        merge_chunks(Self::chunks_from_database(key, database, rng))
+    }
+
+    /// Produces the per-keyword encrypted chunks of [`build_index`]
+    /// (shared by the arena and sharded assembly paths; RNG consumption is
+    /// identical in both, one nonce seed per keyword).
+    ///
+    /// [`build_index`]: Self::build_index
+    pub(crate) fn chunks_from_database<R: RngCore + CryptoRng>(
+        key: &SseKey,
+        database: &SseDatabase,
+        rng: &mut R,
+    ) -> Vec<KeywordChunk> {
         let keywords: Vec<(&[u8], &[Vec<u8>])> = database.iter().collect();
         let seeds = draw_nonce_seeds(keywords.len(), rng);
         let jobs: Vec<_> = keywords.into_iter().zip(seeds).collect();
-        let chunks: Vec<KeywordChunk> = jobs
-            .into_par_iter()
+        jobs.into_par_iter()
             .map(|((keyword, payloads), seed)| {
                 let token = Self::trapdoor(key, keyword);
                 encrypt_list(&token, payloads, seed)
             })
-            .collect();
-        merge_chunks(chunks)
+            .collect()
     }
 
     /// Variant of `BuildIndex` that takes pre-derived per-keyword tokens.
@@ -306,13 +400,22 @@ impl SseScheme {
         lists: &[(SearchToken, Vec<Vec<u8>>)],
         rng: &mut R,
     ) -> EncryptedIndex {
+        merge_chunks(Self::chunks_from_token_lists(lists, rng))
+    }
+
+    /// Chunk-producing core of [`build_index_from_token_lists`]
+    /// (shared with the sharded assembly path).
+    ///
+    /// [`build_index_from_token_lists`]: Self::build_index_from_token_lists
+    pub(crate) fn chunks_from_token_lists<R: RngCore + CryptoRng>(
+        lists: &[(SearchToken, Vec<Vec<u8>>)],
+        rng: &mut R,
+    ) -> Vec<KeywordChunk> {
         let seeds = draw_nonce_seeds(lists.len(), rng);
         let jobs: Vec<_> = lists.iter().zip(seeds).collect();
-        let chunks: Vec<KeywordChunk> = jobs
-            .into_par_iter()
+        jobs.into_par_iter()
             .map(|((token, payloads), seed)| encrypt_list(token, payloads, seed))
-            .collect();
-        merge_chunks(chunks)
+            .collect()
     }
 
     /// Fixed-stride `BuildIndex`: every payload of a keyword is a `[u8; P]`
@@ -327,10 +430,21 @@ impl SseScheme {
         lists: &[(Vec<u8>, Vec<[u8; P]>)],
         rng: &mut R,
     ) -> EncryptedIndex {
+        merge_chunks(Self::chunks_from_fixed(key, lists, rng))
+    }
+
+    /// Chunk-producing core of [`build_index_fixed`]
+    /// (shared with the sharded assembly path).
+    ///
+    /// [`build_index_fixed`]: Self::build_index_fixed
+    pub(crate) fn chunks_from_fixed<const P: usize, R: RngCore + CryptoRng>(
+        key: &SseKey,
+        lists: &[(Vec<u8>, Vec<[u8; P]>)],
+        rng: &mut R,
+    ) -> Vec<KeywordChunk> {
         let seeds = draw_nonce_seeds(lists.len(), rng);
         let jobs: Vec<_> = lists.iter().zip(seeds).collect();
-        let chunks: Vec<KeywordChunk> = jobs
-            .into_par_iter()
+        jobs.into_par_iter()
             .map(|((keyword, payloads), seed)| {
                 let token = Self::trapdoor(key, keyword);
                 encrypt_payloads(
@@ -341,8 +455,7 @@ impl SseScheme {
                     seed,
                 )
             })
-            .collect();
-        merge_chunks(chunks)
+            .collect()
     }
 
     /// `Trpdr(k, w)`: derives the search token for keyword `w`.
@@ -358,8 +471,8 @@ impl SseScheme {
 
     /// The shared counter-scan: walks labels `F(K1_w, 0), F(K1_w, 1), …`
     /// until the first miss, invoking `visit` on each hit's ciphertext.
-    fn scan_entries<'a>(
-        index: &'a EncryptedIndex,
+    fn scan_entries<'a, I: IndexLookup>(
+        index: &'a I,
         token: &SearchToken,
         mut visit: impl FnMut(&'a [u8]),
     ) -> usize {
@@ -386,7 +499,7 @@ impl SseScheme {
     /// A corrupt (undecryptable) entry is **skipped**, not a panic: the
     /// server must stay available even if a stored ciphertext was damaged.
     /// Use [`try_search`](Self::try_search) to surface corruption instead.
-    pub fn search(index: &EncryptedIndex, token: &SearchToken) -> Vec<Vec<u8>> {
+    pub fn search<I: IndexLookup>(index: &I, token: &SearchToken) -> Vec<Vec<u8>> {
         let cipher = StreamCipher::new(&token.payload_key);
         let mut results = Vec::new();
         Self::scan_entries(index, token, |ciphertext| {
@@ -399,8 +512,8 @@ impl SseScheme {
 
     /// Like [`search`](Self::search) but propagates corruption: returns
     /// `Err` with the counter position of the first undecryptable entry.
-    pub fn try_search(
-        index: &EncryptedIndex,
+    pub fn try_search<I: IndexLookup>(
+        index: &I,
         token: &SearchToken,
     ) -> Result<Vec<Vec<u8>>, CorruptEntry> {
         let cipher = StreamCipher::new(&token.payload_key);
@@ -426,8 +539,99 @@ impl SseScheme {
 
     /// Like [`search`](Self::search) but only counts matches without
     /// decrypting — handy for benchmarks isolating dictionary lookups.
-    pub fn search_count(index: &EncryptedIndex, token: &SearchToken) -> usize {
+    pub fn search_count<I: IndexLookup>(index: &I, token: &SearchToken) -> usize {
         Self::scan_entries(index, token, |_| {})
+    }
+
+    /// The batched counter-scan underlying [`search_batch`]: advances all
+    /// tokens in lockstep, one counter round at a time. Each round computes
+    /// the next label of every still-live token into one shared PRF scratch
+    /// buffer, resolves the whole probe vector with [`IndexLookup::get_many`]
+    /// (which groups probes by shard on a sharded index), and calls
+    /// `visit(token_index, ciphertext)` for every hit. A token leaves the
+    /// live set at its first miss, exactly as in the per-token scan, so the
+    /// per-token visit sequences are identical to [`scan_entries`]'s.
+    ///
+    /// Returns the per-token match counts.
+    ///
+    /// [`search_batch`]: Self::search_batch
+    fn scan_batch<'a, I: IndexLookup>(
+        index: &'a I,
+        tokens: &[SearchToken],
+        mut visit: impl FnMut(usize, &'a [u8]),
+    ) -> Vec<usize> {
+        let mut counts = vec![0usize; tokens.len()];
+        let prfs: Vec<Prf> = tokens
+            .iter()
+            .map(|token| Prf::new(&token.label_key))
+            .collect();
+        let mut live: Vec<u32> = (0..tokens.len() as u32).collect();
+        let mut labels: Vec<Label> = Vec::with_capacity(live.len());
+        let mut hits: Vec<Option<&[u8]>> = Vec::with_capacity(live.len());
+        // One label-PRF output buffer shared across every token and round.
+        let mut label_full = [0u8; KEY_LEN];
+        let mut counter = 0u64;
+        while !live.is_empty() {
+            labels.clear();
+            for &t in &live {
+                prfs[t as usize].eval_u64_into(counter, &mut label_full);
+                let mut label = [0u8; LABEL_LEN];
+                label.copy_from_slice(&label_full[..LABEL_LEN]);
+                labels.push(label);
+            }
+            index.get_many(&labels, &mut hits);
+            let mut kept = 0usize;
+            for (slot, hit) in hits.iter().enumerate() {
+                let t = live[slot] as usize;
+                if let Some(ciphertext) = hit {
+                    visit(t, ciphertext);
+                    counts[t] += 1;
+                    live[kept] = t as u32;
+                    kept += 1;
+                }
+            }
+            live.truncate(kept);
+            counter += 1;
+        }
+        counts
+    }
+
+    /// Batched `Search`: answers a whole token vector in one pass, returning
+    /// each token's decrypted payload list in token order.
+    ///
+    /// Per-token results are **identical** to calling
+    /// [`search`](Self::search) once per token (same payloads, same
+    /// counter order, corrupt entries skipped the same way); what changes is
+    /// the work layout: label-PRF scratch is shared across tokens, every
+    /// counter round's probes are resolved together (grouped by shard on a
+    /// [`ShardedIndex`](crate::sharded::ShardedIndex)), and per-token
+    /// allocations are amortized. This is the server entry point for a range
+    /// query's whole BRC/URC cover.
+    pub fn search_batch<I: IndexLookup>(index: &I, tokens: &[SearchToken]) -> Vec<Vec<Vec<u8>>> {
+        let ciphers: Vec<StreamCipher> = tokens
+            .iter()
+            .map(|token| StreamCipher::new(&token.payload_key))
+            .collect();
+        let mut results: Vec<Vec<Vec<u8>>> = tokens.iter().map(|_| Vec::new()).collect();
+        Self::scan_batch(index, tokens, |t, ciphertext| {
+            if let Some(plaintext) = ciphers[t].decrypt(ciphertext) {
+                results[t].push(plaintext);
+            }
+        });
+        results
+    }
+
+    /// Visitor variant of [`search_batch`](Self::search_batch) for callers
+    /// that post-process payloads without keeping them (e.g. decoding tuple
+    /// ids into a flat result set with one reused decryption buffer).
+    /// `visit` receives `(token index, ciphertext)`; returns per-token match
+    /// counts (matched entries, decryptable or not).
+    pub fn search_batch_scan<'a, I: IndexLookup>(
+        index: &'a I,
+        tokens: &[SearchToken],
+        visit: impl FnMut(usize, &'a [u8]),
+    ) -> Vec<usize> {
+        Self::scan_batch(index, tokens, visit)
     }
 }
 

@@ -1,0 +1,497 @@
+//! Label-prefix sharding of the encrypted dictionary.
+//!
+//! [`ShardedIndex`] splits the flat dictionary of
+//! [`EncryptedIndex`] into `2^k` **shards keyed by
+//! the top `k` bits of the label**: shard `s` owns every entry whose label
+//! prefix is `s`, with its own ciphertext arena and offset table. Because
+//! labels are owner-side PRF outputs (computationally indistinguishable
+//! from uniform — see the [`pibas`](crate::pibas) module docs), the prefix
+//! partition is automatically balanced, and revealing which shard an entry
+//! lives in reveals exactly the label prefix the server could read off the
+//! flat dictionary anyway: sharding changes the storage layout, not the
+//! leakage profile.
+//!
+//! What sharding buys:
+//!
+//! * **Fully parallel BuildIndex assembly.** The single-arena build ends in
+//!   one sequential "append every chunk to the arena" pass; the sharded
+//!   build replaces it with one *independent* assembly job per shard (after
+//!   a cheap index-scatter pass), so the byte-copying and table insertion
+//!   fan out across cores with no final single-threaded append.
+//! * **Lock-free concurrent reads.** Shards are plain immutable structs
+//!   behind `&self`; any number of query threads can probe any shards
+//!   simultaneously with no synchronization whatsoever.
+//! * **Bounded arenas.** Each shard has its own 4 GiB arena limit, so
+//!   `k` shard bits raise the per-index ciphertext capacity `2^k`-fold.
+//! * **Probe locality for batched search.** [`IndexLookup::get_many`]
+//!   groups a probe vector by shard, so consecutive lookups hit the same
+//!   (much smaller) table.
+//!
+//! With `k = 0` the index is a single shard whose arena and table are
+//! **byte-identical** to the unsharded [`EncryptedIndex`] build — the
+//! property test `unsharded_is_byte_identical_to_plain_arena` pins this, so
+//! the sharded type is a strict generalization, not a fork.
+
+use crate::database::SseDatabase;
+use crate::pibas::{
+    merge_chunks, EncryptedIndex, IndexLookup, KeywordChunk, Label, SearchToken, SseKey,
+    SseScheme,
+};
+use rand::{CryptoRng, RngCore};
+use rayon::prelude::*;
+
+/// Maximum supported shard bits (`2^16` shards). Past this point per-shard
+/// bookkeeping dominates any conceivable parallelism win.
+pub const MAX_SHARD_BITS: u32 = 16;
+
+/// Returns the shard (top `bits` bits of the label, read big-endian) an
+/// entry with this label belongs to. `bits == 0` maps everything to shard 0.
+fn shard_of_label(label: &Label, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    let prefix = u64::from_be_bytes(label[..8].try_into().expect("labels are 16 bytes"));
+    (prefix >> (64 - bits)) as usize
+}
+
+/// An encrypted dictionary split into `2^k` label-prefix-keyed shards, each
+/// an independent ciphertext arena plus offset table.
+///
+/// Searched with the exact same tokens and algorithms as the flat
+/// [`EncryptedIndex`] — every search entry point is generic over
+/// [`IndexLookup`] — and guaranteed to hold the same `(label, ciphertext)`
+/// pairs for the same build inputs, whatever `k` is.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rsse_sse::{SseDatabase, SseScheme};
+///
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+/// let key = SseScheme::setup(&mut rng);
+/// let mut db = SseDatabase::new();
+/// for i in 0..100u64 {
+///     db.add(b"w".to_vec(), i.to_le_bytes().to_vec());
+/// }
+///
+/// // 2^4 = 16 shards; entries distribute by label prefix.
+/// let index = SseScheme::build_index_sharded(&key, &db, 4, &mut rng);
+/// assert_eq!(index.shard_count(), 16);
+/// assert_eq!(index.len(), 100);
+///
+/// // Same search API as the unsharded index.
+/// let token = SseScheme::trapdoor(&key, b"w");
+/// assert_eq!(SseScheme::search(&index, &token).len(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedIndex {
+    /// Number of label-prefix bits selecting the shard (`k`).
+    bits: u32,
+    /// The `2^k` shards, indexed by label prefix.
+    shards: Vec<EncryptedIndex>,
+}
+
+impl Default for ShardedIndex {
+    /// An empty unsharded (`k = 0`) index.
+    fn default() -> Self {
+        Self {
+            bits: 0,
+            shards: vec![EncryptedIndex::default()],
+        }
+    }
+}
+
+impl ShardedIndex {
+    /// The number of label-prefix bits selecting a shard (`k`).
+    pub fn shard_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The number of shards (`2^k`).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, indexed by label prefix.
+    pub fn shards(&self) -> &[EncryptedIndex] {
+        &self.shards
+    }
+
+    /// The shard an entry with this label would live in.
+    pub fn shard_of(&self, label: &Label) -> usize {
+        shard_of_label(label, self.bits)
+    }
+
+    /// Total number of entries across all shards (the index-size leakage,
+    /// identical to the unsharded build's).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EncryptedIndex::len).sum()
+    }
+
+    /// Whether no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(EncryptedIndex::is_empty)
+    }
+
+    /// Approximate server-side storage footprint in bytes
+    /// (labels + encrypted payloads, summed over shards).
+    pub fn storage_bytes(&self) -> usize {
+        self.shards.iter().map(EncryptedIndex::storage_bytes).sum()
+    }
+
+    /// Looks up the ciphertext stored under `label` in its shard.
+    pub fn get(&self, label: &Label) -> Option<&[u8]> {
+        self.shards[self.shard_of(label)].get(label)
+    }
+
+    /// Iterates over all stored ciphertexts (shard order; used by
+    /// leakage-oriented tests).
+    pub fn ciphertexts(&self) -> impl Iterator<Item = &[u8]> {
+        self.shards.iter().flat_map(EncryptedIndex::ciphertexts)
+    }
+}
+
+impl IndexLookup for ShardedIndex {
+    fn get(&self, label: &Label) -> Option<&[u8]> {
+        ShardedIndex::get(self, label)
+    }
+
+    /// Shard-grouped probe resolution: large probe vectors are visited in
+    /// shard order so consecutive lookups hit the same (small) table, then
+    /// results are written back in probe order. Small rounds — where the
+    /// grouping bookkeeping would cost more than the locality buys — probe
+    /// directly in input order.
+    fn get_many<'a>(&'a self, labels: &[Label], out: &mut Vec<Option<&'a [u8]>>) {
+        /// Probe counts below this skip the sort-by-shard pass.
+        const GROUP_THRESHOLD: usize = 64;
+
+        out.clear();
+        if self.bits == 0 || labels.len() < GROUP_THRESHOLD {
+            out.extend(labels.iter().map(|label| self.get(label)));
+            return;
+        }
+        out.resize(labels.len(), None);
+        let mut order: Vec<(u32, u32)> = labels
+            .iter()
+            .enumerate()
+            .map(|(slot, label)| (self.shard_of(label) as u32, slot as u32))
+            .collect();
+        order.sort_unstable();
+        for (shard, slot) in order {
+            out[slot as usize] = self.shards[shard as usize].get(&labels[slot as usize]);
+        }
+    }
+}
+
+/// Distributes per-keyword chunks over `2^bits` shards and assembles every
+/// shard's arena + table **in parallel**.
+///
+/// Three passes:
+/// 1. per-entry shard ids, computed in parallel across chunks;
+/// 2. a cheap sequential scatter building each shard's member list (indices
+///    only — no ciphertext bytes move here) together with its exact entry
+///    and byte tallies;
+/// 3. one independent assembly job per shard, in parallel: append the
+///    member ciphertexts to the shard arena (pre-sized exactly) and insert
+///    the labels.
+///
+/// Entries keep the global `(keyword, counter)` order within each shard, so
+/// the result is deterministic regardless of thread scheduling, and with
+/// `bits == 0` the single shard is produced by the exact same
+/// [`merge_chunks`] pass as the unsharded build — byte-identical output.
+pub(crate) fn shard_chunks(bits: u32, chunks: Vec<KeywordChunk>) -> ShardedIndex {
+    assert!(
+        bits <= MAX_SHARD_BITS,
+        "shard bits {bits} exceeds MAX_SHARD_BITS ({MAX_SHARD_BITS})"
+    );
+    if bits == 0 {
+        return ShardedIndex {
+            bits,
+            shards: vec![merge_chunks(chunks)],
+        };
+    }
+    let shard_count = 1usize << bits;
+
+    // Pass 1: per-entry shard ids (parallel across chunks).
+    let shard_ids: Vec<Vec<u16>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            chunk
+                .labels
+                .iter()
+                .map(|label| shard_of_label(label, bits) as u16)
+                .collect()
+        })
+        .collect();
+
+    // Pass 2: index scatter. Only (chunk, entry) index pairs move here —
+    // O(entries) u32 writes — not ciphertext bytes; the byte copying below
+    // is fully parallel per shard.
+    let mut members: Vec<Vec<(u32, u32)>> = (0..shard_count).map(|_| Vec::new()).collect();
+    let mut arena_bytes: Vec<usize> = vec![0; shard_count];
+    for (c, ids) in shard_ids.iter().enumerate() {
+        for (e, &shard) in ids.iter().enumerate() {
+            members[shard as usize].push((c as u32, e as u32));
+            arena_bytes[shard as usize] += chunks[c].spans[e].1 as usize;
+        }
+    }
+
+    // Pass 3: per-shard assembly (parallel across shards, lock-free — each
+    // job reads the shared chunks and writes only its own shard).
+    let jobs: Vec<(Vec<(u32, u32)>, usize)> = members.into_iter().zip(arena_bytes).collect();
+    let shards: Vec<EncryptedIndex> = jobs
+        .into_par_iter()
+        .map(|(member_list, bytes)| {
+            let mut shard = EncryptedIndex::with_capacity(member_list.len(), bytes);
+            for (c, e) in member_list {
+                let chunk = &chunks[c as usize];
+                let (offset, len) = chunk.spans[e as usize];
+                shard.append_entry(
+                    chunk.labels[e as usize],
+                    &chunk.buf[offset as usize..(offset + len) as usize],
+                );
+            }
+            shard
+        })
+        .collect();
+    ShardedIndex { bits, shards }
+}
+
+impl SseScheme {
+    /// Sharded variant of [`build_index`](Self::build_index): same
+    /// per-keyword encryption (and the same RNG consumption — one nonce
+    /// seed per keyword, so ciphertexts are identical for every
+    /// `shard_bits`), but the entries are distributed over `2^shard_bits`
+    /// label-prefix shards assembled in parallel.
+    pub fn build_index_sharded<R: RngCore + CryptoRng>(
+        key: &SseKey,
+        database: &SseDatabase,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> ShardedIndex {
+        shard_chunks(shard_bits, Self::chunks_from_database(key, database, rng))
+    }
+
+    /// Sharded variant of
+    /// [`build_index_from_token_lists`](Self::build_index_from_token_lists).
+    pub fn build_index_from_token_lists_sharded<R: RngCore + CryptoRng>(
+        lists: &[(SearchToken, Vec<Vec<u8>>)],
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> ShardedIndex {
+        shard_chunks(shard_bits, Self::chunks_from_token_lists(lists, rng))
+    }
+
+    /// Sharded variant of [`build_index_fixed`](Self::build_index_fixed) —
+    /// the fast path the range schemes' sharded constructors use.
+    pub fn build_index_fixed_sharded<const P: usize, R: RngCore + CryptoRng>(
+        key: &SseKey,
+        lists: &[(Vec<u8>, Vec<[u8; P]>)],
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> ShardedIndex {
+        shard_chunks(shard_bits, Self::chunks_from_fixed(key, lists, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pibas::LABEL_LEN;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rsse_crypto::{Key, KEY_LEN};
+
+    fn db_from(entries: &[(Vec<u8>, Vec<u8>)]) -> SseDatabase {
+        let mut db = SseDatabase::new();
+        for (k, v) in entries {
+            db.add(k.clone(), v.clone());
+        }
+        db
+    }
+
+    #[test]
+    fn shard_of_label_uses_top_bits() {
+        let mut label = [0u8; LABEL_LEN];
+        label[0] = 0b1010_0000;
+        assert_eq!(shard_of_label(&label, 0), 0);
+        assert_eq!(shard_of_label(&label, 1), 1);
+        assert_eq!(shard_of_label(&label, 3), 0b101);
+        assert_eq!(shard_of_label(&label, 8), 0b1010_0000);
+    }
+
+    #[test]
+    fn default_is_an_empty_unsharded_index() {
+        let index = ShardedIndex::default();
+        assert_eq!(index.shard_bits(), 0);
+        assert_eq!(index.shard_count(), 1);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+        assert_eq!(index.get(&[0u8; LABEL_LEN]), None);
+    }
+
+    #[test]
+    fn entries_land_in_their_prefix_shard() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let key = SseScheme::setup(&mut rng);
+        let db = db_from(
+            &(0..64u64)
+                .map(|i| (format!("kw{}", i % 8).into_bytes(), i.to_le_bytes().to_vec()))
+                .collect::<Vec<_>>(),
+        );
+        let index = SseScheme::build_index_sharded(&key, &db, 4, &mut rng);
+        assert_eq!(index.shard_count(), 16);
+        assert_eq!(index.len(), 64);
+        // Every shard's entries carry that shard's label prefix, and every
+        // keyword remains fully searchable across the shard split.
+        for shard in index.shards() {
+            for label in shard.table_raw().keys() {
+                assert_eq!(&index.shards()[index.shard_of(label)] as *const _, shard as *const _);
+            }
+        }
+        for kw in 0..8u64 {
+            let token = SseScheme::trapdoor(&key, format!("kw{kw}").as_bytes());
+            assert_eq!(SseScheme::search(&index, &token).len(), 8);
+        }
+    }
+
+    #[test]
+    fn search_batch_scan_counts_match_per_token_counts() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let key = SseScheme::setup(&mut rng);
+        let db = db_from(
+            &(0..40u64)
+                .map(|i| (format!("kw{}", i % 5).into_bytes(), i.to_le_bytes().to_vec()))
+                .collect::<Vec<_>>(),
+        );
+        let index = SseScheme::build_index_sharded(&key, &db, 3, &mut rng);
+        let tokens: Vec<SearchToken> = (0..6u64)
+            .map(|kw| SseScheme::trapdoor(&key, format!("kw{kw}").as_bytes()))
+            .collect();
+        let counts = SseScheme::search_batch_scan(&index, &tokens, |_, _| {});
+        let expected: Vec<usize> = tokens
+            .iter()
+            .map(|t| SseScheme::search_count(&index, t))
+            .collect();
+        assert_eq!(counts, expected);
+        assert_eq!(counts, vec![8, 8, 8, 8, 8, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The ISSUE's acceptance property: a `shard_bits = 0` ShardedIndex
+        /// is **byte-identical** to the PR 1 arena-backed `EncryptedIndex` —
+        /// same arena bytes, same offset table — given the same key and RNG
+        /// stream.
+        #[test]
+        fn unsharded_is_byte_identical_to_plain_arena(entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..6),
+             proptest::collection::vec(any::<u8>(), 0..32)), 0..60),
+            seed in any::<u64>())
+        {
+            let db = db_from(&entries);
+            let key = SseScheme::key_from(Key::from_bytes([0x5A; KEY_LEN]));
+
+            let mut rng_flat = ChaCha20Rng::seed_from_u64(seed);
+            let flat = SseScheme::build_index(&key, &db, &mut rng_flat);
+            let mut rng_sharded = ChaCha20Rng::seed_from_u64(seed);
+            let sharded = SseScheme::build_index_sharded(&key, &db, 0, &mut rng_sharded);
+
+            prop_assert_eq!(sharded.shard_count(), 1);
+            let shard = &sharded.shards()[0];
+            prop_assert_eq!(shard.arena_bytes_raw(), flat.arena_bytes_raw(),
+                "k=0 shard arena must be byte-identical to the flat arena");
+            prop_assert_eq!(shard.table_raw(), flat.table_raw(),
+                "k=0 shard offset table must equal the flat table");
+        }
+
+        /// Sharding is layout-only: for arbitrary multimaps and any k, the
+        /// sharded index stores the same (label, ciphertext) pairs as the
+        /// k=0 build and answers every keyword search identically.
+        #[test]
+        fn sharded_search_equals_unsharded_for_random_datasets(entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..5),
+             proptest::collection::vec(any::<u8>(), 0..24)), 0..50),
+            bits in 1u32..9,
+            seed in any::<u64>())
+        {
+            let db = db_from(&entries);
+            let key = SseScheme::key_from(Key::from_bytes([0xC3; KEY_LEN]));
+
+            let mut rng_flat = ChaCha20Rng::seed_from_u64(seed);
+            let flat = SseScheme::build_index_sharded(&key, &db, 0, &mut rng_flat);
+            let mut rng_sharded = ChaCha20Rng::seed_from_u64(seed);
+            let sharded = SseScheme::build_index_sharded(&key, &db, bits, &mut rng_sharded);
+
+            prop_assert_eq!(sharded.len(), flat.len());
+            prop_assert_eq!(sharded.storage_bytes(), flat.storage_bytes());
+            // Entry-level equality: every label resolves to the same bytes.
+            for shard in flat.shards() {
+                for label in shard.table_raw().keys() {
+                    prop_assert_eq!(sharded.get(label), flat.get(label));
+                }
+            }
+            // Search-level equality, per-token and batched.
+            let tokens: Vec<SearchToken> = db.iter()
+                .map(|(kw, _)| SseScheme::trapdoor(&key, kw))
+                .collect();
+            for token in &tokens {
+                prop_assert_eq!(
+                    SseScheme::search(&sharded, token),
+                    SseScheme::search(&flat, token)
+                );
+            }
+            let batched = SseScheme::search_batch(&sharded, &tokens);
+            let per_token: Vec<Vec<Vec<u8>>> = tokens.iter()
+                .map(|t| SseScheme::search(&flat, t))
+                .collect();
+            prop_assert_eq!(batched, per_token);
+        }
+
+        /// Regression: `search_batch` on a *shuffled* token vector returns,
+        /// per token, exactly what per-token `search` returns — so the
+        /// result multiset over the whole vector is independent of token
+        /// order and of batching.
+        #[test]
+        fn search_batch_on_shuffled_tokens_matches_per_token_search(
+            entries in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..4),
+                 proptest::collection::vec(any::<u8>(), 0..16)), 0..40),
+            bits in 0u32..7,
+            by in 0usize..13,
+            seed in any::<u64>())
+        {
+            let db = db_from(&entries);
+            let mut rng = ChaCha20Rng::seed_from_u64(seed);
+            let key = SseScheme::setup(&mut rng);
+            let index = SseScheme::build_index_sharded(&key, &db, bits, &mut rng);
+
+            // Tokens for every keyword plus two absent ones, then shuffled
+            // (deterministic rotation + reversal keeps proptest shrinking sane).
+            let mut tokens: Vec<SearchToken> = db.iter()
+                .map(|(kw, _)| SseScheme::trapdoor(&key, kw))
+                .collect();
+            tokens.push(SseScheme::trapdoor(&key, b"absent-1"));
+            tokens.push(SseScheme::trapdoor(&key, b"absent-2"));
+            let split = by % tokens.len().max(1);
+            tokens.rotate_left(split);
+            tokens.reverse();
+
+            let batched = SseScheme::search_batch(&index, &tokens);
+            let per_token: Vec<Vec<Vec<u8>>> = tokens.iter()
+                .map(|t| SseScheme::search(&index, t))
+                .collect();
+            prop_assert_eq!(&batched, &per_token, "per-token results must be identical");
+
+            // Multiset equality over the flattened result vector.
+            let mut flat_batched: Vec<Vec<u8>> = batched.into_iter().flatten().collect();
+            let mut flat_single: Vec<Vec<u8>> = per_token.into_iter().flatten().collect();
+            flat_batched.sort();
+            flat_single.sort();
+            prop_assert_eq!(flat_batched, flat_single);
+        }
+    }
+}

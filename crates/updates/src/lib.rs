@@ -15,7 +15,18 @@
 //! manager keeps their number at `O(s·log_s b)` for `b` ingested batches.
 //!
 //! [`UpdateManager`] is generic over any [`RangeScheme`], exactly as the
-//! paper's mechanism is generic over any static RSSE construction.
+//! paper's mechanism is generic over any static RSSE construction. Every
+//! batch build and consolidation rebuild is routed through
+//! [`RangeScheme::build_sharded`], so an [`UpdateConfig::shard_bits`]
+//! setting gives the manager sharded dictionaries (parallel rebuild
+//! assembly, lock-free concurrent searches) for every scheme with a
+//! sharded server layout — Logarithmic-BRC/URC, Constant-BRC/URC,
+//! Logarithmic-SRC and SRC-i. Schemes without one (Quadratic, PB, the
+//! plain-SSE baseline) fall back to the trait's default, which ignores
+//! the knob and builds unsharded.
+//!
+//! [`RangeScheme`]: rsse_core::RangeScheme
+//! [`RangeScheme::build_sharded`]: rsse_core::RangeScheme::build_sharded
 
 pub mod batch;
 pub mod manager;

@@ -15,12 +15,20 @@ pub struct UpdateConfig {
     /// at the next level. `s = 0` disables consolidation (every batch stays
     /// a separate index forever).
     pub consolidation_step: usize,
+    /// Label-prefix shard bits for every index the manager builds: each
+    /// batch index and every consolidation rebuild goes through
+    /// [`RangeScheme::build_sharded`], so the encrypted dictionaries are
+    /// split into `2^shard_bits` shards (0 = single arena). Consolidations
+    /// of large levels are exactly where the parallel sharded assembly pays
+    /// off, since a rebuild re-encrypts the whole merged level.
+    pub shard_bits: u32,
 }
 
 impl Default for UpdateConfig {
     fn default() -> Self {
         Self {
             consolidation_step: 4,
+            shard_bits: 0,
         }
     }
 }
@@ -47,6 +55,7 @@ impl<S: RangeScheme> BatchInstance<S> {
         domain: Domain,
         seq: u64,
         entries: Vec<UpdateEntry>,
+        shard_bits: u32,
         rng: &mut R,
     ) -> Self {
         // Within a batch, the latest entry for an id wins.
@@ -58,7 +67,7 @@ impl<S: RangeScheme> BatchInstance<S> {
         let ops: HashMap<DocId, UpdateOp> = latest.iter().map(|(id, e)| (*id, e.op)).collect();
         let dataset = Dataset::new(domain, records)
             .expect("update entries validated against the domain before ingestion");
-        let (client, server) = S::build(&dataset, rng);
+        let (client, server) = S::build_sharded(&dataset, shard_bits, rng);
         Self {
             seq,
             client,
@@ -141,7 +150,8 @@ impl<S: RangeScheme> UpdateManager<S> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.batches_ingested += 1;
-        let instance = BatchInstance::build(self.domain, seq, entries, rng);
+        let instance =
+            BatchInstance::build(self.domain, seq, entries, self.config.shard_bits, rng);
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
@@ -172,6 +182,14 @@ impl<S: RangeScheme> UpdateManager<S> {
     /// Merges a group of instances into one: replays their updates in
     /// sequence order, drops deleted tuples, and rebuilds a single index
     /// under a fresh key (the "download, merge, re-encrypt" of the paper).
+    ///
+    /// A deletion tombstone can only be dropped ("physically purged") when
+    /// no instance *outside* the merged group still touches the deleted id
+    /// — otherwise an older instance holding a stale version of the tuple
+    /// would become authoritative again and the tuple would resurrect.
+    /// Tombstones that must survive stay in the merged instance's entries
+    /// (and are indexed and query-filtered exactly like a level-0 delete)
+    /// until a later merge meets the stale version and purges both.
     fn merge_instances<R: RngCore + CryptoRng>(
         &mut self,
         mut group: Vec<BatchInstance<S>>,
@@ -185,15 +203,27 @@ impl<S: RangeScheme> UpdateManager<S> {
                 latest.insert(entry.record.id, *entry);
             }
         }
+        // `self.levels` no longer contains the drained group, so every
+        // instance seen here is a live instance outside the merge.
+        let touched_elsewhere: HashSet<DocId> = self
+            .levels
+            .iter()
+            .flatten()
+            .flat_map(|instance| instance.ops.keys().copied())
+            .collect();
         let surviving: Vec<UpdateEntry> = latest
             .into_values()
-            .filter(|entry| !entry.is_deletion())
+            .filter(|entry| !entry.is_deletion() || touched_elsewhere.contains(&entry.record.id))
             .map(|entry| UpdateEntry {
                 record: entry.record,
-                op: UpdateOp::Insert,
+                op: if entry.is_deletion() {
+                    UpdateOp::Delete
+                } else {
+                    UpdateOp::Insert
+                },
             })
             .collect();
-        BatchInstance::build(self.domain, newest_seq, surviving, rng)
+        BatchInstance::build(self.domain, newest_seq, surviving, self.config.shard_bits, rng)
     }
 
     /// Issues a range query against every active instance, merges the
@@ -279,6 +309,7 @@ mod tests {
             Domain::new(256),
             UpdateConfig {
                 consolidation_step: step,
+                ..UpdateConfig::default()
             },
         )
     }
@@ -401,6 +432,86 @@ mod tests {
             sorted(mgr.query(range).ids.clone()),
             sorted(mgr.ground_truth(range))
         );
+    }
+
+    #[test]
+    fn consolidated_deletion_does_not_resurrect_older_instances() {
+        // Regression: a tuple inserted in an early (already consolidated)
+        // instance and deleted in a later batch must stay deleted after the
+        // deleting batch's level consolidates. The tombstone has to survive
+        // the merge while any older live instance still touches the id.
+        let mut rng = ChaCha20Rng::seed_from_u64(10);
+        let mut mgr = manager(2);
+        mgr.ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::insert(2, 20)], &mut rng);
+        // Level 0 consolidated into instance A = {1, 2} at level 1.
+        assert_eq!(mgr.active_instances(), 1);
+        mgr.ingest_batch(vec![UpdateEntry::delete(1, 10)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::insert(3, 30)], &mut rng);
+        // The deleting batch merged with its level-0 sibling while A still
+        // lives: id 1 must not resurrect from A.
+        let range = Range::new(0, 255);
+        assert_eq!(sorted(mgr.query(range).ids), vec![2, 3]);
+        assert_eq!(sorted(mgr.ground_truth(range)), vec![2, 3]);
+        // One more round of batches telescopes everything into one
+        // instance; the tombstone finally meets the stale insert and both
+        // are purged physically.
+        mgr.ingest_batch(vec![UpdateEntry::insert(4, 40)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::insert(5, 50)], &mut rng);
+        assert_eq!(sorted(mgr.query(range).ids), vec![2, 3, 4, 5]);
+        if mgr.active_instances() == 1 {
+            // Fully consolidated: the index holds exactly the live tuples.
+            let entries_per_tuple = 9; // domain 256 → log m + 1 keywords
+            assert_eq!(mgr.index_stats().entries, 4 * entries_per_tuple);
+        }
+    }
+
+    #[test]
+    fn modification_survives_consolidation_of_the_modifying_batch() {
+        // Same resurrection scenario through the modify path: the old value
+        // must stay dead once the modifying batch consolidates.
+        let mut rng = ChaCha20Rng::seed_from_u64(11);
+        let mut mgr = manager(2);
+        mgr.ingest_batch(vec![UpdateEntry::insert(7, 10)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::insert(8, 11)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::modify(7, 200)], &mut rng);
+        mgr.ingest_batch(vec![UpdateEntry::insert(9, 12)], &mut rng);
+        assert!(mgr.query(Range::new(0, 50)).ids != vec![7], "old value must stay dead");
+        assert_eq!(sorted(mgr.query(Range::new(0, 50)).ids), vec![8, 9]);
+        assert_eq!(mgr.query(Range::new(150, 255)).ids, vec![7]);
+    }
+
+    #[test]
+    fn sharded_rebuilds_answer_identically_to_unsharded() {
+        // The rebuild path goes through build_sharded: a manager configured
+        // with shard bits must stay logically identical to an unsharded one
+        // across ingestion and consolidation.
+        let mut rng_a = ChaCha20Rng::seed_from_u64(9);
+        let mut rng_b = ChaCha20Rng::seed_from_u64(9);
+        let mut plain = manager(3);
+        let mut sharded = LogManager::new(
+            Domain::new(256),
+            UpdateConfig {
+                consolidation_step: 3,
+                shard_bits: 4,
+            },
+        );
+        for b in 0..9u64 {
+            let entries: Vec<UpdateEntry> = (0..6u64)
+                .map(|i| UpdateEntry::insert(b * 10 + i, (b * 31 + i * 7) % 256))
+                .collect();
+            plain.ingest_batch(entries.clone(), &mut rng_a);
+            sharded.ingest_batch(entries, &mut rng_b);
+        }
+        assert_eq!(plain.consolidations(), sharded.consolidations());
+        for range in [Range::new(0, 255), Range::new(10, 60), Range::new(200, 220)] {
+            assert_eq!(
+                sorted(sharded.query(range).ids),
+                sorted(plain.query(range).ids)
+            );
+        }
+        // Sharding is layout-only: index sizes agree too.
+        assert_eq!(plain.index_stats().entries, sharded.index_stats().entries);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Sharded dictionaries + batched multi-client search.
+//!
+//! A server answering many concurrent range queries should not pay
+//! per-token fixed costs: each query expands into a whole vector of
+//! BRC/URC cover tokens, and a batch of clients multiplies that again.
+//! This example builds a Logarithmic-BRC index over a 2^8-way sharded
+//! dictionary, stands up a [`QueryServer`], and answers a burst of client
+//! queries in one batched call — then checks the answers against both the
+//! plaintext ground truth and the classic one-token-at-a-time path.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example batched_server
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse::core::schemes::log_brc_urc::LogScheme;
+use rsse::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Owner: outsource 50,000 tuples into a sharded encrypted index.
+    // ---------------------------------------------------------------
+    let mut rng = ChaCha20Rng::seed_from_u64(42);
+    let domain = Domain::new(1 << 16);
+    let records: Vec<Record> = (0..50_000u64)
+        .map(|i| Record::new(i, (i * 6151 + 17) % domain.size()))
+        .collect();
+    let dataset = Dataset::new(domain, records).expect("values fit the domain");
+
+    let shard_bits = 8;
+    let (client, server) =
+        LogScheme::build_sharded_with(&dataset, CoverKind::Brc, shard_bits, &mut rng);
+    println!(
+        "index: {} entries across {} shards ({} bits of label prefix)",
+        server.index().len(),
+        server.index().shard_count(),
+        server.shard_bits(),
+    );
+
+    // Keep a copy for the sequential comparison, then stand up the batched
+    // query server (shards are immutable — concurrent reads are lock-free).
+    let sequential_server = server.clone();
+    let query_server = server.into_query_server();
+
+    // ---------------------------------------------------------------
+    // 2. A burst of concurrent clients, each with its own range query.
+    // ---------------------------------------------------------------
+    let ranges: Vec<Range> = (0..32u64)
+        .map(|c| {
+            let lo = (c * 1987) % (domain.size() - 2_000);
+            Range::new(lo, lo + 1_999)
+        })
+        .collect();
+    let outcomes = client.query_many(&query_server, &ranges);
+
+    // ---------------------------------------------------------------
+    // 3. Verify: exact results, identical to the per-token path.
+    // ---------------------------------------------------------------
+    let mut total_results = 0usize;
+    let mut total_tokens = 0usize;
+    for (range, outcome) in ranges.iter().zip(&outcomes) {
+        let mut got = outcome.ids.clone();
+        let mut expected = dataset.matching_ids(*range);
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "batched answer must be exact for {range}");
+        assert_eq!(
+            outcome.ids,
+            client.query(&sequential_server, *range).ids,
+            "batched and sequential answers must be identical for {range}"
+        );
+        total_results += outcome.ids.len();
+        total_tokens += outcome.stats.tokens_sent;
+    }
+    println!(
+        "answered {} queries in one batch: {} tokens, {} result tuples, all exact \
+         and identical to the sequential per-token path",
+        ranges.len(),
+        total_tokens,
+        total_results,
+    );
+}

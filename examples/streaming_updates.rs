@@ -23,6 +23,9 @@ fn main() {
     let domain = Domain::new(1 << 16);
     let config = UpdateConfig {
         consolidation_step: 4,
+        // Consolidation rebuilds go through the sharded BuildIndex: 2^4
+        // label-prefix shards assemble in parallel on every merge.
+        shard_bits: 4,
     };
     let mut manager: UpdateManager<LogScheme> = UpdateManager::new(domain, config);
 

@@ -57,8 +57,10 @@ pub use rsse_cover::{Domain, Range};
 pub mod prelude {
     pub use rsse_core::schemes::{AnyScheme, CoverKind, SchemeKind};
     pub use rsse_core::{
-        Dataset, DocId, Evaluation, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record,
+        Dataset, DocId, Evaluation, IndexStats, QueryOutcome, QueryServer, QueryStats,
+        RangeScheme, Record,
     };
+    pub use rsse_sse::ShardedIndex;
     pub use rsse_cover::{Domain, Range};
     pub use rsse_updates::{UpdateConfig, UpdateEntry, UpdateManager, UpdateOp};
     pub use rsse_workload::{gowalla_like, usps_like, DatasetProfile};

@@ -192,5 +192,84 @@ fn bench_search_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_search_100k, bench_search_sharded);
+/// The PR 3 persistence target: the file-backed storage engine serving the
+/// 100k-record dataset (see BENCH_pr3.json).
+///
+/// * `search_persistent/cold_open/k4` — `QueryServer::open_dir` on a saved
+///   `2^4`-shard index: manifest + shard-directory loads, no region bytes.
+/// * `search_persistent/answer_many/file/k4` — 32 concurrent 1% queries on
+///   the file-backed server (first iteration faults pages in; steady state
+///   serves from the block cache).
+/// * `search_persistent/answer_many/memory/k4` — the same batch on the
+///   in-memory backend, for the paged-read overhead comparison.
+fn bench_search_persistent(c: &mut Criterion) {
+    use rsse_core::{QueryServer, RangeScheme, StorageConfig};
+
+    let ids = [
+        "search_persistent/cold_open/k4".to_string(),
+        "search_persistent/answer_many/file/k4".to_string(),
+        "search_persistent/answer_many/memory/k4".to_string(),
+    ];
+    if !criterion::any_id_matches(ids) {
+        return;
+    }
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let domain_size = 1u64 << 20;
+    let dataset = gowalla_like(100_000, domain_size, &mut rng);
+    let dir = std::env::temp_dir().join(format!("rsse-bench-persistent-{}", std::process::id()));
+    let bits = 4u32;
+
+    let mut mem_rng = ChaCha20Rng::seed_from_u64(7);
+    let (_, mem_server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, bits, &mut mem_rng);
+    let mem_qs = mem_server.into_query_server();
+
+    let mut disk_rng = ChaCha20Rng::seed_from_u64(7);
+    let (client, disk_server) = LogScheme::build_stored(
+        &dataset,
+        &StorageConfig::on_disk(bits, &dir),
+        &mut disk_rng,
+    )
+    .expect("on-disk build");
+    drop(disk_server); // cold-open measures a fresh process's path
+
+    let len = domain_size / 100;
+    let ranges: Vec<Range> = (0..32u64)
+        .map(|i| {
+            let lo = (i * 76_543) % (domain_size - len);
+            Range::new(lo, lo + len - 1)
+        })
+        .collect();
+    let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
+        .iter()
+        .map(|&r| client.trapdoor(r).expect("in-domain range"))
+        .collect();
+
+    let mut group = c.benchmark_group("search_persistent");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("cold_open", format!("k{bits}")), |b| {
+        b.iter(|| QueryServer::open_dir(&dir).expect("open saved index"))
+    });
+    let file_qs = QueryServer::open_dir(&dir).expect("open saved index");
+    group.bench_function(
+        BenchmarkId::new("answer_many/file", format!("k{bits}")),
+        |b| b.iter(|| file_qs.answer_many(&queries)),
+    );
+    group.bench_function(
+        BenchmarkId::new("answer_many/memory", format!("k{bits}")),
+        |b| b.iter(|| mem_qs.answer_many(&queries)),
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_search,
+    bench_search_100k,
+    bench_search_sharded,
+    bench_search_persistent
+);
 criterion_main!(benches);

@@ -133,6 +133,34 @@ impl BloomFilter {
         let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
         set as f64 / self.num_bits as f64
     }
+
+    /// The raw 64-bit words of the bit array (serialization support; the
+    /// PB baseline persists its filter tree through this).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a filter from its serialized parts: the sizing
+    /// parameters, the raw words, and the recorded element count.
+    ///
+    /// # Panics
+    /// Panics if the parameters are degenerate or `words` does not hold
+    /// exactly `num_bits.div_ceil(64)` words — deserializers are expected
+    /// to validate sizes before calling this.
+    pub fn from_parts(params: BloomParams, words: Vec<u64>, items: usize) -> Self {
+        assert!(params.num_bits > 0 && params.num_hashes > 0);
+        assert_eq!(
+            words.len(),
+            params.num_bits.div_ceil(64),
+            "word count must match num_bits"
+        );
+        Self {
+            words,
+            num_bits: params.num_bits,
+            num_hashes: params.num_hashes,
+            items,
+        }
+    }
 }
 
 /// Computes the `count` keyed hash values of `element` under `key`:

@@ -58,3 +58,7 @@ pub use dataset::{Dataset, DatasetError, DocId, Record};
 pub use metrics::{Evaluation, IndexStats, QueryStats};
 pub use server::QueryServer;
 pub use traits::{QueryOutcome, RangeScheme};
+
+// Storage-backend selection and errors surface through `RangeScheme::
+// build_stored` and the persistence entry points, so re-export them here.
+pub use rsse_sse::{StorageBackend, StorageConfig, StorageError};

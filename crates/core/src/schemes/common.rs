@@ -4,7 +4,10 @@ use crate::dataset::{decode_id_payload, DocId};
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
 use rsse_cover::{Domain, Range};
-use rsse_sse::{EncryptedIndex, IndexLookup, SearchToken, ShardedIndex, SseKey, SseScheme};
+use rsse_sse::{
+    EncryptedIndex, IndexLookup, SearchToken, ShardedIndex, SseKey, SseScheme, StorageConfig,
+    StorageError,
+};
 
 /// Token counts at or above this run the per-token searches on all cores.
 /// Below it (the Logarithmic schemes' `O(log R)` token vectors) threading
@@ -114,8 +117,8 @@ pub fn grouped_fixed_index<const K: usize, const P: usize, R: RngCore + CryptoRn
 /// Sharded variant of [`grouped_fixed_index`]: identical grouping, keyed
 /// shuffle and per-keyword encryption (and identical RNG consumption, so
 /// ciphertexts match byte-for-byte across `shard_bits` values), with the
-/// entries distributed over `2^shard_bits` label-prefix shards assembled in
-/// parallel.
+/// entries distributed over `2^shard_bits` in-memory label-prefix shards
+/// assembled in parallel.
 pub fn grouped_fixed_index_sharded<const K: usize, const P: usize, R: RngCore + CryptoRng>(
     key: &SseKey,
     shuffle_key: &rsse_crypto::Key,
@@ -123,7 +126,28 @@ pub fn grouped_fixed_index_sharded<const K: usize, const P: usize, R: RngCore + 
     shard_bits: u32,
     rng: &mut R,
 ) -> ShardedIndex {
-    SseScheme::build_index_fixed_sharded(key, &grouped_lists(shuffle_key, entries), shard_bits, rng)
+    grouped_fixed_index_stored(
+        key,
+        shuffle_key,
+        entries,
+        &StorageConfig::in_memory(shard_bits),
+        rng,
+    )
+    .expect("in-memory build cannot fail")
+}
+
+/// Storage-dispatching variant of [`grouped_fixed_index_sharded`]:
+/// identical grouping, keyed shuffle, per-keyword encryption and RNG
+/// consumption, with the shards assembled in memory or streamed straight to
+/// their serialized files as the [`StorageConfig`] backend selects.
+pub fn grouped_fixed_index_stored<const K: usize, const P: usize, R: RngCore + CryptoRng>(
+    key: &SseKey,
+    shuffle_key: &rsse_crypto::Key,
+    entries: Vec<([u8; K], [u8; P])>,
+    config: &StorageConfig,
+    rng: &mut R,
+) -> Result<ShardedIndex, StorageError> {
+    SseScheme::build_index_fixed_stored(key, &grouped_lists(shuffle_key, entries), config, rng)
 }
 
 /// The grouping core shared by the two builds above: sort flat entries by

@@ -23,9 +23,11 @@ use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Dprf, DprfToken, Key, KeyChain};
-use rsse_sse::{SearchToken, ShardedIndex, SseScheme};
+use rsse_sse::{SearchToken, ShardedIndex, SseScheme, StorageBackend, StorageConfig, StorageError};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs;
+use std::path::Path;
 
 /// Error returned by [`ConstantScheme::try_query`] when the new query
 /// intersects a previously issued one (the functional restriction under
@@ -70,11 +72,63 @@ pub struct ConstantServer {
     depth: u32,
 }
 
+/// File recording the (public) GGM tree depth next to a saved Constant
+/// server's shard files.
+const DEPTH_META_FILE: &str = "constant.meta";
+
+/// Magic bytes of the depth metadata file.
+const DEPTH_META_MAGIC: [u8; 8] = *b"RSSE-CMD";
+
 impl ConstantServer {
     /// Number of label-prefix bits sharding the dictionary.
     pub fn shard_bits(&self) -> u32 {
         self.index.shard_bits()
     }
+
+    /// Serializes the dictionary (and the public GGM depth, in a
+    /// `constant.meta` sidecar) into `dir`.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        let dir = dir.as_ref();
+        self.index.save_to_dir(dir)?;
+        write_depth_meta(dir, self.depth)
+    }
+
+    /// Cold-opens a server over a previously saved (or disk-built)
+    /// dictionary; the shards are served via paged reads without a rebuild.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let dir = dir.as_ref();
+        Ok(Self {
+            index: ShardedIndex::open_dir(dir)?,
+            depth: read_depth_meta(dir)?,
+        })
+    }
+}
+
+/// Writes the GGM-depth sidecar file.
+fn write_depth_meta(dir: &Path, depth: u32) -> Result<(), StorageError> {
+    let path = dir.join(DEPTH_META_FILE);
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(&DEPTH_META_MAGIC);
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&depth.to_le_bytes());
+    rsse_sse::storage::write_file_atomic_bytes(&path, &bytes)
+}
+
+/// Reads and validates the GGM-depth sidecar file.
+fn read_depth_meta(dir: &Path) -> Result<u32, StorageError> {
+    let path = dir.join(DEPTH_META_FILE);
+    let bytes = fs::read(&path).map_err(|error| StorageError::Io {
+        path: path.clone(),
+        error,
+    })?;
+    rsse_sse::storage::check_header(&path, &bytes, &DEPTH_META_MAGIC, 16)?;
+    if bytes.len() != 16 {
+        return Err(StorageError::CorruptDirectory {
+            path,
+            detail: format!("{} trailing bytes after the depth field", bytes.len() - 16),
+        });
+    }
+    Ok(u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")))
 }
 
 /// The trapdoor of the Constant schemes: a delegated DPRF token.
@@ -107,13 +161,27 @@ impl ConstantScheme {
     }
 
     /// Builds the scheme with an explicit covering technique and the
-    /// dictionary split into `2^shard_bits` label-prefix shards.
+    /// dictionary split into `2^shard_bits` in-memory label-prefix shards.
     pub fn build_sharded_with<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         kind: CoverKind,
         shard_bits: u32,
         rng: &mut R,
     ) -> (Self, ConstantServer) {
+        Self::build_stored_with(dataset, kind, &StorageConfig::in_memory(shard_bits), rng)
+            .expect("in-memory build cannot fail")
+    }
+
+    /// Builds the scheme with an explicit covering technique and the
+    /// dictionary held by the storage backend `config` selects; on-disk
+    /// builds also record the (public) GGM depth in a `constant.meta`
+    /// sidecar so [`ConstantServer::open_dir`] can cold-open the server.
+    pub fn build_stored_with<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, ConstantServer), StorageError> {
         let domain = *dataset.domain();
         let chain = KeyChain::generate(rng);
         let dprf = Dprf::new(&chain.derive(b"dprf"), domain.bits());
@@ -145,8 +213,17 @@ impl ConstantScheme {
                 (SearchToken::derive_from_seed(&seed), payloads)
             })
             .collect();
-        let index = SseScheme::build_index_from_token_lists_sharded(&lists, shard_bits, rng);
-        (
+        let index = SseScheme::build_index_from_token_lists_stored(&lists, config, rng)?;
+        if let StorageBackend::OnDisk(dir) = &config.backend {
+            if let Err(error) = write_depth_meta(dir, domain.bits()) {
+                // Unwind the already-written index files so a failed build
+                // never leaves a directory that looks like a complete index
+                // but cannot be cold-opened as a Constant server.
+                rsse_sse::storage::cleanup_partial_index(dir, 1usize << config.shard_bits);
+                return Err(error);
+            }
+        }
+        Ok((
             Self {
                 dprf,
                 shuffle_key,
@@ -158,7 +235,7 @@ impl ConstantScheme {
                 index,
                 depth: domain.bits(),
             },
-        )
+        ))
     }
 
     /// The covering technique this client uses.
@@ -249,6 +326,14 @@ impl RangeScheme for ConstantScheme {
         rng: &mut R,
     ) -> (Self, Self::Server) {
         Self::build_sharded_with(dataset, CoverKind::Brc, shard_bits, rng)
+    }
+
+    fn build_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        Self::build_stored_with(dataset, CoverKind::Brc, config, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
@@ -403,6 +488,32 @@ mod tests {
         let (client, server) = ConstantScheme::build(&dataset, &mut rng);
         assert!(client.query(&server, Range::new(64, 100)).is_empty());
         assert!(client.trapdoor(Range::new(64, 100)).is_none());
+    }
+
+    #[test]
+    fn disk_built_server_cold_opens_and_answers_identically() {
+        let dataset = testutil::skewed_dataset();
+        let dir = testutil::TempDir::new("constant-disk");
+        let mut rng_mem = ChaCha20Rng::seed_from_u64(21);
+        let (_, mem_server) = ConstantScheme::build_with(&dataset, CoverKind::Brc, &mut rng_mem);
+        let mut rng_disk = ChaCha20Rng::seed_from_u64(21);
+        let (client, disk_server) = ConstantScheme::build_stored_with(
+            &dataset,
+            CoverKind::Brc,
+            &StorageConfig::on_disk(2, dir.path()),
+            &mut rng_disk,
+        )
+        .unwrap();
+        drop(disk_server);
+        let reopened = ConstantServer::open_dir(dir.path()).unwrap();
+        assert_eq!(ConstantScheme::server_depth(&reopened), 6);
+        for range in testutil::query_mix(dataset.domain().size()) {
+            assert_eq!(
+                client.query(&reopened, range).ids,
+                client.query(&mem_server, range).ids,
+                "cold-open must answer like the in-memory server for {range}"
+            );
+        }
     }
 
     #[test]

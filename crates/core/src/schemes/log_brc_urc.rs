@@ -11,13 +11,17 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index_sharded, search_ids, CoverKind};
+use crate::schemes::common::{clamp_query, grouped_fixed_index_stored, search_ids, CoverKind};
 use crate::server::QueryServer;
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
-use rsse_sse::{padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{
+    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig,
+    StorageError,
+};
+use std::path::Path;
 
 /// Owner-side state of Logarithmic-BRC / Logarithmic-URC.
 #[derive(Clone, Debug)]
@@ -52,19 +56,37 @@ impl LogServer {
     pub fn into_query_server(self) -> QueryServer {
         QueryServer::new(self.index)
     }
+
+    /// Serializes the server's dictionary into `dir` (see
+    /// [`ShardedIndex::save_to_dir`]).
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        self.index.save_to_dir(dir)
+    }
+
+    /// Cold-opens a server over a dictionary previously saved with
+    /// [`save_to_dir`](Self::save_to_dir) or built on disk through
+    /// [`LogScheme::build_full_stored`]; the shards are served via paged
+    /// reads without a rebuild.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Ok(Self {
+            index: ShardedIndex::open_dir(dir)?,
+        })
+    }
 }
 
 impl LogScheme {
     /// Builds the scheme with an explicit covering technique, optional
     /// padding of the multimap to `n · (⌈log m⌉ + 1)` entries, and the
-    /// dictionary split into `2^shard_bits` label-prefix shards.
-    pub fn build_full_sharded<R: RngCore + CryptoRng>(
+    /// dictionary held by the storage backend `config` selects — in-memory
+    /// shard arenas, or shard files streamed to disk during BuildIndex and
+    /// served via paged reads.
+    pub fn build_full_stored<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         kind: CoverKind,
         pad: bool,
-        shard_bits: u32,
+        config: &StorageConfig,
         rng: &mut R,
-    ) -> (Self, LogServer) {
+    ) -> Result<(Self, LogServer), StorageError> {
         let domain = *dataset.domain();
         let chain = KeyChain::generate(rng);
         let key = SseScheme::key_from(chain.derive(b"sse"));
@@ -83,7 +105,7 @@ impl LogScheme {
             db.shuffle_lists(&shuffle_key);
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), false);
             padding::pad_to(&mut db, target, 8);
-            SseScheme::build_index_sharded(&key, &db, shard_bits, rng)
+            SseScheme::build_index_stored(&key, &db, config, rng)?
         } else {
             // Unpadded fast path: flat (node keyword, id) entries, grouped
             // by one sort — no per-entry allocations before encryption.
@@ -94,9 +116,9 @@ impl LogScheme {
                     entries.push((node.keyword(), payload));
                 }
             }
-            grouped_fixed_index_sharded(&key, &shuffle_key, entries, shard_bits, rng)
+            grouped_fixed_index_stored(&key, &shuffle_key, entries, config, rng)?
         };
-        (
+        Ok((
             Self {
                 key,
                 shuffle_key,
@@ -104,7 +126,21 @@ impl LogScheme {
                 kind,
             },
             LogServer { index },
-        )
+        ))
+    }
+
+    /// Builds the scheme with an explicit covering technique, optional
+    /// padding of the multimap to `n · (⌈log m⌉ + 1)` entries, and the
+    /// dictionary split into `2^shard_bits` in-memory label-prefix shards.
+    pub fn build_full_sharded<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        kind: CoverKind,
+        pad: bool,
+        shard_bits: u32,
+        rng: &mut R,
+    ) -> (Self, LogServer) {
+        Self::build_full_stored(dataset, kind, pad, &StorageConfig::in_memory(shard_bits), rng)
+            .expect("in-memory build cannot fail")
     }
 
     /// Builds the scheme with an explicit covering technique and optional
@@ -223,6 +259,14 @@ impl RangeScheme for LogScheme {
         rng: &mut R,
     ) -> (Self, Self::Server) {
         Self::build_sharded_with(dataset, CoverKind::Brc, shard_bits, rng)
+    }
+
+    fn build_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        Self::build_full_stored(dataset, CoverKind::Brc, false, config, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {

@@ -12,12 +12,16 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index_sharded, search_ids};
+use crate::schemes::common::{clamp_query, grouped_fixed_index_stored, search_ids};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Range, Tdag};
 use rsse_crypto::{Key, KeyChain};
-use rsse_sse::{padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{
+    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig,
+    StorageError,
+};
+use std::path::Path;
 
 /// Owner-side state of Logarithmic-SRC.
 #[derive(Clone, Debug)]
@@ -38,6 +42,20 @@ impl LogSrcServer {
     pub fn shard_bits(&self) -> u32 {
         self.index.shard_bits()
     }
+
+    /// Serializes the server's dictionary into `dir` (see
+    /// [`ShardedIndex::save_to_dir`]).
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        self.index.save_to_dir(dir)
+    }
+
+    /// Cold-opens a server over a previously saved (or disk-built)
+    /// dictionary; the shards are served via paged reads without a rebuild.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Ok(Self {
+            index: ShardedIndex::open_dir(dir)?,
+        })
+    }
 }
 
 impl LogSrcScheme {
@@ -52,13 +70,26 @@ impl LogSrcScheme {
     }
 
     /// Sharded variant of [`build_full`](Self::build_full): the dictionary
-    /// is split into `2^shard_bits` label-prefix shards.
+    /// is split into `2^shard_bits` in-memory label-prefix shards.
     pub fn build_full_sharded<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         pad: bool,
         shard_bits: u32,
         rng: &mut R,
     ) -> (Self, LogSrcServer) {
+        Self::build_full_stored(dataset, pad, &StorageConfig::in_memory(shard_bits), rng)
+            .expect("in-memory build cannot fail")
+    }
+
+    /// Storage-dispatching variant of [`build_full`](Self::build_full): the
+    /// dictionary lives on the backend `config` selects (in-memory arenas
+    /// or shard files streamed to disk during BuildIndex).
+    pub fn build_full_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        pad: bool,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, LogSrcServer), StorageError> {
         let domain = *dataset.domain();
         let tdag = Tdag::new(domain);
         let chain = KeyChain::generate(rng);
@@ -75,7 +106,7 @@ impl LogSrcScheme {
             db.shuffle_lists(&shuffle_key);
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), true);
             padding::pad_to(&mut db, target, 8);
-            SseScheme::build_index_sharded(&key, &db, shard_bits, rng)
+            SseScheme::build_index_stored(&key, &db, config, rng)?
         } else {
             // Unpadded fast path: flat (TDAG keyword, id) entries grouped by
             // one sort, keyed-shuffled per keyword inside the helper.
@@ -86,9 +117,9 @@ impl LogSrcScheme {
                     entries.push((node.keyword(), payload));
                 }
             }
-            grouped_fixed_index_sharded(&key, &shuffle_key, entries, shard_bits, rng)
+            grouped_fixed_index_stored(&key, &shuffle_key, entries, config, rng)?
         };
-        (Self { key, tdag }, LogSrcServer { index })
+        Ok((Self { key, tdag }, LogSrcServer { index }))
     }
 
     /// `Trpdr`: the single token for the SRC covering node of the range.
@@ -119,6 +150,14 @@ impl RangeScheme for LogSrcScheme {
         rng: &mut R,
     ) -> (Self, Self::Server) {
         Self::build_full_sharded(dataset, false, shard_bits, rng)
+    }
+
+    fn build_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        Self::build_full_stored(dataset, false, config, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
@@ -244,6 +283,32 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(6);
         let (client, server) = LogSrcScheme::build(&dataset, &mut rng);
         assert!(client.query(&server, Range::new(100, 200)).is_empty());
+    }
+
+    #[test]
+    fn disk_built_server_cold_opens_and_answers_identically() {
+        let dataset = testutil::skewed_dataset();
+        let dir = testutil::TempDir::new("logsrc-disk");
+        let mut rng_mem = ChaCha20Rng::seed_from_u64(51);
+        let (_, mem_server) = LogSrcScheme::build(&dataset, &mut rng_mem);
+        let mut rng_disk = ChaCha20Rng::seed_from_u64(51);
+        let (client, disk_server) = LogSrcScheme::build_full_stored(
+            &dataset,
+            false,
+            &StorageConfig::on_disk(3, dir.path()),
+            &mut rng_disk,
+        )
+        .unwrap();
+        drop(disk_server);
+        let reopened = LogSrcServer::open_dir(dir.path()).unwrap();
+        assert_eq!(reopened.shard_bits(), 3);
+        for range in testutil::query_mix(dataset.domain().size()) {
+            assert_eq!(
+                client.query(&reopened, range).ids,
+                client.query(&mem_server, range).ids,
+                "cold-open must answer like the in-memory server for {range}"
+            );
+        }
     }
 
     proptest! {

@@ -21,14 +21,15 @@
 use crate::dataset::{Dataset, Record};
 use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::{
-    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index_sharded,
+    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index_stored,
     search_ids,
 };
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Range, Tdag};
 use rsse_crypto::{permute, KeyChain};
-use rsse_sse::{SearchToken, ShardedIndex, SseKey, SseScheme};
+use rsse_sse::{SearchToken, ShardedIndex, SseKey, SseScheme, StorageConfig, StorageError};
+use std::path::Path;
 
 /// Owner-side state of Logarithmic-SRC-i.
 #[derive(Clone, Debug)]
@@ -47,6 +48,31 @@ pub struct LogSrcIServer {
     index2: ShardedIndex,
 }
 
+impl LogSrcIServer {
+    /// Subdirectory of a saved SRC-i server holding the first index.
+    pub const I1_SUBDIR: &'static str = "i1";
+    /// Subdirectory of a saved SRC-i server holding the second index.
+    pub const I2_SUBDIR: &'static str = "i2";
+
+    /// Serializes both dictionaries into `dir` (subdirectories
+    /// [`I1_SUBDIR`](Self::I1_SUBDIR) and [`I2_SUBDIR`](Self::I2_SUBDIR)).
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        let dir = dir.as_ref();
+        self.index1.save_to_dir(dir.join(Self::I1_SUBDIR))?;
+        self.index2.save_to_dir(dir.join(Self::I2_SUBDIR))
+    }
+
+    /// Cold-opens a server over two previously saved (or disk-built)
+    /// dictionaries; both are served via paged reads without a rebuild.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let dir = dir.as_ref();
+        Ok(Self {
+            index1: ShardedIndex::open_dir(dir.join(Self::I1_SUBDIR))?,
+            index2: ShardedIndex::open_dir(dir.join(Self::I2_SUBDIR))?,
+        })
+    }
+}
+
 impl LogSrcIScheme {
     /// Builds both indexes with unsharded (single-arena) dictionaries.
     pub fn build_impl<R: RngCore + CryptoRng>(
@@ -56,13 +82,27 @@ impl LogSrcIScheme {
         Self::build_impl_sharded(dataset, 0, rng)
     }
 
-    /// Builds both indexes, each split into `2^shard_bits` label-prefix
-    /// shards.
+    /// Builds both indexes, each split into `2^shard_bits` in-memory
+    /// label-prefix shards.
     pub fn build_impl_sharded<R: RngCore + CryptoRng>(
         dataset: &Dataset,
         shard_bits: u32,
         rng: &mut R,
     ) -> (Self, LogSrcIServer) {
+        Self::build_impl_stored(dataset, &StorageConfig::in_memory(shard_bits), rng)
+            .expect("in-memory build cannot fail")
+    }
+
+    /// Builds both indexes on the backend `config` selects; with an
+    /// on-disk backend `I1` and `I2` are streamed into the
+    /// [`I1_SUBDIR`](LogSrcIServer::I1_SUBDIR) /
+    /// [`I2_SUBDIR`](LogSrcIServer::I2_SUBDIR) subdirectories of the
+    /// configured directory.
+    pub fn build_impl_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, LogSrcIServer), StorageError> {
         let domain = *dataset.domain();
         let chain = KeyChain::generate(rng);
         let key1 = SseScheme::key_from(chain.derive(b"sse-i1"));
@@ -99,8 +139,13 @@ impl LogSrcIScheme {
             }
             i = j;
         }
-        let index1 =
-            grouped_fixed_index_sharded(&key1, &chain.derive(b"shuffle-i1"), entries1, shard_bits, rng);
+        let index1 = grouped_fixed_index_stored(
+            &key1,
+            &chain.derive(b"shuffle-i1"),
+            entries1,
+            &config.subdir(LogSrcIServer::I1_SUBDIR),
+            rng,
+        )?;
 
         // TDAG2 over positions 0..n indexes the tuples themselves.
         let position_domain = Domain::new(sorted.len().max(1) as u64);
@@ -113,9 +158,28 @@ impl LogSrcIScheme {
                 entries2.push((node.keyword(), payload));
             }
         }
-        let index2 =
-            grouped_fixed_index_sharded(&key2, &chain.derive(b"shuffle-i2"), entries2, shard_bits, rng);
-        (
+        let index2 = match grouped_fixed_index_stored(
+            &key2,
+            &chain.derive(b"shuffle-i2"),
+            entries2,
+            &config.subdir(LogSrcIServer::I2_SUBDIR),
+            rng,
+        ) {
+            Ok(index2) => index2,
+            Err(error) => {
+                // I2 failed after I1 was durably written: unwind I1 so a
+                // failed build never leaves half a two-index server behind.
+                if let rsse_sse::StorageBackend::OnDisk(dir) = &config.backend {
+                    rsse_sse::storage::cleanup_partial_index(
+                        &dir.join(LogSrcIServer::I1_SUBDIR),
+                        1usize << config.shard_bits,
+                    );
+                    let _ = std::fs::remove_dir(dir);
+                }
+                return Err(error);
+            }
+        };
+        Ok((
             Self {
                 key1,
                 key2,
@@ -123,7 +187,7 @@ impl LogSrcIScheme {
                 tdag2,
             },
             LogSrcIServer { index1, index2 },
-        )
+        ))
     }
 
     /// First-stage trapdoor: the SRC token over `TDAG1` for the query range.
@@ -182,6 +246,14 @@ impl RangeScheme for LogSrcIScheme {
         rng: &mut R,
     ) -> (Self, Self::Server) {
         Self::build_impl_sharded(dataset, shard_bits, rng)
+    }
+
+    fn build_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        Self::build_impl_stored(dataset, config, rng)
     }
 
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
@@ -394,6 +466,38 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(6);
         let (client, server) = LogSrcIScheme::build(&dataset, &mut rng);
         assert!(client.query(&server, Range::new(500, 600)).is_empty());
+    }
+
+    #[test]
+    fn both_indexes_persist_and_cold_open() {
+        use rsse_sse::StorageConfig;
+        let dataset = testutil::skewed_dataset();
+        let dir = testutil::TempDir::new("srci-disk");
+        let mut rng_mem = ChaCha20Rng::seed_from_u64(31);
+        let (_, mem_server) = LogSrcIScheme::build(&dataset, &mut rng_mem);
+        let mut rng_disk = ChaCha20Rng::seed_from_u64(31);
+        let (client, disk_server) = LogSrcIScheme::build_impl_stored(
+            &dataset,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng_disk,
+        )
+        .unwrap();
+        assert!(disk_server.index1.is_file_backed() && disk_server.index2.is_file_backed());
+        drop(disk_server);
+        let reopened = LogSrcIServer::open_dir(dir.path()).unwrap();
+        for range in testutil::query_mix(dataset.domain().size()) {
+            assert_eq!(
+                client.query(&reopened, range).ids,
+                client.query(&mem_server, range).ids,
+                "cold-open must answer like the in-memory server for {range}"
+            );
+        }
+        // Round-trip: save the reopened server and reopen again.
+        let dir2 = testutil::TempDir::new("srci-resave");
+        reopened.save_to_dir(dir2.path()).unwrap();
+        let again = LogSrcIServer::open_dir(dir2.path()).unwrap();
+        assert_eq!(again.index1.len(), reopened.index1.len());
+        assert_eq!(again.index2.len(), reopened.index2.len());
     }
 
     proptest! {

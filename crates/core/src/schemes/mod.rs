@@ -105,4 +105,8 @@ pub(crate) mod testutil {
         ids.dedup();
         ids
     }
+
+    /// Unique scratch directory for persistence tests (shared helper from
+    /// `rsse-sse`'s test support, so every crate maintains one copy).
+    pub use rsse_sse::test_support::TempDir;
 }

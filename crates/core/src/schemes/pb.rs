@@ -26,6 +26,9 @@ use rayon::prelude::*;
 use rsse_bloom::{element_hashes, BloomFilter, BloomParams};
 use rsse_cover::{brc, Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
+use rsse_sse::{StorageBackend, StorageConfig, StorageError};
+use std::fs;
+use std::path::{Path, PathBuf};
 
 /// Default per-node Bloom-filter false-positive rate (the "fixed ratio" of
 /// Li et al.).
@@ -54,6 +57,174 @@ pub struct PbServer {
     /// `leaf_offset` entries are internal nodes.
     nodes: Vec<PbNode>,
     leaf_offset: usize,
+}
+
+/// File holding a serialized PB filter tree inside its storage directory.
+const PB_TREE_FILE: &str = "pb-tree.bin";
+
+/// Magic bytes of the PB tree file.
+const PB_MAGIC: [u8; 8] = *b"RSSE-PBT";
+
+/// Sequential reader over the serialized tree with typed truncation errors.
+struct PbReader<'a> {
+    path: &'a Path,
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PbReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if self.at + n > self.bytes.len() {
+            return Err(StorageError::Truncated {
+                path: self.path.to_path_buf(),
+                expected: (self.at + n) as u64,
+                actual: self.bytes.len() as u64,
+            });
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn corrupt(&self, detail: String) -> StorageError {
+        StorageError::CorruptDirectory {
+            path: self.path.to_path_buf(),
+            detail,
+        }
+    }
+}
+
+impl PbServer {
+    /// Serializes the Bloom-filter tree into `dir/pb-tree.bin`, creating
+    /// the directory if needed.
+    ///
+    /// PB has no encrypted dictionary to page, so persistence here is
+    /// durability only: [`open_dir`](Self::open_dir) loads the whole tree
+    /// back into memory (every query walks the tree from the root, so a
+    /// partially resident tree would not bound anything).
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|error| StorageError::Io {
+            path: dir.to_path_buf(),
+            error,
+        })?;
+        let path = dir.join(PB_TREE_FILE);
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.extend_from_slice(&PB_MAGIC);
+        bytes.extend_from_slice(&rsse_sse::storage::FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(self.leaf_offset as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for node in &self.nodes {
+            match node.record {
+                Some(id) => {
+                    bytes.push(1);
+                    bytes.extend_from_slice(&id.to_le_bytes());
+                }
+                None => {
+                    bytes.push(0);
+                    bytes.extend_from_slice(&0u64.to_le_bytes());
+                }
+            }
+            let params = node.filter.params();
+            bytes.extend_from_slice(&(params.num_bits as u64).to_le_bytes());
+            bytes.extend_from_slice(&params.num_hashes.to_le_bytes());
+            bytes.extend_from_slice(&(node.filter.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&(node.filter.words().len() as u64).to_le_bytes());
+            for word in node.filter.words() {
+                bytes.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        rsse_sse::storage::write_file_atomic_bytes(&path, &bytes)
+    }
+
+    /// Loads a Bloom-filter tree previously written by
+    /// [`save_to_dir`](Self::save_to_dir), rejecting malformed files with
+    /// typed [`StorageError`]s.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let path: PathBuf = dir.as_ref().join(PB_TREE_FILE);
+        let bytes = fs::read(&path).map_err(|error| StorageError::Io {
+            path: path.clone(),
+            error,
+        })?;
+        rsse_sse::storage::check_header(&path, &bytes, &PB_MAGIC, 24)?;
+        let mut r = PbReader {
+            path: &path,
+            bytes: &bytes,
+            at: 12, // past magic + version, validated above
+        };
+        r.u32()?; // reserved
+        let leaf_offset = r.u64()? as usize;
+        let node_count = r.u64()? as usize;
+        let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+        for i in 0..node_count {
+            let has_record = r.take(1)?[0];
+            let id = r.u64()?;
+            let record = match has_record {
+                0 => None,
+                1 => Some(id),
+                other => {
+                    return Err(r.corrupt(format!("node {i} has record flag {other}")));
+                }
+            };
+            let num_bits = r.u64()? as usize;
+            let num_hashes = r.u32()?;
+            let items = r.u64()? as usize;
+            let word_count = r.u64()? as usize;
+            if num_bits == 0 || num_hashes == 0 || word_count != num_bits.div_ceil(64) {
+                return Err(r.corrupt(format!(
+                    "node {i} claims {num_bits} bits, {num_hashes} hashes, {word_count} words"
+                )));
+            }
+            // Bound the allocation by what the file can actually hold, so a
+            // crafted header cannot abort the process with a huge
+            // `with_capacity` before the reads themselves fail typed.
+            let remaining_words = (bytes.len() - r.at) / 8;
+            if word_count > remaining_words {
+                return Err(StorageError::Truncated {
+                    path: path.clone(),
+                    expected: (r.at as u64).saturating_add((word_count as u64).saturating_mul(8)),
+                    actual: bytes.len() as u64,
+                });
+            }
+            let mut words = Vec::with_capacity(word_count);
+            for _ in 0..word_count {
+                words.push(r.u64()?);
+            }
+            nodes.push(PbNode {
+                filter: BloomFilter::from_parts(
+                    BloomParams {
+                        num_bits,
+                        num_hashes,
+                    },
+                    words,
+                    items,
+                ),
+                record,
+            });
+        }
+        if r.at != bytes.len() {
+            return Err(r.corrupt(format!("{} trailing bytes", bytes.len() - r.at)));
+        }
+        // A heap-layout tree over 2^h leaves always has 2·leaf_offset + 1
+        // nodes; anything else would send Search's child indexing
+        // (`2i + 1`/`2i + 2`) out of bounds at query time.
+        if leaf_offset.checked_mul(2).and_then(|n| n.checked_add(1)) != Some(nodes.len()) {
+            return Err(r.corrupt(format!(
+                "leaf offset {leaf_offset} inconsistent with node count {}",
+                nodes.len()
+            )));
+        }
+        Ok(Self { nodes, leaf_offset })
+    }
 }
 
 /// The PB trapdoor: the keyed hash values of every minimal dyadic range of
@@ -231,6 +402,22 @@ impl RangeScheme for PbScheme {
         Self::build_with(dataset, DEFAULT_BLOOM_FP_RATE, rng)
     }
 
+    /// PB has no encrypted dictionary, so `shard_bits` does not apply; an
+    /// on-disk backend persists the Bloom-filter tree (durability) while
+    /// the served tree stays memory-resident — see
+    /// [`PbServer::save_to_dir`].
+    fn build_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        let (client, server) = Self::build_with(dataset, DEFAULT_BLOOM_FP_RATE, rng);
+        if let StorageBackend::OnDisk(dir) = &config.backend {
+            server.save_to_dir(dir)?;
+        }
+        Ok((client, server))
+    }
+
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
         match self.trapdoor(range) {
             Some(trapdoor) => Self::search(server, &trapdoor),
@@ -356,5 +543,75 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(7);
         let (client, server) = PbScheme::build(&dataset, &mut rng);
         assert!(client.query(&server, Range::new(100, 110)).is_empty());
+    }
+
+    #[test]
+    fn filter_tree_persists_and_cold_opens() {
+        let dataset = testutil::skewed_dataset();
+        let dir = testutil::TempDir::new("pb-disk");
+        let mut rng = ChaCha20Rng::seed_from_u64(41);
+        let (client, server) = PbScheme::build_stored(
+            &dataset,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng,
+        )
+        .unwrap();
+        let reopened = PbServer::open_dir(dir.path()).unwrap();
+        assert_eq!(reopened.nodes.len(), server.nodes.len());
+        assert_eq!(reopened.leaf_offset, server.leaf_offset);
+        for range in testutil::query_mix(dataset.domain().size()) {
+            assert_eq!(
+                client.query(&reopened, range).ids,
+                client.query(&server, range).ids,
+                "cold-open must answer like the built server for {range}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_dir_rejects_corrupt_tree_files() {
+        let dataset = testutil::skewed_dataset();
+        let dir = testutil::TempDir::new("pb-corrupt");
+        let mut rng = ChaCha20Rng::seed_from_u64(42);
+        let (_, server) = PbScheme::build(&dataset, &mut rng);
+        server.save_to_dir(dir.path()).unwrap();
+        let path = dir.path().join(super::PB_TREE_FILE);
+        let valid = std::fs::read(&path).unwrap();
+
+        std::fs::write(&path, &valid[..valid.len() - 3]).unwrap();
+        assert!(matches!(
+            PbServer::open_dir(dir.path()),
+            Err(StorageError::Truncated { .. })
+        ));
+
+        let mut bad_magic = valid.clone();
+        bad_magic[0] ^= 0xFF;
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(
+            PbServer::open_dir(dir.path()),
+            Err(StorageError::BadMagic { .. })
+        ));
+
+        let mut trailing = valid.clone();
+        trailing.extend_from_slice(b"xx");
+        std::fs::write(&path, &trailing).unwrap();
+        assert!(matches!(
+            PbServer::open_dir(dir.path()),
+            Err(StorageError::CorruptDirectory { .. })
+        ));
+
+        // A crafted header claiming a gigantic (internally consistent)
+        // filter must fail typed instead of attempting the allocation. The
+        // 32-byte file header is followed by the first node: record flag
+        // (1 B) + id (8 B), then num_bits at 41..49 and — after num_hashes
+        // (4 B) and items (8 B) — word_count at 61..69.
+        let mut huge = valid.clone();
+        huge[41..49].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        huge[61..69].copy_from_slice(&(1u64 << 34).to_le_bytes());
+        std::fs::write(&path, &huge).unwrap();
+        assert!(matches!(
+            PbServer::open_dir(dir.path()),
+            Err(StorageError::Truncated { .. })
+        ));
     }
 }

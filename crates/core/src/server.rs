@@ -28,7 +28,8 @@ use crate::metrics::QueryStats;
 use crate::traits::QueryOutcome;
 use rayon::prelude::*;
 use rsse_crypto::StreamCipher;
-use rsse_sse::{SearchToken, ShardedIndex, SseScheme};
+use rsse_sse::{SearchToken, ShardedIndex, SseScheme, StorageError};
+use std::path::Path;
 
 /// A server-side search endpoint answering whole token vectors — and whole
 /// batches of concurrent queries — over one sharded encrypted dictionary.
@@ -72,6 +73,27 @@ impl QueryServer {
     /// Wraps a sharded dictionary in a batched search endpoint.
     pub fn new(index: ShardedIndex) -> Self {
         Self { index }
+    }
+
+    /// Cold-opens a batched search endpoint over an index previously
+    /// persisted with [`ShardedIndex::save_to_dir`] (or built straight to
+    /// disk through a `StorageConfig::on_disk` build): the shard
+    /// directories are loaded, the ciphertext regions stay on disk behind
+    /// paged reads, and [`answer_many`](Self::answer_many) serves queries
+    /// immediately — no rebuild, no full-index residency.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces every malformed input as a typed [`StorageError`] (see
+    /// [`ShardedIndex::open_dir`]).
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Ok(Self::new(ShardedIndex::open_dir(dir)?))
+    }
+
+    /// Serializes the underlying dictionary into `dir` (see
+    /// [`ShardedIndex::save_to_dir`]).
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        self.index.save_to_dir(dir)
     }
 
     /// The underlying sharded dictionary.
@@ -198,6 +220,51 @@ mod tests {
         testutil::assert_exact(&dataset, ranges[0], &outcomes[0]);
         assert!(outcomes[1].is_empty(), "out-of-domain query must be empty");
         testutil::assert_exact(&dataset, ranges[2], &outcomes[2]);
+    }
+
+    #[test]
+    fn cold_opened_server_answers_identically_to_in_memory() {
+        // The PR 3 acceptance criterion: build with the file backend (same
+        // RNG stream as the in-memory build), drop everything, reopen from
+        // disk via QueryServer::open_dir, and serve answer_many with
+        // results identical to the in-memory backend — no rebuild.
+        use crate::schemes::testutil::TempDir;
+        use crate::server::QueryServer;
+        use crate::traits::RangeScheme;
+        use rsse_sse::StorageConfig;
+
+        let dataset = testutil::uniform_dataset();
+        for bits in [0u32, 4] {
+            let mut rng_mem = ChaCha20Rng::seed_from_u64(11);
+            let (_, mem_server) = LogScheme::build_sharded(&dataset, bits, &mut rng_mem);
+            let mem_qs = mem_server.into_query_server();
+
+            let dir = TempDir::new("cold-open");
+            let mut rng_disk = ChaCha20Rng::seed_from_u64(11);
+            let (client, disk_server) = LogScheme::build_stored(
+                &dataset,
+                &StorageConfig::on_disk(bits, dir.path()),
+                &mut rng_disk,
+            )
+            .unwrap();
+            assert!(disk_server.index().is_file_backed());
+            drop(disk_server); // nothing of the built index survives in RAM
+
+            let qs = QueryServer::open_dir(dir.path()).unwrap();
+            assert_eq!(qs.shard_bits(), bits);
+            assert!(qs.index().is_file_backed());
+            let ranges: Vec<Range> = testutil::query_mix(dataset.domain().size());
+            let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
+                .iter()
+                .map(|&r| client.trapdoor(r).unwrap())
+                .collect();
+            let cold = qs.answer_many(&queries);
+            let warm = mem_qs.answer_many(&queries);
+            assert_eq!(cold, warm, "cold-open outcomes must match in-memory (k={bits})");
+            for (range, outcome) in ranges.iter().zip(&cold) {
+                testutil::assert_exact(&dataset, *range, outcome);
+            }
+        }
     }
 
     #[test]

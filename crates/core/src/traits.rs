@@ -4,6 +4,7 @@ use crate::dataset::{Dataset, DocId};
 use crate::metrics::{IndexStats, QueryStats};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::Range;
+use rsse_sse::{StorageBackend, StorageConfig, StorageError};
 
 /// The owner-visible outcome of a range query.
 ///
@@ -90,6 +91,32 @@ pub trait RangeScheme: Sized {
         Self::build(dataset, rng)
     }
 
+    /// Builds the owner state and a server state whose encrypted indexes
+    /// live on the storage backend selected by `config`
+    /// (see [`StorageConfig`]): either in-memory shard arenas — exactly
+    /// [`build_sharded`](Self::build_sharded) — or shard files written to a
+    /// directory **during BuildIndex** and served via paged reads, so the
+    /// built index is never fully memory-resident and survives the process
+    /// (reopen it with `ShardedIndex::open_dir` / `QueryServer::open_dir`).
+    ///
+    /// Query results are identical for every backend; only residency and
+    /// durability change. The default implementation supports the
+    /// in-memory backend and reports [`StorageError::Unsupported`] for
+    /// on-disk requests; every scheme with an encrypted-dictionary server
+    /// (Logarithmic-BRC/URC, Constant-BRC/URC, Logarithmic-SRC and SRC-i,
+    /// and the PB baseline) overrides it. The update manager routes every
+    /// batch build and consolidation rebuild through this entry point.
+    fn build_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        match &config.backend {
+            StorageBackend::InMemory => Ok(Self::build_sharded(dataset, config.shard_bits, rng)),
+            StorageBackend::OnDisk(_) => Err(StorageError::Unsupported(Self::NAME)),
+        }
+    }
+
     /// Issues a range query against the server and returns the outcome.
     fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome;
 
@@ -110,5 +137,33 @@ mod tests {
         assert_eq!(outcome.len(), 2);
         assert!(!outcome.is_empty());
         assert!(QueryOutcome::default().is_empty());
+    }
+
+    #[test]
+    fn default_build_stored_supports_memory_and_rejects_disk() {
+        // Quadratic keeps the default implementation: the in-memory backend
+        // must behave exactly like build_sharded, and an on-disk request
+        // must surface a typed Unsupported error instead of silently
+        // building a volatile index.
+        use crate::schemes::quadratic::QuadraticScheme;
+        use crate::schemes::testutil;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha20Rng;
+
+        let dataset = testutil::skewed_dataset();
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let (client, server) =
+            QuadraticScheme::build_stored(&dataset, &StorageConfig::in_memory(0), &mut rng)
+                .unwrap();
+        testutil::assert_exact(&dataset, Range::new(2, 7), &client.query(&server, Range::new(2, 7)));
+
+        let err = QuadraticScheme::build_stored(
+            &dataset,
+            &StorageConfig::on_disk(0, "/tmp/never-created"),
+            &mut rng,
+        )
+        .expect_err("on-disk must be rejected");
+        assert!(matches!(err, StorageError::Unsupported(_)));
+        assert!(!std::path::Path::new("/tmp/never-created").exists());
     }
 }

@@ -60,6 +60,16 @@ impl DprfToken {
     }
 }
 
+/// One requested node of a batched delegation, in walk coordinates.
+struct DelegateTarget {
+    /// Leftmost leaf covered by the node (`index << level`).
+    base: u64,
+    /// Depth of the node below the root (`depth − level`).
+    prefix_depth: u32,
+    /// Position of the node in the caller's input list.
+    pos: u32,
+}
+
 /// A delegatable PRF over an `ℓ`-bit domain (domain values `0 .. 2^ℓ`).
 ///
 /// # Examples
@@ -188,19 +198,98 @@ impl Dprf {
     /// covering leaves `[index * 2^level, (index + 1) * 2^level)`. The
     /// covering-node lists are produced by the BRC/URC algorithms of
     /// `rsse-cover`; this function only turns them into GGM seeds.
+    ///
+    /// Like [`eval_sorted`](Self::eval_sorted), the walk **shares GGM
+    /// prefixes** between covering nodes: the nodes of a BRC/URC cover sit
+    /// on at most two root-to-leaf paths, so independent walks re-derive
+    /// almost every inner node up to `2·log m` times — one DFS over the
+    /// requested set derives each needed GGM node exactly once (the
+    /// difference matters for URC, whose covers are larger by design). The
+    /// returned token lists the node seeds in **input order**, and every
+    /// seed is identical to an independent root walk — the
+    /// `delegate_matches_per_node_walks` property pins the trapdoors
+    /// unchanged.
     pub fn delegate(&self, nodes: &[(u32, u64)]) -> DprfToken {
-        let mut out = Vec::with_capacity(nodes.len());
-        for &(level, index) in nodes {
+        let mut targets: Vec<DelegateTarget> = Vec::with_capacity(nodes.len());
+        for (pos, &(level, index)) in nodes.iter().enumerate() {
             assert!(level <= self.depth, "node level exceeds tree depth");
             let prefix_depth = self.depth - level;
             assert!(
                 prefix_depth == 0 || index < (1u64 << prefix_depth),
                 "node index {index} out of range at level {level}"
             );
-            let seed = self.ggm.walk(&self.root, index, prefix_depth);
-            out.push(GgmNodeSeed { seed, level });
+            // A level == depth node is the root; the per-node walk ignored
+            // `index` there (`walk(root, index, 0) == root` for any index),
+            // so the DFS coordinates must too, or the target's leaf base
+            // would land outside the tree.
+            targets.push(DelegateTarget {
+                base: if prefix_depth == 0 { 0 } else { index << level },
+                prefix_depth,
+                pos: pos as u32,
+            });
         }
+        // Lexicographic path order: ancestors sort before their descendants
+        // (same leaf base, shorter prefix first), siblings by leaf base.
+        targets.sort_unstable_by_key(|t| (t.base, t.prefix_depth));
+        let mut out = vec![
+            GgmNodeSeed {
+                seed: [0u8; KEY_LEN],
+                level: 0,
+            };
+            nodes.len()
+        ];
+        self.delegate_rec(&self.root, 0, 0, &targets, &mut out);
         DprfToken { nodes: out }
+    }
+
+    /// DFS helper of [`delegate`](Self::delegate): `seed` is the GGM node at
+    /// depth `cur_depth` whose subtree's leftmost leaf is `base`; `targets`
+    /// the (path-ordered) requested nodes inside that subtree.
+    fn delegate_rec(
+        &self,
+        seed: &Seed,
+        cur_depth: u32,
+        base: u64,
+        mut targets: &[DelegateTarget],
+        out: &mut [GgmNodeSeed],
+    ) {
+        // Emit every target sitting exactly at this node (duplicates allowed),
+        // then keep descending for any deeper targets below it.
+        while let Some(first) = targets.first() {
+            if first.prefix_depth != cur_depth {
+                break;
+            }
+            out[first.pos as usize] = GgmNodeSeed {
+                seed: *seed,
+                level: self.depth - cur_depth,
+            };
+            targets = &targets[1..];
+        }
+        if targets.is_empty() {
+            return;
+        }
+        // Remaining targets are strictly deeper, so cur_depth < self.depth.
+        let height = self.depth - cur_depth;
+        let mid = base + (1u64 << (height - 1));
+        let split = targets.partition_point(|t| t.base < mid);
+        let (lo, hi) = targets.split_at(split);
+        match (lo.is_empty(), hi.is_empty()) {
+            (false, false) => {
+                // Both subtrees requested: one keying serves both children.
+                let (left, right) = self.ggm.expand(seed);
+                self.delegate_rec(&left, cur_depth + 1, base, lo, out);
+                self.delegate_rec(&right, cur_depth + 1, mid, hi, out);
+            }
+            (false, true) => {
+                let left = self.ggm.child(seed, false);
+                self.delegate_rec(&left, cur_depth + 1, base, lo, out);
+            }
+            (true, false) => {
+                let right = self.ggm.child(seed, true);
+                self.delegate_rec(&right, cur_depth + 1, mid, hi, out);
+            }
+            (true, true) => unreachable!("targets checked non-empty"),
+        }
     }
 
     /// Server-side expansion: derives all leaf-level DPRF values delegated by
@@ -328,7 +417,75 @@ mod tests {
         assert!(dprf.eval_sorted(&[]).is_empty());
     }
 
+    #[test]
+    fn delegate_shares_prefixes_without_changing_trapdoors() {
+        // The ISSUE's satellite guard: batched delegation must hand out the
+        // exact seeds independent per-node root walks produced before —
+        // trapdoors are on the wire, so they may not change. BRC of [2,7]
+        // over a 3-bit domain plus a nested duplicate exercises sharing,
+        // nesting, and duplicates at once.
+        let dprf = Dprf::new(&key(12), 3);
+        let nodes = [(1u32, 1u64), (2, 1), (1, 1), (0, 2)];
+        let token = dprf.delegate(&nodes);
+        assert_eq!(token.len(), nodes.len());
+        for (&(level, index), got) in nodes.iter().zip(&token.nodes) {
+            assert_eq!(got.level, level);
+            let reference = dprf.ggm.walk(&dprf.root, index, dprf.depth - level);
+            assert_eq!(got.seed, reference, "seed for node ({level}, {index})");
+        }
+    }
+
+    #[test]
+    fn delegate_of_root_level_node_ignores_index_like_walk_did() {
+        // `walk(root, index, 0)` returns the root whatever `index` is, and
+        // the old per-node delegate inherited that; the batched DFS must
+        // reproduce it (regression for a base-out-of-tree underflow).
+        let dprf = Dprf::new(&key(14), 3);
+        let token = dprf.delegate(&[(0, 0), (3, 1)]);
+        assert_eq!(token.nodes[0].seed, dprf.ggm.walk(&dprf.root, 0, 3));
+        assert_eq!(token.nodes[1].level, 3);
+        assert_eq!(token.nodes[1].seed, dprf.root, "level == depth delegates the root");
+    }
+
+    #[test]
+    fn delegate_handles_max_depth_domain() {
+        let dprf = Dprf::new(&key(13), 63);
+        let nodes = [(63u32, 0u64), (62, 1), (0, (1u64 << 62) + 17)];
+        let token = dprf.delegate(&nodes);
+        for (&(level, index), got) in nodes.iter().zip(&token.nodes) {
+            assert_eq!(got.seed, dprf.ggm.walk(&dprf.root, index, dprf.depth - level));
+        }
+    }
+
     proptest! {
+        /// Batched delegation returns, at every input position, exactly the
+        /// seed an independent root walk derives — for arbitrary node sets
+        /// (unsorted, overlapping, nested, duplicated).
+        #[test]
+        fn delegate_matches_per_node_walks(
+            raw in proptest::collection::vec((0u32..=8, any::<u64>()), 0..24))
+        {
+            let depth = 8u32;
+            let dprf = Dprf::new(&key(11), depth);
+            let nodes: Vec<(u32, u64)> = raw
+                .into_iter()
+                .map(|(level, index)| {
+                    let prefix_depth = depth - level;
+                    // At prefix_depth == 0 any index is accepted (and
+                    // ignored, as the zero-step walk ignores it).
+                    let index = if prefix_depth == 0 { index } else { index % (1u64 << prefix_depth) };
+                    (level, index)
+                })
+                .collect();
+            let token = dprf.delegate(&nodes);
+            prop_assert_eq!(token.len(), nodes.len());
+            for (&(level, index), got) in nodes.iter().zip(&token.nodes) {
+                prop_assert_eq!(got.level, level);
+                let reference = dprf.ggm.walk(&dprf.root, index, depth - level);
+                prop_assert_eq!(got.seed, reference);
+            }
+        }
+
         #[test]
         fn eval_sorted_agrees_on_arbitrary_sets(values in proptest::collection::hash_set(any::<u64>(), 0..40)) {
             let depth = 63u32;

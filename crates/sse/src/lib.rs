@@ -18,6 +18,11 @@
 //! * [`ShardedIndex`] — the same dictionary split into `2^k`
 //!   label-prefix-keyed shards for parallel builds, lock-free concurrent
 //!   reads and shard-grouped batched search (see [`sharded`]);
+//! * [`storage`] — pluggable shard backends behind the [`ShardStorage`]
+//!   trait: the in-memory arena, or on-disk shard files written during
+//!   BuildIndex and served via paged reads ([`FileShard`]), selected by a
+//!   [`StorageConfig`] and persisted/reopened with
+//!   [`ShardedIndex::save_to_dir`] / [`ShardedIndex::open_dir`];
 //! * [`padding`] — owner-side padding of the multimap to a fixed size, the
 //!   countermeasure the paper prescribes for Quadratic and Logarithmic-SRC
 //!   so that the index size leaks only `n` and `m`;
@@ -29,8 +34,15 @@ pub mod leakage;
 pub mod padding;
 pub mod pibas;
 pub mod sharded;
+pub mod storage;
 
 pub use database::SseDatabase;
 pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
 pub use pibas::{EncryptedIndex, IndexLookup, SearchToken, SseKey, SseScheme};
-pub use sharded::ShardedIndex;
+pub use sharded::{Shard, ShardedIndex};
+pub use storage::{FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError};
+
+// Test scaffolding shared with downstream crates' persistence tests; not
+// part of the API contract.
+#[doc(hidden)]
+pub use storage::test_support;

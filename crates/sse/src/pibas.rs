@@ -162,8 +162,8 @@ pub trait IndexLookup {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct EncryptedIndex {
-    table: LabelTable,
-    arena: Vec<u8>,
+    pub(crate) table: LabelTable,
+    pub(crate) arena: Vec<u8>,
 }
 
 impl IndexLookup for EncryptedIndex {
@@ -228,6 +228,24 @@ impl EncryptedIndex {
         let offset = self.arena.len();
         self.arena.extend_from_slice(ciphertext);
         self.insert_span(label, offset, ciphertext.len());
+    }
+
+    /// The `(label, offset, len)` directory sorted by arena offset — the
+    /// deterministic serialization order of the on-disk shard format (arena
+    /// spans tile the region in exactly this order).
+    pub(crate) fn entries_by_offset(&self) -> Vec<(Label, u32, u32)> {
+        let mut entries: Vec<(Label, u32, u32)> = self
+            .table
+            .iter()
+            .map(|(label, &(offset, len))| (*label, offset, len))
+            .collect();
+        entries.sort_unstable_by_key(|&(_, offset, _)| offset);
+        entries
+    }
+
+    /// Raw arena bytes (the ciphertext region of the serialized format).
+    pub(crate) fn arena_raw(&self) -> &[u8] {
+        &self.arena
     }
 
     /// Raw arena bytes (used by the byte-identity property tests).

@@ -3,13 +3,13 @@
 //! [`ShardedIndex`] splits the flat dictionary of
 //! [`EncryptedIndex`] into `2^k` **shards keyed by
 //! the top `k` bits of the label**: shard `s` owns every entry whose label
-//! prefix is `s`, with its own ciphertext arena and offset table. Because
-//! labels are owner-side PRF outputs (computationally indistinguishable
-//! from uniform — see the [`pibas`](crate::pibas) module docs), the prefix
-//! partition is automatically balanced, and revealing which shard an entry
-//! lives in reveals exactly the label prefix the server could read off the
-//! flat dictionary anyway: sharding changes the storage layout, not the
-//! leakage profile.
+//! prefix is `s`, with its own ciphertext region and bucket directory.
+//! Because labels are owner-side PRF outputs (computationally
+//! indistinguishable from uniform — see the [`pibas`](crate::pibas) module
+//! docs), the prefix partition is automatically balanced, and revealing
+//! which shard an entry lives in reveals exactly the label prefix the
+//! server could read off the flat dictionary anyway: sharding changes the
+//! storage layout, not the leakage profile.
 //!
 //! What sharding buys:
 //!
@@ -26,9 +26,16 @@
 //! * **Probe locality for batched search.** [`IndexLookup::get_many`]
 //!   groups a probe vector by shard, so consecutive lookups hit the same
 //!   (much smaller) table.
+//! * **Pluggable residency.** Since PR 3 each shard is a
+//!   [`ShardStorage`] backend behind the [`Shard`] enum: the in-memory
+//!   arena (byte-identical to the PR 2 layout) or an on-disk
+//!   [`FileShard`] serialized during BuildIndex and
+//!   served via paged reads — see [`StorageConfig`] and the
+//!   [`storage`](crate::storage) module. [`ShardedIndex::save_to_dir`] and
+//!   [`ShardedIndex::open_dir`] persist an index across processes.
 //!
-//! With `k = 0` the index is a single shard whose arena and table are
-//! **byte-identical** to the unsharded [`EncryptedIndex`] build — the
+//! With `k = 0` the in-memory index is a single shard whose arena and table
+//! are **byte-identical** to the unsharded [`EncryptedIndex`] build — the
 //! property test `unsharded_is_byte_identical_to_plain_arena` pins this, so
 //! the sharded type is a strict generalization, not a fork.
 
@@ -37,8 +44,14 @@ use crate::pibas::{
     merge_chunks, EncryptedIndex, IndexLookup, KeywordChunk, Label, SearchToken, SseKey,
     SseScheme,
 };
+use crate::storage::{
+    open_shards_from_dir, save_shards_to_dir, shard_file_name, write_chunk_shard, write_manifest,
+    FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError,
+};
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
+use std::fs;
+use std::path::Path;
 
 /// Maximum supported shard bits (`2^16` shards). Past this point per-shard
 /// bookkeeping dominates any conceivable parallelism win.
@@ -54,13 +67,77 @@ fn shard_of_label(label: &Label, bits: u32) -> usize {
     (prefix >> (64 - bits)) as usize
 }
 
+/// One shard of the dictionary behind a concrete [`ShardStorage`] backend.
+///
+/// The query algorithms never see this enum (they are generic over
+/// [`IndexLookup`] on the whole index); it exists so one [`ShardedIndex`]
+/// type can hold either representation without infecting every server
+/// struct with a type parameter.
+#[derive(Clone, Debug)]
+pub enum Shard {
+    /// The in-memory ciphertext arena (PR 2 layout, byte-identical).
+    Memory(EncryptedIndex),
+    /// A disk-resident shard served via paged reads.
+    File(FileShard),
+}
+
+impl Shard {
+    /// The in-memory backend of this shard, if that is what it is.
+    pub fn as_memory(&self) -> Option<&EncryptedIndex> {
+        match self {
+            Shard::Memory(index) => Some(index),
+            Shard::File(_) => None,
+        }
+    }
+
+    /// The file backend of this shard, if that is what it is.
+    pub fn as_file(&self) -> Option<&FileShard> {
+        match self {
+            Shard::Memory(_) => None,
+            Shard::File(shard) => Some(shard),
+        }
+    }
+
+    /// Iterates over this shard's stored ciphertexts.
+    pub fn ciphertexts(&self) -> Box<dyn Iterator<Item = &[u8]> + '_> {
+        match self {
+            Shard::Memory(index) => Box::new(index.ciphertexts()),
+            Shard::File(shard) => Box::new(shard.ciphertexts()),
+        }
+    }
+}
+
+impl ShardStorage for Shard {
+    fn get(&self, label: &Label) -> Option<&[u8]> {
+        match self {
+            Shard::Memory(index) => index.get(label),
+            Shard::File(shard) => ShardStorage::get(shard, label),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Shard::Memory(index) => index.len(),
+            Shard::File(shard) => ShardStorage::len(shard),
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        match self {
+            Shard::Memory(index) => index.storage_bytes(),
+            Shard::File(shard) => ShardStorage::storage_bytes(shard),
+        }
+    }
+}
+
 /// An encrypted dictionary split into `2^k` label-prefix-keyed shards, each
-/// an independent ciphertext arena plus offset table.
+/// an independent ciphertext region plus bucket directory behind a
+/// [`ShardStorage`] backend.
 ///
 /// Searched with the exact same tokens and algorithms as the flat
 /// [`EncryptedIndex`] — every search entry point is generic over
 /// [`IndexLookup`] — and guaranteed to hold the same `(label, ciphertext)`
-/// pairs for the same build inputs, whatever `k` is.
+/// pairs for the same build inputs, whatever `k` or the backend is.
 ///
 /// # Examples
 ///
@@ -84,20 +161,43 @@ fn shard_of_label(label: &Label, bits: u32) -> usize {
 /// let token = SseScheme::trapdoor(&key, b"w");
 /// assert_eq!(SseScheme::search(&index, &token).len(), 100);
 /// ```
+///
+/// Persistence: an index can be saved to (or built straight into) a
+/// directory and cold-opened by a later process:
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rsse_sse::{ShardedIndex, SseDatabase, SseScheme};
+///
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(2);
+/// let key = SseScheme::setup(&mut rng);
+/// let mut db = SseDatabase::new();
+/// db.add(b"w".to_vec(), b"payload".to_vec());
+/// let index = SseScheme::build_index_sharded(&key, &db, 2, &mut rng);
+///
+/// let dir = std::env::temp_dir().join(format!("rsse-doc-{}", std::process::id()));
+/// index.save_to_dir(&dir).unwrap();
+/// drop(index);
+///
+/// let reopened = ShardedIndex::open_dir(&dir).unwrap();
+/// let token = SseScheme::trapdoor(&key, b"w");
+/// assert_eq!(SseScheme::search(&reopened, &token), vec![b"payload".to_vec()]);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
 #[derive(Clone, Debug)]
 pub struct ShardedIndex {
     /// Number of label-prefix bits selecting the shard (`k`).
     bits: u32,
     /// The `2^k` shards, indexed by label prefix.
-    shards: Vec<EncryptedIndex>,
+    shards: Vec<Shard>,
 }
 
 impl Default for ShardedIndex {
-    /// An empty unsharded (`k = 0`) index.
+    /// An empty unsharded (`k = 0`) in-memory index.
     fn default() -> Self {
         Self {
             bits: 0,
-            shards: vec![EncryptedIndex::default()],
+            shards: vec![Shard::Memory(EncryptedIndex::default())],
         }
     }
 }
@@ -114,8 +214,14 @@ impl ShardedIndex {
     }
 
     /// The shards, indexed by label prefix.
-    pub fn shards(&self) -> &[EncryptedIndex] {
+    pub fn shards(&self) -> &[Shard] {
         &self.shards
+    }
+
+    /// Whether the shards are served from disk (paged reads) rather than
+    /// from in-memory arenas.
+    pub fn is_file_backed(&self) -> bool {
+        self.shards.iter().any(|s| matches!(s, Shard::File(_)))
     }
 
     /// The shard an entry with this label would live in.
@@ -126,29 +232,89 @@ impl ShardedIndex {
     /// Total number of entries across all shards (the index-size leakage,
     /// identical to the unsharded build's).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(EncryptedIndex::len).sum()
+        self.shards.iter().map(ShardStorage::len).sum()
     }
 
     /// Whether no shard holds any entry.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(EncryptedIndex::is_empty)
+        self.shards.iter().all(ShardStorage::is_empty)
     }
 
     /// Approximate server-side storage footprint in bytes
-    /// (labels + encrypted payloads, summed over shards).
+    /// (labels + encrypted payloads, summed over shards) — independent of
+    /// where the bytes live.
     pub fn storage_bytes(&self) -> usize {
-        self.shards.iter().map(EncryptedIndex::storage_bytes).sum()
+        self.shards.iter().map(ShardStorage::storage_bytes).sum()
+    }
+
+    /// Bytes currently resident in memory: in-memory shards count in full,
+    /// file-backed shards count their bucket directory plus the region
+    /// blocks faulted in so far. This is the number the spill-to-disk
+    /// backend exists to bound.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| match shard {
+                Shard::Memory(index) => index.storage_bytes(),
+                Shard::File(file) => {
+                    ShardStorage::len(file) * crate::pibas::LABEL_LEN + file.resident_bytes()
+                }
+            })
+            .sum()
+    }
+
+    /// Number of paged block reads that have failed across all file-backed
+    /// shards since open (always 0 for in-memory shards). A failed read
+    /// degrades the affected probes to "entry missing" and is retried by
+    /// later probes; a non-zero value is the operator's signal that search
+    /// results may have been incomplete while the storage misbehaved.
+    pub fn read_errors(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| match shard {
+                Shard::Memory(_) => 0,
+                Shard::File(file) => file.read_errors(),
+            })
+            .sum()
     }
 
     /// Looks up the ciphertext stored under `label` in its shard.
     pub fn get(&self, label: &Label) -> Option<&[u8]> {
-        self.shards[self.shard_of(label)].get(label)
+        ShardStorage::get(&self.shards[self.shard_of(label)], label)
     }
 
     /// Iterates over all stored ciphertexts (shard order; used by
     /// leakage-oriented tests).
     pub fn ciphertexts(&self) -> impl Iterator<Item = &[u8]> {
-        self.shards.iter().flat_map(EncryptedIndex::ciphertexts)
+        self.shards.iter().flat_map(Shard::ciphertexts)
+    }
+
+    /// Serializes every shard (plus an `index.meta` manifest) into `dir`,
+    /// creating it if needed. Works for both backends; shard files are
+    /// written in parallel and the output is deterministic, so saving the
+    /// same index twice produces byte-identical directories.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        save_shards_to_dir(dir.as_ref(), self.bits, &self.shards)
+    }
+
+    /// Cold-opens an index previously written by [`save_to_dir`] (or built
+    /// straight to disk through a [`StorageConfig::on_disk`] build): loads
+    /// each shard's bucket directory, leaves the ciphertext regions on
+    /// disk, and serves them through paged reads.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input — missing or truncated files, wrong magic,
+    /// unsupported versions, corrupt label directories — surfaces as a
+    /// typed [`StorageError`]; nothing in the open path panics.
+    ///
+    /// [`save_to_dir`]: Self::save_to_dir
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let (bits, shards) = open_shards_from_dir(dir.as_ref())?;
+        Ok(Self {
+            bits,
+            shards: shards.into_iter().map(Shard::File).collect(),
+        })
     }
 }
 
@@ -179,9 +345,46 @@ impl IndexLookup for ShardedIndex {
             .collect();
         order.sort_unstable();
         for (shard, slot) in order {
-            out[slot as usize] = self.shards[shard as usize].get(&labels[slot as usize]);
+            out[slot as usize] =
+                ShardStorage::get(&self.shards[shard as usize], &labels[slot as usize]);
         }
     }
+}
+
+/// One shard's assembly job: member entries as (chunk, entry) index pairs
+/// in global order, plus the exact ciphertext byte tally.
+type ShardJob = (Vec<(u32, u32)>, usize);
+
+/// The per-entry shard scatter shared by the in-memory and on-disk builds:
+/// per-shard member lists (chunk, entry index pairs in global order) plus
+/// each shard's exact ciphertext byte tally.
+fn scatter_members(bits: u32, chunks: &[KeywordChunk]) -> Vec<ShardJob> {
+    let shard_count = 1usize << bits;
+
+    // Pass 1: per-entry shard ids (parallel across chunks).
+    let shard_ids: Vec<Vec<u16>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            chunk
+                .labels
+                .iter()
+                .map(|label| shard_of_label(label, bits) as u16)
+                .collect()
+        })
+        .collect();
+
+    // Pass 2: index scatter. Only (chunk, entry) index pairs move here —
+    // O(entries) u32 writes — not ciphertext bytes; the byte copying in the
+    // assembly passes is fully parallel per shard.
+    let mut members: Vec<Vec<(u32, u32)>> = (0..shard_count).map(|_| Vec::new()).collect();
+    let mut arena_bytes: Vec<usize> = vec![0; shard_count];
+    for (c, ids) in shard_ids.iter().enumerate() {
+        for (e, &shard) in ids.iter().enumerate() {
+            members[shard as usize].push((c as u32, e as u32));
+            arena_bytes[shard as usize] += chunks[c].spans[e].1 as usize;
+        }
+    }
+    members.into_iter().zip(arena_bytes).collect()
 }
 
 /// Distributes per-keyword chunks over `2^bits` shards and assembles every
@@ -208,39 +411,15 @@ pub(crate) fn shard_chunks(bits: u32, chunks: Vec<KeywordChunk>) -> ShardedIndex
     if bits == 0 {
         return ShardedIndex {
             bits,
-            shards: vec![merge_chunks(chunks)],
+            shards: vec![Shard::Memory(merge_chunks(chunks))],
         };
     }
-    let shard_count = 1usize << bits;
 
-    // Pass 1: per-entry shard ids (parallel across chunks).
-    let shard_ids: Vec<Vec<u16>> = chunks
-        .par_iter()
-        .map(|chunk| {
-            chunk
-                .labels
-                .iter()
-                .map(|label| shard_of_label(label, bits) as u16)
-                .collect()
-        })
-        .collect();
-
-    // Pass 2: index scatter. Only (chunk, entry) index pairs move here —
-    // O(entries) u32 writes — not ciphertext bytes; the byte copying below
-    // is fully parallel per shard.
-    let mut members: Vec<Vec<(u32, u32)>> = (0..shard_count).map(|_| Vec::new()).collect();
-    let mut arena_bytes: Vec<usize> = vec![0; shard_count];
-    for (c, ids) in shard_ids.iter().enumerate() {
-        for (e, &shard) in ids.iter().enumerate() {
-            members[shard as usize].push((c as u32, e as u32));
-            arena_bytes[shard as usize] += chunks[c].spans[e].1 as usize;
-        }
-    }
+    let jobs = scatter_members(bits, &chunks);
 
     // Pass 3: per-shard assembly (parallel across shards, lock-free — each
     // job reads the shared chunks and writes only its own shard).
-    let jobs: Vec<(Vec<(u32, u32)>, usize)> = members.into_iter().zip(arena_bytes).collect();
-    let shards: Vec<EncryptedIndex> = jobs
+    let shards: Vec<Shard> = jobs
         .into_par_iter()
         .map(|(member_list, bytes)| {
             let mut shard = EncryptedIndex::with_capacity(member_list.len(), bytes);
@@ -252,10 +431,66 @@ pub(crate) fn shard_chunks(bits: u32, chunks: Vec<KeywordChunk>) -> ShardedIndex
                     &chunk.buf[offset as usize..(offset + len) as usize],
                 );
             }
-            shard
+            Shard::Memory(shard)
         })
         .collect();
     ShardedIndex { bits, shards }
+}
+
+/// Backend-dispatching variant of [`shard_chunks`]: in-memory configs run
+/// the parallel arena assembly; on-disk configs stream every shard straight
+/// into its serialized file (same entry order, hence the same bytes a
+/// `save_to_dir` of the in-memory build would write) and reopen the files
+/// as paged [`FileShard`]s.
+pub(crate) fn shard_chunks_stored(
+    config: &StorageConfig,
+    chunks: Vec<KeywordChunk>,
+) -> Result<ShardedIndex, StorageError> {
+    match &config.backend {
+        StorageBackend::InMemory => Ok(shard_chunks(config.shard_bits, chunks)),
+        StorageBackend::OnDisk(dir) => shard_chunks_to_dir(config.shard_bits, chunks, dir),
+    }
+}
+
+/// The on-disk BuildIndex tail: writes each shard's serialized file
+/// directly from the per-keyword chunks (no intermediate arena), in
+/// parallel across shards, then opens them as paged [`FileShard`]s.
+fn shard_chunks_to_dir(
+    bits: u32,
+    chunks: Vec<KeywordChunk>,
+    dir: &Path,
+) -> Result<ShardedIndex, StorageError> {
+    assert!(
+        bits <= MAX_SHARD_BITS,
+        "shard bits {bits} exceeds MAX_SHARD_BITS ({MAX_SHARD_BITS})"
+    );
+    fs::create_dir_all(dir).map_err(|e| StorageError::Io {
+        path: dir.to_path_buf(),
+        error: e,
+    })?;
+    let built = (|| {
+        write_manifest(dir, bits)?;
+        let jobs: Vec<(usize, ShardJob)> = scatter_members(bits, &chunks)
+            .into_iter()
+            .enumerate()
+            .collect();
+        let results: Vec<Result<Shard, StorageError>> = jobs
+            .into_par_iter()
+            .map(|(i, (member_list, bytes))| {
+                let path = dir.join(shard_file_name(i));
+                write_chunk_shard(&path, &chunks, &member_list, bytes)?;
+                FileShard::open(&path).map(Shard::File)
+            })
+            .collect();
+        let shards = results.into_iter().collect::<Result<Vec<Shard>, StorageError>>()?;
+        Ok(ShardedIndex { bits, shards })
+    })();
+    if built.is_err() {
+        // Don't leave a half-written index behind for any caller (the
+        // update manager additionally removes the directories it owns).
+        crate::storage::cleanup_partial_index(dir, 1usize << bits);
+    }
+    built
 }
 
 impl SseScheme {
@@ -273,6 +508,20 @@ impl SseScheme {
         shard_chunks(shard_bits, Self::chunks_from_database(key, database, rng))
     }
 
+    /// Storage-dispatching variant of
+    /// [`build_index_sharded`](Self::build_index_sharded): the shards are
+    /// assembled in memory or streamed straight to their serialized files,
+    /// as [`StorageConfig`] selects. RNG consumption — and therefore every
+    /// ciphertext byte — is identical across backends.
+    pub fn build_index_stored<R: RngCore + CryptoRng>(
+        key: &SseKey,
+        database: &SseDatabase,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<ShardedIndex, StorageError> {
+        shard_chunks_stored(config, Self::chunks_from_database(key, database, rng))
+    }
+
     /// Sharded variant of
     /// [`build_index_from_token_lists`](Self::build_index_from_token_lists).
     pub fn build_index_from_token_lists_sharded<R: RngCore + CryptoRng>(
@@ -281,6 +530,16 @@ impl SseScheme {
         rng: &mut R,
     ) -> ShardedIndex {
         shard_chunks(shard_bits, Self::chunks_from_token_lists(lists, rng))
+    }
+
+    /// Storage-dispatching variant of
+    /// [`build_index_from_token_lists_sharded`](Self::build_index_from_token_lists_sharded).
+    pub fn build_index_from_token_lists_stored<R: RngCore + CryptoRng>(
+        lists: &[(SearchToken, Vec<Vec<u8>>)],
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<ShardedIndex, StorageError> {
+        shard_chunks_stored(config, Self::chunks_from_token_lists(lists, rng))
     }
 
     /// Sharded variant of [`build_index_fixed`](Self::build_index_fixed) —
@@ -293,12 +552,24 @@ impl SseScheme {
     ) -> ShardedIndex {
         shard_chunks(shard_bits, Self::chunks_from_fixed(key, lists, rng))
     }
+
+    /// Storage-dispatching variant of
+    /// [`build_index_fixed_sharded`](Self::build_index_fixed_sharded).
+    pub fn build_index_fixed_stored<const P: usize, R: RngCore + CryptoRng>(
+        key: &SseKey,
+        lists: &[(Vec<u8>, Vec<[u8; P]>)],
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<ShardedIndex, StorageError> {
+        shard_chunks_stored(config, Self::chunks_from_fixed(key, lists, rng))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pibas::LABEL_LEN;
+    use crate::storage::test_support::TempDir;
     use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
@@ -328,6 +599,7 @@ mod tests {
         assert_eq!(index.shard_bits(), 0);
         assert_eq!(index.shard_count(), 1);
         assert!(index.is_empty());
+        assert!(!index.is_file_backed());
         assert_eq!(index.len(), 0);
         assert_eq!(index.get(&[0u8; LABEL_LEN]), None);
     }
@@ -347,7 +619,7 @@ mod tests {
         // Every shard's entries carry that shard's label prefix, and every
         // keyword remains fully searchable across the shard split.
         for shard in index.shards() {
-            for label in shard.table_raw().keys() {
+            for label in shard.as_memory().expect("in-memory build").table_raw().keys() {
                 assert_eq!(&index.shards()[index.shard_of(label)] as *const _, shard as *const _);
             }
         }
@@ -379,13 +651,47 @@ mod tests {
         assert_eq!(counts, vec![8, 8, 8, 8, 8, 0]);
     }
 
+    #[test]
+    fn file_backed_build_pages_in_only_probed_blocks() {
+        // ~200 KiB of ciphertext in one shard → several 64 KiB blocks; one
+        // probed keyword must not fault in the whole region.
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        for kw in 0..50u64 {
+            db.add(format!("kw{kw}").into_bytes(), vec![kw as u8; 4096]);
+        }
+        let dir = TempDir::new("paged");
+        let mut rng_build = ChaCha20Rng::seed_from_u64(4);
+        let index = SseScheme::build_index_stored(
+            &key,
+            &db,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng_build,
+        )
+        .unwrap();
+        assert!(index.is_file_backed());
+        let directory_bytes = index.len() * LABEL_LEN;
+        assert_eq!(index.resident_bytes(), directory_bytes, "nothing faulted in yet");
+        let token = SseScheme::trapdoor(&key, b"kw7");
+        assert_eq!(SseScheme::search(&index, &token).len(), 1);
+        let resident = index.resident_bytes() - directory_bytes;
+        assert!(resident > 0, "the probed block must be resident");
+        assert!(
+            resident < index.storage_bytes() - directory_bytes,
+            "a single probe must not fault in the whole region \
+             ({resident} of {} region bytes resident)",
+            index.storage_bytes() - directory_bytes
+        );
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
-        /// The ISSUE's acceptance property: a `shard_bits = 0` ShardedIndex
-        /// is **byte-identical** to the PR 1 arena-backed `EncryptedIndex` —
-        /// same arena bytes, same offset table — given the same key and RNG
-        /// stream.
+        /// The PR 2 acceptance property, still pinned: a `shard_bits = 0`
+        /// in-memory ShardedIndex is **byte-identical** to the PR 1
+        /// arena-backed `EncryptedIndex` — same arena bytes, same offset
+        /// table — given the same key and RNG stream.
         #[test]
         fn unsharded_is_byte_identical_to_plain_arena(entries in proptest::collection::vec(
             (proptest::collection::vec(any::<u8>(), 1..6),
@@ -401,7 +707,7 @@ mod tests {
             let sharded = SseScheme::build_index_sharded(&key, &db, 0, &mut rng_sharded);
 
             prop_assert_eq!(sharded.shard_count(), 1);
-            let shard = &sharded.shards()[0];
+            let shard = sharded.shards()[0].as_memory().expect("in-memory build");
             prop_assert_eq!(shard.arena_bytes_raw(), flat.arena_bytes_raw(),
                 "k=0 shard arena must be byte-identical to the flat arena");
             prop_assert_eq!(shard.table_raw(), flat.table_raw(),
@@ -430,7 +736,7 @@ mod tests {
             prop_assert_eq!(sharded.storage_bytes(), flat.storage_bytes());
             // Entry-level equality: every label resolves to the same bytes.
             for shard in flat.shards() {
-                for label in shard.table_raw().keys() {
+                for label in shard.as_memory().expect("in-memory build").table_raw().keys() {
                     prop_assert_eq!(sharded.get(label), flat.get(label));
                 }
             }
@@ -493,5 +799,105 @@ mod tests {
             flat_single.sort();
             prop_assert_eq!(flat_batched, flat_single);
         }
+
+        /// PR 3 acceptance property (a): a file-backed build — same key,
+        /// same RNG stream — resolves every label to the same bytes and
+        /// answers every search identically to the in-memory arena, at
+        /// shard_bits ∈ {0, 4}.
+        #[test]
+        fn file_backed_build_equals_in_memory(entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..5),
+             proptest::collection::vec(any::<u8>(), 0..24)), 0..40),
+            four_bits in any::<bool>(),
+            seed in any::<u64>())
+        {
+            let bits = if four_bits { 4 } else { 0 };
+            let db = db_from(&entries);
+            let key = SseScheme::key_from(Key::from_bytes([0x3C; KEY_LEN]));
+
+            let mut rng_mem = ChaCha20Rng::seed_from_u64(seed);
+            let memory = SseScheme::build_index_sharded(&key, &db, bits, &mut rng_mem);
+            let dir = TempDir::new("prop-eq");
+            let mut rng_file = ChaCha20Rng::seed_from_u64(seed);
+            let file = SseScheme::build_index_stored(
+                &key, &db, &StorageConfig::on_disk(bits, dir.path()), &mut rng_file).unwrap();
+
+            prop_assert!(file.is_file_backed());
+            prop_assert_eq!(file.len(), memory.len());
+            prop_assert_eq!(file.storage_bytes(), memory.storage_bytes());
+            for shard in memory.shards() {
+                for label in shard.as_memory().expect("in-memory build").table_raw().keys() {
+                    prop_assert_eq!(file.get(label), memory.get(label));
+                }
+            }
+            let tokens: Vec<SearchToken> = db.iter()
+                .map(|(kw, _)| SseScheme::trapdoor(&key, kw))
+                .collect();
+            for token in &tokens {
+                prop_assert_eq!(
+                    SseScheme::search(&file, token),
+                    SseScheme::search(&memory, token)
+                );
+            }
+            let batched = SseScheme::search_batch(&file, &tokens);
+            prop_assert_eq!(batched, SseScheme::search_batch(&memory, &tokens));
+        }
+
+        /// PR 3 acceptance property (b): `save_to_dir` → `open_dir` →
+        /// `save_to_dir` round-trips **byte-identically** (every shard file
+        /// and the manifest), at shard_bits ∈ {0, 4} — and the streamed
+        /// on-disk build writes those exact bytes in the first place.
+        #[test]
+        fn save_open_save_round_trips_byte_identically(entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..5),
+             proptest::collection::vec(any::<u8>(), 0..24)), 0..40),
+            four_bits in any::<bool>(),
+            seed in any::<u64>())
+        {
+            let bits = if four_bits { 4 } else { 0 };
+            let db = db_from(&entries);
+            let key = SseScheme::key_from(Key::from_bytes([0x77; KEY_LEN]));
+
+            let mut rng = ChaCha20Rng::seed_from_u64(seed);
+            let memory = SseScheme::build_index_sharded(&key, &db, bits, &mut rng);
+
+            let saved = TempDir::new("prop-rt-a");
+            memory.save_to_dir(saved.path()).unwrap();
+            let reopened = ShardedIndex::open_dir(saved.path()).unwrap();
+            prop_assert_eq!(reopened.shard_bits(), bits);
+            prop_assert_eq!(reopened.len(), memory.len());
+
+            let resaved = TempDir::new("prop-rt-b");
+            reopened.save_to_dir(resaved.path()).unwrap();
+            prop_assert!(dirs_equal(saved.path(), resaved.path()),
+                "save → open → save must be byte-identical");
+
+            // The streamed build writes the same bytes as save_to_dir.
+            let streamed = TempDir::new("prop-rt-c");
+            let mut rng_stream = ChaCha20Rng::seed_from_u64(seed);
+            SseScheme::build_index_stored(
+                &key, &db, &StorageConfig::on_disk(bits, streamed.path()), &mut rng_stream).unwrap();
+            prop_assert!(dirs_equal(saved.path(), streamed.path()),
+                "streamed build must write the bytes save_to_dir writes");
+        }
+    }
+
+    /// Compares two saved index directories file by file.
+    fn dirs_equal(a: &Path, b: &Path) -> bool {
+        let list = |dir: &Path| -> Vec<String> {
+            let mut names: Vec<String> = fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .collect();
+            names.sort();
+            names
+        };
+        let names = list(a);
+        if names != list(b) {
+            return false;
+        }
+        names
+            .iter()
+            .all(|name| fs::read(a.join(name)).unwrap() == fs::read(b.join(name)).unwrap())
     }
 }

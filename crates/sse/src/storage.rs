@@ -1,0 +1,1355 @@
+//! Pluggable storage backends for the encrypted dictionary.
+//!
+//! PR 2's [`ShardedIndex`](crate::ShardedIndex) split the dictionary into
+//! independent label-prefix shards but kept every shard's ciphertext arena
+//! pinned in RAM, and an index died with the process. This module decouples
+//! the *representation* of a shard from the query algorithms (which are
+//! generic over [`IndexLookup`](crate::IndexLookup) and never see the
+//! difference):
+//!
+//! * [`ShardStorage`] — the per-shard read interface every backend
+//!   implements: a bucket directory (`label → (offset, len)`), a ciphertext
+//!   region resolving those spans, and `get`/`get_many` probes.
+//! * [`EncryptedIndex`] — the existing in-memory
+//!   arena backend, unchanged byte-for-byte (property-tested).
+//! * [`FileShard`] — the on-disk backend: a compact serialized shard file
+//!   (magic/version header, label directory, ciphertext region) whose
+//!   directory is loaded at open time while ciphertexts stay on disk and
+//!   are served through **mmap-style paged reads**: the region is cut into
+//!   ~64 KiB blocks along entry boundaries, and a probe faults in only the
+//!   block holding its span (each block is read at most once and then
+//!   shared by all probes and clones). A 10M-record index therefore no
+//!   longer needs all shards — or even all of any shard — resident.
+//! * [`StorageConfig`] / [`StorageBackend`] — the knob threaded through
+//!   `BuildIndex` (and, in `rsse-core`, through `RangeScheme::build_stored`
+//!   and the update manager) selecting where an index's shards live.
+//!
+//! # Shard file format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "RSSE-SHD"
+//! 8       4     format version (LE u32, = 1)
+//! 12      4     reserved (0)
+//! 16      8     entry count n (LE u64)
+//! 24      8     ciphertext-region length (LE u64, < 4 GiB)
+//! 32      24·n  directory: n × (16-byte label, LE u32 offset, LE u32 len),
+//!               sorted by offset; the spans tile [0, region_len) exactly
+//! 32+24·n ...   ciphertext region (concatenated spans, in directory order)
+//! ```
+//!
+//! The directory order is deterministic (ascending offset), so serializing
+//! the same logical shard always produces the same bytes —
+//! `save_to_dir` → `open_dir` → `save_to_dir` round-trips byte-identically.
+//! An index directory holds one `shard-NNNNN.shd` per shard plus an
+//! `index.meta` manifest (same magic/version discipline) recording the
+//! shard-bit count.
+//!
+//! [`FileShard::open`] **rejects** malformed files with typed
+//! [`StorageError`]s — truncated files, foreign magic, unsupported
+//! versions, and directories whose spans fall outside (or fail to tile)
+//! the ciphertext region — instead of panicking at query time.
+
+use crate::pibas::{EncryptedIndex, KeywordChunk, Label, LabelTable, LABEL_LEN};
+use rayon::prelude::*;
+use std::fmt;
+use std::fs::{self, File};
+use std::hash::BuildHasherDefault;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Positioned read into `buf` at `offset`, without touching any shared
+/// cursor — this is what keeps concurrent paged reads lock-free. Thin
+/// per-platform shim over `pread`-style APIs so the crate stays portable.
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
+
+/// Windows variant of [`read_exact_at`], built on `seek_read` (which takes
+/// an explicit offset and leaves no cursor state the reads could race on).
+#[cfg(windows)]
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "failed to fill whole buffer",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Magic bytes opening every serialized shard file.
+pub const SHARD_MAGIC: [u8; 8] = *b"RSSE-SHD";
+
+/// Magic bytes opening the index manifest (`index.meta`).
+pub const MANIFEST_MAGIC: [u8; 8] = *b"RSSE-IDX";
+
+/// Current serialization format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed shard-file header length in bytes.
+const SHARD_HEADER_LEN: u64 = 32;
+
+/// Bytes per directory entry: 16-byte label + u32 offset + u32 len.
+const DIR_ENTRY_LEN: u64 = 24;
+
+/// Manifest file length in bytes.
+const MANIFEST_LEN: u64 = 24;
+
+/// Target paged-read block size. Blocks are cut along entry boundaries, so
+/// a block is at least this large only when its last entry crosses the
+/// threshold; a single entry larger than the target gets its own block.
+const BLOCK_TARGET: usize = 64 << 10;
+
+/// File name of the per-index manifest inside a saved index directory.
+pub const MANIFEST_FILE: &str = "index.meta";
+
+/// File name of shard `i` inside a saved index directory.
+pub fn shard_file_name(shard: usize) -> String {
+    format!("shard-{shard:05}.shd")
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed error surfaced by the persistence layer.
+///
+/// Every way a stored index can be unusable — I/O failures, foreign or
+/// truncated files, corrupt directories — maps to a distinct variant, so
+/// callers can distinguish "disk is gone" from "this is not one of ours"
+/// without string matching, and nothing in the open path panics.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The originating I/O error.
+        error: io::Error,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+        /// The bytes actually found where the magic was expected.
+        found: [u8; 8],
+    },
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version recorded in the file.
+        version: u32,
+    },
+    /// The file is shorter than its header/directory claims.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// Length the header implies.
+        expected: u64,
+        /// Length actually on disk.
+        actual: u64,
+    },
+    /// The label directory is internally inconsistent (out-of-bounds or
+    /// non-tiling spans, duplicate labels, trailing bytes, …).
+    CorruptDirectory {
+        /// The offending file.
+        path: PathBuf,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// The selected backend is not supported by this scheme or operation.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, error } => {
+                write!(f, "storage I/O error on {}: {error}", path.display())
+            }
+            StorageError::BadMagic { path, found } => write!(
+                f,
+                "{} is not a serialized index file (magic {found:02x?})",
+                path.display()
+            ),
+            StorageError::UnsupportedVersion { path, version } => write!(
+                f,
+                "{} uses unsupported format version {version} (this build reads {FORMAT_VERSION})",
+                path.display()
+            ),
+            StorageError::Truncated {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{} is truncated: header implies {expected} bytes, file has {actual}",
+                path.display()
+            ),
+            StorageError::CorruptDirectory { path, detail } => {
+                write!(f, "{} has a corrupt label directory: {detail}", path.display())
+            }
+            StorageError::Unsupported(what) => {
+                write!(f, "storage backend not supported: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Attaches a path to a raw I/O error.
+fn io_err(path: &Path, error: io::Error) -> StorageError {
+    StorageError::Io {
+        path: path.to_path_buf(),
+        error,
+    }
+}
+
+/// Shared header validation for the serialized-file family (shard files,
+/// manifests, scheme sidecars): checks the 8-byte `magic`, a minimum
+/// length of `min_len`, and the little-endian [`FORMAT_VERSION`] at bytes
+/// 8..12, surfacing the standard typed errors. Every deserializer in the
+/// workspace funnels through this so the rejection behavior cannot
+/// diverge between formats.
+pub fn check_header(
+    path: &Path,
+    bytes: &[u8],
+    magic: &[u8; 8],
+    min_len: u64,
+) -> Result<(), StorageError> {
+    if bytes.len() < 8 || &bytes[..8] != magic {
+        let mut found = [0u8; 8];
+        let take = bytes.len().min(8);
+        found[..take].copy_from_slice(&bytes[..take]);
+        return Err(StorageError::BadMagic {
+            path: path.to_path_buf(),
+            found,
+        });
+    }
+    if (bytes.len() as u64) < min_len {
+        return Err(StorageError::Truncated {
+            path: path.to_path_buf(),
+            expected: min_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    let version = read_u32(&bytes[8..]);
+    if version != FORMAT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Where an encrypted index's shards live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Every shard is an in-memory ciphertext arena (the PR 2 layout,
+    /// byte-identical).
+    InMemory,
+    /// Shards are serialized into the given directory during `BuildIndex`
+    /// and served from disk via paged reads.
+    OnDisk(PathBuf),
+}
+
+/// Storage configuration threaded through `BuildIndex`: how many
+/// label-prefix shards to cut the dictionary into, and which
+/// [`StorageBackend`] holds them.
+///
+/// # Examples
+///
+/// ```
+/// use rsse_sse::{StorageBackend, StorageConfig};
+///
+/// let in_ram = StorageConfig::in_memory(4);
+/// assert_eq!(in_ram.backend, StorageBackend::InMemory);
+///
+/// let on_disk = StorageConfig::on_disk(4, "/tmp/rsse-index");
+/// assert!(matches!(on_disk.backend, StorageBackend::OnDisk(_)));
+/// // Multi-index schemes (Logarithmic-SRC-i) place each sub-index in its
+/// // own subdirectory; in-memory configs pass through unchanged.
+/// assert!(matches!(on_disk.subdir("i1").backend, StorageBackend::OnDisk(p) if p.ends_with("i1")));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Number of label-prefix bits selecting a shard (`2^bits` shards).
+    pub shard_bits: u32,
+    /// Backend holding the shards.
+    pub backend: StorageBackend,
+}
+
+impl StorageConfig {
+    /// An in-memory configuration with `2^shard_bits` shards.
+    pub fn in_memory(shard_bits: u32) -> Self {
+        Self {
+            shard_bits,
+            backend: StorageBackend::InMemory,
+        }
+    }
+
+    /// An on-disk configuration writing `2^shard_bits` shard files into
+    /// `dir` (created if missing).
+    pub fn on_disk(shard_bits: u32, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            shard_bits,
+            backend: StorageBackend::OnDisk(dir.into()),
+        }
+    }
+
+    /// Derives the configuration for a named sub-index: on-disk backends
+    /// descend into `dir/name`, in-memory configs are returned unchanged.
+    pub fn subdir(&self, name: &str) -> Self {
+        match &self.backend {
+            StorageBackend::InMemory => self.clone(),
+            StorageBackend::OnDisk(dir) => Self {
+                shard_bits: self.shard_bits,
+                backend: StorageBackend::OnDisk(dir.join(name)),
+            },
+        }
+    }
+
+    /// Whether this configuration persists the index to disk.
+    pub fn is_on_disk(&self) -> bool {
+        matches!(self.backend, StorageBackend::OnDisk(_))
+    }
+}
+
+impl Default for StorageConfig {
+    /// A single in-memory arena (`shard_bits = 0`).
+    fn default() -> Self {
+        Self::in_memory(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ShardStorage trait
+// ---------------------------------------------------------------------------
+
+/// Read interface of one dictionary shard, whatever holds its bytes.
+///
+/// A shard is a **bucket directory** (`label → (offset, len)`) over a
+/// **ciphertext region**; the trait exposes the only operations the search
+/// algorithms need — point probes and batched probes — so the sharded index
+/// can mix backends without the query layer noticing.
+pub trait ShardStorage {
+    /// Looks up the ciphertext stored under `label`.
+    fn get(&self, label: &Label) -> Option<&[u8]>;
+
+    /// Resolves a batch of probes, writing `out[i] = get(&labels[i])`
+    /// (cleared first, results in probe order).
+    fn get_many<'a>(&'a self, labels: &[Label], out: &mut Vec<Option<&'a [u8]>>) {
+        out.clear();
+        out.extend(labels.iter().map(|label| self.get(label)));
+    }
+
+    /// Number of entries in the bucket directory.
+    fn len(&self) -> usize;
+
+    /// Whether the shard holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Server-side storage footprint in bytes (labels + ciphertext region).
+    fn storage_bytes(&self) -> usize;
+}
+
+impl ShardStorage for EncryptedIndex {
+    fn get(&self, label: &Label) -> Option<&[u8]> {
+        EncryptedIndex::get(self, label)
+    }
+
+    fn len(&self) -> usize {
+        EncryptedIndex::len(self)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        EncryptedIndex::storage_bytes(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The file-backed shard
+// ---------------------------------------------------------------------------
+
+/// One paged-read block of the ciphertext region.
+struct Block {
+    /// Offset of the block within the region.
+    start: u32,
+    /// Block length in bytes (whole entries only).
+    len: u32,
+    /// Lazily loaded block bytes. A failed read stores nothing, so the
+    /// probe degrades to "entry missing" for this round (the same posture
+    /// as corrupt-entry skipping in search) but the next probe retries —
+    /// a transient I/O blip never poisons the block permanently.
+    data: OnceLock<Box<[u8]>>,
+}
+
+struct FileShardInner {
+    /// Path the shard was opened from (error reporting, re-serialization).
+    path: PathBuf,
+    /// The open shard file; all reads go through positioned `read_at`.
+    file: File,
+    /// The in-memory bucket directory: label → (region offset, len).
+    table: LabelTable,
+    /// File offset where the ciphertext region starts.
+    region_offset: u64,
+    /// Ciphertext-region length (< 4 GiB, the per-shard arena bound).
+    region_len: u32,
+    /// Region blocks in ascending `start` order, faulted in on demand.
+    blocks: Vec<Block>,
+    /// Number of block reads that failed since open. A failed read makes
+    /// the probing search degrade to "entry missing" (and retry on the
+    /// next probe); this counter is how operators distinguish that
+    /// degradation from a genuine miss.
+    read_errors: AtomicU64,
+}
+
+/// A disk-resident dictionary shard: in-memory bucket directory, on-disk
+/// ciphertext region served via paged reads.
+///
+/// Cloning is cheap (the file handle, directory, and block cache are
+/// shared), and probes from any number of threads are lock-free after a
+/// block's one-time load — the [`OnceLock`] per block is the only
+/// synchronization.
+#[derive(Clone)]
+pub struct FileShard {
+    inner: Arc<FileShardInner>,
+}
+
+impl fmt::Debug for FileShard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileShard")
+            .field("path", &self.inner.path)
+            .field("entries", &self.inner.table.len())
+            .field("region_len", &self.inner.region_len)
+            .field("blocks", &self.inner.blocks.len())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+/// Reads a little-endian `u32`/`u64` out of a byte slice.
+fn read_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+}
+
+impl FileShard {
+    /// Opens a serialized shard file: validates the header, loads the label
+    /// directory into memory, and prepares the paged-read block table. The
+    /// ciphertext region itself stays on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StorageError`] for every malformed input —
+    /// truncated files, wrong magic, unsupported versions, and directories
+    /// whose spans do not exactly tile the ciphertext region.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let file = File::open(path).map_err(|e| io_err(path, e))?;
+        let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+        if file_len < SHARD_HEADER_LEN {
+            return Err(StorageError::Truncated {
+                path: path.to_path_buf(),
+                expected: SHARD_HEADER_LEN,
+                actual: file_len,
+            });
+        }
+        let mut header = [0u8; SHARD_HEADER_LEN as usize];
+        read_exact_at(&file, &mut header, 0).map_err(|e| io_err(path, e))?;
+        check_header(path, &header, &SHARD_MAGIC, SHARD_HEADER_LEN)?;
+        let entry_count = read_u64(&header[16..]);
+        let region_len = read_u64(&header[24..]);
+        if region_len > u32::MAX as u64 {
+            return Err(StorageError::CorruptDirectory {
+                path: path.to_path_buf(),
+                detail: format!("region length {region_len} exceeds the 4 GiB shard bound"),
+            });
+        }
+        let expected_len = SHARD_HEADER_LEN
+            .checked_add(entry_count.checked_mul(DIR_ENTRY_LEN).ok_or_else(|| {
+                StorageError::CorruptDirectory {
+                    path: path.to_path_buf(),
+                    detail: format!("entry count {entry_count} overflows the directory size"),
+                }
+            })?)
+            .and_then(|d| d.checked_add(region_len))
+            .ok_or_else(|| StorageError::CorruptDirectory {
+                path: path.to_path_buf(),
+                detail: "header sizes overflow".to_string(),
+            })?;
+        if file_len < expected_len {
+            return Err(StorageError::Truncated {
+                path: path.to_path_buf(),
+                expected: expected_len,
+                actual: file_len,
+            });
+        }
+        if file_len > expected_len {
+            return Err(StorageError::CorruptDirectory {
+                path: path.to_path_buf(),
+                detail: format!("{} trailing bytes after the ciphertext region", file_len - expected_len),
+            });
+        }
+
+        // Directory pass: read all entries, verify the spans tile
+        // [0, region_len) in ascending offset order (which also proves every
+        // span in bounds), and build the lookup table and block cuts.
+        let entry_count = entry_count as usize;
+        let mut directory = vec![0u8; entry_count * DIR_ENTRY_LEN as usize];
+        read_exact_at(&file, &mut directory, SHARD_HEADER_LEN)
+            .map_err(|e| io_err(path, e))?;
+        let mut table =
+            LabelTable::with_capacity_and_hasher(entry_count, BuildHasherDefault::default());
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut running = 0u64;
+        let mut block_start = 0u64;
+        for (i, entry) in directory.chunks_exact(DIR_ENTRY_LEN as usize).enumerate() {
+            let mut label = [0u8; LABEL_LEN];
+            label.copy_from_slice(&entry[..LABEL_LEN]);
+            let offset = read_u32(&entry[LABEL_LEN..]);
+            let len = read_u32(&entry[LABEL_LEN + 4..]);
+            if u64::from(offset) != running {
+                return Err(StorageError::CorruptDirectory {
+                    path: path.to_path_buf(),
+                    detail: format!(
+                        "entry {i} starts at offset {offset}, expected {running} \
+                         (spans must tile the region)"
+                    ),
+                });
+            }
+            running += u64::from(len);
+            if running > region_len {
+                return Err(StorageError::CorruptDirectory {
+                    path: path.to_path_buf(),
+                    detail: format!(
+                        "entry {i} (offset {offset}, len {len}) overruns the \
+                         {region_len}-byte ciphertext region"
+                    ),
+                });
+            }
+            if table.insert(label, (offset, len)).is_some() {
+                return Err(StorageError::CorruptDirectory {
+                    path: path.to_path_buf(),
+                    detail: format!("duplicate label at entry {i}"),
+                });
+            }
+            if running - block_start >= BLOCK_TARGET as u64 {
+                blocks.push(Block {
+                    start: block_start as u32,
+                    len: (running - block_start) as u32,
+                    data: OnceLock::new(),
+                });
+                block_start = running;
+            }
+        }
+        if running != region_len {
+            return Err(StorageError::CorruptDirectory {
+                path: path.to_path_buf(),
+                detail: format!(
+                    "directory spans cover {running} bytes of a {region_len}-byte region"
+                ),
+            });
+        }
+        if running > block_start {
+            blocks.push(Block {
+                start: block_start as u32,
+                len: (running - block_start) as u32,
+                data: OnceLock::new(),
+            });
+        }
+        Ok(Self {
+            inner: Arc::new(FileShardInner {
+                path: path.to_path_buf(),
+                file,
+                table,
+                region_offset: SHARD_HEADER_LEN + (entry_count as u64) * DIR_ENTRY_LEN,
+                region_len: region_len as u32,
+                blocks,
+                read_errors: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The file this shard is served from.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Number of block reads that have failed since this shard was opened.
+    ///
+    /// A failed block read degrades the affected probes to "entry missing"
+    /// for that round (and is retried by the next probe), so a non-zero
+    /// value here is the signal that search results may have been
+    /// incomplete while the underlying storage misbehaved.
+    pub fn read_errors(&self) -> u64 {
+        self.inner.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of the ciphertext region currently faulted into memory (the
+    /// bucket directory itself is always resident).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner
+            .blocks
+            .iter()
+            .filter(|block| block.data.get().is_some())
+            .map(|block| block.len as usize)
+            .sum()
+    }
+
+    /// Resolves the span at `(offset, len)` through the paged block cache.
+    fn span(&self, offset: u32, len: u32) -> Option<&[u8]> {
+        if len == 0 {
+            return Some(&[]);
+        }
+        let inner = &*self.inner;
+        let index = inner.blocks.partition_point(|b| b.start <= offset) - 1;
+        let block = &inner.blocks[index];
+        let data = match block.data.get() {
+            Some(data) => data,
+            None => {
+                let mut buf = vec![0u8; block.len as usize].into_boxed_slice();
+                if read_exact_at(
+                    &inner.file,
+                    &mut buf,
+                    inner.region_offset + u64::from(block.start),
+                )
+                .is_err()
+                {
+                    // Degrade this probe to a miss, but leave the block
+                    // uncached (retried next probe) and record the failure
+                    // so callers can tell degradation from a real miss.
+                    inner.read_errors.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                // A concurrent probe may have won the race; either way the
+                // lock now holds a fully read copy of the block.
+                let _ = block.data.set(buf);
+                block.data.get().expect("block cache was just populated")
+            }
+        };
+        let rel = (offset - block.start) as usize;
+        Some(&data[rel..rel + len as usize])
+    }
+
+    /// Iterates over the stored ciphertexts in region order, faulting
+    /// blocks in as needed (used by leakage-oriented tests and
+    /// re-serialization).
+    pub fn ciphertexts(&self) -> impl Iterator<Item = &[u8]> {
+        let mut spans: Vec<(u32, u32)> = self.inner.table.values().copied().collect();
+        spans.sort_unstable_by_key(|&(offset, _)| offset);
+        spans
+            .into_iter()
+            .filter_map(move |(offset, len)| self.span(offset, len))
+    }
+
+    /// Serializes this shard back into `writer` (byte-identical to the file
+    /// it was opened from).
+    fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        let inner = &*self.inner;
+        let mut entries: Vec<(Label, u32, u32)> = inner
+            .table
+            .iter()
+            .map(|(label, &(offset, len))| (*label, offset, len))
+            .collect();
+        entries.sort_unstable_by_key(|&(_, offset, _)| offset);
+        write_shard_header(writer, entries.len() as u64, u64::from(inner.region_len))?;
+        write_shard_directory(writer, entries.iter().map(|&(label, _, len)| (label, len)))?;
+        // Stream the region straight off disk, block-cache bypassed, in
+        // bounded chunks.
+        let mut remaining = u64::from(inner.region_len);
+        let mut at = inner.region_offset;
+        let mut buf = vec![0u8; BLOCK_TARGET];
+        while remaining > 0 {
+            let take = remaining.min(BLOCK_TARGET as u64) as usize;
+            read_exact_at(&inner.file, &mut buf[..take], at)?;
+            writer.write_all(&buf[..take])?;
+            at += take as u64;
+            remaining -= take as u64;
+        }
+        Ok(())
+    }
+}
+
+impl ShardStorage for FileShard {
+    fn get(&self, label: &Label) -> Option<&[u8]> {
+        let &(offset, len) = self.inner.table.get(label)?;
+        self.span(offset, len)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.table.len()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.table.len() * LABEL_LEN + self.inner.region_len as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization helpers
+// ---------------------------------------------------------------------------
+
+/// Writes the fixed 32-byte shard-file header.
+fn write_shard_header<W: Write>(writer: &mut W, entries: u64, region_len: u64) -> io::Result<()> {
+    writer.write_all(&SHARD_MAGIC)?;
+    writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    writer.write_all(&0u32.to_le_bytes())?;
+    writer.write_all(&entries.to_le_bytes())?;
+    writer.write_all(&region_len.to_le_bytes())
+}
+
+/// Writes the label directory; offsets are the running sum of the lengths,
+/// which is exactly the arena layout (spans tile the region).
+fn write_shard_directory<W: Write>(
+    writer: &mut W,
+    entries: impl Iterator<Item = (Label, u32)>,
+) -> io::Result<()> {
+    let mut running = 0u32;
+    for (label, len) in entries {
+        writer.write_all(&label)?;
+        writer.write_all(&running.to_le_bytes())?;
+        writer.write_all(&len.to_le_bytes())?;
+        running += len;
+    }
+    Ok(())
+}
+
+/// The scratch name `path` is written under before the atomic rename.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `path` atomically: content goes to a `.tmp` sibling first and is
+/// renamed over the target only once fully flushed. This makes re-saving
+/// an index into the directory it is currently being served from safe —
+/// open `FileShard` handles keep reading the old inode while the new file
+/// is written, so the serializer's own read-back never sees a truncated
+/// file — and a failed write can never destroy an existing good file.
+fn write_file_atomic(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> Result<(), StorageError> {
+    let tmp = tmp_path(path);
+    let file = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    let mut writer = BufWriter::new(file);
+    match write(&mut writer).and_then(|()| writer.flush()) {
+        Ok(()) => fs::rename(&tmp, path).map_err(|e| io_err(path, e)),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(io_err(path, e))
+        }
+    }
+}
+
+/// Atomic whole-buffer variant of [`write_file_atomic`] for small metadata
+/// files.
+///
+/// (Internal to the workspace: the schemes' sidecar files — Constant's
+/// depth meta, PB's filter tree — use it so every serialized file in an
+/// index directory follows the same tmp+rename discipline and a failed
+/// re-save can never destroy an existing good file.)
+#[doc(hidden)]
+pub fn write_file_atomic_bytes(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    write_file_atomic(path, |writer| writer.write_all(bytes))
+}
+
+/// Serializes one in-memory shard into `path` (directory sorted by offset,
+/// region = raw arena bytes).
+fn write_memory_shard(path: &Path, shard: &EncryptedIndex) -> Result<(), StorageError> {
+    let entries = shard.entries_by_offset();
+    write_file_atomic(path, |writer| {
+        write_shard_header(writer, entries.len() as u64, shard.arena_raw().len() as u64)?;
+        write_shard_directory(writer, entries.iter().map(|&(label, _, len)| (label, len)))?;
+        writer.write_all(shard.arena_raw())
+    })
+}
+
+/// Serializes a file-backed shard into `path` (which may be the very file
+/// the shard is served from — see [`write_file_atomic`]).
+fn write_file_shard(path: &Path, shard: &FileShard) -> Result<(), StorageError> {
+    write_file_atomic(path, |writer| shard.write_to(writer))
+}
+
+/// Streams one shard's serialized file directly from the per-keyword build
+/// chunks — the on-disk BuildIndex path: no intermediate arena is ever
+/// materialized, and the bytes written are exactly what `save_to_dir` of
+/// the equivalent in-memory shard would produce (same entry order, offsets
+/// as the running length sum).
+pub(crate) fn write_chunk_shard(
+    path: &Path,
+    chunks: &[KeywordChunk],
+    members: &[(u32, u32)],
+    region_len: usize,
+) -> Result<(), StorageError> {
+    assert!(
+        region_len <= u32::MAX as usize,
+        "arena limited to 4 GiB per index; shard the dataset first"
+    );
+    write_file_atomic(path, |writer| {
+        write_shard_header(writer, members.len() as u64, region_len as u64)?;
+        write_shard_directory(
+            writer,
+            members.iter().map(|&(c, e)| {
+                let chunk = &chunks[c as usize];
+                (chunk.labels[e as usize], chunk.spans[e as usize].1)
+            }),
+        )?;
+        for &(c, e) in members {
+            let chunk = &chunks[c as usize];
+            let (offset, len) = chunk.spans[e as usize];
+            writer.write_all(&chunk.buf[offset as usize..(offset + len) as usize])?;
+        }
+        Ok(())
+    })
+}
+
+/// Best-effort removal of the files a failed on-disk build wrote — the
+/// manifest and every shard file — followed by the directory itself *only
+/// if that leaves it empty*. Never recursive: the target directory may
+/// have pre-existed with unrelated content that must survive.
+/// (Internal to the workspace: multi-artifact scheme builds — SRC-i's two
+/// indexes, Constant's depth sidecar — reuse it to unwind their own
+/// partial failures.)
+#[doc(hidden)]
+pub fn cleanup_partial_index(dir: &Path, shard_count: usize) {
+    let manifest = dir.join(MANIFEST_FILE);
+    let _ = fs::remove_file(tmp_path(&manifest));
+    let _ = fs::remove_file(manifest);
+    for i in 0..shard_count {
+        let shard = dir.join(shard_file_name(i));
+        let _ = fs::remove_file(tmp_path(&shard));
+        let _ = fs::remove_file(shard);
+    }
+    let _ = fs::remove_dir(dir);
+}
+
+/// Writes the index manifest (`index.meta`).
+pub(crate) fn write_manifest(dir: &Path, shard_bits: u32) -> Result<(), StorageError> {
+    let path = dir.join(MANIFEST_FILE);
+    let mut bytes = Vec::with_capacity(MANIFEST_LEN as usize);
+    bytes.extend_from_slice(&MANIFEST_MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&shard_bits.to_le_bytes());
+    bytes.extend_from_slice(&(1u64 << shard_bits).to_le_bytes());
+    write_file_atomic(&path, |writer| writer.write_all(&bytes))
+}
+
+/// Reads and validates the index manifest, returning the shard bits.
+pub(crate) fn read_manifest(dir: &Path) -> Result<u32, StorageError> {
+    let path = dir.join(MANIFEST_FILE);
+    let mut file = File::open(&path).map_err(|e| io_err(&path, e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_err(&path, e))?;
+    check_header(&path, &bytes, &MANIFEST_MAGIC, MANIFEST_LEN)?;
+    if bytes.len() as u64 != MANIFEST_LEN {
+        return Err(StorageError::CorruptDirectory {
+            path,
+            detail: format!(
+                "{} trailing bytes after the manifest fields",
+                bytes.len() as u64 - MANIFEST_LEN
+            ),
+        });
+    }
+    let shard_bits = read_u32(&bytes[12..]);
+    let shard_count = read_u64(&bytes[16..]);
+    if shard_bits > crate::sharded::MAX_SHARD_BITS || shard_count != 1u64 << shard_bits {
+        return Err(StorageError::CorruptDirectory {
+            path,
+            detail: format!(
+                "manifest claims {shard_count} shards at {shard_bits} shard bits"
+            ),
+        });
+    }
+    Ok(shard_bits)
+}
+
+/// Serializes every shard of `shards` (plus the manifest) into `dir`,
+/// creating it if needed. Shard files are written in parallel.
+pub(crate) fn save_shards_to_dir(
+    dir: &Path,
+    shard_bits: u32,
+    shards: &[crate::sharded::Shard],
+) -> Result<(), StorageError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let jobs: Vec<(usize, &crate::sharded::Shard)> = shards.iter().enumerate().collect();
+    let results: Vec<Result<(), StorageError>> = jobs
+        .into_par_iter()
+        .map(|(i, shard)| {
+            let path = dir.join(shard_file_name(i));
+            match shard {
+                crate::sharded::Shard::Memory(index) => write_memory_shard(&path, index),
+                crate::sharded::Shard::File(file) => write_file_shard(&path, file),
+            }
+        })
+        .collect();
+    results.into_iter().collect::<Result<(), StorageError>>()?;
+    // The manifest is written LAST: it is the commit record of a save, so
+    // a crash mid-save over an existing index leaves the old manifest in
+    // place (and the open-time label-prefix validation rejects a directory
+    // whose manifest disagrees with its shard files' layout).
+    write_manifest(dir, shard_bits)?;
+    remove_stale_shard_files(dir, shards.len());
+    Ok(())
+}
+
+/// Removes leftover `shard-NNNNN.shd` files (and their `.tmp` scratch
+/// siblings) with indices past the just-saved shard count — stale remnants
+/// of a previous, more-sharded index saved into the same directory, which
+/// would otherwise linger next to the new files. Best effort: a file that
+/// cannot be removed never affects correctness (`open_dir` is
+/// manifest-driven), only directory hygiene.
+fn remove_stale_shard_files(dir: &Path, shard_count: usize) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stem = name
+            .strip_suffix(".shd.tmp")
+            .or_else(|| name.strip_suffix(".shd"));
+        let Some(index) = stem
+            .and_then(|stem| stem.strip_prefix("shard-"))
+            .and_then(|digits| digits.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if index >= shard_count {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Opens every shard file under `dir` (in parallel) after validating the
+/// manifest.
+pub(crate) fn open_shards_from_dir(
+    dir: &Path,
+) -> Result<(u32, Vec<FileShard>), StorageError> {
+    let shard_bits = read_manifest(dir)?;
+    let shard_count = 1usize << shard_bits;
+    let indices: Vec<usize> = (0..shard_count).collect();
+    let results: Vec<Result<FileShard, StorageError>> = indices
+        .into_par_iter()
+        .map(|i| {
+            let path = dir.join(shard_file_name(i));
+            let shard = FileShard::open(&path)?;
+            // Label-prefix routing check: every label in shard i must carry
+            // prefix i at the manifest's shard-bit width, or probes routed
+            // by shard_of(label) would silently miss. This rejects swapped
+            // or foreign shard files — individually valid, collectively
+            // wrong — with a typed error instead of empty query results.
+            if shard_bits > 0 {
+                for label in shard.inner.table.keys() {
+                    let prefix = u64::from_be_bytes(
+                        label[..8].try_into().expect("labels are 16 bytes"),
+                    ) >> (64 - shard_bits);
+                    if prefix != i as u64 {
+                        return Err(StorageError::CorruptDirectory {
+                            path,
+                            detail: format!(
+                                "label with shard prefix {prefix} stored in shard {i} \
+                                 (at {shard_bits} shard bits) — shard files swapped or \
+                                 from a different index layout"
+                            ),
+                        });
+                    }
+                }
+            }
+            Ok(shard)
+        })
+        .collect();
+    let shards = results.into_iter().collect::<Result<Vec<FileShard>, StorageError>>()?;
+    Ok((shard_bits, shards))
+}
+
+pub mod test_support {
+    //! Unique scratch directories for persistence tests.
+    //!
+    //! Not part of the crate's API contract — exposed (`#[doc(hidden)]` at
+    //! the re-export) so the downstream crates' persistence tests share one
+    //! helper instead of three copies.
+
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique scratch directory under the system temp dir, removed on
+    /// drop (best effort).
+    pub struct TempDir(PathBuf);
+
+    impl TempDir {
+        /// Creates a fresh directory tagged with `tag`.
+        pub fn new(tag: &str) -> Self {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "rsse-test-{}-{tag}-{n}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        /// The directory path.
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+
+        /// Number of entries directly under the directory (0 if unreadable).
+        pub fn subdir_count(&self) -> usize {
+            std::fs::read_dir(&self.0).map(|it| it.count()).unwrap_or(0)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::TempDir;
+    use super::*;
+    use crate::database::SseDatabase;
+    use crate::pibas::SseScheme;
+    use crate::sharded::ShardedIndex;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    /// Builds a small saved index directory and returns (tempdir, shard-0
+    /// file path, valid shard-0 bytes).
+    fn saved_index(bits: u32) -> (TempDir, PathBuf, Vec<u8>) {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        for i in 0..32u64 {
+            db.add(format!("kw{}", i % 4).into_bytes(), i.to_le_bytes().to_vec());
+        }
+        let index = SseScheme::build_index_sharded(&key, &db, bits, &mut rng);
+        let dir = TempDir::new("robust");
+        index.save_to_dir(dir.path()).unwrap();
+        let shard0 = dir.path().join(shard_file_name(0));
+        let bytes = fs::read(&shard0).unwrap();
+        (dir, shard0, bytes)
+    }
+
+    #[test]
+    fn open_rejects_header_truncated_file() {
+        let (_dir, shard0, bytes) = saved_index(0);
+        fs::write(&shard0, &bytes[..16]).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::Truncated { expected, actual, .. }) => {
+                assert_eq!(expected, 32);
+                assert_eq!(actual, 16);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_body_truncated_file() {
+        let (_dir, shard0, bytes) = saved_index(0);
+        fs::write(&shard0, &bytes[..bytes.len() - 7]).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::Truncated { expected, actual, .. }) => {
+                assert_eq!(expected, bytes.len() as u64);
+                assert_eq!(actual, bytes.len() as u64 - 7);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let (_dir, shard0, mut bytes) = saved_index(0);
+        bytes[..8].copy_from_slice(b"NOTANIDX");
+        fs::write(&shard0, &bytes).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::BadMagic { found, .. }) => assert_eq!(&found, b"NOTANIDX"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_unsupported_version() {
+        let (_dir, shard0, mut bytes) = saved_index(0);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&shard0, &bytes).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::UnsupportedVersion { version, .. }) => assert_eq!(version, 99),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_out_of_bounds_directory_span() {
+        let (_dir, shard0, mut bytes) = saved_index(0);
+        // Inflate the last directory entry's length so its span overruns
+        // the region (the header's sizes are untouched, so the length
+        // checks pass and the span check itself must fire).
+        let entry_count = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let last_len_at = 32 + (entry_count - 1) * 24 + 20;
+        let old_len = u32::from_le_bytes(bytes[last_len_at..last_len_at + 4].try_into().unwrap());
+        bytes[last_len_at..last_len_at + 4].copy_from_slice(&(old_len + 1000).to_le_bytes());
+        fs::write(&shard0, &bytes).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::CorruptDirectory { detail, .. }) => {
+                assert!(detail.contains("overruns"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected CorruptDirectory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_non_tiling_directory_offsets() {
+        let (_dir, shard0, mut bytes) = saved_index(0);
+        // Shift the second entry's offset forward: spans no longer tile.
+        let offset_at = 32 + 24 + 16;
+        let old = u32::from_le_bytes(bytes[offset_at..offset_at + 4].try_into().unwrap());
+        bytes[offset_at..offset_at + 4].copy_from_slice(&(old + 1).to_le_bytes());
+        fs::write(&shard0, &bytes).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::CorruptDirectory { detail, .. }) => {
+                assert!(detail.contains("tile"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected CorruptDirectory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_trailing_bytes() {
+        let (_dir, shard0, mut bytes) = saved_index(0);
+        bytes.extend_from_slice(b"junk");
+        fs::write(&shard0, &bytes).unwrap();
+        match FileShard::open(&shard0) {
+            Err(StorageError::CorruptDirectory { detail, .. }) => {
+                assert!(detail.contains("trailing"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected CorruptDirectory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_dir_rejects_corrupt_manifest() {
+        let (dir, _, _) = saved_index(2);
+        let manifest = dir.path().join(MANIFEST_FILE);
+
+        let valid = fs::read(&manifest).unwrap();
+        fs::write(&manifest, &valid[..10]).unwrap();
+        assert!(matches!(
+            ShardedIndex::open_dir(dir.path()),
+            Err(StorageError::Truncated { .. })
+        ));
+
+        let mut bad_magic = valid.clone();
+        bad_magic[0] ^= 0xFF;
+        fs::write(&manifest, &bad_magic).unwrap();
+        assert!(matches!(
+            ShardedIndex::open_dir(dir.path()),
+            Err(StorageError::BadMagic { .. })
+        ));
+
+        let mut bad_version = valid.clone();
+        bad_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+        fs::write(&manifest, &bad_version).unwrap();
+        assert!(matches!(
+            ShardedIndex::open_dir(dir.path()),
+            Err(StorageError::UnsupportedVersion { version: 7, .. })
+        ));
+
+        let mut bad_count = valid.clone();
+        bad_count[16..24].copy_from_slice(&3u64.to_le_bytes());
+        fs::write(&manifest, &bad_count).unwrap();
+        assert!(matches!(
+            ShardedIndex::open_dir(dir.path()),
+            Err(StorageError::CorruptDirectory { .. })
+        ));
+    }
+
+    #[test]
+    fn open_dir_rejects_swapped_shard_files() {
+        // Each shard file is internally valid, but routing goes by label
+        // prefix: swapping two files must be rejected typed, not opened
+        // into an index that silently answers everything empty.
+        let (dir, _, _) = saved_index(2);
+        let a = dir.path().join(shard_file_name(0));
+        let b = dir.path().join(shard_file_name(1));
+        let tmp = dir.path().join("swap");
+        fs::rename(&a, &tmp).unwrap();
+        fs::rename(&b, &a).unwrap();
+        fs::rename(&tmp, &b).unwrap();
+        match ShardedIndex::open_dir(dir.path()) {
+            Err(StorageError::CorruptDirectory { detail, .. }) => {
+                assert!(detail.contains("prefix"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected CorruptDirectory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_dir_rejects_missing_shard_file() {
+        let (dir, shard0, _) = saved_index(1);
+        fs::remove_file(&shard0).unwrap();
+        assert!(matches!(
+            ShardedIndex::open_dir(dir.path()),
+            Err(StorageError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn open_dir_rejects_missing_directory() {
+        let missing = std::env::temp_dir().join("rsse-definitely-missing-index");
+        assert!(matches!(
+            ShardedIndex::open_dir(&missing),
+            Err(StorageError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let (dir, shard0, mut bytes) = saved_index(0);
+        bytes[..8].copy_from_slice(b"XXXXXXXX");
+        fs::write(&shard0, &bytes).unwrap();
+        let err = ShardedIndex::open_dir(dir.path());
+        // The manifest is fine, so the error comes from the shard file and
+        // names it.
+        let rendered = format!("{}", err.expect_err("must fail"));
+        assert!(rendered.contains("shard-00000.shd"), "got: {rendered}");
+    }
+
+    #[test]
+    fn failed_on_disk_build_cleans_up_its_files() {
+        let dir = TempDir::new("partial-clean");
+        // Occupy the shard file's path with a directory: the manifest write
+        // succeeds, the shard write fails, and the cleanup must remove the
+        // manifest again without touching the (pre-existing) occupant.
+        let occupant = dir.path().join(shard_file_name(0));
+        fs::create_dir_all(&occupant).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        db.add(b"w".to_vec(), b"payload".to_vec());
+        let err = SseScheme::build_index_stored(
+            &key,
+            &db,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng,
+        )
+        .expect_err("occupied shard path must fail");
+        assert!(matches!(err, StorageError::Io { .. }));
+        assert!(
+            !dir.path().join(MANIFEST_FILE).exists(),
+            "the half-written manifest must be cleaned up"
+        );
+        assert!(occupant.exists(), "pre-existing content must survive");
+    }
+
+    #[test]
+    fn resaving_into_the_directory_being_served_is_safe() {
+        // Regression: save_to_dir used to truncate each shard file before
+        // the file-backed serializer read it back, destroying the index it
+        // was serializing. The atomic tmp+rename write must keep in-place
+        // re-saves byte-identical and the open handles valid throughout.
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        for i in 0..32u64 {
+            db.add(format!("kw{}", i % 4).into_bytes(), i.to_le_bytes().to_vec());
+        }
+        let index = SseScheme::build_index_sharded(&key, &db, 2, &mut rng);
+        let dir = TempDir::new("inplace-resave");
+        index.save_to_dir(dir.path()).unwrap();
+        let before = fs::read(dir.path().join(shard_file_name(0))).unwrap();
+
+        let reopened = ShardedIndex::open_dir(dir.path()).unwrap();
+        reopened
+            .save_to_dir(dir.path())
+            .expect("re-saving into the serving directory must succeed");
+        assert_eq!(
+            fs::read(dir.path().join(shard_file_name(0))).unwrap(),
+            before,
+            "in-place re-save must be byte-identical"
+        );
+        // Both the still-open handle and a fresh open keep answering.
+        let token = SseScheme::trapdoor(&key, b"kw1");
+        assert_eq!(SseScheme::search(&reopened, &token).len(), 8);
+        let fresh = ShardedIndex::open_dir(dir.path()).unwrap();
+        assert_eq!(SseScheme::search(&fresh, &token).len(), 8);
+    }
+
+    #[test]
+    fn resave_removes_stale_higher_numbered_shard_files() {
+        // Saving a less-sharded index over a more-sharded one must not
+        // leave the old index's extra shard files interleaved.
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        db.add(b"w".to_vec(), b"payload".to_vec());
+        let dir = TempDir::new("stale-shards");
+        SseScheme::build_index_sharded(&key, &db, 3, &mut rng)
+            .save_to_dir(dir.path())
+            .unwrap();
+        SseScheme::build_index_sharded(&key, &db, 0, &mut rng)
+            .save_to_dir(dir.path())
+            .unwrap();
+        let names: Vec<String> = fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            !names.iter().any(|n| n == &shard_file_name(1)),
+            "stale shard files must be removed, got {names:?}"
+        );
+        assert_eq!(names.len(), 2, "manifest + one shard file: {names:?}");
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let dir = TempDir::new("empty");
+        let index = ShardedIndex::default();
+        index.save_to_dir(dir.path()).unwrap();
+        let reopened = ShardedIndex::open_dir(dir.path()).unwrap();
+        assert_eq!(reopened.len(), 0);
+        assert!(reopened.is_empty());
+        assert!(reopened.is_file_backed());
+        assert_eq!(reopened.get(&[0u8; LABEL_LEN]), None);
+    }
+}

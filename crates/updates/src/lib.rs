@@ -17,16 +17,20 @@
 //! [`UpdateManager`] is generic over any [`RangeScheme`], exactly as the
 //! paper's mechanism is generic over any static RSSE construction. Every
 //! batch build and consolidation rebuild is routed through
-//! [`RangeScheme::build_sharded`], so an [`UpdateConfig::shard_bits`]
+//! [`RangeScheme::build_stored`], so an [`UpdateConfig::shard_bits`]
 //! setting gives the manager sharded dictionaries (parallel rebuild
-//! assembly, lock-free concurrent searches) for every scheme with a
-//! sharded server layout — Logarithmic-BRC/URC, Constant-BRC/URC,
-//! Logarithmic-SRC and SRC-i. Schemes without one (Quadratic, PB, the
-//! plain-SSE baseline) fall back to the trait's default, which ignores
-//! the knob and builds unsharded.
+//! assembly, lock-free concurrent searches), and an
+//! [`UpdateConfig::storage_root`] makes every level of the merge
+//! hierarchy **persistent**: each instance's index is streamed to its own
+//! directory during the build and served from disk via paged reads, and a
+//! consolidation removes the directories of the instances it supersedes
+//! once the merged index is durably written. Schemes without an
+//! encrypted-dictionary server layout (Quadratic, the plain-SSE baseline)
+//! fall back to the trait's default, which supports the in-memory backend
+//! and rejects on-disk requests with a typed error.
 //!
 //! [`RangeScheme`]: rsse_core::RangeScheme
-//! [`RangeScheme::build_sharded`]: rsse_core::RangeScheme::build_sharded
+//! [`RangeScheme::build_stored`]: rsse_core::RangeScheme::build_stored
 
 pub mod batch;
 pub mod manager;

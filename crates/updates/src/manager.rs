@@ -3,12 +3,16 @@
 
 use crate::batch::{UpdateEntry, UpdateOp};
 use rand::{CryptoRng, RngCore};
-use rsse_core::{Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record};
+use rsse_core::{
+    Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record, StorageConfig,
+    StorageError,
+};
 use rsse_cover::{Domain, Range};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
 
 /// Configuration of the update manager.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdateConfig {
     /// The consolidation step `s`: once `s` instances accumulate at a level
     /// of the merge hierarchy, they are consolidated into a single instance
@@ -17,11 +21,20 @@ pub struct UpdateConfig {
     pub consolidation_step: usize,
     /// Label-prefix shard bits for every index the manager builds: each
     /// batch index and every consolidation rebuild goes through
-    /// [`RangeScheme::build_sharded`], so the encrypted dictionaries are
+    /// [`RangeScheme::build_stored`], so the encrypted dictionaries are
     /// split into `2^shard_bits` shards (0 = single arena). Consolidations
     /// of large levels are exactly where the parallel sharded assembly pays
     /// off, since a rebuild re-encrypts the whole merged level.
     pub shard_bits: u32,
+    /// When set, every level of the merge hierarchy **persists**: each
+    /// instance's encrypted index is streamed into its own subdirectory of
+    /// this root during the build (batch ingests and consolidation rebuilds
+    /// alike write through the on-disk backend and are served via paged
+    /// reads), and the subdirectories of instances consumed by a
+    /// consolidation are removed once the merged instance is durably built.
+    /// `None` (the default) keeps every instance in memory, exactly as
+    /// before.
+    pub storage_root: Option<PathBuf>,
 }
 
 impl Default for UpdateConfig {
@@ -29,6 +42,7 @@ impl Default for UpdateConfig {
         Self {
             consolidation_step: 4,
             shard_bits: 0,
+            storage_root: None,
         }
     }
 }
@@ -48,6 +62,10 @@ struct BatchInstance<S: RangeScheme> {
     entries: Vec<UpdateEntry>,
     /// Latest operation per id inside this instance.
     ops: HashMap<DocId, UpdateOp>,
+    /// Directory holding this instance's persisted index, when the manager
+    /// runs on an on-disk backend; removed when the instance is consumed by
+    /// a consolidation.
+    dir: Option<PathBuf>,
 }
 
 impl<S: RangeScheme> BatchInstance<S> {
@@ -55,9 +73,9 @@ impl<S: RangeScheme> BatchInstance<S> {
         domain: Domain,
         seq: u64,
         entries: Vec<UpdateEntry>,
-        shard_bits: u32,
+        config: &StorageConfig,
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         // Within a batch, the latest entry for an id wins.
         let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
         for entry in &entries {
@@ -67,13 +85,27 @@ impl<S: RangeScheme> BatchInstance<S> {
         let ops: HashMap<DocId, UpdateOp> = latest.iter().map(|(id, e)| (*id, e.op)).collect();
         let dataset = Dataset::new(domain, records)
             .expect("update entries validated against the domain before ingestion");
-        let (client, server) = S::build_sharded(&dataset, shard_bits, rng);
-        Self {
+        let (client, server) = S::build_stored(&dataset, config, rng)?;
+        let dir = match &config.backend {
+            rsse_core::StorageBackend::InMemory => None,
+            rsse_core::StorageBackend::OnDisk(dir) => Some(dir.clone()),
+        };
+        Ok(Self {
             seq,
             client,
             server,
             entries,
             ops,
+            dir,
+        })
+    }
+
+    /// Removes the instance's persisted index directory, if any (called
+    /// when a consolidation supersedes it; best effort — a leftover
+    /// directory wastes disk but cannot corrupt the merged state).
+    fn remove_dir(&self) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::remove_dir_all(dir);
         }
     }
 }
@@ -87,6 +119,10 @@ pub struct UpdateManager<S: RangeScheme> {
     /// the s-ary merge tree (level 0 = raw batches).
     levels: Vec<Vec<BatchInstance<S>>>,
     next_seq: u64,
+    /// Monotonic counter naming persisted instance directories — a merged
+    /// instance reuses the newest `seq` of its group, so `seq` alone would
+    /// collide.
+    next_build: u64,
     batches_ingested: usize,
     consolidations: usize,
 }
@@ -99,8 +135,22 @@ impl<S: RangeScheme> UpdateManager<S> {
             config,
             levels: Vec::new(),
             next_seq: 0,
+            next_build: 0,
             batches_ingested: 0,
             consolidations: 0,
+        }
+    }
+
+    /// The storage configuration for the next index build: in-memory, or a
+    /// fresh uniquely named subdirectory of the configured storage root.
+    fn next_instance_config(&mut self) -> StorageConfig {
+        match &self.config.storage_root {
+            None => StorageConfig::in_memory(self.config.shard_bits),
+            Some(root) => {
+                let dir = root.join(format!("instance-{:08}", self.next_build));
+                self.next_build += 1;
+                StorageConfig::on_disk(self.config.shard_bits, dir)
+            }
         }
     }
 
@@ -137,8 +187,30 @@ impl<S: RangeScheme> UpdateManager<S> {
     /// fresh key and triggers any due consolidations.
     ///
     /// # Panics
-    /// Panics if an entry's value lies outside the manager's domain.
+    /// Panics if an entry's value lies outside the manager's domain, or if
+    /// a configured on-disk backend fails (use
+    /// [`try_ingest_batch`](Self::try_ingest_batch) to handle storage
+    /// errors instead).
     pub fn ingest_batch<R: RngCore + CryptoRng>(&mut self, entries: Vec<UpdateEntry>, rng: &mut R) {
+        self.try_ingest_batch(entries, rng)
+            .expect("storage backend failed during batch ingestion");
+    }
+
+    /// Fallible variant of [`ingest_batch`](Self::ingest_batch): surfaces
+    /// storage-backend failures (full disk, permissions, …) as typed
+    /// [`StorageError`]s instead of panicking. A failed batch build leaves
+    /// the manager unchanged; a failed consolidation rebuild restores its
+    /// input instances (the batch itself stays ingested), so active state
+    /// never degrades on error.
+    ///
+    /// # Panics
+    /// Panics if an entry's value lies outside the manager's domain (a
+    /// caller bug, not an environmental failure).
+    pub fn try_ingest_batch<R: RngCore + CryptoRng>(
+        &mut self,
+        entries: Vec<UpdateEntry>,
+        rng: &mut R,
+    ) -> Result<(), StorageError> {
         for entry in &entries {
             assert!(
                 self.domain.contains(entry.record.value),
@@ -148,40 +220,64 @@ impl<S: RangeScheme> UpdateManager<S> {
             );
         }
         let seq = self.next_seq;
+        let config = self.next_instance_config();
+        let instance = match BatchInstance::build(self.domain, seq, entries, &config, rng) {
+            Ok(instance) => instance,
+            Err(error) => {
+                // Don't leak a half-written instance directory.
+                if let rsse_core::StorageBackend::OnDisk(dir) = &config.backend {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                return Err(error);
+            }
+        };
         self.next_seq += 1;
         self.batches_ingested += 1;
-        let instance =
-            BatchInstance::build(self.domain, seq, entries, self.config.shard_bits, rng);
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
         self.levels[0].push(instance);
-        self.consolidate_due_levels(rng);
+        self.consolidate_due_levels(rng)
     }
 
-    fn consolidate_due_levels<R: RngCore + CryptoRng>(&mut self, rng: &mut R) {
+    fn consolidate_due_levels<R: RngCore + CryptoRng>(
+        &mut self,
+        rng: &mut R,
+    ) -> Result<(), StorageError> {
         let step = self.config.consolidation_step;
         if step == 0 {
-            return;
+            return Ok(());
         }
         let mut level = 0;
         while level < self.levels.len() {
             if self.levels[level].len() >= step {
                 let group: Vec<BatchInstance<S>> = self.levels[level].drain(..).collect();
-                let merged = self.merge_instances(group, rng);
-                if self.levels.len() <= level + 1 {
-                    self.levels.push(Vec::new());
+                match self.merge_instances(group, rng) {
+                    Ok(merged) => {
+                        if self.levels.len() <= level + 1 {
+                            self.levels.push(Vec::new());
+                        }
+                        self.levels[level + 1].push(merged);
+                        self.consolidations += 1;
+                    }
+                    Err((group, error)) => {
+                        // Roll back: the inputs stay active, nothing lost.
+                        self.levels[level] = group;
+                        return Err(error);
+                    }
                 }
-                self.levels[level + 1].push(merged);
-                self.consolidations += 1;
             }
             level += 1;
         }
+        Ok(())
     }
 
     /// Merges a group of instances into one: replays their updates in
     /// sequence order, drops deleted tuples, and rebuilds a single index
-    /// under a fresh key (the "download, merge, re-encrypt" of the paper).
+    /// under a fresh key (the "download, merge, re-encrypt" of the paper) —
+    /// written through the configured storage backend, like every other
+    /// build. On success the consumed instances' persisted directories are
+    /// removed; on failure the group is handed back untouched for rollback.
     ///
     /// A deletion tombstone can only be dropped ("physically purged") when
     /// no instance *outside* the merged group still touches the deleted id
@@ -190,11 +286,12 @@ impl<S: RangeScheme> UpdateManager<S> {
     /// Tombstones that must survive stay in the merged instance's entries
     /// (and are indexed and query-filtered exactly like a level-0 delete)
     /// until a later merge meets the stale version and purges both.
+    #[allow(clippy::type_complexity)]
     fn merge_instances<R: RngCore + CryptoRng>(
         &mut self,
         mut group: Vec<BatchInstance<S>>,
         rng: &mut R,
-    ) -> BatchInstance<S> {
+    ) -> Result<BatchInstance<S>, (Vec<BatchInstance<S>>, StorageError)> {
         group.sort_by_key(|instance| instance.seq);
         let newest_seq = group.last().map(|i| i.seq).unwrap_or(0);
         let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
@@ -223,7 +320,24 @@ impl<S: RangeScheme> UpdateManager<S> {
                 },
             })
             .collect();
-        BatchInstance::build(self.domain, newest_seq, surviving, self.config.shard_bits, rng)
+        let config = self.next_instance_config();
+        match BatchInstance::build(self.domain, newest_seq, surviving, &config, rng) {
+            Ok(merged) => {
+                // The merged instance is durably built; the inputs' indexes
+                // are now superseded and their directories can go.
+                for instance in &group {
+                    instance.remove_dir();
+                }
+                Ok(merged)
+            }
+            Err(error) => {
+                // Clean up the half-written merged index, keep the inputs.
+                if let rsse_core::StorageBackend::OnDisk(dir) = &config.backend {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                Err((group, error))
+            }
+        }
     }
 
     /// Issues a range query against every active instance, merges the
@@ -494,6 +608,7 @@ mod tests {
             UpdateConfig {
                 consolidation_step: 3,
                 shard_bits: 4,
+                storage_root: None,
             },
         );
         for b in 0..9u64 {
@@ -520,5 +635,122 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(8);
         let mut mgr = manager(4);
         mgr.ingest_batch(vec![UpdateEntry::insert(1, 10_000)], &mut rng);
+    }
+
+    use rsse_sse::test_support::TempDir;
+
+    #[test]
+    fn persistent_manager_answers_identically_to_in_memory() {
+        // Every level on disk: batch builds and consolidation rebuilds both
+        // write through the on-disk backend, and query results stay
+        // identical to the purely in-memory manager on the same RNG stream.
+        let root = TempDir::new("persist-eq");
+        let mut rng_a = ChaCha20Rng::seed_from_u64(12);
+        let mut rng_b = ChaCha20Rng::seed_from_u64(12);
+        let mut in_memory = manager(3);
+        let mut on_disk = LogManager::new(
+            Domain::new(256),
+            UpdateConfig {
+                consolidation_step: 3,
+                shard_bits: 2,
+                storage_root: Some(root.path().to_path_buf()),
+            },
+        );
+        for b in 0..9u64 {
+            let entries: Vec<UpdateEntry> = (0..6u64)
+                .map(|i| UpdateEntry::insert(b * 10 + i, (b * 29 + i * 13) % 256))
+                .collect();
+            in_memory.ingest_batch(entries.clone(), &mut rng_a);
+            on_disk.ingest_batch(entries, &mut rng_b);
+        }
+        assert_eq!(on_disk.consolidations(), in_memory.consolidations());
+        for range in [Range::new(0, 255), Range::new(10, 60), Range::new(200, 220)] {
+            assert_eq!(
+                sorted(on_disk.query(range).ids),
+                sorted(in_memory.query(range).ids)
+            );
+        }
+        assert_eq!(on_disk.index_stats().entries, in_memory.index_stats().entries);
+    }
+
+    #[test]
+    fn consolidation_removes_superseded_instance_directories() {
+        let root = TempDir::new("persist-gc");
+        let mut rng = ChaCha20Rng::seed_from_u64(13);
+        let mut mgr = LogManager::new(
+            Domain::new(256),
+            UpdateConfig {
+                consolidation_step: 2,
+                shard_bits: 0,
+                storage_root: Some(root.path().to_path_buf()),
+            },
+        );
+        mgr.ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng);
+        assert_eq!(root.subdir_count(), 1, "one persisted instance after one batch");
+        mgr.ingest_batch(vec![UpdateEntry::insert(2, 20)], &mut rng);
+        // s = 2: the two level-0 instances merged into one level-1 instance;
+        // their directories are gone, only the merged one remains.
+        assert_eq!(mgr.active_instances(), 1);
+        assert_eq!(
+            root.subdir_count(),
+            mgr.active_instances(),
+            "exactly one directory per active instance after consolidation"
+        );
+        assert_eq!(sorted(mgr.query(Range::new(0, 255)).ids), vec![1, 2]);
+    }
+
+    #[test]
+    fn failed_batch_build_leaves_no_partial_directory() {
+        // Plant a directory where the first instance's shard FILE must go:
+        // the build fails after the manifest is already written, and the
+        // half-written instance directory must be cleaned up, not leaked.
+        let root = TempDir::new("persist-leak");
+        let instance_dir = root.path().join("instance-00000000");
+        std::fs::create_dir_all(instance_dir.join("shard-00000.shd")).unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(15);
+        let mut mgr = LogManager::new(
+            Domain::new(256),
+            UpdateConfig {
+                consolidation_step: 2,
+                shard_bits: 0,
+                storage_root: Some(root.path().to_path_buf()),
+            },
+        );
+        let err = mgr
+            .try_ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng)
+            .expect_err("occupied shard path must fail the build");
+        assert!(matches!(err, rsse_core::StorageError::Io { .. }));
+        assert_eq!(mgr.active_instances(), 0);
+        assert_eq!(
+            root.subdir_count(),
+            0,
+            "the partial instance directory must be removed on failure"
+        );
+    }
+
+    #[test]
+    fn try_ingest_surfaces_storage_errors_without_losing_state() {
+        // Point the storage root somewhere unwritable: a path whose parent
+        // is a regular file. The failed ingest must leave the manager empty
+        // and report a typed Io error instead of panicking.
+        let root = TempDir::new("persist-err");
+        let file_path = root.path().join("not-a-dir");
+        std::fs::write(&file_path, b"occupied").unwrap();
+        let mut rng = ChaCha20Rng::seed_from_u64(14);
+        let mut mgr = LogManager::new(
+            Domain::new(256),
+            UpdateConfig {
+                consolidation_step: 2,
+                shard_bits: 0,
+                storage_root: Some(file_path.join("sub")),
+            },
+        );
+        let err = mgr
+            .try_ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng)
+            .expect_err("unwritable root must fail");
+        assert!(matches!(err, rsse_core::StorageError::Io { .. }));
+        assert_eq!(mgr.active_instances(), 0);
+        assert_eq!(mgr.batches_ingested(), 0);
+        assert!(mgr.query(Range::new(0, 255)).is_empty());
     }
 }

@@ -26,6 +26,9 @@ fn main() {
         // Consolidation rebuilds go through the sharded BuildIndex: 2^4
         // label-prefix shards assemble in parallel on every merge.
         shard_bits: 4,
+        // In-memory instances; see examples/persistent_server.rs for the
+        // on-disk backend (UpdateConfig::storage_root).
+        storage_root: None,
     };
     let mut manager: UpdateManager<LogScheme> = UpdateManager::new(domain, config);
 

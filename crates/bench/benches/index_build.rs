@@ -29,16 +29,12 @@ fn bench_index_build(c: &mut Criterion) {
             SchemeKind::LogarithmicSrcI,
             SchemeKind::Pb,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &dataset,
-                |b, dataset| {
-                    b.iter(|| {
-                        let mut build_rng = ChaCha20Rng::seed_from_u64(7);
-                        AnyScheme::build(kind, dataset, &mut build_rng)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &dataset, |b, dataset| {
+                b.iter(|| {
+                    let mut build_rng = ChaCha20Rng::seed_from_u64(7);
+                    AnyScheme::build(kind, dataset, &mut build_rng)
+                });
+            });
         }
     }
     group.finish();
@@ -100,12 +96,15 @@ fn bench_index_build_sharded(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for &bits in &SHARD_BITS {
-        group.bench_function(BenchmarkId::new("Logarithmic-BRC", format!("k{bits}")), |b| {
-            b.iter(|| {
-                let mut build_rng = ChaCha20Rng::seed_from_u64(7);
-                LogScheme::build_sharded_with(&dataset, CoverKind::Brc, bits, &mut build_rng)
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new("Logarithmic-BRC", format!("k{bits}")),
+            |b| {
+                b.iter(|| {
+                    let mut build_rng = ChaCha20Rng::seed_from_u64(7);
+                    LogScheme::build_sharded_with(&dataset, CoverKind::Brc, bits, &mut build_rng)
+                });
+            },
+        );
     }
     group.finish();
 }

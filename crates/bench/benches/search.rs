@@ -186,7 +186,11 @@ fn bench_search_sharded(c: &mut Criterion) {
     for (bits, client, server) in &builds {
         let query_server = server.clone().into_query_server();
         group.bench_function(BenchmarkId::new("batched", format!("k{bits}")), |b| {
-            b.iter(|| client.query_many(&query_server, &ranges))
+            b.iter(|| {
+                client
+                    .query_many(&query_server, &ranges)
+                    .expect("in-memory server cannot fail")
+            })
         });
     }
     group.finish();
@@ -220,16 +224,14 @@ fn bench_search_persistent(c: &mut Criterion) {
     let bits = 4u32;
 
     let mut mem_rng = ChaCha20Rng::seed_from_u64(7);
-    let (_, mem_server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, bits, &mut mem_rng);
+    let (_, mem_server) =
+        LogScheme::build_sharded_with(&dataset, CoverKind::Brc, bits, &mut mem_rng);
     let mem_qs = mem_server.into_query_server();
 
     let mut disk_rng = ChaCha20Rng::seed_from_u64(7);
-    let (client, disk_server) = LogScheme::build_stored(
-        &dataset,
-        &StorageConfig::on_disk(bits, &dir),
-        &mut disk_rng,
-    )
-    .expect("on-disk build");
+    let (client, disk_server) =
+        LogScheme::build_stored(&dataset, &StorageConfig::on_disk(bits, &dir), &mut disk_rng)
+            .expect("on-disk build");
     drop(disk_server); // cold-open measures a fresh process's path
 
     let len = domain_size / 100;
@@ -255,12 +257,87 @@ fn bench_search_persistent(c: &mut Criterion) {
     let file_qs = QueryServer::open_dir(&dir).expect("open saved index");
     group.bench_function(
         BenchmarkId::new("answer_many/file", format!("k{bits}")),
-        |b| b.iter(|| file_qs.answer_many(&queries)),
+        |b| b.iter(|| file_qs.answer_many(&queries).expect("healthy disk")),
     );
     group.bench_function(
         BenchmarkId::new("answer_many/memory", format!("k{bits}")),
-        |b| b.iter(|| mem_qs.answer_many(&queries)),
+        |b| b.iter(|| mem_qs.answer_many(&queries).expect("in-memory")),
     );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The budgeted-residency target: serving latency of the file-backed
+/// 100k-record index under block-cache budgets of {unbounded, 25%, 5%} of
+/// the ciphertext-region size (see `StorageConfig::cache_budget`).
+///
+/// * `search_persistent_budget/answer_many/unbounded` — every touched
+///   block stays resident (the pre-budget behavior and the baseline).
+/// * `search_persistent_budget/answer_many/budget25` — residency capped at
+///   25% of the region; the 32-query working set cycles through the clock
+///   cache, so steady state mixes hits, misses and evictions.
+/// * `search_persistent_budget/answer_many/budget5` — 5% cap; with ~64 KiB
+///   blocks this approaches read-through (most probes re-read their
+///   block), bounding the worst-case eviction overhead.
+///
+/// Query outcomes are identical across all three — only residency and
+/// latency move.
+fn bench_search_persistent_budget(c: &mut Criterion) {
+    use rsse_core::{QueryServer, RangeScheme, StorageConfig};
+
+    let labels = ["unbounded", "budget25", "budget5"];
+    let ids = labels
+        .iter()
+        .map(|label| format!("search_persistent_budget/answer_many/{label}"));
+    if !criterion::any_id_matches(ids) {
+        return;
+    }
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let domain_size = 1u64 << 20;
+    let dataset = gowalla_like(100_000, domain_size, &mut rng);
+    let dir = std::env::temp_dir().join(format!("rsse-bench-budget-{}", std::process::id()));
+    let bits = 4u32;
+
+    let mut disk_rng = ChaCha20Rng::seed_from_u64(7);
+    let (client, disk_server) =
+        LogScheme::build_stored(&dataset, &StorageConfig::on_disk(bits, &dir), &mut disk_rng)
+            .expect("on-disk build");
+    let region_bytes = {
+        let index = disk_server.index();
+        index.storage_bytes() - index.len() * 16
+    };
+    drop(disk_server);
+
+    let len = domain_size / 100;
+    let ranges: Vec<Range> = (0..32u64)
+        .map(|i| {
+            let lo = (i * 76_543) % (domain_size - len);
+            Range::new(lo, lo + len - 1)
+        })
+        .collect();
+    let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
+        .iter()
+        .map(|&r| client.trapdoor(r).expect("in-domain range"))
+        .collect();
+
+    let budgets = [None, Some(region_bytes / 4), Some(region_bytes / 20)];
+    let mut group = c.benchmark_group("search_persistent_budget");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (label, budget) in labels.iter().zip(budgets) {
+        let qs = QueryServer::open_dir_with_budget(&dir, budget).expect("open saved index");
+        group.bench_function(BenchmarkId::new("answer_many", *label), |b| {
+            b.iter(|| qs.answer_many(&queries).expect("healthy disk"))
+        });
+        let stats = qs.index().cache_stats();
+        println!(
+            "bench-note: search_persistent_budget/{label}: resident {} of {} region bytes, \
+             {} hits / {} misses / {} evictions",
+            stats.resident_bytes, region_bytes, stats.hits, stats.misses, stats.evictions
+        );
+    }
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -270,6 +347,7 @@ criterion_group!(
     bench_search,
     bench_search_100k,
     bench_search_sharded,
-    bench_search_persistent
+    bench_search_persistent,
+    bench_search_persistent_budget
 );
 criterion_main!(benches);

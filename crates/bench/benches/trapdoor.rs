@@ -35,11 +35,9 @@ fn bench_trapdoor(c: &mut Criterion) {
     for len in [10u64, 100] {
         let query = Range::new(123_456, 123_456 + len - 1);
         for scheme in &schemes {
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), len),
-                &query,
-                |b, query| b.iter(|| scheme.trapdoor_cost(*query)),
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), len), &query, |b, query| {
+                b.iter(|| scheme.trapdoor_cost(*query))
+            });
         }
     }
     group.finish();

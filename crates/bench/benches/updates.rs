@@ -13,8 +13,13 @@ use std::time::Duration;
 fn ingest(batches: usize, batch_size: usize, step: usize) -> UpdateManager<LogScheme> {
     let domain = Domain::new(1 << 16);
     let mut rng = ChaCha20Rng::seed_from_u64(5);
-    let mut manager: UpdateManager<LogScheme> =
-        UpdateManager::new(domain, UpdateConfig { consolidation_step: step, ..UpdateConfig::default() });
+    let mut manager: UpdateManager<LogScheme> = UpdateManager::new(
+        domain,
+        UpdateConfig {
+            consolidation_step: step,
+            ..UpdateConfig::default()
+        },
+    );
     let mut id = 0u64;
     for b in 0..batches {
         let entries: Vec<UpdateEntry> = (0..batch_size)

@@ -66,8 +66,18 @@ fn main() {
     let expand = |name: &str| -> Vec<String> {
         if name == "all" {
             [
-                "table1", "fig5a", "fig5b", "table2", "fig6a", "fig6b", "fig7a", "fig7b",
-                "fig8a", "fig8b", "ablation-cover", "ablation-updates",
+                "table1",
+                "fig5a",
+                "fig5b",
+                "table2",
+                "fig6a",
+                "fig6b",
+                "fig7a",
+                "fig7b",
+                "fig8a",
+                "fig8b",
+                "ablation-cover",
+                "ablation-updates",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -76,7 +86,10 @@ fn main() {
             vec![name.to_string()]
         }
     };
-    let list: Vec<String> = experiments_requested.iter().flat_map(|n| expand(n)).collect();
+    let list: Vec<String> = experiments_requested
+        .iter()
+        .flat_map(|n| expand(n))
+        .collect();
 
     // Figure 5(a)/(b) and Figure 8(a)/(b) come from the same sweep; avoid
     // running it twice when both variants are requested.

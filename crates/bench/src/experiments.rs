@@ -16,7 +16,9 @@ use rsse_core::schemes::{AnyScheme, SchemeKind};
 use rsse_core::{Dataset, Evaluation, RangeScheme};
 use rsse_cover::{Domain, Tdag};
 use rsse_updates::{UpdateConfig, UpdateEntry, UpdateManager};
-use rsse_workload::{gowalla_like, percent_of_domain, random_queries_of_len, usps_like, DatasetProfile};
+use rsse_workload::{
+    gowalla_like, percent_of_domain, random_queries_of_len, usps_like, DatasetProfile,
+};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -198,7 +200,10 @@ pub fn fig6_false_positives(kind: DatasetKind, scale: &Scale) -> Report {
     let src_i = AnyScheme::build(SchemeKind::LogarithmicSrcI, &dataset, &mut rng);
 
     let mut report = Report::new(
-        format!("Figure 6 — false positive rate vs range size ({})", kind.name()),
+        format!(
+            "Figure 6 — false positive rate vs range size ({})",
+            kind.name()
+        ),
         &["range %", "Logarithmic-SRC", "Logarithmic-SRC-i"],
     );
     for &pct in &scale.range_percents {
@@ -248,7 +253,10 @@ pub fn fig7_search_time(kind: DatasetKind, scale: &Scale) -> Report {
     columns.extend(SchemeKind::EVALUATED.iter().map(|k| k.name()));
     columns.push("SSE (retrieval only)");
     let mut report = Report::new(
-        format!("Figure 7 — search time (ms) vs range size ({})", kind.name()),
+        format!(
+            "Figure 7 — search time (ms) vs range size ({})",
+            kind.name()
+        ),
         &columns,
     );
 
@@ -350,7 +358,10 @@ pub fn ablation_cover(scale: &Scale) -> Report {
     let domain = Domain::new(scale.gowalla_domain);
     let tdag = Tdag::new(domain);
     let mut report = Report::new(
-        format!("Cover ablation — BRC/URC node counts and SRC inflation (m={})", domain.size()),
+        format!(
+            "Cover ablation — BRC/URC node counts and SRC inflation (m={})",
+            domain.size()
+        ),
         &[
             "range size",
             "avg BRC nodes",
@@ -361,7 +372,8 @@ pub fn ablation_cover(scale: &Scale) -> Report {
         ],
     );
     for &len in &scale.fig8_range_sizes {
-        let queries = random_queries_of_len(&domain, len, scale.queries_per_point.max(50), &mut rng);
+        let queries =
+            random_queries_of_len(&domain, len, scale.queries_per_point.max(50), &mut rng);
         let mut brc_total = 0usize;
         let mut urc_total = 0usize;
         let mut urc_max = 0usize;
@@ -400,7 +412,9 @@ pub fn ablation_updates(scale: &Scale) -> Report {
     let batches = 32usize;
     let batch_size = (scale.gowalla_n / batches).max(16);
     let mut report = Report::new(
-        format!("Update ablation — {batches} batches of {batch_size} tuples, Logarithmic-BRC instances"),
+        format!(
+            "Update ablation — {batches} batches of {batch_size} tuples, Logarithmic-BRC instances"
+        ),
         &[
             "consolidation step s",
             "active indexes",
@@ -413,8 +427,13 @@ pub fn ablation_updates(scale: &Scale) -> Report {
     );
     for s in [0usize, 2, 4, 8] {
         let mut rng = ChaCha20Rng::seed_from_u64(scale.seed + 100 + s as u64);
-        let mut manager: UpdateManager<LogScheme> =
-            UpdateManager::new(domain, UpdateConfig { consolidation_step: s, ..UpdateConfig::default() });
+        let mut manager: UpdateManager<LogScheme> = UpdateManager::new(
+            domain,
+            UpdateConfig {
+                consolidation_step: s,
+                ..UpdateConfig::default()
+            },
+        );
         let mut next_id = 0u64;
         for b in 0..batches {
             let entries: Vec<UpdateEntry> = (0..batch_size)
@@ -431,11 +450,17 @@ pub fn ablation_updates(scale: &Scale) -> Report {
         let mut tokens = 0usize;
         let start = Instant::now();
         for query in &queries {
-            tokens += std::hint::black_box(manager.query(*query)).stats.tokens_sent;
+            tokens += std::hint::black_box(manager.query(*query))
+                .stats
+                .tokens_sent;
         }
         let avg_time = start.elapsed() / queries.len() as u32;
         report.push_row(vec![
-            if s == 0 { "none".to_string() } else { s.to_string() },
+            if s == 0 {
+                "none".to_string()
+            } else {
+                s.to_string()
+            },
             manager.active_instances().to_string(),
             manager.consolidations().to_string(),
             stats.entries.to_string(),

@@ -69,7 +69,11 @@ impl Report {
             .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -94,7 +98,11 @@ impl Report {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -100,7 +100,10 @@ impl BloomFilter {
     /// Inserts an element given its hash values (at least `num_hashes` of
     /// them must be provided; extras are ignored).
     pub fn insert_hashes(&mut self, hashes: &[u64]) {
-        assert!(hashes.len() >= self.num_hashes as usize, "not enough hashes");
+        assert!(
+            hashes.len() >= self.num_hashes as usize,
+            "not enough hashes"
+        );
         for &h in &hashes[..self.num_hashes as usize] {
             self.set_bit(h);
         }
@@ -112,7 +115,10 @@ impl BloomFilter {
     /// False positives are possible (that is the point of the comparison in
     /// the paper); false negatives are not.
     pub fn contains_hashes(&self, hashes: &[u64]) -> bool {
-        assert!(hashes.len() >= self.num_hashes as usize, "not enough hashes");
+        assert!(
+            hashes.len() >= self.num_hashes as usize,
+            "not enough hashes"
+        );
         hashes[..self.num_hashes as usize]
             .iter()
             .all(|&h| self.get_bit(h))

@@ -142,8 +142,7 @@ mod tests {
             security_level(SchemeKind::ConstantUrc) < security_level(SchemeKind::LogarithmicBrc)
         );
         assert!(
-            security_level(SchemeKind::LogarithmicBrc)
-                < security_level(SchemeKind::LogarithmicUrc)
+            security_level(SchemeKind::LogarithmicBrc) < security_level(SchemeKind::LogarithmicUrc)
         );
         assert!(
             security_level(SchemeKind::LogarithmicUrc)
@@ -170,7 +169,11 @@ mod tests {
         ] {
             assert!(!profile(kind).token_count_leaks_position, "{kind:?}");
         }
-        for kind in [SchemeKind::ConstantBrc, SchemeKind::LogarithmicBrc, SchemeKind::Pb] {
+        for kind in [
+            SchemeKind::ConstantBrc,
+            SchemeKind::LogarithmicBrc,
+            SchemeKind::Pb,
+        ] {
             assert!(profile(kind).token_count_leaks_position, "{kind:?}");
         }
     }

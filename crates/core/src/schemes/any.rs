@@ -19,6 +19,7 @@ use crate::schemes::quadratic::{QuadraticScheme, QuadraticServer};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::Range;
+use rsse_sse::{StorageConfig, StorageError};
 
 /// Every scheme configuration evaluated in the paper (plus the per-value SSE
 /// baseline used for the Figure 7 lower bound).
@@ -133,11 +134,7 @@ pub struct AnyScheme {
 
 impl AnyScheme {
     /// Builds the given scheme kind over a dataset.
-    pub fn build<R: RngCore + CryptoRng>(
-        kind: SchemeKind,
-        dataset: &Dataset,
-        rng: &mut R,
-    ) -> Self {
+    pub fn build<R: RngCore + CryptoRng>(kind: SchemeKind, dataset: &Dataset, rng: &mut R) -> Self {
         let inner = match kind {
             SchemeKind::Quadratic => {
                 let (c, s) = QuadraticScheme::build(dataset, rng);
@@ -179,6 +176,64 @@ impl AnyScheme {
         Self { kind, inner }
     }
 
+    /// Builds the given scheme kind over a dataset with an explicit
+    /// storage configuration: shard bits plus the backend (in-memory
+    /// arenas or on-disk shard files, with an optional block-cache
+    /// budget). Dispatches to every scheme's
+    /// [`RangeScheme::build_stored`], so the whole runtime-dispatched
+    /// battery — including the integration tests' `RSSE_TEST_STORAGE`
+    /// lane — can run against either backend.
+    pub fn build_stored<R: RngCore + CryptoRng>(
+        kind: SchemeKind,
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<Self, StorageError> {
+        let inner = match kind {
+            SchemeKind::Quadratic => {
+                let (c, s) = QuadraticScheme::build_stored(dataset, config, rng)?;
+                Inner::Quadratic(c, s)
+            }
+            SchemeKind::ConstantBrc => {
+                let (c, s) =
+                    ConstantScheme::build_stored_with(dataset, CoverKind::Brc, config, rng)?;
+                Inner::Constant(c, s)
+            }
+            SchemeKind::ConstantUrc => {
+                let (c, s) =
+                    ConstantScheme::build_stored_with(dataset, CoverKind::Urc, config, rng)?;
+                Inner::Constant(c, s)
+            }
+            SchemeKind::LogarithmicBrc => {
+                let (c, s) =
+                    LogScheme::build_full_stored(dataset, CoverKind::Brc, false, config, rng)?;
+                Inner::Logarithmic(c, s)
+            }
+            SchemeKind::LogarithmicUrc => {
+                let (c, s) =
+                    LogScheme::build_full_stored(dataset, CoverKind::Urc, false, config, rng)?;
+                Inner::Logarithmic(c, s)
+            }
+            SchemeKind::LogarithmicSrc => {
+                let (c, s) = LogSrcScheme::build_stored(dataset, config, rng)?;
+                Inner::LogSrc(c, s)
+            }
+            SchemeKind::LogarithmicSrcI => {
+                let (c, s) = LogSrcIScheme::build_stored(dataset, config, rng)?;
+                Inner::LogSrcI(c, s)
+            }
+            SchemeKind::Pb => {
+                let (c, s) = PbScheme::build_stored(dataset, config, rng)?;
+                Inner::Pb(c, s)
+            }
+            SchemeKind::PlainSse => {
+                let (c, s) = PlainSseScheme::build_stored(dataset, config, rng)?;
+                Inner::PlainSse(c, s)
+            }
+        };
+        Ok(Self { kind, inner })
+    }
+
     /// The scheme kind this instance was built as.
     pub fn kind(&self) -> SchemeKind {
         self.kind
@@ -189,16 +244,24 @@ impl AnyScheme {
         self.kind.name()
     }
 
-    /// Issues a range query.
+    /// Issues a range query, panicking if the storage backend fails (see
+    /// [`try_query`](Self::try_query)).
     pub fn query(&self, range: Range) -> QueryOutcome {
+        self.try_query(range)
+            .expect("storage backend failed during query (use try_query to handle I/O errors)")
+    }
+
+    /// Issues a range query, surfacing a disk-backed index's probe
+    /// failures as typed [`StorageError`]s.
+    pub fn try_query(&self, range: Range) -> Result<QueryOutcome, StorageError> {
         match &self.inner {
-            Inner::Quadratic(c, s) => c.query(s, range),
-            Inner::Constant(c, s) => c.query(s, range),
-            Inner::Logarithmic(c, s) => c.query(s, range),
-            Inner::LogSrc(c, s) => c.query(s, range),
-            Inner::LogSrcI(c, s) => c.query(s, range),
-            Inner::Pb(c, s) => c.query(s, range),
-            Inner::PlainSse(c, s) => c.query(s, range),
+            Inner::Quadratic(c, s) => c.try_query(s, range),
+            Inner::Constant(c, s) => c.try_query(s, range),
+            Inner::Logarithmic(c, s) => c.try_query(s, range),
+            Inner::LogSrc(c, s) => c.try_query(s, range),
+            Inner::LogSrcI(c, s) => c.try_query(s, range),
+            Inner::Pb(c, s) => c.try_query(s, range),
+            Inner::PlainSse(c, s) => c.try_query(s, range),
         }
     }
 
@@ -235,7 +298,10 @@ impl AnyScheme {
             Inner::PlainSse(c, _) => {
                 let values: Vec<u64> = range.iter().collect();
                 let tokens = c.trapdoor_values(&values);
-                (tokens.len(), tokens.len() * rsse_sse::SearchToken::SIZE_BYTES)
+                (
+                    tokens.len(),
+                    tokens.len() * rsse_sse::SearchToken::SIZE_BYTES,
+                )
             }
         }
     }
@@ -289,9 +355,17 @@ mod tests {
             if kind == SchemeKind::PlainSse || kind == SchemeKind::Pb {
                 continue; // display names differ from parse aliases
             }
-            assert_eq!(SchemeKind::parse(kind.name()), Some(kind), "{}", kind.name());
+            assert_eq!(
+                SchemeKind::parse(kind.name()),
+                Some(kind),
+                "{}",
+                kind.name()
+            );
         }
-        assert_eq!(SchemeKind::parse("log-src-i"), Some(SchemeKind::LogarithmicSrcI));
+        assert_eq!(
+            SchemeKind::parse("log-src-i"),
+            Some(SchemeKind::LogarithmicSrcI)
+        );
         assert_eq!(SchemeKind::parse("PB"), Some(SchemeKind::Pb));
         assert_eq!(SchemeKind::parse("sse"), Some(SchemeKind::PlainSse));
         assert_eq!(SchemeKind::parse("unknown"), None);

@@ -52,18 +52,25 @@ pub fn clamp_query(domain: &Domain, range: Range) -> Option<Range> {
 
 /// Runs an SSE search for each token and decodes the id payloads, returning
 /// the flattened ids together with the per-token group sizes (the result
-/// partitioning the server observes).
+/// partitioning the server observes). The first storage failure aborts the
+/// whole query with its typed error — a failed block read is an error, not
+/// an empty group.
 ///
 /// Generic over the dictionary layout ([`EncryptedIndex`] or
 /// [`ShardedIndex`]). Large token vectors — the Constant schemes expand a
 /// trapdoor into one token per domain value of the range — are searched in
 /// parallel; results are merged in token order either way, so the outcome
 /// is deterministic.
-pub fn search_ids<I: IndexLookup + Sync>(
+pub fn try_search_ids<I>(
     index: &I,
     tokens: &[SearchToken],
-) -> (Vec<DocId>, Vec<usize>) {
-    let per_token: Vec<(Vec<DocId>, usize)> = if tokens.len() >= PARALLEL_SEARCH_TOKENS {
+) -> Result<(Vec<DocId>, Vec<usize>), I::Error>
+where
+    I: IndexLookup + Sync,
+    I::Error: Send,
+{
+    type TokenResult<E> = Vec<Result<(Vec<DocId>, usize), E>>;
+    let per_token: TokenResult<I::Error> = if tokens.len() >= PARALLEL_SEARCH_TOKENS {
         tokens
             .par_iter()
             .map(|token| search_one(index, token))
@@ -76,23 +83,38 @@ pub fn search_ids<I: IndexLookup + Sync>(
     };
     let mut ids = Vec::new();
     let mut groups = Vec::with_capacity(tokens.len());
-    for (token_ids, matched) in per_token {
+    for result in per_token {
+        let (token_ids, matched) = result?;
         groups.push(matched);
         ids.extend(token_ids);
     }
-    (ids, groups)
+    Ok((ids, groups))
+}
+
+/// Infallible convenience wrapper over [`try_search_ids`] for analysis
+/// helpers and in-memory paths: **panics** if the storage backend fails
+/// (which an in-memory index cannot).
+pub fn search_ids<I>(index: &I, tokens: &[SearchToken]) -> (Vec<DocId>, Vec<usize>)
+where
+    I: IndexLookup + Sync,
+    I::Error: Send + std::fmt::Debug,
+{
+    try_search_ids(index, tokens).expect("storage backend failed during search")
 }
 
 /// One token's scan: decoded ids plus the raw match count (group sizes
 /// count matched entries, decodable or not — e.g. padding dummies).
-fn search_one<I: IndexLookup>(index: &I, token: &SearchToken) -> (Vec<DocId>, usize) {
-    let payloads = SseScheme::search(index, token);
+fn search_one<I: IndexLookup>(
+    index: &I,
+    token: &SearchToken,
+) -> Result<(Vec<DocId>, usize), I::Error> {
+    let payloads = SseScheme::search(index, token)?;
     let matched = payloads.len();
     let ids = payloads
         .iter()
         .filter_map(|payload| decode_id_payload(payload))
         .collect();
-    (ids, matched)
+    Ok((ids, matched))
 }
 
 /// Builds an encrypted index from flat `(keyword, payload)` entries with
@@ -223,7 +245,10 @@ mod tests {
     #[test]
     fn clamp_query_filters_out_of_domain() {
         let domain = Domain::new(10);
-        assert_eq!(clamp_query(&domain, Range::new(5, 100)), Some(Range::new(5, 9)));
+        assert_eq!(
+            clamp_query(&domain, Range::new(5, 100)),
+            Some(Range::new(5, 9))
+        );
         assert_eq!(clamp_query(&domain, Range::new(50, 100)), None);
     }
 

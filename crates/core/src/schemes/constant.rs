@@ -11,13 +11,13 @@
 //! The price is leakage: the server learns, for every covering node, which
 //! result ids map to which leaf of its subtree (relative order inside the
 //! cover), and — as shown in the DPRF paper — adaptive security only holds
-//! if queries never intersect. [`ConstantScheme::try_query`] implements the
-//! application-level guard the paper suggests (abort on intersection);
+//! if queries never intersect. [`ConstantScheme::query_guarded`] implements
+//! the application-level guard the paper suggests (abort on intersection);
 //! [`RangeScheme::query`] performs no such bookkeeping.
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, search_ids, CoverKind};
+use crate::schemes::common::{clamp_query, search_ids, try_search_ids, CoverKind};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
@@ -29,7 +29,7 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-/// Error returned by [`ConstantScheme::try_query`] when the new query
+/// Error returned by [`ConstantScheme::query_guarded`] when the new query
 /// intersects a previously issued one (the functional restriction under
 /// which the Constant schemes are provably adaptively secure).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +102,13 @@ impl ConstantServer {
             depth: read_depth_meta(dir)?,
         })
     }
+
+    /// Test support: makes every dictionary probe after the first
+    /// `successful_probes` fail with a typed storage error.
+    #[doc(hidden)]
+    pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        self.index.inject_read_faults(successful_probes);
+    }
 }
 
 /// Writes the GGM-depth sidecar file.
@@ -128,7 +135,9 @@ fn read_depth_meta(dir: &Path) -> Result<u32, StorageError> {
             detail: format!("{} trailing bytes after the depth field", bytes.len() - 16),
         });
     }
-    Ok(u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(
+        bytes[12..16].try_into().expect("4 bytes"),
+    ))
 }
 
 /// The trapdoor of the Constant schemes: a delegated DPRF token.
@@ -261,16 +270,18 @@ impl ConstantScheme {
     }
 
     /// `Search`: server-side expansion of the GGM token into leaf DPRF
-    /// values, followed by one SSE lookup per leaf.
-    pub fn search(server: &ConstantServer, trapdoor: &ConstantTrapdoor) -> QueryOutcome {
+    /// values, followed by one SSE lookup per leaf. A failed block read on
+    /// a disk-backed dictionary aborts the query with a typed
+    /// [`StorageError`] instead of silently dropping the affected leaves.
+    pub fn try_search(
+        server: &ConstantServer,
+        trapdoor: &ConstantTrapdoor,
+    ) -> Result<QueryOutcome, StorageError> {
         let leaves = Dprf::expand_token(&trapdoor.token);
-        let tokens: Vec<SearchToken> = leaves
-            .iter()
-            .map(SearchToken::derive_from_seed)
-            .collect();
-        let (ids, groups) = search_ids(&server.index, &tokens);
+        let tokens: Vec<SearchToken> = leaves.iter().map(SearchToken::derive_from_seed).collect();
+        let (ids, groups) = try_search_ids(&server.index, &tokens)?;
         let touched = groups.iter().sum();
-        QueryOutcome {
+        Ok(QueryOutcome {
             ids,
             stats: QueryStats {
                 tokens_sent: trapdoor.node_count(),
@@ -279,13 +290,22 @@ impl ConstantScheme {
                 entries_touched: touched,
                 result_groups: trapdoor.node_count(),
             },
-        }
+        })
+    }
+
+    /// Infallible wrapper over [`try_search`](Self::try_search); panics if
+    /// the storage backend fails (in-memory dictionaries cannot).
+    pub fn search(server: &ConstantServer, trapdoor: &ConstantTrapdoor) -> QueryOutcome {
+        Self::try_search(server, trapdoor)
+            .expect("storage backend failed during search (use try_search to handle I/O errors)")
     }
 
     /// Queries with the application-level non-intersection guard the paper
     /// describes: the client keeps the history of issued ranges and refuses
-    /// to issue a query that overlaps any of them.
-    pub fn try_query(
+    /// to issue a query that overlaps any of them. (Distinct from the
+    /// storage-fallible [`RangeScheme::try_query`], which guards against
+    /// I/O failures, not leakage.)
+    pub fn query_guarded(
         &mut self,
         server: &ConstantServer,
         range: Range,
@@ -336,10 +356,10 @@ impl RangeScheme for ConstantScheme {
         Self::build_stored_with(dataset, CoverKind::Brc, config, rng)
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         match self.trapdoor(range) {
-            Some(trapdoor) => Self::search(server, &trapdoor),
-            None => QueryOutcome::default(),
+            Some(trapdoor) => Self::try_search(server, &trapdoor),
+            None => Ok(QueryOutcome::default()),
         }
     }
 
@@ -458,13 +478,13 @@ mod tests {
         let dataset = testutil::skewed_dataset();
         let mut rng = ChaCha20Rng::seed_from_u64(6);
         let (mut client, server) = ConstantScheme::build(&dataset, &mut rng);
-        assert!(client.try_query(&server, Range::new(0, 7)).is_ok());
-        assert!(client.try_query(&server, Range::new(8, 15)).is_ok());
-        let err = client.try_query(&server, Range::new(7, 9)).unwrap_err();
+        assert!(client.query_guarded(&server, Range::new(0, 7)).is_ok());
+        assert!(client.query_guarded(&server, Range::new(8, 15)).is_ok());
+        let err = client.query_guarded(&server, Range::new(7, 9)).unwrap_err();
         assert_eq!(err.previous, Range::new(0, 7));
         assert!(err.to_string().contains("non-intersecting"));
         // Disjoint queries keep working afterwards.
-        assert!(client.try_query(&server, Range::new(20, 25)).is_ok());
+        assert!(client.query_guarded(&server, Range::new(20, 25)).is_ok());
     }
 
     #[test]

@@ -11,15 +11,16 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index_stored, search_ids, CoverKind};
+use crate::schemes::common::{
+    clamp_query, grouped_fixed_index_stored, search_ids, try_search_ids, CoverKind,
+};
 use crate::server::QueryServer;
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
 use rsse_sse::{
-    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig,
-    StorageError,
+    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig, StorageError,
 };
 use std::path::Path;
 
@@ -71,6 +72,14 @@ impl LogServer {
         Ok(Self {
             index: ShardedIndex::open_dir(dir)?,
         })
+    }
+
+    /// Test support: makes every dictionary probe after the first
+    /// `successful_probes` fail with a typed storage error (see
+    /// `ShardedIndex::inject_read_faults`).
+    #[doc(hidden)]
+    pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        self.index.inject_read_faults(successful_probes);
     }
 }
 
@@ -139,8 +148,14 @@ impl LogScheme {
         shard_bits: u32,
         rng: &mut R,
     ) -> (Self, LogServer) {
-        Self::build_full_stored(dataset, kind, pad, &StorageConfig::in_memory(shard_bits), rng)
-            .expect("in-memory build cannot fail")
+        Self::build_full_stored(
+            dataset,
+            kind,
+            pad,
+            &StorageConfig::in_memory(shard_bits),
+            rng,
+        )
+        .expect("in-memory build cannot fail")
     }
 
     /// Builds the scheme with an explicit covering technique and optional
@@ -177,19 +192,28 @@ impl LogScheme {
     /// Issues many range queries against a [`QueryServer`] over this
     /// scheme's dictionary, one batched server pass per query, returning
     /// outcomes in query order (out-of-domain queries come back empty).
-    pub fn query_many(&self, server: &QueryServer, ranges: &[Range]) -> Vec<QueryOutcome> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's typed [`StorageError`] if a disk-backed
+    /// index failed to resolve a probe mid-batch (see
+    /// [`QueryServer::answer_many`]).
+    pub fn query_many(
+        &self,
+        server: &QueryServer,
+        ranges: &[Range],
+    ) -> Result<Vec<QueryOutcome>, StorageError> {
         let token_vectors: Vec<Option<Vec<SearchToken>>> =
             ranges.iter().map(|&range| self.trapdoor(range)).collect();
-        let present: Vec<Vec<SearchToken>> =
-            token_vectors.iter().flatten().cloned().collect();
-        let mut answered = server.answer_many(&present).into_iter();
-        token_vectors
+        let present: Vec<Vec<SearchToken>> = token_vectors.iter().flatten().cloned().collect();
+        let mut answered = server.answer_many(&present)?.into_iter();
+        Ok(token_vectors
             .into_iter()
             .map(|tokens| match tokens {
                 Some(_) => answered.next().expect("one answer per present query"),
                 None => QueryOutcome::default(),
             })
-            .collect()
+            .collect())
     }
 
     /// The covering technique this client uses.
@@ -215,11 +239,16 @@ impl LogScheme {
     }
 
     /// `Search`: one SSE search per token; the union of the groups is the
-    /// result.
-    pub fn search(server: &LogServer, tokens: &[SearchToken]) -> QueryOutcome {
-        let (ids, groups) = search_ids(&server.index, tokens);
+    /// result. A failed block read on a disk-backed dictionary aborts the
+    /// query with a typed [`StorageError`] instead of silently dropping
+    /// the affected group.
+    pub fn try_search(
+        server: &LogServer,
+        tokens: &[SearchToken],
+    ) -> Result<QueryOutcome, StorageError> {
+        let (ids, groups) = try_search_ids(&server.index, tokens)?;
         let touched = groups.iter().sum();
-        QueryOutcome {
+        Ok(QueryOutcome {
             ids,
             stats: QueryStats {
                 tokens_sent: tokens.len(),
@@ -228,7 +257,14 @@ impl LogScheme {
                 entries_touched: touched,
                 result_groups: tokens.len(),
             },
-        }
+        })
+    }
+
+    /// Infallible wrapper over [`try_search`](Self::try_search); panics if
+    /// the storage backend fails (in-memory dictionaries cannot).
+    pub fn search(server: &LogServer, tokens: &[SearchToken]) -> QueryOutcome {
+        Self::try_search(server, tokens)
+            .expect("storage backend failed during search (use try_search to handle I/O errors)")
     }
 
     /// The per-token result-group sizes of a query — the "result
@@ -269,10 +305,10 @@ impl RangeScheme for LogScheme {
         Self::build_full_stored(dataset, CoverKind::Brc, false, config, rng)
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         match self.trapdoor(range) {
-            Some(tokens) => Self::search(server, &tokens),
-            None => QueryOutcome::default(),
+            Some(tokens) => Self::try_search(server, &tokens),
+            None => Ok(QueryOutcome::default()),
         }
     }
 

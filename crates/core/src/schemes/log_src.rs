@@ -12,14 +12,13 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index_stored, search_ids};
+use crate::schemes::common::{clamp_query, grouped_fixed_index_stored, try_search_ids};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Range, Tdag};
 use rsse_crypto::{Key, KeyChain};
 use rsse_sse::{
-    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig,
-    StorageError,
+    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig, StorageError,
 };
 use std::path::Path;
 
@@ -55,6 +54,13 @@ impl LogSrcServer {
         Ok(Self {
             index: ShardedIndex::open_dir(dir)?,
         })
+    }
+
+    /// Test support: makes every dictionary probe after the first
+    /// `successful_probes` fail with a typed storage error.
+    #[doc(hidden)]
+    pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        self.index.inject_read_faults(successful_probes);
     }
 }
 
@@ -160,13 +166,13 @@ impl RangeScheme for LogSrcScheme {
         Self::build_full_stored(dataset, false, config, rng)
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         let Some(token) = self.trapdoor(range) else {
-            return QueryOutcome::default();
+            return Ok(QueryOutcome::default());
         };
-        let (ids, groups) = search_ids(&server.index, &[token]);
+        let (ids, groups) = try_search_ids(&server.index, &[token])?;
         let touched = groups.iter().sum();
-        QueryOutcome {
+        Ok(QueryOutcome {
             ids,
             stats: QueryStats {
                 tokens_sent: 1,
@@ -175,7 +181,7 @@ impl RangeScheme for LogSrcScheme {
                 entries_touched: touched,
                 result_groups: 1,
             },
-        }
+        })
     }
 
     fn index_stats(server: &Self::Server) -> IndexStats {
@@ -209,7 +215,9 @@ mod tests {
             // has width at most 4R — so on near-uniform data false positives
             // stay proportional to R (we only check the structural bound
             // here; the quantitative behaviour is Figure 6's experiment).
-            let cover = client.tdag().src_cover(range.intersection(dataset.domain().full_range()).unwrap());
+            let cover = client
+                .tdag()
+                .src_cover(range.intersection(dataset.domain().full_range()).unwrap());
             let upper = dataset.result_size(cover.range());
             assert!(eval.true_positives + eval.false_positives <= upper);
         }

@@ -22,7 +22,7 @@ use crate::dataset::{Dataset, Record};
 use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::{
     clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index_stored,
-    search_ids,
+    try_search_ids,
 };
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
@@ -70,6 +70,15 @@ impl LogSrcIServer {
             index1: ShardedIndex::open_dir(dir.join(Self::I1_SUBDIR))?,
             index2: ShardedIndex::open_dir(dir.join(Self::I2_SUBDIR))?,
         })
+    }
+
+    /// Test support: makes every probe of **both** indexes after the first
+    /// `successful_probes` (counted per index) fail with a typed storage
+    /// error.
+    #[doc(hidden)]
+    pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        self.index1.inject_read_faults(successful_probes);
+        self.index2.inject_read_faults(successful_probes);
     }
 }
 
@@ -256,21 +265,22 @@ impl RangeScheme for LogSrcIScheme {
         Self::build_impl_stored(dataset, config, rng)
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         let Some(clamped) = clamp_query(self.tdag1.domain(), range) else {
-            return QueryOutcome::default();
+            return Ok(QueryOutcome::default());
         };
-        // Round 1: query I1 for the (value, span) documents.
+        // Round 1: query I1 for the (value, span) documents. A storage
+        // failure here aborts before the second round is ever issued.
         let token1 = self
             .trapdoor_stage1(clamped)
             .expect("clamped range is inside the domain");
-        let stage1 = SseScheme::search(&server.index1, &token1);
+        let stage1 = SseScheme::search(&server.index1, &token1)?;
         let stage1_touched = stage1.len();
 
         // Owner merges the qualifying spans.
         let Some(positions) = Self::merge_spans(clamped, &stage1) else {
             // No qualifying value: empty result after a single round.
-            return QueryOutcome {
+            return Ok(QueryOutcome {
                 ids: Vec::new(),
                 stats: QueryStats {
                     tokens_sent: 1,
@@ -279,15 +289,15 @@ impl RangeScheme for LogSrcIScheme {
                     entries_touched: stage1_touched,
                     result_groups: 1,
                 },
-            };
+            });
         };
 
         // Round 2: query I2 for the tuples in the merged position range.
         let token2 = self
             .trapdoor_stage2(positions)
             .expect("merged positions are valid indices into the sorted dataset");
-        let (ids, groups2) = search_ids(&server.index2, &[token2]);
-        QueryOutcome {
+        let (ids, groups2) = try_search_ids(&server.index2, &[token2])?;
+        Ok(QueryOutcome {
             ids,
             stats: QueryStats {
                 tokens_sent: 2,
@@ -296,7 +306,7 @@ impl RangeScheme for LogSrcIScheme {
                 entries_touched: stage1_touched + groups2.iter().sum::<usize>(),
                 result_groups: 1,
             },
-        }
+        })
     }
 
     fn index_stats(server: &Self::Server) -> IndexStats {
@@ -330,8 +340,8 @@ pub fn per_index_stats(server: &LogSrcIServer) -> (IndexStats, IndexStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schemes::common::encode_value_span;
     use crate::metrics::Evaluation;
+    use crate::schemes::common::encode_value_span;
     use crate::schemes::log_src::LogSrcScheme;
     use crate::schemes::testutil;
     use proptest::prelude::*;
@@ -452,7 +462,10 @@ mod tests {
             LogSrcIScheme::merge_spans(Range::new(3, 5), &payloads),
             Some(Range::new(10, 12))
         );
-        assert_eq!(LogSrcIScheme::merge_spans(Range::new(0, 1), &payloads), None);
+        assert_eq!(
+            LogSrcIScheme::merge_spans(Range::new(0, 1), &payloads),
+            None
+        );
         // Corrupt payloads are ignored rather than crashing the owner.
         assert_eq!(
             LogSrcIScheme::merge_spans(Range::new(0, 10), &[vec![1, 2, 3]]),

@@ -87,11 +87,15 @@ impl<'a> PbReader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, StorageError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, StorageError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn corrupt(&self, detail: String) -> StorageError {
@@ -418,11 +422,14 @@ impl RangeScheme for PbScheme {
         Ok((client, server))
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
-        match self.trapdoor(range) {
+    /// PB's served tree is fully memory-resident (only the open path does
+    /// I/O), so the fallible query path can never fail — it exists so PB
+    /// slots into the same fallible serving API as the dictionary schemes.
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
+        Ok(match self.trapdoor(range) {
             Some(trapdoor) => Self::search(server, &trapdoor),
             None => QueryOutcome::default(),
-        }
+        })
     }
 
     fn index_stats(server: &Self::Server) -> IndexStats {
@@ -550,12 +557,9 @@ mod tests {
         let dataset = testutil::skewed_dataset();
         let dir = testutil::TempDir::new("pb-disk");
         let mut rng = ChaCha20Rng::seed_from_u64(41);
-        let (client, server) = PbScheme::build_stored(
-            &dataset,
-            &StorageConfig::on_disk(0, dir.path()),
-            &mut rng,
-        )
-        .unwrap();
+        let (client, server) =
+            PbScheme::build_stored(&dataset, &StorageConfig::on_disk(0, dir.path()), &mut rng)
+                .unwrap();
         let reopened = PbServer::open_dir(dir.path()).unwrap();
         assert_eq!(reopened.nodes.len(), server.nodes.len());
         assert_eq!(reopened.leaf_offset, server.leaf_offset);

@@ -18,7 +18,7 @@ use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Range};
 use rsse_crypto::KeyChain;
-use rsse_sse::{EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme, StorageError};
 
 /// Owner-side state of the per-value SSE scheme.
 #[derive(Clone, Debug)]
@@ -86,12 +86,15 @@ impl RangeScheme for PlainSseScheme {
         (Self { key, domain }, PlainSseServer { index })
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+    /// The per-value baseline keeps its dictionary in memory
+    /// (`IndexLookup::Error = Infallible`), so the fallible path cannot
+    /// actually fail.
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         let Some(clamped) = clamp_query(&self.domain, range) else {
-            return QueryOutcome::default();
+            return Ok(QueryOutcome::default());
         };
         let values: Vec<u64> = clamped.iter().collect();
-        self.query_values(server, &values)
+        Ok(self.query_values(server, &values))
     }
 
     fn index_stats(server: &Self::Server) -> IndexStats {
@@ -145,7 +148,8 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(4);
         let (client, server) = PlainSseScheme::build(&dataset, &mut rng);
         let outcome = client.query_values(&server, &[2, 5]);
-        let expected: usize = dataset.result_size(Range::point(2)) + dataset.result_size(Range::point(5));
+        let expected: usize =
+            dataset.result_size(Range::point(2)) + dataset.result_size(Range::point(5));
         assert_eq!(outcome.len(), expected);
         assert_eq!(outcome.stats.tokens_sent, 2);
         // Values outside the domain are dropped before token generation.

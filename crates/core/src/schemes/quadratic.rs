@@ -14,7 +14,9 @@ use crate::schemes::common::clamp_query;
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Range};
-use rsse_sse::{padding, EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme};
+use rsse_sse::{
+    padding, EncryptedIndex, SearchToken, SseDatabase, SseKey, SseScheme, StorageError,
+};
 
 /// Largest domain for which Quadratic will agree to build an index. The
 /// `O(n·m²)` blow-up makes anything bigger pointless (the paper excludes
@@ -90,13 +92,16 @@ impl RangeScheme for QuadraticScheme {
         Self::build_with(dataset, false, rng)
     }
 
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+    /// Quadratic's dictionary is always an in-memory arena
+    /// (`IndexLookup::Error = Infallible`), so the fallible path cannot
+    /// actually fail.
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         let Some(token) = self.trapdoor(range) else {
-            return QueryOutcome::default();
+            return Ok(QueryOutcome::default());
         };
         let (ids, groups) = crate::schemes::common::search_ids(&server.index, &[token]);
         let touched = groups.iter().sum();
-        QueryOutcome {
+        Ok(QueryOutcome {
             ids,
             stats: QueryStats {
                 tokens_sent: 1,
@@ -105,7 +110,7 @@ impl RangeScheme for QuadraticScheme {
                 entries_touched: touched,
                 result_groups: 1,
             },
-        }
+        })
     }
 
     fn index_stats(server: &Self::Server) -> IndexStats {
@@ -177,11 +182,8 @@ mod tests {
     #[test]
     fn padding_makes_index_size_distribution_independent() {
         let mut rng = ChaCha20Rng::seed_from_u64(4);
-        let d1 = Dataset::new(
-            Domain::new(16),
-            (0..4).map(|i| Record::new(i, 7)).collect(),
-        )
-        .unwrap();
+        let d1 =
+            Dataset::new(Domain::new(16), (0..4).map(|i| Record::new(i, 7)).collect()).unwrap();
         let d2 = Dataset::new(
             Domain::new(16),
             (0..4).map(|i| Record::new(i, (i * 5) % 16)).collect(),

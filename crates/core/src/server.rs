@@ -55,7 +55,7 @@ use std::path::Path;
 /// // A batch of concurrent range queries: one token vector each.
 /// let ranges = [Range::new(0, 100), Range::new(500, 800)];
 /// let queries: Vec<_> = ranges.iter().map(|&r| client.trapdoor(r).unwrap()).collect();
-/// let outcomes = server.answer_many(&queries);
+/// let outcomes = server.answer_many(&queries).unwrap();
 ///
 /// for (range, outcome) in ranges.iter().zip(&outcomes) {
 ///     let mut got = outcome.ids.clone();
@@ -90,6 +90,23 @@ impl QueryServer {
         Ok(Self::new(ShardedIndex::open_dir(dir)?))
     }
 
+    /// Like [`open_dir`](Self::open_dir), but bounds the resident
+    /// ciphertext blocks of the served index at `cache_budget` bytes
+    /// (`None` = unlimited): all shards share one clock block cache, so a
+    /// long-running server's memory tracks its working set instead of
+    /// everything it ever touched. Query outcomes are identical for every
+    /// budget; `index().cache_stats()` exposes the hit/miss/eviction
+    /// counters.
+    pub fn open_dir_with_budget(
+        dir: impl AsRef<Path>,
+        cache_budget: Option<usize>,
+    ) -> Result<Self, StorageError> {
+        Ok(Self::new(ShardedIndex::open_dir_with_budget(
+            dir,
+            cache_budget,
+        )?))
+    }
+
     /// Serializes the underlying dictionary into `dir` (see
     /// [`ShardedIndex::save_to_dir`]).
     pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
@@ -106,6 +123,14 @@ impl QueryServer {
         self.index.shard_bits()
     }
 
+    /// Test support: makes every dictionary probe after the first
+    /// `successful_probes` fail with a typed storage error (see
+    /// `ShardedIndex::inject_read_faults`).
+    #[doc(hidden)]
+    pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        self.index.inject_read_faults(successful_probes);
+    }
+
     /// Answers one range query's whole token vector in a single batched
     /// pass.
     ///
@@ -114,7 +139,14 @@ impl QueryServer {
     /// each group in storage-counter order — but shares the label-PRF
     /// scratch across tokens, groups each counter round's dictionary probes
     /// by shard, and decrypts every hit into one reused buffer.
-    pub fn answer(&self, tokens: &[SearchToken]) -> QueryOutcome {
+    ///
+    /// # Errors
+    ///
+    /// A failed block read on a disk-backed index aborts the query with a
+    /// typed [`StorageError`] instead of silently shortening the result —
+    /// the caller can tell "label absent" (an empty group in `Ok`) from
+    /// "the disk failed" (`Err`) per query. In-memory indexes never fail.
+    pub fn answer(&self, tokens: &[SearchToken]) -> Result<QueryOutcome, StorageError> {
         let ciphers: Vec<StreamCipher> = tokens.iter().map(SearchToken::payload_cipher).collect();
         let mut per_token: Vec<Vec<DocId>> = tokens.iter().map(|_| Vec::new()).collect();
         let mut scratch: Vec<u8> = Vec::new();
@@ -124,12 +156,12 @@ impl QueryServer {
                     per_token[t].push(id);
                 }
             }
-        });
+        })?;
         let mut ids: Vec<DocId> = Vec::with_capacity(per_token.iter().map(Vec::len).sum());
         for group in per_token {
             ids.extend(group);
         }
-        QueryOutcome {
+        Ok(QueryOutcome {
             ids,
             stats: QueryStats {
                 tokens_sent: tokens.len(),
@@ -138,7 +170,7 @@ impl QueryServer {
                 entries_touched: counts.iter().sum(),
                 result_groups: tokens.len(),
             },
-        }
+        })
     }
 
     /// Answers a batch of concurrent queries — one token vector per client
@@ -148,11 +180,21 @@ impl QueryServer {
     /// threads read them lock-free; each query is answered with the batched
     /// single-query pass of [`answer`](Self::answer), and the output order
     /// is the input order regardless of thread scheduling.
-    pub fn answer_many(&self, queries: &[Vec<SearchToken>]) -> Vec<QueryOutcome> {
-        queries
+    ///
+    /// # Errors
+    ///
+    /// The first query whose storage probe fails aborts the batch with its
+    /// typed [`StorageError`] (queries are independent, so any of them
+    /// failing means the backing storage is unhealthy for all of them).
+    pub fn answer_many(
+        &self,
+        queries: &[Vec<SearchToken>],
+    ) -> Result<Vec<QueryOutcome>, StorageError> {
+        let outcomes: Vec<Result<QueryOutcome, StorageError>> = queries
             .par_iter()
             .map(|tokens| self.answer(tokens))
-            .collect()
+            .collect();
+        outcomes.into_iter().collect()
     }
 }
 
@@ -179,7 +221,7 @@ mod tests {
             assert_eq!(qs.shard_bits(), bits);
             for range in testutil::query_mix(dataset.domain().size()) {
                 let tokens = client.trapdoor(range).unwrap();
-                let outcome = qs.answer(&tokens);
+                let outcome = qs.answer(&tokens).unwrap();
                 let (expected_ids, groups) = search_ids(&index, &tokens);
                 assert_eq!(outcome.ids, expected_ids, "ids must match per-token order");
                 assert_eq!(outcome.stats.entries_touched, groups.iter().sum::<usize>());
@@ -200,8 +242,8 @@ mod tests {
             .iter()
             .map(|&r| client.trapdoor(r).unwrap())
             .collect();
-        let a = qs.answer_many(&queries);
-        let b = qs.answer_many(&queries);
+        let a = qs.answer_many(&queries).unwrap();
+        let b = qs.answer_many(&queries).unwrap();
         assert_eq!(a, b, "same batch must produce identical outcomes");
         for (outcome, range) in a.iter().zip(&ranges) {
             testutil::assert_exact(&dataset, *range, outcome);
@@ -215,7 +257,7 @@ mod tests {
         let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, 2, &mut rng);
         let qs = server.into_query_server();
         let ranges = [Range::new(2, 7), Range::new(1000, 2000), Range::new(0, 63)];
-        let outcomes = client.query_many(&qs, &ranges);
+        let outcomes = client.query_many(&qs, &ranges).unwrap();
         assert_eq!(outcomes.len(), 3);
         testutil::assert_exact(&dataset, ranges[0], &outcomes[0]);
         assert!(outcomes[1].is_empty(), "out-of-domain query must be empty");
@@ -258,9 +300,12 @@ mod tests {
                 .iter()
                 .map(|&r| client.trapdoor(r).unwrap())
                 .collect();
-            let cold = qs.answer_many(&queries);
-            let warm = mem_qs.answer_many(&queries);
-            assert_eq!(cold, warm, "cold-open outcomes must match in-memory (k={bits})");
+            let cold = qs.answer_many(&queries).unwrap();
+            let warm = mem_qs.answer_many(&queries).unwrap();
+            assert_eq!(
+                cold, warm,
+                "cold-open outcomes must match in-memory (k={bits})"
+            );
             for (range, outcome) in ranges.iter().zip(&cold) {
                 testutil::assert_exact(&dataset, *range, outcome);
             }
@@ -275,7 +320,7 @@ mod tests {
         let single_server = server.clone();
         let qs = server.into_query_server();
         let ranges: Vec<Range> = testutil::query_mix(dataset.domain().size());
-        let batched = client.query_many(&qs, &ranges);
+        let batched = client.query_many(&qs, &ranges).unwrap();
         for (range, outcome) in ranges.iter().zip(&batched) {
             assert_eq!(outcome.ids, client.query(&single_server, *range).ids);
         }

@@ -158,7 +158,10 @@ impl RecordStoreOwner {
         for record in records {
             store.put(record.id, self.encrypt(rng, record));
         }
-        let dataset = Dataset::new(domain, records.iter().map(StoredRecord::index_record).collect())?;
+        let dataset = Dataset::new(
+            domain,
+            records.iter().map(StoredRecord::index_record).collect(),
+        )?;
         Ok((dataset, store))
     }
 
@@ -234,7 +237,9 @@ mod tests {
         assert!(!store.is_empty());
         assert!(store.storage_bytes() > 50 * 16);
         for record in &records {
-            let fetched = owner.decrypt(record.id, store.get(record.id).unwrap()).unwrap();
+            let fetched = owner
+                .decrypt(record.id, store.get(record.id).unwrap())
+                .unwrap();
             assert_eq!(&fetched, record);
         }
     }
@@ -293,7 +298,10 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(4);
         let owner = RecordStoreOwner::generate(&mut rng);
         let mut store = EncryptedRecordStore::new();
-        store.put(1, owner.encrypt(&mut rng, &StoredRecord::new(1, 5, b"ok".to_vec())));
+        store.put(
+            1,
+            owner.encrypt(&mut rng, &StoredRecord::new(1, 5, b"ok".to_vec())),
+        );
         store.put(2, vec![0u8; 4]); // corrupt
         let outcome = QueryOutcome {
             ids: vec![1, 2, 3], // 3 is missing entirely
@@ -309,8 +317,14 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(5);
         let owner = RecordStoreOwner::generate(&mut rng);
         let mut store = EncryptedRecordStore::new();
-        store.put(9, owner.encrypt(&mut rng, &StoredRecord::new(9, 1, b"v1".to_vec())));
-        store.put(9, owner.encrypt(&mut rng, &StoredRecord::new(9, 2, b"v2".to_vec())));
+        store.put(
+            9,
+            owner.encrypt(&mut rng, &StoredRecord::new(9, 1, b"v1".to_vec())),
+        );
+        store.put(
+            9,
+            owner.encrypt(&mut rng, &StoredRecord::new(9, 2, b"v2".to_vec())),
+        );
         assert_eq!(store.len(), 1);
         let fetched = owner.decrypt(9, store.get(9).unwrap()).unwrap();
         assert_eq!(fetched.body, b"v2");

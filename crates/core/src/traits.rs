@@ -117,8 +117,27 @@ pub trait RangeScheme: Sized {
         }
     }
 
+    /// Issues a range query against the server, surfacing storage
+    /// failures as typed errors.
+    ///
+    /// `Ok` with an empty outcome means the range genuinely matched
+    /// nothing; `Err(StorageError)` means a disk-backed index failed to
+    /// resolve a probe mid-search — the two are **not** interchangeable,
+    /// which is the whole point of the fallible path. In-memory servers
+    /// never return `Err`.
+    fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError>;
+
     /// Issues a range query against the server and returns the outcome.
-    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome;
+    ///
+    /// Convenience wrapper over [`try_query`](Self::try_query) that
+    /// **panics** if the storage backend fails mid-search. Safe on
+    /// in-memory servers (which cannot fail); disk-backed deployments
+    /// that must stay available through storage faults should call
+    /// `try_query` and handle the error.
+    fn query(&self, server: &Self::Server, range: Range) -> QueryOutcome {
+        self.try_query(server, range)
+            .expect("storage backend failed during query (use try_query to handle I/O errors)")
+    }
 
     /// Index size statistics of the server state.
     fn index_stats(server: &Self::Server) -> IndexStats;
@@ -155,7 +174,11 @@ mod tests {
         let (client, server) =
             QuadraticScheme::build_stored(&dataset, &StorageConfig::in_memory(0), &mut rng)
                 .unwrap();
-        testutil::assert_exact(&dataset, Range::new(2, 7), &client.query(&server, Range::new(2, 7)));
+        testutil::assert_exact(
+            &dataset,
+            Range::new(2, 7),
+            &client.query(&server, Range::new(2, 7)),
+        );
 
         let err = QuadraticScheme::build_stored(
             &dataset,

@@ -189,9 +189,7 @@ impl Tdag {
     pub fn node_count(&self) -> u64 {
         let bits = self.domain.bits();
         let regular = (1u128 << (bits + 1)) - 1;
-        let injected: u128 = (1..bits)
-            .map(|level| (1u128 << (bits - level)) - 1)
-            .sum();
+        let injected: u128 = (1..bits).map(|level| (1u128 << (bits - level)) - 1).sum();
         (regular + injected) as u64
     }
 }

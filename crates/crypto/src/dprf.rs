@@ -29,7 +29,11 @@ pub struct GgmNodeSeed {
 
 impl std::fmt::Debug for GgmNodeSeed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "GgmNodeSeed {{ level: {}, seed: <{} bytes> }}", self.level, KEY_LEN)
+        write!(
+            f,
+            "GgmNodeSeed {{ level: {}, seed: <{} bytes> }}",
+            self.level, KEY_LEN
+        )
     }
 }
 
@@ -444,7 +448,10 @@ mod tests {
         let token = dprf.delegate(&[(0, 0), (3, 1)]);
         assert_eq!(token.nodes[0].seed, dprf.ggm.walk(&dprf.root, 0, 3));
         assert_eq!(token.nodes[1].level, 3);
-        assert_eq!(token.nodes[1].seed, dprf.root, "level == depth delegates the root");
+        assert_eq!(
+            token.nodes[1].seed, dprf.root,
+            "level == depth delegates the root"
+        );
     }
 
     #[test]
@@ -453,7 +460,10 @@ mod tests {
         let nodes = [(63u32, 0u64), (62, 1), (0, (1u64 << 62) + 17)];
         let token = dprf.delegate(&nodes);
         for (&(level, index), got) in nodes.iter().zip(&token.nodes) {
-            assert_eq!(got.seed, dprf.ggm.walk(&dprf.root, index, dprf.depth - level));
+            assert_eq!(
+                got.seed,
+                dprf.ggm.walk(&dprf.root, index, dprf.depth - level)
+            );
         }
     }
 

@@ -35,8 +35,8 @@ pub fn keyed_shuffle<T>(key: &Key, label: &[u8], items: &mut [T]) {
     let mut block = [0u8; 32];
     let mut block_index = 0u64;
     let mut used = 4usize; // draws consumed from `block`; 4 = refill needed
-    // Fisher–Yates: for i from n-1 down to 1, swap items[i] with items[j],
-    // j uniform in 0..=i derived from the PRF stream.
+                           // Fisher–Yates: for i from n-1 down to 1, swap items[i] with items[j],
+                           // j uniform in 0..=i derived from the PRF stream.
     for i in (1..items.len()).rev() {
         if used == 4 {
             prf.eval_parts_into(&[label, &block_index.to_le_bytes()], &mut block);

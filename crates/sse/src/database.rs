@@ -140,9 +140,12 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_pairs() {
-        let db: SseDatabase = vec![(b"k".to_vec(), b"1".to_vec()), (b"k".to_vec(), b"2".to_vec())]
-            .into_iter()
-            .collect();
+        let db: SseDatabase = vec![
+            (b"k".to_vec(), b"1".to_vec()),
+            (b"k".to_vec(), b"2".to_vec()),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(db.get(b"k").len(), 2);
     }
 

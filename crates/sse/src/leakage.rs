@@ -114,7 +114,10 @@ mod tests {
         // keyword structure: L1 must be identical.
         for i in 0..10u64 {
             db1.add(b"same-keyword".to_vec(), i.to_le_bytes().to_vec());
-            db2.add(format!("kw-{i}").into_bytes(), (i * 7).to_le_bytes().to_vec());
+            db2.add(
+                format!("kw-{i}").into_bytes(),
+                (i * 7).to_le_bytes().to_vec(),
+            );
         }
         let i1 = SseScheme::build_index(&key, &db1, &mut rng);
         let i2 = SseScheme::build_index(&key, &db2, &mut rng);

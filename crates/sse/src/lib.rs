@@ -38,9 +38,14 @@ pub mod storage;
 
 pub use database::SseDatabase;
 pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
-pub use pibas::{EncryptedIndex, IndexLookup, SearchToken, SseKey, SseScheme};
-pub use sharded::{Shard, ShardedIndex};
-pub use storage::{FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError};
+pub use pibas::{
+    CipherSpan, CorruptEntry, EncryptedIndex, IndexLookup, SearchError, SearchToken, SseKey,
+    SseScheme,
+};
+pub use sharded::{FaultShard, Shard, ShardedIndex};
+pub use storage::{
+    CacheStats, FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError,
+};
 
 // Test scaffolding shared with downstream crates' persistence tests; not
 // part of the API contract.

@@ -61,7 +61,11 @@ pub fn quadratic_padding_target(n: usize, m: u64) -> usize {
 /// most `⌈log₂ m⌉ + 1` binary-tree keywords (BRC/URC variants) or
 /// `2⌈log₂ m⌉ + 1` TDAG keywords (SRC variants).
 pub fn logarithmic_padding_target(n: usize, m: u64, tdag: bool) -> usize {
-    let bits = if m <= 1 { 0 } else { 64 - (m - 1).leading_zeros() } as usize;
+    let bits = if m <= 1 {
+        0
+    } else {
+        64 - (m - 1).leading_zeros()
+    } as usize;
     let per_tuple = if tdag { 2 * bits + 1 } else { bits + 1 };
     n.saturating_mul(per_tuple)
 }
@@ -95,7 +99,7 @@ mod tests {
         let index = SseScheme::build_index(&key, &db, &mut rng);
         assert_eq!(index.len(), 64);
         let token = SseScheme::trapdoor(&key, b"Breal");
-        assert_eq!(SseScheme::search(&index, &token).len(), 1);
+        assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 1);
     }
 
     #[test]

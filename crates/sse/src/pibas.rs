@@ -41,6 +41,8 @@ use rayon::prelude::*;
 use rsse_crypto::{Key, Prf, StreamCipher, KEY_LEN};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Byte length of dictionary labels (128-bit truncated PRF outputs).
 pub const LABEL_LEN: usize = 16;
@@ -117,6 +119,61 @@ impl SearchToken {
     }
 }
 
+/// A ciphertext resolved by a dictionary probe.
+///
+/// In-memory arenas hand out plain borrows of their arena bytes; budgeted
+/// disk-backed shards hand out spans **pinned** inside a reference-counted
+/// cache block, which stays alive for as long as the span does even if the
+/// cache evicts the block concurrently. Either way the payload bytes are
+/// reached through [`Deref`], so search code never distinguishes the two.
+#[derive(Clone, Debug)]
+pub struct CipherSpan<'a>(SpanRepr<'a>);
+
+#[derive(Clone, Debug)]
+enum SpanRepr<'a> {
+    /// Borrowed straight from an in-memory arena (or a resident block).
+    Borrowed(&'a [u8]),
+    /// Pinned inside a shared cache block; the `Arc` keeps the block's
+    /// bytes alive across a concurrent eviction.
+    Pinned {
+        block: Arc<[u8]>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl<'a> CipherSpan<'a> {
+    /// A span borrowed from storage owned by the index itself.
+    pub fn borrowed(bytes: &'a [u8]) -> Self {
+        CipherSpan(SpanRepr::Borrowed(bytes))
+    }
+
+    /// A span pinned inside a reference-counted cache block.
+    pub fn pinned(block: Arc<[u8]>, offset: usize, len: usize) -> Self {
+        debug_assert!(offset + len <= block.len());
+        CipherSpan(SpanRepr::Pinned { block, offset, len })
+    }
+}
+
+impl Deref for CipherSpan<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.0 {
+            SpanRepr::Borrowed(bytes) => bytes,
+            SpanRepr::Pinned { block, offset, len } => &block[*offset..*offset + *len],
+        }
+    }
+}
+
+impl PartialEq for CipherSpan<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for CipherSpan<'_> {}
+
 /// Read-side interface shared by the dictionary variants: the single-arena
 /// [`EncryptedIndex`] and the [`ShardedIndex`](crate::sharded::ShardedIndex).
 ///
@@ -124,19 +181,40 @@ impl SearchToken {
 /// [`SseScheme::search_batch`], …) are generic over this trait, so a scheme
 /// can move between the unsharded and sharded server layouts without
 /// touching its query logic.
+///
+/// Probes are **fallible**: a disk-backed index distinguishes "label
+/// absent" (`Ok(None)`) from "the storage failed" (`Err`). The in-memory
+/// backends set [`Error`](Self::Error) to [`std::convert::Infallible`], so
+/// the compiler statically erases every error branch on the hot path —
+/// the fallible API costs the arena layout nothing.
 pub trait IndexLookup {
-    /// Looks up the ciphertext stored under `label`.
-    fn get(&self, label: &Label) -> Option<&[u8]>;
+    /// Probe failure type: [`std::convert::Infallible`] for in-memory
+    /// backends, `StorageError` for disk-backed ones.
+    type Error;
 
-    /// Resolves a batch of probes, writing `out[i] = get(&labels[i])`.
+    /// Looks up the ciphertext stored under `label`.
+    ///
+    /// `Ok(None)` means the label is genuinely absent; `Err` means the
+    /// backend could not resolve the probe (e.g. a block read failed).
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, Self::Error>;
+
+    /// Resolves a batch of probes, writing `out[i] = try_get(&labels[i])?`.
     ///
     /// The default implementation probes in input order; sharded
     /// implementations override it to group probes by shard for table
     /// locality. `out` is cleared first, and results always come back in
-    /// probe order regardless of the internal grouping.
-    fn get_many<'a>(&'a self, labels: &[Label], out: &mut Vec<Option<&'a [u8]>>) {
+    /// probe order regardless of the internal grouping. The first failed
+    /// probe aborts the batch.
+    fn try_get_many<'a>(
+        &'a self,
+        labels: &[Label],
+        out: &mut Vec<Option<CipherSpan<'a>>>,
+    ) -> Result<(), Self::Error> {
         out.clear();
-        out.extend(labels.iter().map(|label| self.get(label)));
+        for label in labels {
+            out.push(self.try_get(label)?);
+        }
+        Ok(())
     }
 }
 
@@ -158,7 +236,10 @@ pub trait IndexLookup {
 /// let index = SseScheme::build_index(&key, &db, &mut rng);
 /// assert_eq!(index.len(), 1);
 /// let token = SseScheme::trapdoor(&key, b"keyword");
-/// assert_eq!(SseScheme::search(&index, &token), vec![b"payload".to_vec()]);
+/// assert_eq!(
+///     SseScheme::search(&index, &token).unwrap(),
+///     vec![b"payload".to_vec()]
+/// );
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct EncryptedIndex {
@@ -167,8 +248,10 @@ pub struct EncryptedIndex {
 }
 
 impl IndexLookup for EncryptedIndex {
-    fn get(&self, label: &Label) -> Option<&[u8]> {
-        EncryptedIndex::get(self, label)
+    type Error = std::convert::Infallible;
+
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, Self::Error> {
+        Ok(EncryptedIndex::get(self, label).map(CipherSpan::borrowed))
     }
 }
 
@@ -275,7 +358,11 @@ pub(crate) struct KeywordChunk {
 
 /// Encrypts one keyword's payload list with a cached label PRF and cipher
 /// state; `nonce_seed` keys the per-entry encryption nonce stream.
-fn encrypt_list(token: &SearchToken, payloads: &[Vec<u8>], nonce_seed: [u8; KEY_LEN]) -> KeywordChunk {
+fn encrypt_list(
+    token: &SearchToken,
+    payloads: &[Vec<u8>],
+    nonce_seed: [u8; KEY_LEN],
+) -> KeywordChunk {
     let total: usize = payloads
         .iter()
         .map(|p| StreamCipher::ciphertext_len(p.len()))
@@ -488,12 +575,14 @@ impl SseScheme {
     }
 
     /// The shared counter-scan: walks labels `F(K1_w, 0), F(K1_w, 1), …`
-    /// until the first miss, invoking `visit` on each hit's ciphertext.
-    fn scan_entries<'a, I: IndexLookup>(
-        index: &'a I,
+    /// until the first miss, invoking `visit` on each hit's ciphertext. A
+    /// failed probe aborts the scan with the backend's error instead of
+    /// being silently treated as the end of the list.
+    fn scan_entries<I: IndexLookup>(
+        index: &I,
         token: &SearchToken,
-        mut visit: impl FnMut(&'a [u8]),
-    ) -> usize {
+        mut visit: impl FnMut(&[u8]),
+    ) -> Result<usize, I::Error> {
         let label_prf = Prf::new(&token.label_key);
         let mut label_full = [0u8; KEY_LEN];
         let mut label = [0u8; LABEL_LEN];
@@ -501,12 +590,12 @@ impl SseScheme {
         loop {
             label_prf.eval_u64_into(counter, &mut label_full);
             label.copy_from_slice(&label_full[..LABEL_LEN]);
-            match index.get(&label) {
+            match index.try_get(&label)? {
                 Some(ciphertext) => {
-                    visit(ciphertext);
+                    visit(&ciphertext);
                     counter += 1;
                 }
-                None => return counter as usize,
+                None => return Ok(counter as usize),
             }
         }
     }
@@ -517,23 +606,34 @@ impl SseScheme {
     /// A corrupt (undecryptable) entry is **skipped**, not a panic: the
     /// server must stay available even if a stored ciphertext was damaged.
     /// Use [`try_search`](Self::try_search) to surface corruption instead.
-    pub fn search<I: IndexLookup>(index: &I, token: &SearchToken) -> Vec<Vec<u8>> {
+    ///
+    /// A *storage* failure (a disk-backed index that could not read a
+    /// block) is never skipped: it aborts the scan with the backend's
+    /// typed error, so a caller can distinguish "no more entries" from
+    /// "the disk failed mid-scan". In-memory indexes have
+    /// `Error = Infallible` and cannot take that branch.
+    pub fn search<I: IndexLookup>(
+        index: &I,
+        token: &SearchToken,
+    ) -> Result<Vec<Vec<u8>>, I::Error> {
         let cipher = StreamCipher::new(&token.payload_key);
         let mut results = Vec::new();
         Self::scan_entries(index, token, |ciphertext| {
             if let Some(plaintext) = cipher.decrypt(ciphertext) {
                 results.push(plaintext);
             }
-        });
-        results
+        })?;
+        Ok(results)
     }
 
-    /// Like [`search`](Self::search) but propagates corruption: returns
-    /// `Err` with the counter position of the first undecryptable entry.
+    /// Like [`search`](Self::search) but also propagates corruption:
+    /// returns [`SearchError::Corrupt`] with the counter position of the
+    /// first undecryptable entry, or [`SearchError::Storage`] if the
+    /// backend failed mid-scan.
     pub fn try_search<I: IndexLookup>(
         index: &I,
         token: &SearchToken,
-    ) -> Result<Vec<Vec<u8>>, CorruptEntry> {
+    ) -> Result<Vec<Vec<u8>>, SearchError<I::Error>> {
         let cipher = StreamCipher::new(&token.payload_key);
         let mut results = Vec::new();
         let mut corrupt: Option<usize> = None;
@@ -548,16 +648,17 @@ impl SseScheme {
                 }
             }
             position += 1;
-        });
+        })
+        .map_err(SearchError::Storage)?;
         match corrupt {
-            Some(position) => Err(CorruptEntry { position }),
+            Some(position) => Err(SearchError::Corrupt(CorruptEntry { position })),
             None => Ok(results),
         }
     }
 
     /// Like [`search`](Self::search) but only counts matches without
     /// decrypting — handy for benchmarks isolating dictionary lookups.
-    pub fn search_count<I: IndexLookup>(index: &I, token: &SearchToken) -> usize {
+    pub fn search_count<I: IndexLookup>(index: &I, token: &SearchToken) -> Result<usize, I::Error> {
         Self::scan_entries(index, token, |_| {})
     }
 
@@ -576,8 +677,8 @@ impl SseScheme {
     fn scan_batch<'a, I: IndexLookup>(
         index: &'a I,
         tokens: &[SearchToken],
-        mut visit: impl FnMut(usize, &'a [u8]),
-    ) -> Vec<usize> {
+        mut visit: impl FnMut(usize, &[u8]),
+    ) -> Result<Vec<usize>, I::Error> {
         let mut counts = vec![0usize; tokens.len()];
         let prfs: Vec<Prf> = tokens
             .iter()
@@ -585,7 +686,7 @@ impl SseScheme {
             .collect();
         let mut live: Vec<u32> = (0..tokens.len() as u32).collect();
         let mut labels: Vec<Label> = Vec::with_capacity(live.len());
-        let mut hits: Vec<Option<&[u8]>> = Vec::with_capacity(live.len());
+        let mut hits: Vec<Option<CipherSpan<'a>>> = Vec::with_capacity(live.len());
         // One label-PRF output buffer shared across every token and round.
         let mut label_full = [0u8; KEY_LEN];
         let mut counter = 0u64;
@@ -597,7 +698,7 @@ impl SseScheme {
                 label.copy_from_slice(&label_full[..LABEL_LEN]);
                 labels.push(label);
             }
-            index.get_many(&labels, &mut hits);
+            index.try_get_many(&labels, &mut hits)?;
             let mut kept = 0usize;
             for (slot, hit) in hits.iter().enumerate() {
                 let t = live[slot] as usize;
@@ -611,7 +712,7 @@ impl SseScheme {
             live.truncate(kept);
             counter += 1;
         }
-        counts
+        Ok(counts)
     }
 
     /// Batched `Search`: answers a whole token vector in one pass, returning
@@ -625,7 +726,10 @@ impl SseScheme {
     /// [`ShardedIndex`](crate::sharded::ShardedIndex)), and per-token
     /// allocations are amortized. This is the server entry point for a range
     /// query's whole BRC/URC cover.
-    pub fn search_batch<I: IndexLookup>(index: &I, tokens: &[SearchToken]) -> Vec<Vec<Vec<u8>>> {
+    pub fn search_batch<I: IndexLookup>(
+        index: &I,
+        tokens: &[SearchToken],
+    ) -> Result<Vec<Vec<Vec<u8>>>, I::Error> {
         let ciphers: Vec<StreamCipher> = tokens
             .iter()
             .map(|token| StreamCipher::new(&token.payload_key))
@@ -635,20 +739,21 @@ impl SseScheme {
             if let Some(plaintext) = ciphers[t].decrypt(ciphertext) {
                 results[t].push(plaintext);
             }
-        });
-        results
+        })?;
+        Ok(results)
     }
 
     /// Visitor variant of [`search_batch`](Self::search_batch) for callers
     /// that post-process payloads without keeping them (e.g. decoding tuple
     /// ids into a flat result set with one reused decryption buffer).
     /// `visit` receives `(token index, ciphertext)`; returns per-token match
-    /// counts (matched entries, decryptable or not).
-    pub fn search_batch_scan<'a, I: IndexLookup>(
-        index: &'a I,
+    /// counts (matched entries, decryptable or not). A failed probe aborts
+    /// the whole batch with the backend's typed error.
+    pub fn search_batch_scan<I: IndexLookup>(
+        index: &I,
         tokens: &[SearchToken],
-        visit: impl FnMut(usize, &'a [u8]),
-    ) -> Vec<usize> {
+        visit: impl FnMut(usize, &[u8]),
+    ) -> Result<Vec<usize>, I::Error> {
         Self::scan_batch(index, tokens, visit)
     }
 }
@@ -663,11 +768,46 @@ pub struct CorruptEntry {
 
 impl std::fmt::Display for CorruptEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "index entry at counter {} failed to decrypt", self.position)
+        write!(
+            f,
+            "index entry at counter {} failed to decrypt",
+            self.position
+        )
     }
 }
 
 impl std::error::Error for CorruptEntry {}
+
+/// Error returned by [`SseScheme::try_search`]: either a stored entry
+/// failed to decrypt, or the storage backend failed to resolve a probe.
+///
+/// `E` is the index's [`IndexLookup::Error`]; for in-memory indexes it is
+/// [`std::convert::Infallible`], so only the corruption variant can occur.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchError<E> {
+    /// An entry matched the token but could not be decrypted.
+    Corrupt(CorruptEntry),
+    /// The storage backend failed mid-scan.
+    Storage(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for SearchError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::Corrupt(corrupt) => corrupt.fmt(f),
+            SearchError::Storage(error) => write!(f, "storage failed during search: {error}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for SearchError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Corrupt(corrupt) => Some(corrupt),
+            SearchError::Storage(error) => Some(error),
+        }
+    }
+}
 
 /// Reference (pre-arena) implementation used by the equivalence property
 /// tests: one `HashMap<Label, Vec<u8>>` with a heap allocation per entry
@@ -731,7 +871,7 @@ mod tests {
         assert_eq!(index.len(), 4);
 
         let token = SseScheme::trapdoor(&key, b"apple");
-        let results = SseScheme::search(&index, &token);
+        let results = SseScheme::search(&index, &token).unwrap();
         assert_eq!(
             results,
             vec![
@@ -742,7 +882,7 @@ mod tests {
         );
 
         let token = SseScheme::trapdoor(&key, b"banana");
-        assert_eq!(SseScheme::search(&index, &token).len(), 1);
+        assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 1);
     }
 
     #[test]
@@ -751,8 +891,8 @@ mod tests {
         let key = SseScheme::setup(&mut rng);
         let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
         let token = SseScheme::trapdoor(&key, b"cherry");
-        assert!(SseScheme::search(&index, &token).is_empty());
-        assert_eq!(SseScheme::search_count(&index, &token), 0);
+        assert!(SseScheme::search(&index, &token).unwrap().is_empty());
+        assert_eq!(SseScheme::search_count(&index, &token).unwrap(), 0);
     }
 
     #[test]
@@ -776,7 +916,7 @@ mod tests {
         let other = SseScheme::setup(&mut rng);
         let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
         let token = SseScheme::trapdoor(&other, b"apple");
-        assert!(SseScheme::search(&index, &token).is_empty());
+        assert!(SseScheme::search(&index, &token).unwrap().is_empty());
     }
 
     #[test]
@@ -800,11 +940,15 @@ mod tests {
         let mut rng = ChaCha20Rng::seed_from_u64(6);
         let key = SseScheme::setup(&mut rng);
         let index = SseScheme::build_index(&key, &sample_db(), &mut rng);
-        for kw in [b"apple".as_slice(), b"banana".as_slice(), b"none".as_slice()] {
+        for kw in [
+            b"apple".as_slice(),
+            b"banana".as_slice(),
+            b"none".as_slice(),
+        ] {
             let token = SseScheme::trapdoor(&key, kw);
             assert_eq!(
-                SseScheme::search_count(&index, &token),
-                SseScheme::search(&index, &token).len()
+                SseScheme::search_count(&index, &token).unwrap(),
+                SseScheme::search(&index, &token).unwrap().len()
             );
         }
     }
@@ -827,7 +971,7 @@ mod tests {
         // A key reconstructed from the same master must produce working tokens.
         let key2 = SseScheme::key_from(master);
         let token = SseScheme::trapdoor(&key2, b"apple");
-        assert_eq!(SseScheme::search(&index, &token).len(), 3);
+        assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 3);
     }
 
     #[test]
@@ -845,11 +989,14 @@ mod tests {
             &mut rng,
         );
         assert_eq!(index.len(), 3);
-        assert_eq!(SseScheme::search(&index, &ta), vec![b"x".to_vec(), b"y".to_vec()]);
-        assert_eq!(SseScheme::search(&index, &tb), vec![b"z".to_vec()]);
+        assert_eq!(
+            SseScheme::search(&index, &ta).unwrap(),
+            vec![b"x".to_vec(), b"y".to_vec()]
+        );
+        assert_eq!(SseScheme::search(&index, &tb).unwrap(), vec![b"z".to_vec()]);
         // A token from an unrelated seed finds nothing.
         let tc = SearchToken::derive_from_seed(&[3u8; KEY_LEN]);
-        assert!(SseScheme::search(&index, &tc).is_empty());
+        assert!(SseScheme::search(&index, &tc).unwrap().is_empty());
     }
 
     #[test]
@@ -883,15 +1030,15 @@ mod tests {
         span.1 = 3;
 
         // search skips the corrupt entry, still returning the healthy one.
-        let results = SseScheme::search(&index, &token);
+        let results = SseScheme::search(&index, &token).unwrap();
         assert_eq!(results, vec![b"payload-2".to_vec()]);
         // try_search reports the corrupt position.
         assert_eq!(
             SseScheme::try_search(&index, &token),
-            Err(CorruptEntry { position: 0 })
+            Err(SearchError::Corrupt(CorruptEntry { position: 0 }))
         );
         // search_count is unaffected (it never decrypts).
-        assert_eq!(SseScheme::search_count(&index, &token), 2);
+        assert_eq!(SseScheme::search_count(&index, &token).unwrap(), 2);
     }
 
     #[test]
@@ -925,7 +1072,7 @@ mod tests {
             // Π_bas preserves insertion order per keyword).
             for (keyword, expected) in db.iter() {
                 let token = SseScheme::trapdoor(&key, keyword);
-                let got = SseScheme::search(&index, &token);
+                let got = SseScheme::search(&index, &token).unwrap();
                 prop_assert_eq!(got, expected.to_vec());
             }
         }
@@ -958,7 +1105,7 @@ mod tests {
             }
             for (keyword, expected) in db.iter() {
                 let token = SseScheme::trapdoor(&key, keyword);
-                prop_assert_eq!(SseScheme::search(&arena, &token), expected.to_vec());
+                prop_assert_eq!(SseScheme::search(&arena, &token).unwrap(), expected.to_vec());
             }
         }
     }

@@ -23,7 +23,7 @@
 //!   simultaneously with no synchronization whatsoever.
 //! * **Bounded arenas.** Each shard has its own 4 GiB arena limit, so
 //!   `k` shard bits raise the per-index ciphertext capacity `2^k`-fold.
-//! * **Probe locality for batched search.** [`IndexLookup::get_many`]
+//! * **Probe locality for batched search.** [`IndexLookup::try_get_many`]
 //!   groups a probe vector by shard, so consecutive lookups hit the same
 //!   (much smaller) table.
 //! * **Pluggable residency.** Since PR 3 each shard is a
@@ -41,17 +41,20 @@
 
 use crate::database::SseDatabase;
 use crate::pibas::{
-    merge_chunks, EncryptedIndex, IndexLookup, KeywordChunk, Label, SearchToken, SseKey,
-    SseScheme,
+    merge_chunks, CipherSpan, EncryptedIndex, IndexLookup, KeywordChunk, Label, SearchToken,
+    SseKey, SseScheme,
 };
 use crate::storage::{
     open_shards_from_dir, save_shards_to_dir, shard_file_name, write_chunk_shard, write_manifest,
-    FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError,
+    BlockCache, CacheStats, FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError,
 };
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
 use std::fs;
-use std::path::Path;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// Maximum supported shard bits (`2^16` shards). Past this point per-shard
 /// bookkeeping dominates any conceivable parallelism win.
@@ -79,6 +82,9 @@ pub enum Shard {
     Memory(EncryptedIndex),
     /// A disk-resident shard served via paged reads.
     File(FileShard),
+    /// A fault-injection wrapper around another shard (test support; see
+    /// [`ShardedIndex::inject_read_faults`]).
+    Fault(FaultShard),
 }
 
 impl Shard {
@@ -86,32 +92,44 @@ impl Shard {
     pub fn as_memory(&self) -> Option<&EncryptedIndex> {
         match self {
             Shard::Memory(index) => Some(index),
-            Shard::File(_) => None,
+            Shard::File(_) | Shard::Fault(_) => None,
         }
     }
 
     /// The file backend of this shard, if that is what it is.
     pub fn as_file(&self) -> Option<&FileShard> {
         match self {
-            Shard::Memory(_) => None,
+            Shard::Memory(_) | Shard::Fault(_) => None,
             Shard::File(shard) => Some(shard),
         }
     }
 
-    /// Iterates over this shard's stored ciphertexts.
-    pub fn ciphertexts(&self) -> Box<dyn Iterator<Item = &[u8]> + '_> {
-        match self {
-            Shard::Memory(index) => Box::new(index.ciphertexts()),
-            Shard::File(shard) => Box::new(shard.ciphertexts()),
+    /// The shard underneath any fault-injection wrappers.
+    pub(crate) fn unwrap_faults(&self) -> &Shard {
+        let mut shard = self;
+        while let Shard::Fault(fault) = shard {
+            shard = &fault.inner;
+        }
+        shard
+    }
+
+    /// Returns this shard's stored ciphertexts (copied out; used by
+    /// leakage-oriented tests and tooling).
+    pub fn ciphertexts(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        match self.unwrap_faults() {
+            Shard::Memory(index) => Ok(index.ciphertexts().map(<[u8]>::to_vec).collect()),
+            Shard::File(shard) => shard.ciphertexts(),
+            Shard::Fault(_) => unreachable!("unwrap_faults removes fault wrappers"),
         }
     }
 }
 
 impl ShardStorage for Shard {
-    fn get(&self, label: &Label) -> Option<&[u8]> {
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
         match self {
-            Shard::Memory(index) => index.get(label),
-            Shard::File(shard) => ShardStorage::get(shard, label),
+            Shard::Memory(index) => Ok(index.get(label).map(CipherSpan::borrowed)),
+            Shard::File(shard) => ShardStorage::try_get(shard, label),
+            Shard::Fault(fault) => ShardStorage::try_get(fault, label),
         }
     }
 
@@ -119,6 +137,7 @@ impl ShardStorage for Shard {
         match self {
             Shard::Memory(index) => index.len(),
             Shard::File(shard) => ShardStorage::len(shard),
+            Shard::Fault(fault) => ShardStorage::len(fault),
         }
     }
 
@@ -126,7 +145,49 @@ impl ShardStorage for Shard {
         match self {
             Shard::Memory(index) => index.storage_bytes(),
             Shard::File(shard) => ShardStorage::storage_bytes(shard),
+            Shard::Fault(fault) => ShardStorage::storage_bytes(fault),
         }
+    }
+}
+
+/// A [`ShardStorage`] wrapper that lets a configurable number of probes
+/// through and then fails every subsequent one with a typed
+/// [`StorageError::Io`] — simulating a disk that dies mid-search.
+///
+/// The countdown is shared across every shard wrapped in one
+/// [`ShardedIndex::inject_read_faults`] call (and across clones), so "the
+/// N-th block read of the index fails" holds regardless of which shard the
+/// N-th probe happens to land in. Used by the fault-injection tests that
+/// pin the end-to-end error path; not part of the serving configuration.
+#[derive(Clone, Debug)]
+pub struct FaultShard {
+    inner: Box<Shard>,
+    /// Remaining successful probes (shared; negative once failing).
+    countdown: Arc<AtomicI64>,
+}
+
+impl FaultShard {
+    /// The synthetic path reported by injected failures.
+    pub const FAULT_PATH: &'static str = "<injected-fault>";
+}
+
+impl ShardStorage for FaultShard {
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        if self.countdown.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(StorageError::Io {
+                path: PathBuf::from(Self::FAULT_PATH),
+                error: io::Error::other("injected block-read fault"),
+            });
+        }
+        ShardStorage::try_get(&*self.inner, label)
+    }
+
+    fn len(&self) -> usize {
+        ShardStorage::len(&*self.inner)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        ShardStorage::storage_bytes(&*self.inner)
     }
 }
 
@@ -159,7 +220,7 @@ impl ShardStorage for Shard {
 ///
 /// // Same search API as the unsharded index.
 /// let token = SseScheme::trapdoor(&key, b"w");
-/// assert_eq!(SseScheme::search(&index, &token).len(), 100);
+/// assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 100);
 /// ```
 ///
 /// Persistence: an index can be saved to (or built straight into) a
@@ -181,7 +242,10 @@ impl ShardStorage for Shard {
 ///
 /// let reopened = ShardedIndex::open_dir(&dir).unwrap();
 /// let token = SseScheme::trapdoor(&key, b"w");
-/// assert_eq!(SseScheme::search(&reopened, &token), vec![b"payload".to_vec()]);
+/// assert_eq!(
+///     SseScheme::search(&reopened, &token).unwrap(),
+///     vec![b"payload".to_vec()]
+/// );
 /// # std::fs::remove_dir_all(&dir).unwrap();
 /// ```
 #[derive(Clone, Debug)]
@@ -221,7 +285,9 @@ impl ShardedIndex {
     /// Whether the shards are served from disk (paged reads) rather than
     /// from in-memory arenas.
     pub fn is_file_backed(&self) -> bool {
-        self.shards.iter().any(|s| matches!(s, Shard::File(_)))
+        self.shards
+            .iter()
+            .any(|s| matches!(s.unwrap_faults(), Shard::File(_)))
     }
 
     /// The shard an entry with this label would live in.
@@ -249,44 +315,99 @@ impl ShardedIndex {
 
     /// Bytes currently resident in memory: in-memory shards count in full,
     /// file-backed shards count their bucket directory plus the region
-    /// blocks faulted in so far. This is the number the spill-to-disk
-    /// backend exists to bound.
+    /// blocks faulted in so far (bounded by the cache budget when one is
+    /// set). This is the number the spill-to-disk backend exists to bound.
     pub fn resident_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| match shard {
+            .map(|shard| match shard.unwrap_faults() {
                 Shard::Memory(index) => index.storage_bytes(),
                 Shard::File(file) => {
                     ShardStorage::len(file) * crate::pibas::LABEL_LEN + file.resident_bytes()
                 }
+                Shard::Fault(_) => unreachable!("unwrap_faults removes fault wrappers"),
             })
             .sum()
     }
 
     /// Number of paged block reads that have failed across all file-backed
-    /// shards since open (always 0 for in-memory shards). A failed read
-    /// degrades the affected probes to "entry missing" and is retried by
-    /// later probes; a non-zero value is the operator's signal that search
-    /// results may have been incomplete while the storage misbehaved.
+    /// shards since open (always 0 for in-memory shards). Failed reads
+    /// surface as typed [`StorageError`]s from the probing search; this is
+    /// the aggregate operator-side counter of how often that happened.
     pub fn read_errors(&self) -> u64 {
         self.shards
             .iter()
-            .map(|shard| match shard {
-                Shard::Memory(_) => 0,
+            .map(|shard| match shard.unwrap_faults() {
                 Shard::File(file) => file.read_errors(),
+                _ => 0,
             })
             .sum()
     }
 
-    /// Looks up the ciphertext stored under `label` in its shard.
-    pub fn get(&self, label: &Label) -> Option<&[u8]> {
-        ShardStorage::get(&self.shards[self.shard_of(label)], label)
+    /// Aggregated block-cache counters of all file-backed shards: probe
+    /// hits and misses, evictions performed to stay inside the
+    /// [`StorageConfig::cache_budget`], and the ciphertext-block bytes
+    /// currently resident (always 0 hits/misses/resident for a fully
+    /// in-memory index, whose arenas bypass the block layer).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        let mut caches: Vec<*const BlockCache> = Vec::new();
+        for shard in &self.shards {
+            if let Shard::File(file) = shard.unwrap_faults() {
+                let shard_stats = file.cache_stats();
+                stats.hits += shard_stats.hits;
+                stats.misses += shard_stats.misses;
+                match file.block_cache() {
+                    Some(cache) => {
+                        let ptr = Arc::as_ptr(cache);
+                        if !caches.contains(&ptr) {
+                            caches.push(ptr);
+                            stats.evictions += cache.evictions();
+                            stats.resident_bytes += cache.resident_bytes();
+                        }
+                    }
+                    None => stats.resident_bytes += shard_stats.resident_bytes,
+                }
+            }
+        }
+        stats
     }
 
-    /// Iterates over all stored ciphertexts (shard order; used by
+    /// Looks up the ciphertext stored under `label` in its shard.
+    ///
+    /// `Ok(None)` means the label is absent; `Err` means the storage
+    /// backend failed to resolve the probe (never happens for in-memory
+    /// shards).
+    pub fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        ShardStorage::try_get(&self.shards[self.shard_of(label)], label)
+    }
+
+    /// Returns all stored ciphertexts (shard order, copied out; used by
     /// leakage-oriented tests).
-    pub fn ciphertexts(&self) -> impl Iterator<Item = &[u8]> {
-        self.shards.iter().flat_map(Shard::ciphertexts)
+    pub fn ciphertexts(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.ciphertexts()?);
+        }
+        Ok(out)
+    }
+
+    /// Wraps every shard in a [`FaultShard`] sharing one countdown: the
+    /// first `successful_probes` dictionary probes succeed, every later
+    /// one fails with a typed [`StorageError::Io`]. Test support for
+    /// pinning the end-to-end error path of the fallible search API —
+    /// a production index never contains fault wrappers.
+    pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        let countdown = Arc::new(AtomicI64::new(
+            i64::try_from(successful_probes).unwrap_or(i64::MAX),
+        ));
+        for shard in &mut self.shards {
+            let inner = Box::new(shard.clone());
+            *shard = Shard::Fault(FaultShard {
+                inner,
+                countdown: Arc::clone(&countdown),
+            });
+        }
     }
 
     /// Serializes every shard (plus an `index.meta` manifest) into `dir`,
@@ -310,7 +431,22 @@ impl ShardedIndex {
     ///
     /// [`save_to_dir`]: Self::save_to_dir
     pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let (bits, shards) = open_shards_from_dir(dir.as_ref())?;
+        Self::open_dir_with_budget(dir, None)
+    }
+
+    /// Like [`open_dir`](Self::open_dir), but bounds the resident
+    /// ciphertext blocks of the opened index at `cache_budget` bytes
+    /// (`None` = unlimited): all shards share one clock block cache that
+    /// evicts cold blocks once the budget is reached, so a long-running
+    /// server's residency tracks its working set rather than everything it
+    /// ever touched. Query results are identical for every budget; see
+    /// [`cache_stats`](Self::cache_stats) for the hit/miss/eviction
+    /// counters.
+    pub fn open_dir_with_budget(
+        dir: impl AsRef<Path>,
+        cache_budget: Option<usize>,
+    ) -> Result<Self, StorageError> {
+        let (bits, shards) = open_shards_from_dir(dir.as_ref(), cache_budget)?;
         Ok(Self {
             bits,
             shards: shards.into_iter().map(Shard::File).collect(),
@@ -319,23 +455,32 @@ impl ShardedIndex {
 }
 
 impl IndexLookup for ShardedIndex {
-    fn get(&self, label: &Label) -> Option<&[u8]> {
-        ShardedIndex::get(self, label)
+    type Error = StorageError;
+
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        ShardedIndex::try_get(self, label)
     }
 
     /// Shard-grouped probe resolution: large probe vectors are visited in
     /// shard order so consecutive lookups hit the same (small) table, then
     /// results are written back in probe order. Small rounds — where the
     /// grouping bookkeeping would cost more than the locality buys — probe
-    /// directly in input order.
-    fn get_many<'a>(&'a self, labels: &[Label], out: &mut Vec<Option<&'a [u8]>>) {
+    /// directly in input order. The first failed probe aborts the batch
+    /// with its typed error.
+    fn try_get_many<'a>(
+        &'a self,
+        labels: &[Label],
+        out: &mut Vec<Option<CipherSpan<'a>>>,
+    ) -> Result<(), StorageError> {
         /// Probe counts below this skip the sort-by-shard pass.
         const GROUP_THRESHOLD: usize = 64;
 
         out.clear();
         if self.bits == 0 || labels.len() < GROUP_THRESHOLD {
-            out.extend(labels.iter().map(|label| self.get(label)));
-            return;
+            for label in labels {
+                out.push(self.try_get(label)?);
+            }
+            return Ok(());
         }
         out.resize(labels.len(), None);
         let mut order: Vec<(u32, u32)> = labels
@@ -346,8 +491,9 @@ impl IndexLookup for ShardedIndex {
         order.sort_unstable();
         for (shard, slot) in order {
             out[slot as usize] =
-                ShardStorage::get(&self.shards[shard as usize], &labels[slot as usize]);
+                ShardStorage::try_get(&self.shards[shard as usize], &labels[slot as usize])?;
         }
+        Ok(())
     }
 }
 
@@ -448,17 +594,21 @@ pub(crate) fn shard_chunks_stored(
 ) -> Result<ShardedIndex, StorageError> {
     match &config.backend {
         StorageBackend::InMemory => Ok(shard_chunks(config.shard_bits, chunks)),
-        StorageBackend::OnDisk(dir) => shard_chunks_to_dir(config.shard_bits, chunks, dir),
+        StorageBackend::OnDisk(dir) => {
+            shard_chunks_to_dir(config.shard_bits, chunks, dir, config.cache_budget)
+        }
     }
 }
 
 /// The on-disk BuildIndex tail: writes each shard's serialized file
 /// directly from the per-keyword chunks (no intermediate arena), in
-/// parallel across shards, then opens them as paged [`FileShard`]s.
+/// parallel across shards, then opens them as paged [`FileShard`]s
+/// (sharing one budgeted block cache when `cache_budget` is set).
 fn shard_chunks_to_dir(
     bits: u32,
     chunks: Vec<KeywordChunk>,
     dir: &Path,
+    cache_budget: Option<usize>,
 ) -> Result<ShardedIndex, StorageError> {
     assert!(
         bits <= MAX_SHARD_BITS,
@@ -470,19 +620,26 @@ fn shard_chunks_to_dir(
     })?;
     let built = (|| {
         write_manifest(dir, bits)?;
+        let cache = cache_budget.map(|budget| Arc::new(BlockCache::new(budget)));
         let jobs: Vec<(usize, ShardJob)> = scatter_members(bits, &chunks)
             .into_iter()
             .enumerate()
             .collect();
-        let results: Vec<Result<Shard, StorageError>> = jobs
-            .into_par_iter()
-            .map(|(i, (member_list, bytes))| {
-                let path = dir.join(shard_file_name(i));
-                write_chunk_shard(&path, &chunks, &member_list, bytes)?;
-                FileShard::open(&path).map(Shard::File)
-            })
-            .collect();
-        let shards = results.into_iter().collect::<Result<Vec<Shard>, StorageError>>()?;
+        let results: Vec<Result<Shard, StorageError>> =
+            jobs.into_par_iter()
+                .map(|(i, (member_list, bytes))| {
+                    let path = dir.join(shard_file_name(i));
+                    write_chunk_shard(&path, &chunks, &member_list, bytes)?;
+                    match &cache {
+                        Some(cache) => FileShard::open_cached(&path, i as u32, Arc::clone(cache))
+                            .map(Shard::File),
+                        None => FileShard::open(&path).map(Shard::File),
+                    }
+                })
+                .collect();
+        let shards = results
+            .into_iter()
+            .collect::<Result<Vec<Shard>, StorageError>>()?;
         Ok(ShardedIndex { bits, shards })
     })();
     if built.is_err() {
@@ -601,7 +758,7 @@ mod tests {
         assert!(index.is_empty());
         assert!(!index.is_file_backed());
         assert_eq!(index.len(), 0);
-        assert_eq!(index.get(&[0u8; LABEL_LEN]), None);
+        assert!(index.try_get(&[0u8; LABEL_LEN]).unwrap().is_none());
     }
 
     #[test]
@@ -610,7 +767,12 @@ mod tests {
         let key = SseScheme::setup(&mut rng);
         let db = db_from(
             &(0..64u64)
-                .map(|i| (format!("kw{}", i % 8).into_bytes(), i.to_le_bytes().to_vec()))
+                .map(|i| {
+                    (
+                        format!("kw{}", i % 8).into_bytes(),
+                        i.to_le_bytes().to_vec(),
+                    )
+                })
                 .collect::<Vec<_>>(),
         );
         let index = SseScheme::build_index_sharded(&key, &db, 4, &mut rng);
@@ -619,13 +781,21 @@ mod tests {
         // Every shard's entries carry that shard's label prefix, and every
         // keyword remains fully searchable across the shard split.
         for shard in index.shards() {
-            for label in shard.as_memory().expect("in-memory build").table_raw().keys() {
-                assert_eq!(&index.shards()[index.shard_of(label)] as *const _, shard as *const _);
+            for label in shard
+                .as_memory()
+                .expect("in-memory build")
+                .table_raw()
+                .keys()
+            {
+                assert_eq!(
+                    &index.shards()[index.shard_of(label)] as *const _,
+                    shard as *const _
+                );
             }
         }
         for kw in 0..8u64 {
             let token = SseScheme::trapdoor(&key, format!("kw{kw}").as_bytes());
-            assert_eq!(SseScheme::search(&index, &token).len(), 8);
+            assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 8);
         }
     }
 
@@ -635,17 +805,22 @@ mod tests {
         let key = SseScheme::setup(&mut rng);
         let db = db_from(
             &(0..40u64)
-                .map(|i| (format!("kw{}", i % 5).into_bytes(), i.to_le_bytes().to_vec()))
+                .map(|i| {
+                    (
+                        format!("kw{}", i % 5).into_bytes(),
+                        i.to_le_bytes().to_vec(),
+                    )
+                })
                 .collect::<Vec<_>>(),
         );
         let index = SseScheme::build_index_sharded(&key, &db, 3, &mut rng);
         let tokens: Vec<SearchToken> = (0..6u64)
             .map(|kw| SseScheme::trapdoor(&key, format!("kw{kw}").as_bytes()))
             .collect();
-        let counts = SseScheme::search_batch_scan(&index, &tokens, |_, _| {});
+        let counts = SseScheme::search_batch_scan(&index, &tokens, |_, _| {}).unwrap();
         let expected: Vec<usize> = tokens
             .iter()
-            .map(|t| SseScheme::search_count(&index, t))
+            .map(|t| SseScheme::search_count(&index, t).unwrap())
             .collect();
         assert_eq!(counts, expected);
         assert_eq!(counts, vec![8, 8, 8, 8, 8, 0]);
@@ -672,9 +847,13 @@ mod tests {
         .unwrap();
         assert!(index.is_file_backed());
         let directory_bytes = index.len() * LABEL_LEN;
-        assert_eq!(index.resident_bytes(), directory_bytes, "nothing faulted in yet");
+        assert_eq!(
+            index.resident_bytes(),
+            directory_bytes,
+            "nothing faulted in yet"
+        );
         let token = SseScheme::trapdoor(&key, b"kw7");
-        assert_eq!(SseScheme::search(&index, &token).len(), 1);
+        assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 1);
         let resident = index.resident_bytes() - directory_bytes;
         assert!(resident > 0, "the probed block must be resident");
         assert!(
@@ -683,6 +862,137 @@ mod tests {
              ({resident} of {} region bytes resident)",
             index.storage_bytes() - directory_bytes
         );
+    }
+
+    /// A database whose ciphertext region spans many paged-read blocks.
+    fn multi_block_db(keywords: u64, payload_len: usize) -> SseDatabase {
+        let mut db = SseDatabase::new();
+        for kw in 0..keywords {
+            db.add(format!("kw{kw}").into_bytes(), vec![kw as u8; payload_len]);
+        }
+        db
+    }
+
+    #[test]
+    fn budgeted_cache_bounds_residency_and_answers_identically() {
+        // ~800 KiB of ciphertext → ~13 blocks of ~64 KiB. A 25% budget
+        // must keep residency bounded while every query answers exactly
+        // what the unbounded index answers.
+        let mut rng = ChaCha20Rng::seed_from_u64(40);
+        let key = SseScheme::setup(&mut rng);
+        let db = multi_block_db(200, 4096);
+        let dir = TempDir::new("budget");
+        let mut rng_build = ChaCha20Rng::seed_from_u64(41);
+        SseScheme::build_index_stored(
+            &key,
+            &db,
+            &StorageConfig::on_disk(2, dir.path()),
+            &mut rng_build,
+        )
+        .unwrap();
+
+        let unbounded = ShardedIndex::open_dir(dir.path()).unwrap();
+        let region_bytes = unbounded.storage_bytes() - unbounded.len() * LABEL_LEN;
+        let budget = region_bytes / 4;
+        let budgeted = ShardedIndex::open_dir_with_budget(dir.path(), Some(budget)).unwrap();
+
+        for kw in 0..200u64 {
+            let token = SseScheme::trapdoor(&key, format!("kw{kw}").as_bytes());
+            assert_eq!(
+                SseScheme::search(&budgeted, &token).unwrap(),
+                SseScheme::search(&unbounded, &token).unwrap(),
+                "budgeted results must be identical to unbounded for kw{kw}"
+            );
+            let stats = budgeted.cache_stats();
+            assert!(
+                stats.resident_bytes <= budget,
+                "resident {} exceeds budget {budget} after kw{kw}",
+                stats.resident_bytes
+            );
+        }
+        let stats = budgeted.cache_stats();
+        assert!(stats.misses > 0, "cold blocks must count as misses");
+        assert!(
+            stats.evictions > 0,
+            "a 25% budget over a multi-block region must evict: {stats:?}"
+        );
+        // The unbounded index keeps everything it touched resident…
+        let warm = unbounded.cache_stats();
+        assert_eq!(warm.evictions, 0, "no budget, no evictions");
+        assert_eq!(
+            warm.resident_bytes, region_bytes,
+            "everything touched stays"
+        );
+        // …and repeated probing of one keyword is served from cache.
+        let token = SseScheme::trapdoor(&key, b"kw0");
+        let before = budgeted.cache_stats();
+        for _ in 0..4 {
+            SseScheme::search(&budgeted, &token).unwrap();
+        }
+        let after = budgeted.cache_stats();
+        assert!(after.hits > before.hits, "warm probes must hit the cache");
+    }
+
+    #[test]
+    fn zero_budget_still_answers_with_nothing_resident() {
+        let mut rng = ChaCha20Rng::seed_from_u64(42);
+        let key = SseScheme::setup(&mut rng);
+        let db = multi_block_db(40, 2048);
+        let dir = TempDir::new("budget-zero");
+        let mut rng_build = ChaCha20Rng::seed_from_u64(43);
+        SseScheme::build_index_stored(
+            &key,
+            &db,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng_build,
+        )
+        .unwrap();
+        let index = ShardedIndex::open_dir_with_budget(dir.path(), Some(0)).unwrap();
+        for kw in 0..40u64 {
+            let token = SseScheme::trapdoor(&key, format!("kw{kw}").as_bytes());
+            assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 1);
+        }
+        let stats = index.cache_stats();
+        assert_eq!(stats.resident_bytes, 0, "nothing fits a zero budget");
+        assert_eq!(stats.hits, 0);
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_storage_errors() {
+        let mut rng = ChaCha20Rng::seed_from_u64(44);
+        let key = SseScheme::setup(&mut rng);
+        let db = db_from(
+            &(0..24u64)
+                .map(|i| {
+                    (
+                        format!("kw{}", i % 3).into_bytes(),
+                        i.to_le_bytes().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut index = SseScheme::build_index_sharded(&key, &db, 2, &mut rng);
+        let token = SseScheme::trapdoor(&key, b"kw1");
+        assert_eq!(SseScheme::search(&index, &token).unwrap().len(), 8);
+
+        // Let the first 3 probes through, then fail everything: the scan
+        // (8 hits + 1 terminating miss) must abort with the typed error
+        // instead of returning a silently shortened result.
+        index.inject_read_faults(3);
+        match SseScheme::search(&index, &token) {
+            Err(StorageError::Io { path, .. }) => {
+                assert_eq!(path, Path::new(FaultShard::FAULT_PATH));
+            }
+            other => panic!("expected Err(Io), got {other:?}"),
+        }
+        // The batched scan fails the same way…
+        assert!(SseScheme::search_batch(&index, std::slice::from_ref(&token)).is_err());
+        // …and try_search reports it as a storage failure, not corruption.
+        match SseScheme::try_search(&index, &token) {
+            Err(crate::pibas::SearchError::Storage(StorageError::Io { .. })) => {}
+            other => panic!("expected Storage error, got {other:?}"),
+        }
     }
 
     proptest! {
@@ -737,7 +1047,10 @@ mod tests {
             // Entry-level equality: every label resolves to the same bytes.
             for shard in flat.shards() {
                 for label in shard.as_memory().expect("in-memory build").table_raw().keys() {
-                    prop_assert_eq!(sharded.get(label), flat.get(label));
+                    prop_assert_eq!(
+                        sharded.try_get(label).unwrap().map(|s| s.to_vec()),
+                        flat.try_get(label).unwrap().map(|s| s.to_vec())
+                    );
                 }
             }
             // Search-level equality, per-token and batched.
@@ -746,13 +1059,13 @@ mod tests {
                 .collect();
             for token in &tokens {
                 prop_assert_eq!(
-                    SseScheme::search(&sharded, token),
-                    SseScheme::search(&flat, token)
+                    SseScheme::search(&sharded, token).unwrap(),
+                    SseScheme::search(&flat, token).unwrap()
                 );
             }
-            let batched = SseScheme::search_batch(&sharded, &tokens);
+            let batched = SseScheme::search_batch(&sharded, &tokens).unwrap();
             let per_token: Vec<Vec<Vec<u8>>> = tokens.iter()
-                .map(|t| SseScheme::search(&flat, t))
+                .map(|t| SseScheme::search(&flat, t).unwrap())
                 .collect();
             prop_assert_eq!(batched, per_token);
         }
@@ -786,9 +1099,9 @@ mod tests {
             tokens.rotate_left(split);
             tokens.reverse();
 
-            let batched = SseScheme::search_batch(&index, &tokens);
+            let batched = SseScheme::search_batch(&index, &tokens).unwrap();
             let per_token: Vec<Vec<Vec<u8>>> = tokens.iter()
-                .map(|t| SseScheme::search(&index, t))
+                .map(|t| SseScheme::search(&index, t).unwrap())
                 .collect();
             prop_assert_eq!(&batched, &per_token, "per-token results must be identical");
 
@@ -827,7 +1140,10 @@ mod tests {
             prop_assert_eq!(file.storage_bytes(), memory.storage_bytes());
             for shard in memory.shards() {
                 for label in shard.as_memory().expect("in-memory build").table_raw().keys() {
-                    prop_assert_eq!(file.get(label), memory.get(label));
+                    prop_assert_eq!(
+                        file.try_get(label).unwrap().map(|s| s.to_vec()),
+                        memory.try_get(label).unwrap().map(|s| s.to_vec())
+                    );
                 }
             }
             let tokens: Vec<SearchToken> = db.iter()
@@ -835,12 +1151,12 @@ mod tests {
                 .collect();
             for token in &tokens {
                 prop_assert_eq!(
-                    SseScheme::search(&file, token),
-                    SseScheme::search(&memory, token)
+                    SseScheme::search(&file, token).unwrap(),
+                    SseScheme::search(&memory, token).unwrap()
                 );
             }
-            let batched = SseScheme::search_batch(&file, &tokens);
-            prop_assert_eq!(batched, SseScheme::search_batch(&memory, &tokens));
+            let batched = SseScheme::search_batch(&file, &tokens).unwrap();
+            prop_assert_eq!(batched, SseScheme::search_batch(&memory, &tokens).unwrap());
         }
 
         /// PR 3 acceptance property (b): `save_to_dir` → `open_dir` →

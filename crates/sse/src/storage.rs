@@ -50,15 +50,16 @@
 //! versions, and directories whose spans fall outside (or fail to tile)
 //! the ciphertext region — instead of panicking at query time.
 
-use crate::pibas::{EncryptedIndex, KeywordChunk, Label, LabelTable, LABEL_LEN};
+use crate::pibas::{CipherSpan, EncryptedIndex, KeywordChunk, Label, LabelTable, LABEL_LEN};
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::fmt;
 use std::fs::{self, File};
 use std::hash::BuildHasherDefault;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Positioned read into `buf` at `offset`, without touching any shared
 /// cursor — this is what keeps concurrent paged reads lock-free. Thin
@@ -203,7 +204,11 @@ impl fmt::Display for StorageError {
                 path.display()
             ),
             StorageError::CorruptDirectory { path, detail } => {
-                write!(f, "{} has a corrupt label directory: {detail}", path.display())
+                write!(
+                    f,
+                    "{} has a corrupt label directory: {detail}",
+                    path.display()
+                )
             }
             StorageError::Unsupported(what) => {
                 write!(f, "storage backend not supported: {what}")
@@ -218,6 +223,12 @@ impl std::error::Error for StorageError {
             StorageError::Io { error, .. } => Some(error),
             _ => None,
         }
+    }
+}
+
+impl From<std::convert::Infallible> for StorageError {
+    fn from(infallible: std::convert::Infallible) -> Self {
+        match infallible {}
     }
 }
 
@@ -306,6 +317,15 @@ pub struct StorageConfig {
     pub shard_bits: u32,
     /// Backend holding the shards.
     pub backend: StorageBackend,
+    /// Memory budget, in bytes, for the paged-read block cache of a
+    /// file-backed index (`None` = unlimited: blocks stay resident once
+    /// touched, exactly the pre-budget behavior). The budget covers the
+    /// ciphertext blocks of **one** index — the bucket directories are
+    /// always resident — and is enforced by a sharded clock cache shared
+    /// by all of the index's shards; see
+    /// [`ShardedIndex::cache_stats`](crate::ShardedIndex::cache_stats).
+    /// In-memory backends ignore it.
+    pub cache_budget: Option<usize>,
 }
 
 impl StorageConfig {
@@ -314,6 +334,7 @@ impl StorageConfig {
         Self {
             shard_bits,
             backend: StorageBackend::InMemory,
+            cache_budget: None,
         }
     }
 
@@ -323,17 +344,27 @@ impl StorageConfig {
         Self {
             shard_bits,
             backend: StorageBackend::OnDisk(dir.into()),
+            cache_budget: None,
         }
+    }
+
+    /// Caps the resident ciphertext blocks of a file-backed index at
+    /// `bytes` (a per-index budget, enforced by clock eviction).
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.cache_budget = Some(bytes);
+        self
     }
 
     /// Derives the configuration for a named sub-index: on-disk backends
     /// descend into `dir/name`, in-memory configs are returned unchanged.
+    /// The cache budget carries over (each sub-index gets its own cache).
     pub fn subdir(&self, name: &str) -> Self {
         match &self.backend {
             StorageBackend::InMemory => self.clone(),
             StorageBackend::OnDisk(dir) => Self {
                 shard_bits: self.shard_bits,
                 backend: StorageBackend::OnDisk(dir.join(name)),
+                cache_budget: self.cache_budget,
             },
         }
     }
@@ -358,19 +389,14 @@ impl Default for StorageConfig {
 /// Read interface of one dictionary shard, whatever holds its bytes.
 ///
 /// A shard is a **bucket directory** (`label → (offset, len)`) over a
-/// **ciphertext region**; the trait exposes the only operations the search
-/// algorithms need — point probes and batched probes — so the sharded index
-/// can mix backends without the query layer noticing.
+/// **ciphertext region**; the trait exposes the only operation the search
+/// algorithms need — a fallible point probe — so the sharded index can mix
+/// backends without the query layer noticing. `Ok(None)` means the label
+/// is genuinely absent; `Err` means the backing storage failed to resolve
+/// the probe (in-memory arenas never take that branch).
 pub trait ShardStorage {
     /// Looks up the ciphertext stored under `label`.
-    fn get(&self, label: &Label) -> Option<&[u8]>;
-
-    /// Resolves a batch of probes, writing `out[i] = get(&labels[i])`
-    /// (cleared first, results in probe order).
-    fn get_many<'a>(&'a self, labels: &[Label], out: &mut Vec<Option<&'a [u8]>>) {
-        out.clear();
-        out.extend(labels.iter().map(|label| self.get(label)));
-    }
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError>;
 
     /// Number of entries in the bucket directory.
     fn len(&self) -> usize;
@@ -385,8 +411,8 @@ pub trait ShardStorage {
 }
 
 impl ShardStorage for EncryptedIndex {
-    fn get(&self, label: &Label) -> Option<&[u8]> {
-        EncryptedIndex::get(self, label)
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        Ok(EncryptedIndex::get(self, label).map(CipherSpan::borrowed))
     }
 
     fn len(&self) -> usize {
@@ -399,20 +425,234 @@ impl ShardStorage for EncryptedIndex {
 }
 
 // ---------------------------------------------------------------------------
+// The budgeted block cache
+// ---------------------------------------------------------------------------
+
+/// Aggregated block-cache observability counters of one index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes served from an already-loaded block.
+    pub hits: u64,
+    /// Probes that had to read their block from disk.
+    pub misses: u64,
+    /// Blocks evicted to keep the cache inside its budget (always 0
+    /// without a [`StorageConfig::cache_budget`]).
+    pub evictions: u64,
+    /// Ciphertext-block bytes currently resident in memory.
+    pub resident_bytes: usize,
+}
+
+/// Number of independently locked cache segments. Keys spread over the
+/// segments by block hash, so concurrent probes rarely contend on one
+/// lock; the byte budget is split evenly across segments.
+const CACHE_SEGMENTS: usize = 8;
+
+/// A cached region block and its clock "referenced" bit.
+struct CacheSlot {
+    data: Arc<[u8]>,
+    referenced: bool,
+}
+
+/// One locked segment of the cache: the block map plus the clock ring the
+/// eviction hand walks.
+#[derive(Default)]
+struct CacheSegment {
+    slots: HashMap<(u32, u32), CacheSlot>,
+    ring: Vec<(u32, u32)>,
+    hand: usize,
+}
+
+impl CacheSegment {
+    /// Evicts one block (second-chance clock: a referenced block gets its
+    /// bit cleared and the hand moves on; the first unreferenced block
+    /// goes). The ring is non-empty when this is called.
+    fn evict_one(&mut self) -> usize {
+        loop {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            let slot = self.slots.get_mut(&key).expect("ring keys are cached");
+            if slot.referenced {
+                slot.referenced = false;
+                self.hand += 1;
+                continue;
+            }
+            let freed = slot.data.len();
+            self.slots.remove(&key);
+            self.ring.swap_remove(self.hand);
+            return freed;
+        }
+    }
+}
+
+/// A sharded clock block cache bounding the resident ciphertext bytes of
+/// one file-backed index.
+///
+/// All shards of an index share one cache; keys are
+/// `(shard index, block index)`. Lookups set the block's clock bit;
+/// inserts evict unreferenced blocks — walking the segments round-robin,
+/// one lock at a time — until the **whole cache** is back inside the
+/// budget. Blocks are handed out as `Arc<[u8]>`, so a probe that is still
+/// decrypting a span keeps the bytes alive even if the block is evicted
+/// concurrently — eviction only drops the cache's reference.
+pub(crate) struct BlockCache {
+    /// Total byte budget across all segments.
+    budget: usize,
+    segments: Vec<Mutex<CacheSegment>>,
+    /// Round-robin segment rotor the evictor walks.
+    evict_from: AtomicUsize,
+    evictions: AtomicU64,
+    resident: AtomicUsize,
+}
+
+impl BlockCache {
+    /// A cache enforcing `budget` bytes across all segments.
+    pub(crate) fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            segments: (0..CACHE_SEGMENTS).map(|_| Mutex::default()).collect(),
+            evict_from: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+        }
+    }
+
+    fn segment(&self, key: (u32, u32)) -> &Mutex<CacheSegment> {
+        let mix = (key.0 as usize).wrapping_mul(0x9E37_79B9) ^ (key.1 as usize);
+        &self.segments[mix % CACHE_SEGMENTS]
+    }
+
+    /// Looks up a block, marking it recently used.
+    fn get(&self, key: (u32, u32)) -> Option<Arc<[u8]>> {
+        let mut segment = self.segment(key).lock().expect("cache lock poisoned");
+        let slot = segment.slots.get_mut(&key)?;
+        slot.referenced = true;
+        Some(Arc::clone(&slot.data))
+    }
+
+    /// Evicts blocks — walking the segments round-robin, one lock at a
+    /// time, never nested — until `incoming` more bytes would fit the
+    /// budget. `attempts` bounds the walk in the rare case every segment
+    /// is empty while `resident` is still being settled by concurrent
+    /// inserts.
+    fn evict_to_fit(&self, incoming: usize) {
+        let mut attempts = 0usize;
+        while self.resident.load(Ordering::Relaxed) + incoming > self.budget
+            && attempts < 4 * CACHE_SEGMENTS
+        {
+            let at = self.evict_from.fetch_add(1, Ordering::Relaxed) % CACHE_SEGMENTS;
+            let mut segment = self.segments[at].lock().expect("cache lock poisoned");
+            if segment.ring.is_empty() {
+                attempts += 1;
+                continue;
+            }
+            let freed = segment.evict_one();
+            drop(segment);
+            self.resident.fetch_sub(freed, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Inserts a freshly read block, evicting as needed. A block larger
+    /// than the whole budget is served but never cached, so the budget
+    /// holds even for pathological block sizes.
+    ///
+    /// Concurrency note: the budget check and the insert are not one
+    /// atomic step, so N threads missing on cold blocks simultaneously
+    /// can overshoot the budget transiently (by at most one in-flight
+    /// block each). The trailing `evict_to_fit(0)` restores the bound
+    /// before the insert returns, so the cache is back inside the budget
+    /// whenever no insert is mid-flight.
+    fn insert(&self, key: (u32, u32), data: Arc<[u8]>) {
+        let len = data.len();
+        if len > self.budget {
+            return;
+        }
+        // Make room first, then insert.
+        self.evict_to_fit(len);
+        let mut segment = self.segment(key).lock().expect("cache lock poisoned");
+        if segment.slots.contains_key(&key) {
+            // A concurrent probe of the same cold block won the race.
+            return;
+        }
+        segment.slots.insert(
+            key,
+            CacheSlot {
+                data,
+                referenced: false,
+            },
+        );
+        segment.ring.push(key);
+        drop(segment);
+        self.resident.fetch_add(len, Ordering::Relaxed);
+        // Self-correct any racy overshoot: whoever finishes last leaves
+        // the cache inside the budget.
+        self.evict_to_fit(0);
+    }
+
+    /// Total block bytes currently cached.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Blocks evicted since the cache was created.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Cached bytes attributable to one shard (observability only — walks
+    /// every segment under its lock).
+    fn shard_resident_bytes(&self, shard: u32) -> usize {
+        self.segments
+            .iter()
+            .map(|segment| {
+                let segment = segment.lock().expect("cache lock poisoned");
+                segment
+                    .slots
+                    .iter()
+                    .filter(|((s, _), _)| *s == shard)
+                    .map(|(_, slot)| slot.data.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The file-backed shard
 // ---------------------------------------------------------------------------
 
-/// One paged-read block of the ciphertext region.
-struct Block {
+/// One paged-read block of the ciphertext region in the **resident**
+/// (unbudgeted) store: loaded at most once, then kept for the life of the
+/// shard handle.
+struct ResidentBlock {
     /// Offset of the block within the region.
     start: u32,
     /// Block length in bytes (whole entries only).
     len: u32,
     /// Lazily loaded block bytes. A failed read stores nothing, so the
-    /// probe degrades to "entry missing" for this round (the same posture
-    /// as corrupt-entry skipping in search) but the next probe retries —
-    /// a transient I/O blip never poisons the block permanently.
+    /// next probe retries — a transient I/O blip never poisons the block
+    /// permanently (the probe itself surfaces the failure as a typed
+    /// error).
     data: OnceLock<Box<[u8]>>,
+}
+
+/// Where a shard's region blocks live once faulted in.
+enum BlockStore {
+    /// No cache budget: every touched block stays resident behind a
+    /// `OnceLock` — loaded once, lock-free afterwards (the pre-budget
+    /// behavior, and the default).
+    Resident(Vec<ResidentBlock>),
+    /// Budgeted: blocks live in the index-wide clock [`BlockCache`] and
+    /// can be evicted; probes pin the block they need via `Arc`.
+    Cached {
+        cache: Arc<BlockCache>,
+        /// This shard's index within the cache key space.
+        shard: u32,
+        /// `(start, len)` of each block, ascending by start.
+        blocks: Vec<(u32, u32)>,
+    },
 }
 
 struct FileShardInner {
@@ -426,12 +666,16 @@ struct FileShardInner {
     region_offset: u64,
     /// Ciphertext-region length (< 4 GiB, the per-shard arena bound).
     region_len: u32,
-    /// Region blocks in ascending `start` order, faulted in on demand.
-    blocks: Vec<Block>,
-    /// Number of block reads that failed since open. A failed read makes
-    /// the probing search degrade to "entry missing" (and retry on the
-    /// next probe); this counter is how operators distinguish that
-    /// degradation from a genuine miss.
+    /// Region blocks, resident or cache-backed.
+    store: BlockStore,
+    /// Probes served from an already-loaded block.
+    hits: AtomicU64,
+    /// Probes that had to read their block from disk.
+    misses: AtomicU64,
+    /// Number of block reads that failed since open. Failed reads now
+    /// surface as typed [`StorageError`]s from the probe itself; the
+    /// counter remains as the aggregate operator-side view of how often
+    /// the backing storage misbehaved.
     read_errors: AtomicU64,
 }
 
@@ -449,11 +693,16 @@ pub struct FileShard {
 
 impl fmt::Debug for FileShard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (blocks, budgeted) = match &self.inner.store {
+            BlockStore::Resident(blocks) => (blocks.len(), false),
+            BlockStore::Cached { blocks, .. } => (blocks.len(), true),
+        };
         f.debug_struct("FileShard")
             .field("path", &self.inner.path)
             .field("entries", &self.inner.table.len())
             .field("region_len", &self.inner.region_len)
-            .field("blocks", &self.inner.blocks.len())
+            .field("blocks", &blocks)
+            .field("budgeted", &budgeted)
             .field("resident_bytes", &self.resident_bytes())
             .finish()
     }
@@ -471,7 +720,8 @@ fn read_u64(bytes: &[u8]) -> u64 {
 impl FileShard {
     /// Opens a serialized shard file: validates the header, loads the label
     /// directory into memory, and prepares the paged-read block table. The
-    /// ciphertext region itself stays on disk.
+    /// ciphertext region itself stays on disk, and touched blocks stay
+    /// resident for the life of the handle (no budget).
     ///
     /// # Errors
     ///
@@ -479,6 +729,23 @@ impl FileShard {
     /// truncated files, wrong magic, unsupported versions, and directories
     /// whose spans do not exactly tile the ciphertext region.
     pub fn open(path: &Path) -> Result<Self, StorageError> {
+        Self::open_inner(path, None)
+    }
+
+    /// Opens a shard whose region blocks are served through the index-wide
+    /// budgeted [`BlockCache`] under shard key `shard`.
+    pub(crate) fn open_cached(
+        path: &Path,
+        shard: u32,
+        cache: Arc<BlockCache>,
+    ) -> Result<Self, StorageError> {
+        Self::open_inner(path, Some((shard, cache)))
+    }
+
+    fn open_inner(
+        path: &Path,
+        cache: Option<(u32, Arc<BlockCache>)>,
+    ) -> Result<Self, StorageError> {
         let file = File::open(path).map_err(|e| io_err(path, e))?;
         let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
         if file_len < SHARD_HEADER_LEN {
@@ -521,7 +788,10 @@ impl FileShard {
         if file_len > expected_len {
             return Err(StorageError::CorruptDirectory {
                 path: path.to_path_buf(),
-                detail: format!("{} trailing bytes after the ciphertext region", file_len - expected_len),
+                detail: format!(
+                    "{} trailing bytes after the ciphertext region",
+                    file_len - expected_len
+                ),
             });
         }
 
@@ -530,11 +800,10 @@ impl FileShard {
         // span in bounds), and build the lookup table and block cuts.
         let entry_count = entry_count as usize;
         let mut directory = vec![0u8; entry_count * DIR_ENTRY_LEN as usize];
-        read_exact_at(&file, &mut directory, SHARD_HEADER_LEN)
-            .map_err(|e| io_err(path, e))?;
+        read_exact_at(&file, &mut directory, SHARD_HEADER_LEN).map_err(|e| io_err(path, e))?;
         let mut table =
             LabelTable::with_capacity_and_hasher(entry_count, BuildHasherDefault::default());
-        let mut blocks: Vec<Block> = Vec::new();
+        let mut blocks: Vec<(u32, u32)> = Vec::new();
         let mut running = 0u64;
         let mut block_start = 0u64;
         for (i, entry) in directory.chunks_exact(DIR_ENTRY_LEN as usize).enumerate() {
@@ -568,11 +837,7 @@ impl FileShard {
                 });
             }
             if running - block_start >= BLOCK_TARGET as u64 {
-                blocks.push(Block {
-                    start: block_start as u32,
-                    len: (running - block_start) as u32,
-                    data: OnceLock::new(),
-                });
+                blocks.push((block_start as u32, (running - block_start) as u32));
                 block_start = running;
             }
         }
@@ -585,12 +850,25 @@ impl FileShard {
             });
         }
         if running > block_start {
-            blocks.push(Block {
-                start: block_start as u32,
-                len: (running - block_start) as u32,
-                data: OnceLock::new(),
-            });
+            blocks.push((block_start as u32, (running - block_start) as u32));
         }
+        let store = match cache {
+            Some((shard, cache)) => BlockStore::Cached {
+                cache,
+                shard,
+                blocks,
+            },
+            None => BlockStore::Resident(
+                blocks
+                    .into_iter()
+                    .map(|(start, len)| ResidentBlock {
+                        start,
+                        len,
+                        data: OnceLock::new(),
+                    })
+                    .collect(),
+            ),
+        };
         Ok(Self {
             inner: Arc::new(FileShardInner {
                 path: path.to_path_buf(),
@@ -598,7 +876,9 @@ impl FileShard {
                 table,
                 region_offset: SHARD_HEADER_LEN + (entry_count as u64) * DIR_ENTRY_LEN,
                 region_len: region_len as u32,
-                blocks,
+                store,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
                 read_errors: AtomicU64::new(0),
             }),
         })
@@ -611,69 +891,134 @@ impl FileShard {
 
     /// Number of block reads that have failed since this shard was opened.
     ///
-    /// A failed block read degrades the affected probes to "entry missing"
-    /// for that round (and is retried by the next probe), so a non-zero
-    /// value here is the signal that search results may have been
-    /// incomplete while the underlying storage misbehaved.
+    /// Since the fallible-probe refactor a failed block read surfaces as a
+    /// typed [`StorageError`] from the probing search itself; this counter
+    /// remains as the aggregate operator-side signal of how often the
+    /// backing storage misbehaved. Failed blocks are never cached, so the
+    /// next probe retries.
     pub fn read_errors(&self) -> u64 {
         self.inner.read_errors.load(Ordering::Relaxed)
     }
 
-    /// Bytes of the ciphertext region currently faulted into memory (the
-    /// bucket directory itself is always resident).
-    pub fn resident_bytes(&self) -> usize {
-        self.inner
-            .blocks
-            .iter()
-            .filter(|block| block.data.get().is_some())
-            .map(|block| block.len as usize)
-            .sum()
+    /// Hit/miss/eviction counters and residency of this shard's region
+    /// blocks. In cached mode, evictions are reported index-wide (0 here)
+    /// — aggregate through `ShardedIndex::cache_stats` instead.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: 0,
+            resident_bytes: self.resident_bytes(),
+        }
     }
 
-    /// Resolves the span at `(offset, len)` through the paged block cache.
-    fn span(&self, offset: u32, len: u32) -> Option<&[u8]> {
+    /// Bytes of the ciphertext region currently faulted into memory (the
+    /// bucket directory itself is always resident). In cached mode this
+    /// walks the shared cache and counts only this shard's blocks.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.inner.store {
+            BlockStore::Resident(blocks) => blocks
+                .iter()
+                .filter(|block| block.data.get().is_some())
+                .map(|block| block.len as usize)
+                .sum(),
+            BlockStore::Cached { cache, shard, .. } => cache.shard_resident_bytes(*shard),
+        }
+    }
+
+    /// The index-wide block cache this shard probes through, if budgeted.
+    pub(crate) fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        match &self.inner.store {
+            BlockStore::Resident(_) => None,
+            BlockStore::Cached { cache, .. } => Some(cache),
+        }
+    }
+
+    /// Reads one whole region block `(start, len)` from disk.
+    fn read_block(&self, start: u32, len: u32) -> Result<Box<[u8]>, StorageError> {
+        let inner = &*self.inner;
+        let mut buf = vec![0u8; len as usize].into_boxed_slice();
+        read_exact_at(
+            &inner.file,
+            &mut buf,
+            inner.region_offset + u64::from(start),
+        )
+        .map_err(|error| {
+            // Record the failure for the aggregate counter; the probe
+            // itself carries the typed error to the caller. The block
+            // stays uncached, so the next probe retries.
+            inner.read_errors.fetch_add(1, Ordering::Relaxed);
+            io_err(&inner.path, error)
+        })?;
+        Ok(buf)
+    }
+
+    /// Resolves the span at `(offset, len)` through the paged block store.
+    ///
+    /// `Ok(None)` never occurs here — the caller already resolved the
+    /// label to a span — so the result is the span or a typed read error.
+    fn span(&self, offset: u32, len: u32) -> Result<CipherSpan<'_>, StorageError> {
         if len == 0 {
-            return Some(&[]);
+            return Ok(CipherSpan::borrowed(&[]));
         }
         let inner = &*self.inner;
-        let index = inner.blocks.partition_point(|b| b.start <= offset) - 1;
-        let block = &inner.blocks[index];
-        let data = match block.data.get() {
-            Some(data) => data,
-            None => {
-                let mut buf = vec![0u8; block.len as usize].into_boxed_slice();
-                if read_exact_at(
-                    &inner.file,
-                    &mut buf,
-                    inner.region_offset + u64::from(block.start),
-                )
-                .is_err()
-                {
-                    // Degrade this probe to a miss, but leave the block
-                    // uncached (retried next probe) and record the failure
-                    // so callers can tell degradation from a real miss.
-                    inner.read_errors.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                }
-                // A concurrent probe may have won the race; either way the
-                // lock now holds a fully read copy of the block.
-                let _ = block.data.set(buf);
-                block.data.get().expect("block cache was just populated")
+        match &inner.store {
+            BlockStore::Resident(blocks) => {
+                let index = blocks.partition_point(|b| b.start <= offset) - 1;
+                let block = &blocks[index];
+                let data = match block.data.get() {
+                    Some(data) => {
+                        inner.hits.fetch_add(1, Ordering::Relaxed);
+                        data
+                    }
+                    None => {
+                        inner.misses.fetch_add(1, Ordering::Relaxed);
+                        let buf = self.read_block(block.start, block.len)?;
+                        // A concurrent probe may have won the race; either
+                        // way the lock now holds a fully read copy.
+                        let _ = block.data.set(buf);
+                        block.data.get().expect("block was just populated")
+                    }
+                };
+                let rel = (offset - block.start) as usize;
+                Ok(CipherSpan::borrowed(&data[rel..rel + len as usize]))
             }
-        };
-        let rel = (offset - block.start) as usize;
-        Some(&data[rel..rel + len as usize])
+            BlockStore::Cached {
+                cache,
+                shard,
+                blocks,
+            } => {
+                let index = blocks.partition_point(|&(start, _)| start <= offset) - 1;
+                let (start, block_len) = blocks[index];
+                let key = (*shard, index as u32);
+                let data = match cache.get(key) {
+                    Some(data) => {
+                        inner.hits.fetch_add(1, Ordering::Relaxed);
+                        data
+                    }
+                    None => {
+                        inner.misses.fetch_add(1, Ordering::Relaxed);
+                        let data: Arc<[u8]> = Arc::from(self.read_block(start, block_len)?);
+                        cache.insert(key, Arc::clone(&data));
+                        data
+                    }
+                };
+                let rel = (offset - start) as usize;
+                Ok(CipherSpan::pinned(data, rel, len as usize))
+            }
+        }
     }
 
-    /// Iterates over the stored ciphertexts in region order, faulting
-    /// blocks in as needed (used by leakage-oriented tests and
-    /// re-serialization).
-    pub fn ciphertexts(&self) -> impl Iterator<Item = &[u8]> {
+    /// Returns the stored ciphertexts in region order, faulting blocks in
+    /// as needed (used by leakage-oriented tests and tooling; copies each
+    /// span out so cached blocks are not pinned past the call).
+    pub fn ciphertexts(&self) -> Result<Vec<Vec<u8>>, StorageError> {
         let mut spans: Vec<(u32, u32)> = self.inner.table.values().copied().collect();
         spans.sort_unstable_by_key(|&(offset, _)| offset);
         spans
             .into_iter()
-            .filter_map(move |(offset, len)| self.span(offset, len))
+            .map(|(offset, len)| self.span(offset, len).map(|span| span.to_vec()))
+            .collect()
     }
 
     /// Serializes this shard back into `writer` (byte-identical to the file
@@ -705,9 +1050,11 @@ impl FileShard {
 }
 
 impl ShardStorage for FileShard {
-    fn get(&self, label: &Label) -> Option<&[u8]> {
-        let &(offset, len) = self.inner.table.get(label)?;
-        self.span(offset, len)
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        match self.inner.table.get(label) {
+            Some(&(offset, len)) => self.span(offset, len).map(Some),
+            None => Ok(None),
+        }
     }
 
     fn len(&self) -> usize {
@@ -891,9 +1238,7 @@ pub(crate) fn read_manifest(dir: &Path) -> Result<u32, StorageError> {
     if shard_bits > crate::sharded::MAX_SHARD_BITS || shard_count != 1u64 << shard_bits {
         return Err(StorageError::CorruptDirectory {
             path,
-            detail: format!(
-                "manifest claims {shard_count} shards at {shard_bits} shard bits"
-            ),
+            detail: format!("manifest claims {shard_count} shards at {shard_bits} shard bits"),
         });
     }
     Ok(shard_bits)
@@ -901,30 +1246,196 @@ pub(crate) fn read_manifest(dir: &Path) -> Result<u32, StorageError> {
 
 /// Serializes every shard of `shards` (plus the manifest) into `dir`,
 /// creating it if needed. Shard files are written in parallel.
+///
+/// A **first** save into a directory writes the files directly (each one
+/// tmp+renamed, manifest last — there is no old index a crash could mix
+/// with). A **re-save over an existing index** is directory-level atomic:
+/// everything is written into a fresh staging directory which is then
+/// renamed into place, so a crash at any point leaves either the complete
+/// old snapshot or the complete new one — never a cleanly-opening mix of
+/// old and new same-shard-count files (see [`staged_resave`]).
 pub(crate) fn save_shards_to_dir(
     dir: &Path,
     shard_bits: u32,
     shards: &[crate::sharded::Shard],
 ) -> Result<(), StorageError> {
+    recover_displaced_snapshot(dir);
+    if dir.join(MANIFEST_FILE).exists() {
+        return staged_resave(dir, shard_bits, shards);
+    }
     fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    write_shard_files(dir, shard_bits, shards)?;
+    remove_stale_shard_files(dir, shards.len());
+    Ok(())
+}
+
+/// Completes the rollback of a re-save commit that died between its two
+/// renames: if `dir` is missing but a complete old snapshot is parked at
+/// `<dir>.old`, restore it. Called by both the open and the save path, so
+/// the crash window between "old parked" and "staging renamed in" heals
+/// at the next access instead of requiring operator surgery.
+pub(crate) fn recover_displaced_snapshot(dir: &Path) {
+    if dir.exists() {
+        return;
+    }
+    let displaced = displaced_path(dir);
+    if displaced.join(MANIFEST_FILE).exists() {
+        let _ = fs::rename(&displaced, dir);
+    }
+}
+
+/// Writes every shard file (in parallel) and then the manifest into `dir`.
+/// The manifest is written LAST: it is the commit record of a save into a
+/// fresh directory.
+fn write_shard_files(
+    dir: &Path,
+    shard_bits: u32,
+    shards: &[crate::sharded::Shard],
+) -> Result<(), StorageError> {
     let jobs: Vec<(usize, &crate::sharded::Shard)> = shards.iter().enumerate().collect();
     let results: Vec<Result<(), StorageError>> = jobs
         .into_par_iter()
         .map(|(i, shard)| {
             let path = dir.join(shard_file_name(i));
-            match shard {
+            match shard.unwrap_faults() {
                 crate::sharded::Shard::Memory(index) => write_memory_shard(&path, index),
                 crate::sharded::Shard::File(file) => write_file_shard(&path, file),
+                crate::sharded::Shard::Fault(_) => {
+                    unreachable!("unwrap_faults removes fault wrappers")
+                }
             }
         })
         .collect();
     results.into_iter().collect::<Result<(), StorageError>>()?;
-    // The manifest is written LAST: it is the commit record of a save, so
-    // a crash mid-save over an existing index leaves the old manifest in
-    // place (and the open-time label-prefix validation rejects a directory
-    // whose manifest disagrees with its shard files' layout).
-    write_manifest(dir, shard_bits)?;
-    remove_stale_shard_files(dir, shards.len());
+    write_manifest(dir, shard_bits)
+}
+
+/// The staging sibling a re-save writes into before committing.
+fn staging_path(dir: &Path) -> PathBuf {
+    let mut name = dir.file_name().unwrap_or_default().to_os_string();
+    name.push(".staging");
+    dir.with_file_name(name)
+}
+
+/// The sibling the old snapshot is parked at during the commit swap.
+fn displaced_path(dir: &Path) -> PathBuf {
+    let mut name = dir.file_name().unwrap_or_default().to_os_string();
+    name.push(".old");
+    dir.with_file_name(name)
+}
+
+/// Removes a leftover `<dir>.staging` / `<dir>.old` scratch directory from
+/// a previously crashed save — but only if it plausibly *is* one: empty,
+/// or containing at least one index file (manifest or shard file; a
+/// crashed staging always does, since sidecar copies happen after the
+/// shard writes). Anything else at the scratch path is foreign data and
+/// aborts the save with a typed error instead of being deleted.
+fn clear_save_leftover(path: &Path) -> Result<(), StorageError> {
+    let Ok(metadata) = fs::symlink_metadata(path) else {
+        return Ok(()); // nothing there
+    };
+    let refuse = |detail: String| {
+        Err(StorageError::CorruptDirectory {
+            path: path.to_path_buf(),
+            detail,
+        })
+    };
+    if !metadata.is_dir() {
+        return refuse(
+            "the save's scratch path is occupied by a non-directory; move it away".to_string(),
+        );
+    }
+    let entries = fs::read_dir(path).map_err(|e| io_err(path, e))?;
+    let mut saw_entry = false;
+    let mut saw_index_file = false;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(path, e))?;
+        saw_entry = true;
+        if entry.file_name().to_str().is_some_and(is_index_file) {
+            saw_index_file = true;
+            break;
+        }
+    }
+    if saw_entry && !saw_index_file {
+        return refuse(
+            "the save's scratch path holds a directory with no index files — not a \
+             crashed save's leftover; refusing to delete it"
+                .to_string(),
+        );
+    }
+    fs::remove_dir_all(path).map_err(|e| io_err(path, e))
+}
+
+/// Whether `name` is one of the files a save itself writes (shard files,
+/// the manifest, or their tmp scratch siblings) — as opposed to scheme
+/// sidecars like `constant.meta` that must survive a re-save.
+fn is_index_file(name: &str) -> bool {
+    if name == MANIFEST_FILE || name == "index.meta.tmp" {
+        return true;
+    }
+    let stem = name
+        .strip_suffix(".shd.tmp")
+        .or_else(|| name.strip_suffix(".shd"));
+    matches!(stem.and_then(|s| s.strip_prefix("shard-")), Some(digits) if digits.chars().all(|c| c.is_ascii_digit()))
+}
+
+/// Directory-level atomic re-save: the whole new snapshot (shard files,
+/// manifest, and copies of any non-index sidecar files such as
+/// `constant.meta`) is written into a `<dir>.staging` sibling, then
+/// committed by renaming it into place — the old directory is moved aside
+/// first and removed after. A crash while staging leaves the old snapshot
+/// untouched (stale staging directories are cleaned up at the next save);
+/// a crash after the commit rename leaves the complete new snapshot. At no
+/// point does `dir` hold a mix of old and new files.
+fn staged_resave(
+    dir: &Path,
+    shard_bits: u32,
+    shards: &[crate::sharded::Shard],
+) -> Result<(), StorageError> {
+    let staging = staging_path(dir);
+    let displaced = displaced_path(dir);
+    // Clean up leftovers of a previous crashed save — refusing, with a
+    // typed error, to delete sibling directories that were clearly not
+    // produced by a save (a user's unrelated data at `<dir>.staging` or
+    // `<dir>.old` must never be silently destroyed).
+    clear_save_leftover(&staging)?;
+    clear_save_leftover(&displaced)?;
+    fs::create_dir_all(&staging).map_err(|e| io_err(&staging, e))?;
+    let staged = (|| {
+        write_shard_files(&staging, shard_bits, shards)?;
+        // Preserve everything the save itself does not own (scheme
+        // sidecars, user files) so the committed directory is a strict
+        // replacement of the index files only.
+        let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(dir, e))?;
+            let name = entry.file_name();
+            let is_sidecar = name
+                .to_str()
+                .map(|name| !is_index_file(name))
+                .unwrap_or(true);
+            if is_sidecar && entry.path().is_file() {
+                fs::copy(entry.path(), staging.join(&name))
+                    .map_err(|e| io_err(&entry.path(), e))?;
+            }
+        }
+        Ok(())
+    })();
+    if let Err(error) = staged {
+        let _ = fs::remove_dir_all(&staging);
+        return Err(error);
+    }
+    // Commit: park the old snapshot, rename the staging directory into
+    // place, then drop the old one. Open file handles into the old
+    // snapshot keep reading their (now unlinked) inodes.
+    fs::rename(dir, &displaced).map_err(|e| io_err(dir, e))?;
+    if let Err(error) = fs::rename(&staging, dir) {
+        // Roll the old snapshot back so the target never stays missing.
+        let _ = fs::rename(&displaced, dir);
+        let _ = fs::remove_dir_all(&staging);
+        return Err(io_err(dir, error));
+    }
+    let _ = fs::remove_dir_all(&displaced);
     Ok(())
 }
 
@@ -957,18 +1468,25 @@ fn remove_stale_shard_files(dir: &Path, shard_count: usize) {
 }
 
 /// Opens every shard file under `dir` (in parallel) after validating the
-/// manifest.
+/// manifest. With a cache budget, all shards share one index-wide
+/// [`BlockCache`] bounding their resident region blocks.
 pub(crate) fn open_shards_from_dir(
     dir: &Path,
+    cache_budget: Option<usize>,
 ) -> Result<(u32, Vec<FileShard>), StorageError> {
+    recover_displaced_snapshot(dir);
     let shard_bits = read_manifest(dir)?;
     let shard_count = 1usize << shard_bits;
+    let cache = cache_budget.map(|budget| Arc::new(BlockCache::new(budget)));
     let indices: Vec<usize> = (0..shard_count).collect();
     let results: Vec<Result<FileShard, StorageError>> = indices
         .into_par_iter()
         .map(|i| {
             let path = dir.join(shard_file_name(i));
-            let shard = FileShard::open(&path)?;
+            let shard = match &cache {
+                Some(cache) => FileShard::open_cached(&path, i as u32, Arc::clone(cache))?,
+                None => FileShard::open(&path)?,
+            };
             // Label-prefix routing check: every label in shard i must carry
             // prefix i at the manifest's shard-bit width, or probes routed
             // by shard_of(label) would silently miss. This rejects swapped
@@ -976,9 +1494,9 @@ pub(crate) fn open_shards_from_dir(
             // wrong — with a typed error instead of empty query results.
             if shard_bits > 0 {
                 for label in shard.inner.table.keys() {
-                    let prefix = u64::from_be_bytes(
-                        label[..8].try_into().expect("labels are 16 bytes"),
-                    ) >> (64 - shard_bits);
+                    let prefix =
+                        u64::from_be_bytes(label[..8].try_into().expect("labels are 16 bytes"))
+                            >> (64 - shard_bits);
                     if prefix != i as u64 {
                         return Err(StorageError::CorruptDirectory {
                             path,
@@ -994,7 +1512,9 @@ pub(crate) fn open_shards_from_dir(
             Ok(shard)
         })
         .collect();
-    let shards = results.into_iter().collect::<Result<Vec<FileShard>, StorageError>>()?;
+    let shards = results
+        .into_iter()
+        .collect::<Result<Vec<FileShard>, StorageError>>()?;
     Ok((shard_bits, shards))
 }
 
@@ -1018,10 +1538,8 @@ pub mod test_support {
         /// Creates a fresh directory tagged with `tag`.
         pub fn new(tag: &str) -> Self {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "rsse-test-{}-{tag}-{n}",
-                std::process::id()
-            ));
+            let path =
+                std::env::temp_dir().join(format!("rsse-test-{}-{tag}-{n}", std::process::id()));
             std::fs::create_dir_all(&path).expect("create temp dir");
             TempDir(path)
         }
@@ -1061,7 +1579,10 @@ mod tests {
         let key = SseScheme::setup(&mut rng);
         let mut db = SseDatabase::new();
         for i in 0..32u64 {
-            db.add(format!("kw{}", i % 4).into_bytes(), i.to_le_bytes().to_vec());
+            db.add(
+                format!("kw{}", i % 4).into_bytes(),
+                i.to_le_bytes().to_vec(),
+            );
         }
         let index = SseScheme::build_index_sharded(&key, &db, bits, &mut rng);
         let dir = TempDir::new("robust");
@@ -1076,7 +1597,9 @@ mod tests {
         let (_dir, shard0, bytes) = saved_index(0);
         fs::write(&shard0, &bytes[..16]).unwrap();
         match FileShard::open(&shard0) {
-            Err(StorageError::Truncated { expected, actual, .. }) => {
+            Err(StorageError::Truncated {
+                expected, actual, ..
+            }) => {
                 assert_eq!(expected, 32);
                 assert_eq!(actual, 16);
             }
@@ -1089,7 +1612,9 @@ mod tests {
         let (_dir, shard0, bytes) = saved_index(0);
         fs::write(&shard0, &bytes[..bytes.len() - 7]).unwrap();
         match FileShard::open(&shard0) {
-            Err(StorageError::Truncated { expected, actual, .. }) => {
+            Err(StorageError::Truncated {
+                expected, actual, ..
+            }) => {
                 assert_eq!(expected, bytes.len() as u64);
                 assert_eq!(actual, bytes.len() as u64 - 7);
             }
@@ -1292,7 +1817,10 @@ mod tests {
         let key = SseScheme::setup(&mut rng);
         let mut db = SseDatabase::new();
         for i in 0..32u64 {
-            db.add(format!("kw{}", i % 4).into_bytes(), i.to_le_bytes().to_vec());
+            db.add(
+                format!("kw{}", i % 4).into_bytes(),
+                i.to_le_bytes().to_vec(),
+            );
         }
         let index = SseScheme::build_index_sharded(&key, &db, 2, &mut rng);
         let dir = TempDir::new("inplace-resave");
@@ -1310,9 +1838,9 @@ mod tests {
         );
         // Both the still-open handle and a fresh open keep answering.
         let token = SseScheme::trapdoor(&key, b"kw1");
-        assert_eq!(SseScheme::search(&reopened, &token).len(), 8);
+        assert_eq!(SseScheme::search(&reopened, &token).unwrap().len(), 8);
         let fresh = ShardedIndex::open_dir(dir.path()).unwrap();
-        assert_eq!(SseScheme::search(&fresh, &token).len(), 8);
+        assert_eq!(SseScheme::search(&fresh, &token).unwrap().len(), 8);
     }
 
     #[test]
@@ -1342,6 +1870,155 @@ mod tests {
     }
 
     #[test]
+    fn resave_preserves_sidecar_files() {
+        // Scheme sidecars (Constant's depth meta, PB's tree) live next to
+        // the shard files; the staged re-save must carry them into the
+        // committed snapshot.
+        let (dir, _, _) = saved_index(1);
+        let sidecar = dir.path().join("constant.meta");
+        fs::write(&sidecar, b"sidecar-bytes").unwrap();
+        let index = ShardedIndex::open_dir(dir.path()).unwrap();
+        index.save_to_dir(dir.path()).unwrap();
+        assert_eq!(
+            fs::read(&sidecar).unwrap(),
+            b"sidecar-bytes",
+            "re-save must preserve non-index files"
+        );
+        assert!(ShardedIndex::open_dir(dir.path()).is_ok());
+    }
+
+    #[test]
+    fn failed_resave_never_mixes_old_and_new() {
+        // The ROADMAP's save-atomicity item: a save that dies midway over
+        // an existing same-shard-count index must leave the old snapshot
+        // byte-identical and openable — never a cleanly-opening mix of
+        // old and new files. The kill is simulated by occupying the
+        // staging path with a plain file, so the staged write fails
+        // before the commit rename.
+        let (dir, _, _) = saved_index(1);
+        let before: Vec<(String, Vec<u8>)> = {
+            let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir.path())
+                .unwrap()
+                .map(|e| {
+                    let e = e.unwrap();
+                    (
+                        e.file_name().into_string().unwrap(),
+                        fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            files
+        };
+
+        // A different index with the same shard count, whose save must
+        // not commit.
+        let mut rng = ChaCha20Rng::seed_from_u64(77);
+        let key = SseScheme::setup(&mut rng);
+        let mut db = SseDatabase::new();
+        for i in 0..16u64 {
+            db.add(format!("other{i}").into_bytes(), i.to_le_bytes().to_vec());
+        }
+        let other = SseScheme::build_index_sharded(&key, &db, 1, &mut rng);
+        fs::write(staging_path(dir.path()), b"occupied").unwrap();
+        let err = other
+            .save_to_dir(dir.path())
+            .expect_err("occupied staging path must fail the save");
+        assert!(matches!(err, StorageError::CorruptDirectory { .. }));
+
+        fs::remove_file(staging_path(dir.path())).unwrap();
+        let after: Vec<(String, Vec<u8>)> = {
+            let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir.path())
+                .unwrap()
+                .map(|e| {
+                    let e = e.unwrap();
+                    (
+                        e.file_name().into_string().unwrap(),
+                        fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            files
+        };
+        assert_eq!(
+            before, after,
+            "a failed re-save must not touch the old snapshot"
+        );
+        let reopened = ShardedIndex::open_dir(dir.path()).unwrap();
+        assert_eq!(reopened.shard_bits(), 1, "old snapshot stays openable");
+    }
+
+    #[test]
+    fn leftover_staging_from_a_killed_save_is_ignored_and_cleaned() {
+        // Simulate a save killed while staging: the old snapshot opens
+        // untouched, and the next save clears the leftovers and commits.
+        let (dir, _, bytes) = saved_index(1);
+        let staging = staging_path(dir.path());
+        fs::create_dir_all(&staging).unwrap();
+        fs::write(staging.join(shard_file_name(0)), &bytes[..bytes.len() / 2]).unwrap();
+
+        let reopened = ShardedIndex::open_dir(dir.path()).unwrap();
+        assert_eq!(reopened.shard_bits(), 1);
+        reopened
+            .save_to_dir(dir.path())
+            .expect("save over leftover staging must succeed");
+        assert!(
+            !staging.exists(),
+            "committed save must clean the staging dir"
+        );
+        assert!(
+            !displaced_path(dir.path()).exists(),
+            "no parked old snapshot left"
+        );
+        assert!(ShardedIndex::open_dir(dir.path()).is_ok());
+    }
+
+    #[test]
+    fn interrupted_commit_swap_heals_on_next_open_or_save() {
+        // Simulate a save killed between the two commit renames: the old
+        // snapshot sits at <dir>.old and <dir> is missing. Both open_dir
+        // and a subsequent save must restore and use the old snapshot.
+        let (dir, _, _) = saved_index(1);
+        fs::rename(dir.path(), displaced_path(dir.path())).unwrap();
+        assert!(!dir.path().exists());
+        let reopened = ShardedIndex::open_dir(dir.path())
+            .expect("open must complete the interrupted commit's rollback");
+        assert_eq!(reopened.shard_bits(), 1);
+        assert!(!displaced_path(dir.path()).exists());
+
+        // Same through the save path.
+        fs::rename(dir.path(), displaced_path(dir.path())).unwrap();
+        reopened
+            .save_to_dir(dir.path())
+            .expect("save must recover and re-commit");
+        assert!(ShardedIndex::open_dir(dir.path()).is_ok());
+    }
+
+    #[test]
+    fn resave_refuses_to_delete_foreign_sibling_directories() {
+        // A user directory that merely *happens* to sit at <dir>.old must
+        // never be destroyed as a "crashed save leftover".
+        let (dir, _, _) = saved_index(0);
+        let foreign = displaced_path(dir.path());
+        fs::create_dir_all(&foreign).unwrap();
+        fs::write(foreign.join("precious.txt"), b"user data").unwrap();
+        let index = ShardedIndex::open_dir(dir.path()).unwrap();
+        let err = index
+            .save_to_dir(dir.path())
+            .expect_err("foreign sibling must abort the save");
+        assert!(matches!(err, StorageError::CorruptDirectory { .. }));
+        assert_eq!(
+            fs::read(foreign.join("precious.txt")).unwrap(),
+            b"user data",
+            "the foreign directory must survive untouched"
+        );
+        // The index itself is also untouched and still serves.
+        assert!(ShardedIndex::open_dir(dir.path()).is_ok());
+        fs::remove_dir_all(&foreign).unwrap();
+    }
+
+    #[test]
     fn empty_index_round_trips() {
         let dir = TempDir::new("empty");
         let index = ShardedIndex::default();
@@ -1350,6 +2027,6 @@ mod tests {
         assert_eq!(reopened.len(), 0);
         assert!(reopened.is_empty());
         assert!(reopened.is_file_backed());
-        assert_eq!(reopened.get(&[0u8; LABEL_LEN]), None);
+        assert!(reopened.try_get(&[0u8; LABEL_LEN]).unwrap().is_none());
     }
 }

@@ -35,6 +35,12 @@ pub struct UpdateConfig {
     /// `None` (the default) keeps every instance in memory, exactly as
     /// before.
     pub storage_root: Option<PathBuf>,
+    /// Block-cache budget, in bytes, for every **persisted** instance the
+    /// manager builds (see `StorageConfig::cache_budget`): each
+    /// instance's file-backed shards share one clock cache bounding their
+    /// resident ciphertext blocks. `None` (the default) leaves residency
+    /// unbounded; ignored without a [`storage_root`](Self::storage_root).
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for UpdateConfig {
@@ -43,6 +49,7 @@ impl Default for UpdateConfig {
             consolidation_step: 4,
             shard_bits: 0,
             storage_root: None,
+            cache_budget: None,
         }
     }
 }
@@ -149,7 +156,11 @@ impl<S: RangeScheme> UpdateManager<S> {
             Some(root) => {
                 let dir = root.join(format!("instance-{:08}", self.next_build));
                 self.next_build += 1;
-                StorageConfig::on_disk(self.config.shard_bits, dir)
+                let config = StorageConfig::on_disk(self.config.shard_bits, dir);
+                match self.config.cache_budget {
+                    Some(budget) => config.with_cache_budget(budget),
+                    None => config,
+                }
             }
         }
     }
@@ -344,7 +355,21 @@ impl<S: RangeScheme> UpdateManager<S> {
     /// results and refines them at the owner: ids superseded by a newer
     /// batch are dropped, and ids whose newest operation is a deletion are
     /// filtered out.
+    ///
+    /// Convenience wrapper over [`try_query`](Self::try_query) that
+    /// **panics** if a persisted instance's storage fails mid-search;
+    /// in-memory managers cannot fail.
     pub fn query(&self, range: Range) -> QueryOutcome {
+        self.try_query(range)
+            .expect("storage backend failed during query (use try_query to handle I/O errors)")
+    }
+
+    /// Fallible variant of [`query`](Self::query): a failed block read in
+    /// any persisted instance aborts the whole query with its typed
+    /// [`StorageError`] instead of silently dropping that instance's
+    /// results (which would be indistinguishable from the tuples not
+    /// existing — exactly the confusion the fallible path removes).
+    pub fn try_query(&self, range: Range) -> Result<QueryOutcome, StorageError> {
         // Owner-side refinement metadata: the newest sequence number that
         // touched each id, across all active instances.
         let mut newest_touch: HashMap<DocId, u64> = HashMap::new();
@@ -361,7 +386,7 @@ impl<S: RangeScheme> UpdateManager<S> {
         let mut seen: HashSet<DocId> = HashSet::new();
         let mut stats = QueryStats::default();
         for instance in self.levels.iter().flatten() {
-            let outcome = instance.client.query(&instance.server, range);
+            let outcome = instance.client.try_query(&instance.server, range)?;
             stats.tokens_sent += outcome.stats.tokens_sent;
             stats.token_bytes += outcome.stats.token_bytes;
             stats.rounds = stats.rounds.max(outcome.stats.rounds);
@@ -381,7 +406,7 @@ impl<S: RangeScheme> UpdateManager<S> {
                 }
             }
         }
-        QueryOutcome { ids, stats }
+        Ok(QueryOutcome { ids, stats })
     }
 
     /// The plaintext ground truth of the manager's current logical state —
@@ -437,8 +462,14 @@ mod tests {
     fn inserts_across_batches_are_all_visible() {
         let mut rng = ChaCha20Rng::seed_from_u64(1);
         let mut mgr = manager(4);
-        mgr.ingest_batch((0..10).map(|i| UpdateEntry::insert(i, i * 10)).collect(), &mut rng);
-        mgr.ingest_batch((10..20).map(|i| UpdateEntry::insert(i, i * 10)).collect(), &mut rng);
+        mgr.ingest_batch(
+            (0..10).map(|i| UpdateEntry::insert(i, i * 10)).collect(),
+            &mut rng,
+        );
+        mgr.ingest_batch(
+            (10..20).map(|i| UpdateEntry::insert(i, i * 10)).collect(),
+            &mut rng,
+        );
         let outcome = mgr.query(Range::new(0, 255));
         assert_eq!(
             sorted(outcome.ids),
@@ -452,11 +483,14 @@ mod tests {
     fn deletions_are_filtered_at_the_owner() {
         let mut rng = ChaCha20Rng::seed_from_u64(2);
         let mut mgr = manager(10);
-        mgr.ingest_batch(vec![
-            UpdateEntry::insert(1, 50),
-            UpdateEntry::insert(2, 60),
-            UpdateEntry::insert(3, 70),
-        ], &mut rng);
+        mgr.ingest_batch(
+            vec![
+                UpdateEntry::insert(1, 50),
+                UpdateEntry::insert(2, 60),
+                UpdateEntry::insert(3, 70),
+            ],
+            &mut rng,
+        );
         mgr.ingest_batch(vec![UpdateEntry::delete(2, 60)], &mut rng);
         let outcome = mgr.query(Range::new(0, 255));
         assert_eq!(sorted(outcome.ids), vec![1, 3]);
@@ -498,17 +532,17 @@ mod tests {
         // 27 batches with s=3 fully telescope into a single level-3 instance.
         assert_eq!(mgr.active_instances(), 1);
         // All inserted tuples remain visible after the merges.
-        assert_eq!(
-            mgr.query(Range::new(0, 255)).ids.len(),
-            batches * 5
-        );
+        assert_eq!(mgr.query(Range::new(0, 255)).ids.len(), batches * 5);
     }
 
     #[test]
     fn consolidation_purges_deleted_tuples() {
         let mut rng = ChaCha20Rng::seed_from_u64(5);
         let mut mgr = manager(2);
-        mgr.ingest_batch(vec![UpdateEntry::insert(1, 10), UpdateEntry::insert(2, 20)], &mut rng);
+        mgr.ingest_batch(
+            vec![UpdateEntry::insert(1, 10), UpdateEntry::insert(2, 20)],
+            &mut rng,
+        );
         let before = mgr.index_stats();
         mgr.ingest_batch(vec![UpdateEntry::delete(1, 10)], &mut rng);
         // The two batches merged (s = 2) and the deleted tuple is physically
@@ -537,10 +571,15 @@ mod tests {
         let mut mgr: UpdateManager<LogSrcIScheme> =
             UpdateManager::new(Domain::new(128), UpdateConfig::default());
         mgr.ingest_batch(
-            (0..20).map(|i| UpdateEntry::insert(i, (i * 13) % 128)).collect(),
+            (0..20)
+                .map(|i| UpdateEntry::insert(i, (i * 13) % 128))
+                .collect(),
             &mut rng,
         );
-        mgr.ingest_batch(vec![UpdateEntry::delete(3, 39), UpdateEntry::insert(100, 64)], &mut rng);
+        mgr.ingest_batch(
+            vec![UpdateEntry::delete(3, 39), UpdateEntry::insert(100, 64)],
+            &mut rng,
+        );
         let range = Range::new(0, 127);
         assert_eq!(
             sorted(mgr.query(range).ids.clone()),
@@ -590,7 +629,10 @@ mod tests {
         mgr.ingest_batch(vec![UpdateEntry::insert(8, 11)], &mut rng);
         mgr.ingest_batch(vec![UpdateEntry::modify(7, 200)], &mut rng);
         mgr.ingest_batch(vec![UpdateEntry::insert(9, 12)], &mut rng);
-        assert!(mgr.query(Range::new(0, 50)).ids != vec![7], "old value must stay dead");
+        assert!(
+            mgr.query(Range::new(0, 50)).ids != vec![7],
+            "old value must stay dead"
+        );
         assert_eq!(sorted(mgr.query(Range::new(0, 50)).ids), vec![8, 9]);
         assert_eq!(mgr.query(Range::new(150, 255)).ids, vec![7]);
     }
@@ -609,6 +651,7 @@ mod tests {
                 consolidation_step: 3,
                 shard_bits: 4,
                 storage_root: None,
+                cache_budget: None,
             },
         );
         for b in 0..9u64 {
@@ -654,6 +697,7 @@ mod tests {
                 consolidation_step: 3,
                 shard_bits: 2,
                 storage_root: Some(root.path().to_path_buf()),
+                cache_budget: None,
             },
         );
         for b in 0..9u64 {
@@ -670,7 +714,10 @@ mod tests {
                 sorted(in_memory.query(range).ids)
             );
         }
-        assert_eq!(on_disk.index_stats().entries, in_memory.index_stats().entries);
+        assert_eq!(
+            on_disk.index_stats().entries,
+            in_memory.index_stats().entries
+        );
     }
 
     #[test]
@@ -683,10 +730,15 @@ mod tests {
                 consolidation_step: 2,
                 shard_bits: 0,
                 storage_root: Some(root.path().to_path_buf()),
+                cache_budget: None,
             },
         );
         mgr.ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng);
-        assert_eq!(root.subdir_count(), 1, "one persisted instance after one batch");
+        assert_eq!(
+            root.subdir_count(),
+            1,
+            "one persisted instance after one batch"
+        );
         mgr.ingest_batch(vec![UpdateEntry::insert(2, 20)], &mut rng);
         // s = 2: the two level-0 instances merged into one level-1 instance;
         // their directories are gone, only the merged one remains.
@@ -714,6 +766,7 @@ mod tests {
                 consolidation_step: 2,
                 shard_bits: 0,
                 storage_root: Some(root.path().to_path_buf()),
+                cache_budget: None,
             },
         );
         let err = mgr
@@ -743,6 +796,7 @@ mod tests {
                 consolidation_step: 2,
                 shard_bits: 0,
                 storage_root: Some(file_path.join("sub")),
+                cache_budget: None,
             },
         );
         let err = mgr

@@ -135,7 +135,10 @@ mod tests {
         assert!(counts.keys().all(|v| support.contains(v)));
         // The most frequent value dominates (heavy head).
         let max = *counts.values().max().unwrap();
-        assert!(max > 5000 / 10, "head value should take a large share, got {max}");
+        assert!(
+            max > 5000 / 10,
+            "head value should take a large share, got {max}"
+        );
     }
 
     #[test]
@@ -148,7 +151,10 @@ mod tests {
             counts[zipf.sample(&domain, &mut rng) as usize] += 1;
         }
         for count in counts {
-            assert!((700..1300).contains(&count), "count {count} far from uniform");
+            assert!(
+                (700..1300).contains(&count),
+                "count {count} far from uniform"
+            );
         }
     }
 

@@ -32,7 +32,10 @@ impl QuerySet {
 /// The absolute range length corresponding to `percent` of the domain
 /// (at least 1).
 pub fn percent_of_domain(domain: &Domain, percent: f64) -> u64 {
-    assert!((0.0..=100.0).contains(&percent), "percent must be in [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&percent),
+        "percent must be in [0,100]"
+    );
     ((domain.size() as f64 * percent / 100.0).round() as u64).clamp(1, domain.size())
 }
 
@@ -47,7 +50,11 @@ pub fn random_queries_of_len<R: Rng + ?Sized>(
     let max_lo = domain.size() - len;
     (0..count)
         .map(|_| {
-            let lo = if max_lo == 0 { 0 } else { rng.gen_range(0..=max_lo) };
+            let lo = if max_lo == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_lo)
+            };
             Range::new(lo, lo + len - 1)
         })
         .collect()

@@ -53,7 +53,9 @@ fn main() {
             Range::new(lo, lo + 1_999)
         })
         .collect();
-    let outcomes = client.query_many(&query_server, &ranges);
+    let outcomes = client
+        .query_many(&query_server, &ranges)
+        .expect("in-memory server cannot fail");
 
     // ---------------------------------------------------------------
     // 3. Verify: exact results, identical to the per-token path.

@@ -63,7 +63,11 @@ fn main() {
         let query = Range::new(end - window + 1, end);
         let expected = dataset.matching_ids(query);
 
-        let mut row = format!("{:<14} {:>8} |", format!("last {window_pct}%"), expected.len());
+        let mut row = format!(
+            "{:<14} {:>8} |",
+            format!("last {window_pct}%"),
+            expected.len()
+        );
         for scheme in [&urc, &src, &src_i] {
             let outcome = scheme.query(query);
             let eval = Evaluation::compare(&outcome.ids, &expected);

@@ -11,7 +11,12 @@
 //! 3. a "fresh process" cold-opens the index with [`QueryServer::open_dir`]
 //!    — shard bucket directories load, ciphertext regions stay on disk —
 //!    and answers a batch of range queries through `answer_many`, with
-//!    paged reads faulting in only the probed blocks.
+//!    paged reads faulting in only the probed blocks (a failed read
+//!    surfaces as a typed `StorageError`, never as a silently empty
+//!    result);
+//! 4. the same index is reopened with `open_dir_with_budget`, which caps
+//!    resident ciphertext blocks with a clock cache — residency then
+//!    tracks the working set, not everything ever touched.
 //!
 //! Run with:
 //! ```sh
@@ -69,7 +74,9 @@ fn main() {
             Range::new(lo, lo + 1_999)
         })
         .collect();
-    let outcomes = client.query_many(&query_server, &ranges);
+    let outcomes = client
+        .query_many(&query_server, &ranges)
+        .expect("cold-opened index answers the batch");
 
     let mut total_results = 0usize;
     for (range, outcome) in ranges.iter().zip(&outcomes) {
@@ -93,6 +100,35 @@ fn main() {
     assert!(
         after < storage_bytes,
         "paged reads must not fault in the whole index"
+    );
+
+    // ---------------------------------------------------------------
+    // 4. Reopen with a block-cache budget: resident ciphertext blocks are
+    //    capped by a clock cache while outcomes stay identical. The
+    //    fallible serving API (`answer_many` returning a Result) is what
+    //    lets a production server distinguish "no matches" from "the disk
+    //    failed mid-search".
+    // ---------------------------------------------------------------
+    let region_bytes = storage_bytes - query_server.index().len() * 16;
+    let budget = region_bytes / 10;
+    let budgeted =
+        QueryServer::open_dir_with_budget(&dir, Some(budget)).expect("budgeted cold-open");
+    let budgeted_outcomes = client
+        .query_many(&budgeted, &ranges)
+        .expect("healthy disk serves the batch");
+    assert_eq!(
+        budgeted_outcomes, outcomes,
+        "budgeted outcomes must be identical to unbounded"
+    );
+    let stats = budgeted.index().cache_stats();
+    assert!(
+        stats.resident_bytes <= budget,
+        "budget must bound residency"
+    );
+    println!(
+        "budgeted reopen (cap {} of {} region bytes): identical answers with {} resident, \
+         {} hits / {} misses / {} evictions",
+        budget, region_bytes, stats.resident_bytes, stats.hits, stats.misses, stats.evictions,
     );
 
     std::fs::remove_dir_all(&dir).expect("clean up demo directory");

@@ -29,6 +29,9 @@ fn main() {
         // In-memory instances; see examples/persistent_server.rs for the
         // on-disk backend (UpdateConfig::storage_root).
         storage_root: None,
+        // Only meaningful with a storage_root: bounds the resident
+        // ciphertext blocks of each persisted instance.
+        cache_budget: None,
     };
     let mut manager: UpdateManager<LogScheme> = UpdateManager::new(domain, config);
 

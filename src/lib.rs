@@ -49,19 +49,19 @@ pub use rsse_sse as sse;
 pub use rsse_updates as updates;
 pub use rsse_workload as workload;
 
+pub use rsse_core::RangeScheme;
 pub use rsse_core::{Dataset, DocId, Evaluation, IndexStats, QueryOutcome, QueryStats, Record};
-pub use rsse_core::{RangeScheme};
 pub use rsse_cover::{Domain, Range};
 
 /// The most common imports, bundled.
 pub mod prelude {
     pub use rsse_core::schemes::{AnyScheme, CoverKind, SchemeKind};
     pub use rsse_core::{
-        Dataset, DocId, Evaluation, IndexStats, QueryOutcome, QueryServer, QueryStats,
-        RangeScheme, Record,
+        Dataset, DocId, Evaluation, IndexStats, QueryOutcome, QueryServer, QueryStats, RangeScheme,
+        Record,
     };
-    pub use rsse_sse::ShardedIndex;
     pub use rsse_cover::{Domain, Range};
+    pub use rsse_sse::ShardedIndex;
     pub use rsse_updates::{UpdateConfig, UpdateEntry, UpdateManager, UpdateOp};
     pub use rsse_workload::{gowalla_like, usps_like, DatasetProfile};
 }

@@ -39,7 +39,10 @@ fn storage_ordering_matches_table1() {
 
     assert_eq!(constant, dataset.len(), "Constant stores exactly n entries");
     assert!(constant < log_brc, "Constant < Logarithmic-BRC");
-    assert!(log_brc < log_src, "the TDAG roughly doubles the replication");
+    assert!(
+        log_brc < log_src,
+        "the TDAG roughly doubles the replication"
+    );
     assert!(
         log_src < log_src_i,
         "SRC-i adds the auxiliary index on top of SRC"
@@ -128,9 +131,16 @@ fn query_size_behaviour_matches_figure8() {
     // URC: identical token count everywhere.
     let urc_counts: Vec<usize> = positions
         .iter()
-        .map(|&lo| find(SchemeKind::LogarithmicUrc).trapdoor_cost(Range::new(lo, lo + len - 1)).0)
+        .map(|&lo| {
+            find(SchemeKind::LogarithmicUrc)
+                .trapdoor_cost(Range::new(lo, lo + len - 1))
+                .0
+        })
         .collect();
-    assert!(urc_counts.windows(2).all(|w| w[0] == w[1]), "{urc_counts:?}");
+    assert!(
+        urc_counts.windows(2).all(|w| w[0] == w[1]),
+        "{urc_counts:?}"
+    );
 
     // SRC / SRC-i: constant 1 and 2 tokens.
     for &lo in &positions {
@@ -188,8 +198,13 @@ fn update_manager_behaviour_matches_section7() {
 
     let mut rng = ChaCha20Rng::seed_from_u64(19);
     let domain = Domain::new(1 << 12);
-    let mut manager: UpdateManager<LogScheme> =
-        UpdateManager::new(domain, UpdateConfig { consolidation_step: 3, ..UpdateConfig::default() });
+    let mut manager: UpdateManager<LogScheme> = UpdateManager::new(
+        domain,
+        UpdateConfig {
+            consolidation_step: 3,
+            ..UpdateConfig::default()
+        },
+    );
 
     for batch in 0..9u64 {
         let entries = (0..50u64)
@@ -209,11 +224,7 @@ fn update_manager_behaviour_matches_section7() {
     let victim_query = Range::new(0, (1 << 12) - 1);
     let victim = all.ids[0];
     let victim_value = (0..1u64 << 12)
-        .find(|v| {
-            manager
-                .ground_truth(Range::point(*v))
-                .contains(&victim)
-        })
+        .find(|v| manager.ground_truth(Range::point(*v)).contains(&victim))
         .expect("victim has a value");
     manager.ingest_batch(vec![UpdateEntry::delete(victim, victim_value)], &mut rng);
     let after = manager.query(victim_query);

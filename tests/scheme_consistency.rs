@@ -1,14 +1,42 @@
 //! Cross-crate integration tests: every scheme, built over realistic
 //! synthetic workloads, answers the same queries consistently.
+//!
+//! Storage backend: in-memory by default; setting `RSSE_TEST_STORAGE=on_disk`
+//! (as the CI on-disk lane does) builds every scheme through the file-backed
+//! backend with a small block-cache budget instead, so the same battery
+//! exercises streamed builds, paged reads, and budgeted eviction.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use rsse::core::StorageConfig;
 use rsse::prelude::*;
+use rsse::sse::test_support::TempDir;
 
 fn sorted(mut ids: Vec<DocId>) -> Vec<DocId> {
     ids.sort_unstable();
     ids.dedup();
     ids
+}
+
+/// Builds `kind` on the backend selected by `RSSE_TEST_STORAGE`: in-memory
+/// (default) or on-disk with a 256 KiB block-cache budget (`on_disk`).
+/// Returns the scheme plus the temp directory keeping a disk build alive.
+fn build_scheme(
+    kind: SchemeKind,
+    dataset: &Dataset,
+    rng: &mut rand_chacha::ChaCha20Rng,
+    tag: &str,
+) -> (AnyScheme, Option<TempDir>) {
+    match std::env::var("RSSE_TEST_STORAGE").as_deref() {
+        Ok("on_disk") => {
+            let dir = TempDir::new(tag);
+            let config = StorageConfig::on_disk(2, dir.path()).with_cache_budget(256 << 10);
+            let scheme = AnyScheme::build_stored(kind, dataset, &config, rng)
+                .expect("on-disk build must succeed");
+            (scheme, Some(dir))
+        }
+        _ => (AnyScheme::build(kind, dataset, rng), None),
+    }
 }
 
 /// Schemes without false positives must return exactly the ground truth;
@@ -24,15 +52,17 @@ fn all_schemes_are_complete_and_exact_schemes_agree() {
         Range::point(2_500),
     ];
 
-    let schemes: Vec<AnyScheme> = SchemeKind::EVALUATED
+    let schemes: Vec<(AnyScheme, Option<TempDir>)> = SchemeKind::EVALUATED
         .iter()
-        .map(|kind| AnyScheme::build(*kind, &dataset, &mut rng))
+        .map(|kind| build_scheme(*kind, &dataset, &mut rng, "consistency"))
         .collect();
 
     for query in queries {
         let expected = sorted(dataset.matching_ids(query));
-        for scheme in &schemes {
-            let outcome = scheme.query(query);
+        for (scheme, _dir) in &schemes {
+            let outcome = scheme
+                .try_query(query)
+                .expect("storage backend answers the battery");
             let eval = Evaluation::compare(&outcome.ids, &expected);
             assert!(
                 eval.is_complete(),
@@ -63,10 +93,12 @@ fn skewed_data_keeps_every_scheme_complete() {
         Range::new((1 << 13) - 300, (1 << 13) - 1),
     ];
     for kind in SchemeKind::EVALUATED {
-        let scheme = AnyScheme::build(kind, &dataset, &mut rng);
+        let (scheme, _dir) = build_scheme(kind, &dataset, &mut rng, "skewed");
         for query in queries {
             let expected = dataset.matching_ids(query);
-            let outcome = scheme.query(query);
+            let outcome = scheme
+                .try_query(query)
+                .expect("storage backend answers the battery");
             let eval = Evaluation::compare(&outcome.ids, &expected);
             assert!(eval.is_complete(), "{} missed results", scheme.name());
         }
@@ -81,10 +113,12 @@ fn out_of_domain_queries_are_handled_uniformly() {
     let domain_size = 1u64 << 12;
     let dataset = gowalla_like(500, domain_size, &mut rng);
     for kind in SchemeKind::EVALUATED {
-        let scheme = AnyScheme::build(kind, &dataset, &mut rng);
+        let (scheme, _dir) = build_scheme(kind, &dataset, &mut rng, "edges");
         // Fully outside: empty.
         assert!(
-            scheme.query(Range::new(domain_size + 10, domain_size + 20)).is_empty(),
+            scheme
+                .query(Range::new(domain_size + 10, domain_size + 20))
+                .is_empty(),
             "{} should answer empty outside the domain",
             scheme.name()
         );
@@ -93,7 +127,11 @@ fn out_of_domain_queries_are_handled_uniformly() {
         let clamped = Range::new(domain_size - 100, domain_size - 1);
         let outcome = scheme.query(query);
         let eval = Evaluation::compare(&outcome.ids, &dataset.matching_ids(clamped));
-        assert!(eval.is_complete(), "{} missed results at the edge", scheme.name());
+        assert!(
+            eval.is_complete(),
+            "{} missed results at the edge",
+            scheme.name()
+        );
     }
 }
 

@@ -1,0 +1,257 @@
+//! Fault-injection and cache-budget integration tests for the fallible
+//! storage-aware search path.
+//!
+//! The acceptance criteria of the typed-I/O-error refactor: a block-read
+//! failure in the middle of a search must surface as a typed
+//! `StorageError` from every scheme's query path and from
+//! `QueryServer::answer_many` — never as a silently shortened ("entry
+//! missing") result — and a cache budget must bound resident bytes while
+//! leaving query outcomes byte-identical to the unbounded configuration.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse::core::schemes::constant::ConstantScheme;
+use rsse::core::schemes::log_brc_urc::LogScheme;
+use rsse::core::schemes::log_src::LogSrcScheme;
+use rsse::core::schemes::log_src_i::LogSrcIScheme;
+use rsse::core::{QueryServer, RangeScheme, StorageConfig, StorageError};
+use rsse::prelude::*;
+use rsse::sse::test_support::TempDir;
+
+fn dataset(domain_size: u64, n: u64) -> Dataset {
+    let domain = Domain::new(domain_size);
+    let records = (0..n)
+        .map(|i| Record::new(i, (i * 37 + 11) % domain_size))
+        .collect();
+    Dataset::new(domain, records).expect("values fit the domain")
+}
+
+/// Every probe after the first few fails: the five scheme query paths —
+/// Logarithmic-BRC, Logarithmic-URC, Constant, Logarithmic-SRC and
+/// Logarithmic-SRC-i — must all return `Err(StorageError)` from
+/// `try_query` instead of a silently incomplete `Ok`.
+#[test]
+fn all_five_scheme_query_paths_surface_block_read_failures() {
+    let data = dataset(1 << 10, 400);
+    let range = Range::new(0, 900);
+    let expected = {
+        let mut ids = data.matching_ids(range);
+        ids.sort_unstable();
+        ids
+    };
+    let sorted = |outcome: QueryOutcome| {
+        let mut ids = outcome.ids;
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+
+    // Logarithmic-BRC and Logarithmic-URC (two of the five query paths).
+    for kind in [CoverKind::Brc, CoverKind::Urc] {
+        let dir = TempDir::new("fault-log");
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let (client, mut server) = LogScheme::build_full_stored(
+            &data,
+            kind,
+            false,
+            &StorageConfig::on_disk(2, dir.path()),
+            &mut rng,
+        )
+        .expect("on-disk build");
+        assert_eq!(
+            sorted(
+                client
+                    .try_query(&server, range)
+                    .expect("healthy disk answers")
+            ),
+            expected
+        );
+        server.inject_read_faults(5);
+        let err = client
+            .try_query(&server, range)
+            .expect_err("a failing disk must not produce an Ok outcome");
+        assert!(
+            matches!(err, StorageError::Io { .. }),
+            "Logarithmic-{} must surface a typed I/O error, got {err}",
+            kind.label()
+        );
+    }
+
+    // Constant-BRC (DPRF expansion feeding per-leaf SSE probes).
+    {
+        let dir = TempDir::new("fault-constant");
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let (client, mut server) = ConstantScheme::build_stored_with(
+            &data,
+            CoverKind::Brc,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng,
+        )
+        .expect("on-disk build");
+        assert_eq!(
+            sorted(
+                client
+                    .try_query(&server, range)
+                    .expect("healthy disk answers")
+            ),
+            expected
+        );
+        server.inject_read_faults(5);
+        let err = client
+            .try_query(&server, range)
+            .expect_err("must fail typed");
+        assert!(matches!(err, StorageError::Io { .. }), "Constant: {err}");
+    }
+
+    // Logarithmic-SRC (single-token TDAG cover).
+    {
+        let dir = TempDir::new("fault-src");
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let (client, mut server) = LogSrcScheme::build_full_stored(
+            &data,
+            false,
+            &StorageConfig::on_disk(1, dir.path()),
+            &mut rng,
+        )
+        .expect("on-disk build");
+        assert!(client.try_query(&server, range).is_ok());
+        server.inject_read_faults(2);
+        let err = client
+            .try_query(&server, range)
+            .expect_err("must fail typed");
+        assert!(matches!(err, StorageError::Io { .. }), "Log-SRC: {err}");
+    }
+
+    // Logarithmic-SRC-i (two indexes, two rounds).
+    {
+        let dir = TempDir::new("fault-srci");
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let (client, mut server) = LogSrcIScheme::build_impl_stored(
+            &data,
+            &StorageConfig::on_disk(0, dir.path()),
+            &mut rng,
+        )
+        .expect("on-disk build");
+        assert!(client.try_query(&server, range).is_ok());
+        server.inject_read_faults(0);
+        let err = client
+            .try_query(&server, range)
+            .expect_err("must fail typed");
+        assert!(matches!(err, StorageError::Io { .. }), "Log-SRC-i: {err}");
+    }
+}
+
+/// The headline acceptance test: a block-read failure in the middle of a
+/// served batch surfaces as a typed `StorageError` from
+/// `QueryServer::answer_many` — and is distinguishable from a genuinely
+/// empty result, which still comes back as `Ok`.
+#[test]
+fn answer_many_surfaces_mid_search_failure_as_typed_error() {
+    // Values live in the lower half of the domain, so the upper half is a
+    // genuinely empty range (the "label absent" case below).
+    let domain = Domain::new(1 << 12);
+    let data = Dataset::new(
+        domain,
+        (0..600u64)
+            .map(|i| Record::new(i, (i * 37 + 11) % (1 << 11)))
+            .collect(),
+    )
+    .expect("values fit the domain");
+    let dir = TempDir::new("fault-server");
+    let mut rng = ChaCha20Rng::seed_from_u64(5);
+    let (client, server) =
+        LogScheme::build_stored(&data, &StorageConfig::on_disk(3, dir.path()), &mut rng)
+            .expect("on-disk build");
+    drop(server);
+
+    let ranges: Vec<Range> = (0..8u64)
+        .map(|i| Range::new(i * 250, i * 250 + 249))
+        .collect();
+    let queries: Vec<Vec<rsse::sse::SearchToken>> = ranges
+        .iter()
+        .map(|&r| client.trapdoor(r).expect("in-domain range"))
+        .collect();
+
+    let mut qs = QueryServer::open_dir(dir.path()).expect("cold-open");
+    let healthy = qs
+        .answer_many(&queries)
+        .expect("healthy disk serves the batch");
+    assert_eq!(healthy.len(), queries.len());
+
+    // "Label absent" is an empty Ok — NOT an error.
+    let empty = client
+        .trapdoor(Range::new(3000, 4095))
+        .expect("in-domain range");
+    let outcome = qs.answer(&empty).expect("an empty range is not a failure");
+    assert!(outcome.ids.is_empty(), "no record lives above 2^11");
+
+    // "Disk failed mid-search" is a typed error — NOT an empty result.
+    qs.inject_read_faults(25);
+    let err = qs
+        .answer_many(&queries)
+        .expect_err("a failing disk must abort the batch");
+    assert!(
+        matches!(err, StorageError::Io { .. }),
+        "expected a typed I/O error, got {err}"
+    );
+}
+
+/// The cache-budget acceptance test at the serving layer: outcomes under a
+/// tight budget are identical to the unbounded server's, resident bytes
+/// stay inside the budget throughout, and the counters move.
+#[test]
+fn cache_budget_bounds_server_residency_with_identical_outcomes() {
+    let data = dataset(1 << 12, 3_000);
+    let dir = TempDir::new("budget-server");
+    let mut rng = ChaCha20Rng::seed_from_u64(6);
+    let (client, server) =
+        LogScheme::build_stored(&data, &StorageConfig::on_disk(2, dir.path()), &mut rng)
+            .expect("on-disk build");
+    let region_bytes = {
+        let index = server.index();
+        index.storage_bytes() - index.len() * 16
+    };
+    drop(server);
+
+    let ranges: Vec<Range> = (0..24u64)
+        .map(|i| Range::new(i * 170, i * 170 + 240))
+        .collect();
+    let queries: Vec<Vec<rsse::sse::SearchToken>> = ranges
+        .iter()
+        .map(|&r| client.trapdoor(r).expect("in-domain range"))
+        .collect();
+
+    let unbounded = QueryServer::open_dir(dir.path()).expect("cold-open");
+    let reference = unbounded.answer_many(&queries).expect("unbounded serves");
+
+    // 25% of the ciphertext region: a few ~64 KiB blocks fit, so the
+    // cache genuinely caches and genuinely evicts. (Budgets below one
+    // block size still bound residency — nothing caches — which the sse
+    // crate's `zero_budget_still_answers_with_nothing_resident` pins.)
+    let budget = region_bytes / 4;
+    let budgeted =
+        QueryServer::open_dir_with_budget(dir.path(), Some(budget)).expect("budgeted open");
+    for (query, expected) in queries.iter().zip(&reference) {
+        let outcome = budgeted.answer(query).expect("budgeted serves");
+        assert_eq!(
+            &outcome, expected,
+            "budgeted outcome must be byte-identical"
+        );
+        let stats = budgeted.index().cache_stats();
+        assert!(
+            stats.resident_bytes <= budget,
+            "resident {} exceeds the {budget}-byte budget",
+            stats.resident_bytes
+        );
+    }
+    let stats = budgeted.index().cache_stats();
+    assert!(stats.misses > 0);
+    assert!(
+        stats.evictions > 0,
+        "a 25% budget over this working set must evict: {stats:?}"
+    );
+    assert!(
+        unbounded.index().cache_stats().evictions == 0,
+        "the unbounded server never evicts"
+    );
+}

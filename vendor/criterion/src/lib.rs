@@ -104,15 +104,14 @@ impl Bencher {
     fn median(&self) -> Duration {
         let mut sorted = self.samples.clone();
         sorted.sort();
-        sorted
-            .get(sorted.len() / 2)
-            .copied()
-            .unwrap_or_default()
+        sorted.get(sorted.len() / 2).copied().unwrap_or_default()
     }
 }
 
 fn smoke() -> bool {
-    std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 fn filter_matches(id: &str) -> bool {
@@ -135,10 +134,7 @@ where
 }
 
 fn record(id: &str, median: Duration, samples: usize) {
-    println!(
-        "bench: {id:<55} median {:>12.3?} (n={samples})",
-        median
-    );
+    println!("bench: {id:<55} median {:>12.3?} (n={samples})", median);
     // Benches run with the defining crate as cwd; BENCH_OUT lets callers
     // collect results at a stable absolute path instead.
     let dir = std::env::var("BENCH_OUT")

@@ -403,8 +403,7 @@ mod tests {
     #[test]
     fn runner_runs_requested_cases() {
         let mut count = 0u32;
-        let mut runner =
-            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(17));
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(17));
         runner.run(|_| {
             count += 1;
             Ok(())

@@ -257,11 +257,11 @@ fn bench_search_persistent(c: &mut Criterion) {
     let file_qs = QueryServer::open_dir(&dir).expect("open saved index");
     group.bench_function(
         BenchmarkId::new("answer_many/file", format!("k{bits}")),
-        |b| b.iter(|| file_qs.answer_many(&queries).expect("healthy disk")),
+        |b| b.iter(|| file_qs.answer_many_strict(&queries).expect("healthy disk")),
     );
     group.bench_function(
         BenchmarkId::new("answer_many/memory", format!("k{bits}")),
-        |b| b.iter(|| mem_qs.answer_many(&queries).expect("in-memory")),
+        |b| b.iter(|| mem_qs.answer_many_strict(&queries).expect("in-memory")),
     );
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);
@@ -329,7 +329,7 @@ fn bench_search_persistent_budget(c: &mut Criterion) {
     for (label, budget) in labels.iter().zip(budgets) {
         let qs = QueryServer::open_dir_with_budget(&dir, budget).expect("open saved index");
         group.bench_function(BenchmarkId::new("answer_many", *label), |b| {
-            b.iter(|| qs.answer_many(&queries).expect("healthy disk"))
+            b.iter(|| qs.answer_many_strict(&queries).expect("healthy disk"))
         });
         let stats = qs.index().cache_stats();
         println!(

@@ -1,13 +1,15 @@
 //! Criterion micro-bench for the batch-update manager: ingestion (including
-//! any triggered consolidations) and querying across active instances, for
-//! two consolidation steps.
+//! any triggered consolidations), querying across active instances, and —
+//! for the durable configuration — reopening the whole manager from its
+//! storage root (`UpdateManager::open_root`) versus re-ingesting from
+//! scratch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use rsse_core::schemes::log_brc_urc::LogScheme;
 use rsse_cover::{Domain, Range};
-use rsse_updates::{UpdateConfig, UpdateEntry, UpdateManager};
+use rsse_updates::{OwnerKey, UpdateConfig, UpdateEntry, UpdateManager};
 use std::time::Duration;
 
 fn ingest(batches: usize, batch_size: usize, step: usize) -> UpdateManager<LogScheme> {
@@ -57,5 +59,69 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates);
+/// Reopen-from-root versus rebuild-from-scratch: a durable manager with 16
+/// persisted batches is reopened via `open_root` (manifest + sidecar reads,
+/// key re-derivation, shard-directory cold-opens — no re-encryption) and
+/// compared against driving the same 16 ingests again.
+fn bench_manager_reopen(c: &mut Criterion) {
+    let ids = [
+        "updates_reopen/open_root/16_batches".to_string(),
+        "updates_reopen/reingest/16_batches".to_string(),
+    ];
+    if !criterion::any_id_matches(ids) {
+        return;
+    }
+    let batches = 16usize;
+    let batch_size = 200usize;
+    let domain = Domain::new(1 << 16);
+    let root = std::env::temp_dir().join(format!("rsse-bench-reopen-{}", std::process::id()));
+    let key = OwnerKey::from_bytes([5u8; 32]);
+    let config = UpdateConfig {
+        consolidation_step: 4,
+        shard_bits: 2,
+        storage_root: Some(root.clone()),
+        cache_budget: None,
+    };
+    let drive = |cfg: UpdateConfig| -> UpdateManager<LogScheme> {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let mut manager: UpdateManager<LogScheme> =
+            UpdateManager::with_key(key.clone(), domain, cfg);
+        let mut id = 0u64;
+        for b in 0..batches {
+            let entries: Vec<UpdateEntry> = (0..batch_size)
+                .map(|i| {
+                    id += 1;
+                    UpdateEntry::insert(id, ((b * 131 + i * 17) as u64) % (1 << 16))
+                })
+                .collect();
+            manager.ingest_batch(entries, &mut rng);
+        }
+        manager
+    };
+    drop(drive(config.clone())); // the persisted root every reopen reads
+
+    let mut group = c.benchmark_group("updates_reopen");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("open_root", "16_batches"), |b| {
+        b.iter(|| {
+            UpdateManager::<LogScheme>::open_root(key.clone(), &root, config.clone())
+                .expect("reopen from root")
+        })
+    });
+    group.bench_function(BenchmarkId::new("reingest", "16_batches"), |b| {
+        b.iter(|| {
+            drive(UpdateConfig {
+                storage_root: None,
+                ..config.clone()
+            })
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_updates, bench_manager_reopen);
 criterion_main!(benches);

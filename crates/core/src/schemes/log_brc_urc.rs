@@ -20,7 +20,8 @@ use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
 use rsse_sse::{
-    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageConfig, StorageError,
+    padding, SearchToken, ShardedIndex, SseDatabase, SseKey, SseScheme, StorageBackend,
+    StorageConfig, StorageError,
 };
 use std::path::Path;
 
@@ -206,7 +207,7 @@ impl LogScheme {
         let token_vectors: Vec<Option<Vec<SearchToken>>> =
             ranges.iter().map(|&range| self.trapdoor(range)).collect();
         let present: Vec<Vec<SearchToken>> = token_vectors.iter().flatten().cloned().collect();
-        let mut answered = server.answer_many(&present)?.into_iter();
+        let mut answered = server.answer_many_strict(&present)?.into_iter();
         Ok(token_vectors
             .into_iter()
             .map(|tokens| match tokens {
@@ -303,6 +304,38 @@ impl RangeScheme for LogScheme {
         rng: &mut R,
     ) -> Result<(Self, Self::Server), StorageError> {
         Self::build_full_stored(dataset, CoverKind::Brc, false, config, rng)
+    }
+
+    /// Fast reopen: the owner state is a pure function of the RNG stream's
+    /// leading `KeyChain` draw (plus the dataset's domain), so an on-disk
+    /// index is reopened by re-deriving the keys and cold-opening the
+    /// persisted shards — no rebuild, no re-encryption. In-memory configs
+    /// fall back to the deterministic rebuild.
+    fn open_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        match &config.backend {
+            StorageBackend::InMemory => Self::build_stored(dataset, config, rng),
+            StorageBackend::OnDisk(dir) => {
+                // Exactly the key-material draws build_full_stored makes
+                // before it reads the dataset.
+                let chain = KeyChain::generate(rng);
+                let key = SseScheme::key_from(chain.derive(b"sse"));
+                let shuffle_key = chain.derive(b"shuffle");
+                let index = ShardedIndex::open_dir_with_budget(dir, config.cache_budget)?;
+                Ok((
+                    Self {
+                        key,
+                        shuffle_key,
+                        domain: *dataset.domain(),
+                        kind: CoverKind::Brc,
+                    },
+                    LogServer { index },
+                ))
+            }
+        }
     }
 
     fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {

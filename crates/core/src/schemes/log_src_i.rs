@@ -265,6 +265,48 @@ impl RangeScheme for LogSrcIScheme {
         Self::build_impl_stored(dataset, config, rng)
     }
 
+    /// Fast reopen of a persisted two-index server: the owner state is a
+    /// pure function of the RNG stream's leading `KeyChain` draw plus two
+    /// public parameters (the domain and the dataset size, which fixes
+    /// `TDAG2`'s position domain), so both dictionaries are cold-opened
+    /// from their subdirectories without a rebuild. In-memory configs
+    /// fall back to the deterministic rebuild.
+    fn open_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        match &config.backend {
+            rsse_sse::StorageBackend::InMemory => Self::build_stored(dataset, config, rng),
+            rsse_sse::StorageBackend::OnDisk(dir) => {
+                // Exactly the key-material draws build_impl_stored makes
+                // before it reads the dataset.
+                let chain = KeyChain::generate(rng);
+                let key1 = SseScheme::key_from(chain.derive(b"sse-i1"));
+                let key2 = SseScheme::key_from(chain.derive(b"sse-i2"));
+                let tdag1 = Tdag::new(*dataset.domain());
+                let tdag2 = Tdag::new(Domain::new(dataset.len().max(1) as u64));
+                let index1 = ShardedIndex::open_dir_with_budget(
+                    dir.join(LogSrcIServer::I1_SUBDIR),
+                    config.cache_budget,
+                )?;
+                let index2 = ShardedIndex::open_dir_with_budget(
+                    dir.join(LogSrcIServer::I2_SUBDIR),
+                    config.cache_budget,
+                )?;
+                Ok((
+                    Self {
+                        key1,
+                        key2,
+                        tdag1,
+                        tdag2,
+                    },
+                    LogSrcIServer { index1, index2 },
+                ))
+            }
+        }
+    }
+
     fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {
         let Some(clamped) = clamp_query(self.tdag1.domain(), range) else {
             return Ok(QueryOutcome::default());

@@ -55,7 +55,7 @@ use std::path::Path;
 /// // A batch of concurrent range queries: one token vector each.
 /// let ranges = [Range::new(0, 100), Range::new(500, 800)];
 /// let queries: Vec<_> = ranges.iter().map(|&r| client.trapdoor(r).unwrap()).collect();
-/// let outcomes = server.answer_many(&queries).unwrap();
+/// let outcomes = server.answer_many_strict(&queries).unwrap();
 ///
 /// for (range, outcome) in ranges.iter().zip(&outcomes) {
 ///     let mut got = outcome.ids.clone();
@@ -131,6 +131,16 @@ impl QueryServer {
         self.index.inject_read_faults(successful_probes);
     }
 
+    /// Test support: transient variant of
+    /// [`inject_read_faults`](Self::inject_read_faults) — after the first
+    /// `successful_probes` probes, exactly `failing_probes` fail, then the
+    /// storage recovers (see `ShardedIndex::inject_transient_read_faults`).
+    #[doc(hidden)]
+    pub fn inject_transient_read_faults(&mut self, successful_probes: u64, failing_probes: u64) {
+        self.index
+            .inject_transient_read_faults(successful_probes, failing_probes);
+    }
+
     /// Answers one range query's whole token vector in a single batched
     /// pass.
     ///
@@ -174,27 +184,88 @@ impl QueryServer {
     }
 
     /// Answers a batch of concurrent queries — one token vector per client
-    /// — in parallel, returning outcomes in query order.
+    /// — in parallel, returning **per-query** results in query order.
     ///
     /// The shards are immutable behind `&self`, so the per-query worker
     /// threads read them lock-free; each query is answered with the batched
     /// single-query pass of [`answer`](Self::answer), and the output order
     /// is the input order regardless of thread scheduling.
     ///
-    /// # Errors
+    /// # Partial-batch error reporting
     ///
-    /// The first query whose storage probe fails aborts the batch with its
-    /// typed [`StorageError`] (queries are independent, so any of them
-    /// failing means the backing storage is unhealthy for all of them).
+    /// Queries are independent, so one query's storage fault no longer
+    /// aborts its whole batch: each slot carries its own `Result`, and a
+    /// healthy query in a faulted batch still returns `Ok`. A query whose
+    /// probe fails is **retried once** before its slot reports the typed
+    /// [`StorageError`] — failed blocks are never cached, so the retry
+    /// re-reads from storage and genuinely recovers a transient fault
+    /// (a dead disk fails both attempts and surfaces the second error).
+    /// Callers that want the old all-or-nothing behavior can `collect`
+    /// the slots into a `Result<Vec<_>, _>`.
     pub fn answer_many(
         &self,
         queries: &[Vec<SearchToken>],
-    ) -> Result<Vec<QueryOutcome>, StorageError> {
-        let outcomes: Vec<Result<QueryOutcome, StorageError>> = queries
+    ) -> Vec<Result<QueryOutcome, StorageError>> {
+        queries
             .par_iter()
-            .map(|tokens| self.answer(tokens))
-            .collect();
-        outcomes.into_iter().collect()
+            .map(|tokens| {
+                self.answer(tokens)
+                    .or_else(|_transient| self.answer(tokens))
+            })
+            .collect()
+    }
+
+    /// Answers a batch of concurrent queries, aborting on the first
+    /// storage fault: the all-or-nothing collection of
+    /// [`answer_many`](Self::answer_many) (which see for the per-query
+    /// retry semantics), for callers that treat any fault as fatal for
+    /// the whole batch.
+    pub fn answer_many_strict(
+        &self,
+        queries: &[Vec<SearchToken>],
+    ) -> Result<Vec<QueryOutcome>, StorageError> {
+        self.answer_many(queries).into_iter().collect()
+    }
+
+    /// Reopens one batched search endpoint per **active instance** of a
+    /// persisted update manager, in level order, from the manager's
+    /// storage root alone — the server-side half of a process restart
+    /// (`UpdateManager::open_root` in `rsse-updates` is the owner-side
+    /// half, and heals any crash leftovers first).
+    ///
+    /// Reads the root's `manager.meta` manifest, cold-opens every
+    /// instance directory it references under the manifest's recorded
+    /// cache budget, and returns the endpoints in the same instance order
+    /// the owner iterates — the server never needs the owner's master
+    /// key, because everything it serves is encrypted.
+    ///
+    /// Supports managers whose scheme keeps a single dictionary per
+    /// instance directory (the Logarithmic/Constant families);
+    /// multi-index layouts (Logarithmic-SRC-i's `i1`/`i2`) fail typed on
+    /// the missing top-level `index.meta`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces a missing or corrupt manifest, and every malformed
+    /// instance directory, as typed [`StorageError`]s. A manifest left
+    /// stale by a crash (referencing GC'd directories) also fails typed —
+    /// run the owner-side `open_root` recovery first, which re-commits a
+    /// healed manifest.
+    pub fn open_manager_root(root: impl AsRef<Path>) -> Result<Vec<QueryServer>, StorageError> {
+        let root = root.as_ref();
+        let manifest = rsse_sse::storage::read_manager_manifest(root)?;
+        let budget = manifest.cache_budget.map(|bytes| bytes as usize);
+        manifest
+            .levels
+            .iter()
+            .flatten()
+            .map(|instance| {
+                let dir = root.join(rsse_sse::storage::ManagerManifest::instance_dir_name(
+                    instance.build_id,
+                ));
+                Self::open_dir_with_budget(dir, budget)
+            })
+            .collect()
     }
 }
 
@@ -242,8 +313,8 @@ mod tests {
             .iter()
             .map(|&r| client.trapdoor(r).unwrap())
             .collect();
-        let a = qs.answer_many(&queries).unwrap();
-        let b = qs.answer_many(&queries).unwrap();
+        let a = qs.answer_many_strict(&queries).unwrap();
+        let b = qs.answer_many_strict(&queries).unwrap();
         assert_eq!(a, b, "same batch must produce identical outcomes");
         for (outcome, range) in a.iter().zip(&ranges) {
             testutil::assert_exact(&dataset, *range, outcome);
@@ -300,8 +371,8 @@ mod tests {
                 .iter()
                 .map(|&r| client.trapdoor(r).unwrap())
                 .collect();
-            let cold = qs.answer_many(&queries).unwrap();
-            let warm = mem_qs.answer_many(&queries).unwrap();
+            let cold = qs.answer_many_strict(&queries).unwrap();
+            let warm = mem_qs.answer_many_strict(&queries).unwrap();
             assert_eq!(
                 cold, warm,
                 "cold-open outcomes must match in-memory (k={bits})"

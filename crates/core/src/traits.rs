@@ -117,6 +117,34 @@ pub trait RangeScheme: Sized {
         }
     }
 
+    /// Reopens the owner state and server of an index previously built by
+    /// [`build_stored`](Self::build_stored), given the **same dataset,
+    /// configuration, and RNG stream** the original build consumed.
+    ///
+    /// Every scheme draws its whole key material from the RNG *before*
+    /// touching the dataset (a single `KeyChain::generate` up front), so
+    /// replaying the stream reproduces the owner state byte-identically —
+    /// trapdoors issued by the reopened client match the persisted index
+    /// exactly. This is the primitive the update manager's
+    /// `UpdateManager::open_root` builds on: it persists one 32-byte seed
+    /// per instance and replays it here.
+    ///
+    /// The default implementation simply **rebuilds** via `build_stored`,
+    /// which is always correct (builds are deterministic given the RNG):
+    /// in-memory backends reconstruct the index in RAM, on-disk backends
+    /// rewrite the directory with byte-identical files. Schemes with a
+    /// cheap reopen path (Logarithmic-BRC/URC, Logarithmic-SRC-i)
+    /// override it to re-derive only the keys and cold-open the persisted
+    /// shards via `ShardedIndex::open_dir_with_budget` — no re-encryption,
+    /// no full-index residency.
+    fn open_stored<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        Self::build_stored(dataset, config, rng)
+    }
+
     /// Issues a range query against the server, surfacing storage
     /// failures as typed errors.
     ///

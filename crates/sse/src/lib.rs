@@ -29,6 +29,8 @@
 //! * [`leakage`] — explicit `L1`/`L2` leakage profiles (size, access
 //!   pattern, search pattern) used by the security-oriented tests.
 
+#![deny(missing_docs)]
+
 pub mod database;
 pub mod leakage;
 pub mod padding;
@@ -44,7 +46,8 @@ pub use pibas::{
 };
 pub use sharded::{FaultShard, Shard, ShardedIndex};
 pub use storage::{
-    CacheStats, FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError,
+    CacheStats, FileShard, ManagerManifest, ManifestInstance, OwnerMeta, ShardStorage,
+    StorageBackend, StorageConfig, StorageError,
 };
 
 // Test scaffolding shared with downstream crates' persistence tests; not

@@ -164,6 +164,10 @@ pub struct FaultShard {
     inner: Box<Shard>,
     /// Remaining successful probes (shared; negative once failing).
     countdown: Arc<AtomicI64>,
+    /// Remaining *failing* probes once the countdown is exhausted (shared).
+    /// `None` fails forever — a dead disk; `Some(n)` recovers after `n`
+    /// failures — a transient blip, the case one retry is meant to absorb.
+    failures_left: Option<Arc<AtomicI64>>,
 }
 
 impl FaultShard {
@@ -174,10 +178,16 @@ impl FaultShard {
 impl ShardStorage for FaultShard {
     fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
         if self.countdown.fetch_sub(1, Ordering::SeqCst) <= 0 {
-            return Err(StorageError::Io {
-                path: PathBuf::from(Self::FAULT_PATH),
-                error: io::Error::other("injected block-read fault"),
-            });
+            let still_failing = match &self.failures_left {
+                None => true,
+                Some(failures) => failures.fetch_sub(1, Ordering::SeqCst) > 0,
+            };
+            if still_failing {
+                return Err(StorageError::Io {
+                    path: PathBuf::from(Self::FAULT_PATH),
+                    error: io::Error::other("injected block-read fault"),
+                });
+            }
         }
         ShardStorage::try_get(&*self.inner, label)
     }
@@ -398,14 +408,31 @@ impl ShardedIndex {
     /// pinning the end-to-end error path of the fallible search API —
     /// a production index never contains fault wrappers.
     pub fn inject_read_faults(&mut self, successful_probes: u64) {
+        self.inject_faults(successful_probes, None);
+    }
+
+    /// Like [`inject_read_faults`](Self::inject_read_faults), but the
+    /// fault is **transient**: after the first `successful_probes` probes,
+    /// exactly `failing_probes` probes fail, and every probe after that
+    /// succeeds again — a disk blip rather than a dead disk. Test support
+    /// for pinning that a single retry recovers a query (failed blocks are
+    /// never cached, so the retried probe re-reads from storage).
+    pub fn inject_transient_read_faults(&mut self, successful_probes: u64, failing_probes: u64) {
+        self.inject_faults(successful_probes, Some(failing_probes));
+    }
+
+    fn inject_faults(&mut self, successful_probes: u64, failing_probes: Option<u64>) {
         let countdown = Arc::new(AtomicI64::new(
             i64::try_from(successful_probes).unwrap_or(i64::MAX),
         ));
+        let failures_left =
+            failing_probes.map(|n| Arc::new(AtomicI64::new(i64::try_from(n).unwrap_or(i64::MAX))));
         for shard in &mut self.shards {
             let inner = Box::new(shard.clone());
             *shard = Shard::Fault(FaultShard {
                 inner,
                 countdown: Arc::clone(&countdown),
+                failures_left: failures_left.clone(),
             });
         }
     }

@@ -1518,6 +1518,367 @@ pub(crate) fn open_shards_from_dir(
     Ok((shard_bits, shards))
 }
 
+// ---------------------------------------------------------------------------
+// Update-manager owner state: `manager.meta` + per-instance `owner.meta`
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening the update manager's root manifest (`manager.meta`).
+pub const MANAGER_MANIFEST_MAGIC: [u8; 8] = *b"RSSE-MGR";
+
+/// File name of the update manager's root manifest inside a storage root.
+pub const MANAGER_MANIFEST_FILE: &str = "manager.meta";
+
+/// Magic bytes opening a per-instance owner sidecar (`owner.meta`).
+pub const OWNER_META_MAGIC: [u8; 8] = *b"RSSE-OWN";
+
+/// File name of the per-instance owner sidecar inside an instance directory.
+pub const OWNER_META_FILE: &str = "owner.meta";
+
+/// Fixed `manager.meta` header length (magic + version + scheme-name
+/// length), before the variable-length fields.
+const MANAGER_HEADER_LEN: u64 = 16;
+
+/// Fixed `owner.meta` length before the encrypted payload.
+const OWNER_META_HEADER_LEN: u64 = 40;
+
+/// One active instance as recorded in the update manager's root manifest:
+/// public bookkeeping only (counts and names) — the owner's secrets (the
+/// build seed and the plaintext update log) live in the instance's
+/// encrypted [`OwnerMeta`] sidecar, never in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestInstance {
+    /// Monotonic build number naming the instance directory
+    /// (`instance-{build_id:08}`).
+    pub build_id: u64,
+    /// The instance's sequence number (largest = newest; a merged instance
+    /// reuses the newest sequence number of its inputs).
+    pub seq: u64,
+    /// Number of update entries the instance indexes.
+    pub entry_count: u64,
+    /// Number of insert operations among the entries.
+    pub inserts: u64,
+    /// Number of modify operations among the entries.
+    pub modifies: u64,
+    /// Number of delete operations (tombstones) among the entries.
+    pub deletes: u64,
+}
+
+/// The update manager's durable root manifest (`manager.meta`): everything
+/// the owner needs — besides the master key and the per-instance
+/// [`OwnerMeta`] sidecars — to reopen a whole `UpdateManager` from its
+/// storage root after a crash or restart.
+///
+/// The manifest is deliberately **public data**: scheme kind and
+/// parameters, counters, and the level table with per-instance sequence
+/// numbers and operation counts. It is written through the same
+/// tmp+rename atomic-write machinery as every other metadata file, and
+/// always *after* the instance directories it references are durably
+/// committed, so a crash between an index commit and the manifest commit
+/// leaves a manifest describing the previous consistent state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManagerManifest {
+    /// `RangeScheme::NAME` of the scheme the manager is instantiated with;
+    /// reopening with a different scheme is rejected typed.
+    pub scheme: String,
+    /// Size of the attribute domain shared by all batches.
+    pub domain_size: u64,
+    /// The consolidation step `s` the manager was configured with.
+    pub consolidation_step: u64,
+    /// Label-prefix shard bits of every index the manager builds.
+    pub shard_bits: u32,
+    /// Block-cache budget for persisted instances (`None` = unbounded).
+    pub cache_budget: Option<u64>,
+    /// Next batch sequence number.
+    pub next_seq: u64,
+    /// Next instance-directory build number.
+    pub next_build: u64,
+    /// Raw batches ingested so far.
+    pub batches_ingested: u64,
+    /// Consolidation operations performed so far.
+    pub consolidations: u64,
+    /// The level table: `levels[l]` lists the active instances at height
+    /// `l` of the merge hierarchy, in insertion (ascending-seq) order.
+    pub levels: Vec<Vec<ManifestInstance>>,
+}
+
+impl ManagerManifest {
+    /// The directory name of an instance with this build number
+    /// (`instance-{build_id:08}`, zero-padded so names sort by build).
+    pub fn instance_dir_name(build_id: u64) -> String {
+        format!("instance-{build_id:08}")
+    }
+
+    /// Parses an instance directory name back into its build number
+    /// (`None` for anything that is not exactly `instance-NNNNNNNN`).
+    pub fn parse_instance_dir_name(name: &str) -> Option<u64> {
+        let digits = name.strip_prefix("instance-")?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Serializes the manifest into its on-disk byte layout (see
+    /// `docs/FORMATS.md` for the byte-by-byte specification).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(128 + self.levels.len() * 64);
+        bytes.extend_from_slice(&MANAGER_MANIFEST_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(self.scheme.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(self.scheme.as_bytes());
+        bytes.extend_from_slice(&self.domain_size.to_le_bytes());
+        bytes.extend_from_slice(&self.consolidation_step.to_le_bytes());
+        bytes.extend_from_slice(&self.shard_bits.to_le_bytes());
+        bytes.extend_from_slice(&u32::from(self.cache_budget.is_some()).to_le_bytes());
+        bytes.extend_from_slice(&self.cache_budget.unwrap_or(0).to_le_bytes());
+        bytes.extend_from_slice(&self.next_seq.to_le_bytes());
+        bytes.extend_from_slice(&self.next_build.to_le_bytes());
+        bytes.extend_from_slice(&self.batches_ingested.to_le_bytes());
+        bytes.extend_from_slice(&self.consolidations.to_le_bytes());
+        bytes.extend_from_slice(&(self.levels.len() as u32).to_le_bytes());
+        for level in &self.levels {
+            bytes.extend_from_slice(&(level.len() as u32).to_le_bytes());
+            for instance in level {
+                bytes.extend_from_slice(&instance.build_id.to_le_bytes());
+                bytes.extend_from_slice(&instance.seq.to_le_bytes());
+                bytes.extend_from_slice(&instance.entry_count.to_le_bytes());
+                bytes.extend_from_slice(&instance.inserts.to_le_bytes());
+                bytes.extend_from_slice(&instance.modifies.to_le_bytes());
+                bytes.extend_from_slice(&instance.deletes.to_le_bytes());
+            }
+        }
+        bytes
+    }
+}
+
+/// A bounds-checked little-endian cursor over a metadata file's bytes:
+/// every read that would run past the end surfaces the standard
+/// [`StorageError::Truncated`] instead of panicking.
+struct MetaReader<'a> {
+    path: &'a Path,
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> MetaReader<'a> {
+    fn new(path: &'a Path, bytes: &'a [u8], at: usize) -> Self {
+        Self { path, bytes, at }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], StorageError> {
+        let end = self.at.checked_add(len).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(slice)
+            }
+            None => Err(StorageError::Truncated {
+                path: self.path.to_path_buf(),
+                expected: (self.at as u64).saturating_add(len as u64),
+                actual: self.bytes.len() as u64,
+            }),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        self.take(4).map(read_u32)
+    }
+
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        self.take(8).map(read_u64)
+    }
+
+    /// Remaining unread bytes (for exact-length trailing checks).
+    fn remaining(&self) -> u64 {
+        (self.bytes.len() - self.at) as u64
+    }
+}
+
+/// Writes the update manager's root manifest into `root/manager.meta`
+/// atomically (tmp + rename): a crash mid-write leaves the previous
+/// manifest byte-identical.
+pub fn write_manager_manifest(root: &Path, manifest: &ManagerManifest) -> Result<(), StorageError> {
+    write_file_atomic_bytes(&root.join(MANAGER_MANIFEST_FILE), &manifest.to_bytes())
+}
+
+/// Reads and validates `root/manager.meta`.
+///
+/// # Errors
+///
+/// Every malformed input surfaces as a typed [`StorageError`]: a missing
+/// file as [`Io`](StorageError::Io), foreign content as
+/// [`BadMagic`](StorageError::BadMagic), an unknown format as
+/// [`UnsupportedVersion`](StorageError::UnsupportedVersion), a short file
+/// as [`Truncated`](StorageError::Truncated), and internal inconsistencies
+/// (non-UTF-8 scheme name, oversized tables, trailing bytes) as
+/// [`CorruptDirectory`](StorageError::CorruptDirectory).
+pub fn read_manager_manifest(root: &Path) -> Result<ManagerManifest, StorageError> {
+    let path = root.join(MANAGER_MANIFEST_FILE);
+    let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+    check_header(&path, &bytes, &MANAGER_MANIFEST_MAGIC, MANAGER_HEADER_LEN)?;
+    let corrupt = |detail: String| StorageError::CorruptDirectory {
+        path: path.clone(),
+        detail,
+    };
+    let mut reader = MetaReader::new(&path, &bytes, 12);
+    let name_len = reader.u32()? as usize;
+    if name_len > 256 {
+        return Err(corrupt(format!(
+            "scheme name length {name_len} exceeds the 256-byte bound"
+        )));
+    }
+    let scheme = std::str::from_utf8(reader.take(name_len)?)
+        .map_err(|_| corrupt("scheme name is not UTF-8".to_string()))?
+        .to_string();
+    let domain_size = reader.u64()?;
+    let consolidation_step = reader.u64()?;
+    let shard_bits = reader.u32()?;
+    if shard_bits > crate::sharded::MAX_SHARD_BITS {
+        return Err(corrupt(format!(
+            "manifest claims {shard_bits} shard bits (max {})",
+            crate::sharded::MAX_SHARD_BITS
+        )));
+    }
+    let budget_flag = reader.u32()?;
+    if budget_flag > 1 {
+        return Err(corrupt(format!("invalid cache-budget flag {budget_flag}")));
+    }
+    let budget_value = reader.u64()?;
+    let cache_budget = (budget_flag == 1).then_some(budget_value);
+    let next_seq = reader.u64()?;
+    let next_build = reader.u64()?;
+    let batches_ingested = reader.u64()?;
+    let consolidations = reader.u64()?;
+    let level_count = reader.u32()? as usize;
+    if level_count > 64 {
+        return Err(corrupt(format!(
+            "manifest claims {level_count} merge levels (max 64)"
+        )));
+    }
+    let mut levels = Vec::with_capacity(level_count);
+    for level in 0..level_count {
+        let instance_count = reader.u32()? as usize;
+        if instance_count as u64 > next_build {
+            return Err(corrupt(format!(
+                "level {level} claims {instance_count} instances but only \
+                 {next_build} builds ever ran"
+            )));
+        }
+        // Cap the pre-allocation: `instance_count` is untrusted input (its
+        // only bound above comes from the same file), so an absurd count
+        // must run the reads dry into a typed Truncated error, not abort
+        // the process reserving gigabytes first.
+        let mut instances = Vec::with_capacity(instance_count.min(1024));
+        for _ in 0..instance_count {
+            let instance = ManifestInstance {
+                build_id: reader.u64()?,
+                seq: reader.u64()?,
+                entry_count: reader.u64()?,
+                inserts: reader.u64()?,
+                modifies: reader.u64()?,
+                deletes: reader.u64()?,
+            };
+            let op_sum = instance
+                .inserts
+                .checked_add(instance.modifies)
+                .and_then(|sum| sum.checked_add(instance.deletes));
+            if op_sum != Some(instance.entry_count) {
+                return Err(corrupt(format!(
+                    "instance {} op counts do not sum to its {} entries",
+                    instance.build_id, instance.entry_count
+                )));
+            }
+            instances.push(instance);
+        }
+        levels.push(instances);
+    }
+    if reader.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the level table",
+            reader.remaining()
+        )));
+    }
+    Ok(ManagerManifest {
+        scheme,
+        domain_size,
+        consolidation_step,
+        shard_bits,
+        cache_budget,
+        next_seq,
+        next_build,
+        batches_ingested,
+        consolidations,
+        levels,
+    })
+}
+
+/// The owner-side sidecar of one persisted update-manager instance
+/// (`<instance dir>/owner.meta`): the public identity of the instance plus
+/// an opaque `payload` — the build seed and plaintext update log,
+/// encrypted and authenticated by the `rsse-updates` crate under the
+/// owner's master key. This layer only frames the bytes; it never sees
+/// the plaintext.
+///
+/// The sidecar is written **last** during an instance build, so its
+/// presence is the instance's durable commit record: a directory without
+/// a readable `owner.meta` is a half-built instance and is swept by the
+/// manager's reopen path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnerMeta {
+    /// Build number of the instance (must match the directory name).
+    pub build_id: u64,
+    /// The instance's sequence number.
+    pub seq: u64,
+    /// Height of the instance in the merge hierarchy (0 = raw batch).
+    pub level: u32,
+    /// Encrypted, authenticated owner payload (opaque at this layer).
+    pub payload: Vec<u8>,
+}
+
+/// Writes an instance's owner sidecar into `dir/owner.meta` atomically.
+pub fn write_owner_meta(dir: &Path, meta: &OwnerMeta) -> Result<(), StorageError> {
+    let mut bytes = Vec::with_capacity(OWNER_META_HEADER_LEN as usize + meta.payload.len());
+    bytes.extend_from_slice(&OWNER_META_MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&meta.level.to_le_bytes());
+    bytes.extend_from_slice(&meta.build_id.to_le_bytes());
+    bytes.extend_from_slice(&meta.seq.to_le_bytes());
+    bytes.extend_from_slice(&(meta.payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&meta.payload);
+    write_file_atomic_bytes(&dir.join(OWNER_META_FILE), &bytes)
+}
+
+/// Reads and validates an instance's owner sidecar from `dir/owner.meta`,
+/// surfacing every malformed input as a typed [`StorageError`] (see
+/// [`read_manager_manifest`] for the error taxonomy).
+pub fn read_owner_meta(dir: &Path) -> Result<OwnerMeta, StorageError> {
+    let path = dir.join(OWNER_META_FILE);
+    let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+    check_header(&path, &bytes, &OWNER_META_MAGIC, OWNER_META_HEADER_LEN)?;
+    let mut reader = MetaReader::new(&path, &bytes, 12);
+    let level = reader.u32()?;
+    let build_id = reader.u64()?;
+    let seq = reader.u64()?;
+    let payload_len = reader.u64()?;
+    if payload_len != reader.remaining() {
+        return Err(StorageError::CorruptDirectory {
+            path: path.clone(),
+            detail: format!(
+                "payload length field says {payload_len} bytes, file holds {}",
+                reader.remaining()
+            ),
+        });
+    }
+    let payload = reader.take(payload_len as usize)?.to_vec();
+    Ok(OwnerMeta {
+        build_id,
+        seq,
+        level,
+        payload,
+    })
+}
+
 pub mod test_support {
     //! Unique scratch directories for persistence tests.
     //!

@@ -32,8 +32,25 @@
 //! [`RangeScheme`]: rsse_core::RangeScheme
 //! [`RangeScheme::build_stored`]: rsse_core::RangeScheme::build_stored
 
+//! # Durability
+//!
+//! A manager with a storage root is fully **restartable**: alongside the
+//! per-instance index directories it maintains a `manager.meta` root
+//! manifest (public bookkeeping: scheme kind and parameters, counters,
+//! the level table) and one encrypted `owner.meta` sidecar per instance
+//! (the build seed and update log, sealed under the owner's master key).
+//! [`UpdateManager::open_root`] reopens the whole manager from the root
+//! and the key alone — healing any window a crash between an index
+//! commit and the manifest commit can leave — and serves queries
+//! byte-identical to the pre-crash manager. See `docs/FORMATS.md` at the
+//! repository root for the byte-level layout of every file involved.
+
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod manager;
+pub mod persist;
 
 pub use batch::{UpdateEntry, UpdateOp};
 pub use manager::{UpdateConfig, UpdateManager};
+pub use persist::OwnerKey;

@@ -2,14 +2,21 @@
 //! instances, and hierarchical consolidation.
 
 use crate::batch::{UpdateEntry, UpdateOp};
-use rand::{CryptoRng, RngCore};
+use crate::persist::{self, OwnerKey, SEED_LEN};
+use rand::{CryptoRng, RngCore, SeedableRng};
+use rand_chacha::ChaCha20Rng;
 use rsse_core::{
     Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record, StorageConfig,
     StorageError,
 };
 use rsse_cover::{Domain, Range};
+use rsse_crypto::KeyChain;
+use rsse_sse::storage::{
+    read_manager_manifest, read_owner_meta, write_manager_manifest, write_owner_meta,
+    ManagerManifest, ManifestInstance, OwnerMeta,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Configuration of the update manager.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,11 +68,14 @@ struct BatchInstance<S: RangeScheme> {
     /// Monotonically increasing sequence number; larger = newer. Used to let
     /// newer batches supersede older ones during result refinement.
     seq: u64,
+    /// Monotonic build counter naming the instance directory; also binds
+    /// the instance's owner sidecar to its directory.
+    build_id: u64,
     client: S,
     server: S::Server,
-    /// The plaintext updates of this instance (owner-side only; the owner
-    /// can always re-derive them by downloading and decrypting its data, as
-    /// the paper's consolidation step requires).
+    /// The plaintext updates of this instance (owner-side only; persisted
+    /// encrypted in the instance's `owner.meta` sidecar, as the paper's
+    /// consolidation step needs them back).
     entries: Vec<UpdateEntry>,
     /// Latest operation per id inside this instance.
     ops: HashMap<DocId, UpdateOp>,
@@ -75,36 +85,122 @@ struct BatchInstance<S: RangeScheme> {
     dir: Option<PathBuf>,
 }
 
+/// Dedupes a batch's raw update log into its effective records and ops:
+/// within a batch, the latest entry for an id wins.
+fn latest_of(entries: &[UpdateEntry]) -> BTreeMap<DocId, UpdateEntry> {
+    let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
+    for entry in entries {
+        latest.insert(entry.record.id, *entry);
+    }
+    latest
+}
+
 impl<S: RangeScheme> BatchInstance<S> {
-    fn build<R: RngCore + CryptoRng>(
+    /// Builds a fresh instance: dedupes the update log, runs the scheme's
+    /// stored build on a dedicated RNG replayed from `seed`, and — for
+    /// persisted instances — commits the encrypted owner sidecar as the
+    /// instance's durable commit record (written **last**, so a directory
+    /// with a readable sidecar always holds a complete index).
+    #[allow(clippy::too_many_arguments)]
+    fn build(
         domain: Domain,
+        build_id: u64,
         seq: u64,
+        level: u32,
         entries: Vec<UpdateEntry>,
         config: &StorageConfig,
-        rng: &mut R,
+        chain: &KeyChain,
+        seed: [u8; SEED_LEN],
     ) -> Result<Self, StorageError> {
-        // Within a batch, the latest entry for an id wins.
-        let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
-        for entry in &entries {
-            latest.insert(entry.record.id, *entry);
-        }
+        let latest = latest_of(&entries);
         let records: Vec<Record> = latest.values().map(|e| e.record).collect();
         let ops: HashMap<DocId, UpdateOp> = latest.iter().map(|(id, e)| (*id, e.op)).collect();
         let dataset = Dataset::new(domain, records)
             .expect("update entries validated against the domain before ingestion");
-        let (client, server) = S::build_stored(&dataset, config, rng)?;
+        let mut build_rng = ChaCha20Rng::from_seed(seed);
+        let (client, server) = S::build_stored(&dataset, config, &mut build_rng)?;
         let dir = match &config.backend {
             rsse_core::StorageBackend::InMemory => None,
             rsse_core::StorageBackend::OnDisk(dir) => Some(dir.clone()),
         };
+        if let Some(dir) = &dir {
+            write_owner_meta(
+                dir,
+                &OwnerMeta {
+                    build_id,
+                    seq,
+                    level,
+                    payload: persist::seal_payload(chain, build_id, &seed, &entries),
+                },
+            )?;
+        }
         Ok(Self {
             seq,
+            build_id,
             client,
             server,
             entries,
             ops,
             dir,
         })
+    }
+
+    /// Reopens a persisted instance from its decrypted owner state: the
+    /// client re-derives from the replayed seed, the server either
+    /// cold-opens from the instance directory (on-disk mode) or rebuilds
+    /// in memory from the update log (in-memory restore) — both through
+    /// [`RangeScheme::open_stored`], and both byte-identical to the
+    /// pre-crash instance.
+    fn reopen(
+        domain: Domain,
+        build_id: u64,
+        seq: u64,
+        entries: Vec<UpdateEntry>,
+        config: &StorageConfig,
+        seed: [u8; SEED_LEN],
+    ) -> Result<Self, StorageError> {
+        let latest = latest_of(&entries);
+        let records: Vec<Record> = latest.values().map(|e| e.record).collect();
+        let ops: HashMap<DocId, UpdateOp> = latest.iter().map(|(id, e)| (*id, e.op)).collect();
+        let dataset = Dataset::new(domain, records)
+            .expect("persisted update entries were validated at ingestion");
+        let mut build_rng = ChaCha20Rng::from_seed(seed);
+        let (client, server) = S::open_stored(&dataset, config, &mut build_rng)?;
+        let dir = match &config.backend {
+            rsse_core::StorageBackend::InMemory => None,
+            rsse_core::StorageBackend::OnDisk(dir) => Some(dir.clone()),
+        };
+        Ok(Self {
+            seq,
+            build_id,
+            client,
+            server,
+            entries,
+            ops,
+            dir,
+        })
+    }
+
+    /// The manifest record of this instance (public bookkeeping only).
+    fn manifest_record(&self) -> ManifestInstance {
+        let mut inserts = 0u64;
+        let mut modifies = 0u64;
+        let mut deletes = 0u64;
+        for entry in &self.entries {
+            match entry.op {
+                UpdateOp::Insert => inserts += 1,
+                UpdateOp::Modify => modifies += 1,
+                UpdateOp::Delete => deletes += 1,
+            }
+        }
+        ManifestInstance {
+            build_id: self.build_id,
+            seq: self.seq,
+            entry_count: self.entries.len() as u64,
+            inserts,
+            modifies,
+            deletes,
+        }
     }
 
     /// Removes the instance's persisted index directory, if any (called
@@ -117,11 +213,35 @@ impl<S: RangeScheme> BatchInstance<S> {
     }
 }
 
+/// A stage of `try_ingest_batch` at which the test support can simulate a
+/// process kill: all disk writes up to (and including) the named stage
+/// have happened, nothing after it has. Used by the crash-recovery tests
+/// to pin that [`UpdateManager::open_root`] heals every window between an
+/// index commit and the manifest commit.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// The batch's instance directory (index + owner sidecar) is durably
+    /// committed; no consolidation ran, the root manifest is stale.
+    AfterBatchBuild,
+    /// The first due consolidation's merged instance is durably committed;
+    /// its input directories still exist, the root manifest is stale.
+    AfterMergeBuild,
+    /// The first due consolidation's merged instance is committed and its
+    /// input directories are removed; the root manifest is stale — it
+    /// still references the GC'd inputs.
+    AfterGc,
+}
+
 /// Owner-side manager of a dynamically updated, privately searchable
 /// dataset.
 pub struct UpdateManager<S: RangeScheme> {
     domain: Domain,
     config: UpdateConfig,
+    /// Master-key chain sealing the per-instance owner sidecars. Drawn
+    /// lazily from the first ingest's RNG unless supplied up front via
+    /// [`with_key`](Self::with_key) / [`open_root`](Self::open_root).
+    chain: Option<KeyChain>,
     /// `levels[l]` holds the not-yet-consolidated instances at height `l` of
     /// the s-ary merge tree (level 0 = raw batches).
     levels: Vec<Vec<BatchInstance<S>>>,
@@ -136,10 +256,19 @@ pub struct UpdateManager<S: RangeScheme> {
 
 impl<S: RangeScheme> UpdateManager<S> {
     /// Creates an empty manager over `domain`.
+    ///
+    /// The owner master key — which seals the durable owner state of a
+    /// persisted manager — is drawn from the first
+    /// [`ingest_batch`](Self::ingest_batch)'s RNG; retrieve it with
+    /// [`owner_key`](Self::owner_key) and store it safely if the manager
+    /// is ever to be reopened with [`open_root`](Self::open_root).
+    /// Managers restarted across processes should prefer
+    /// [`with_key`](Self::with_key).
     pub fn new(domain: Domain, config: UpdateConfig) -> Self {
         Self {
             domain,
             config,
+            chain: None,
             levels: Vec::new(),
             next_seq: 0,
             next_build: 0,
@@ -148,20 +277,80 @@ impl<S: RangeScheme> UpdateManager<S> {
         }
     }
 
+    /// Creates an empty manager over `domain` whose durable owner state is
+    /// sealed under the given master key — the key
+    /// [`open_root`](Self::open_root) will later need to reopen the
+    /// manager from its storage root.
+    pub fn with_key(key: OwnerKey, domain: Domain, config: UpdateConfig) -> Self {
+        let mut manager = Self::new(domain, config);
+        manager.chain = Some(KeyChain::new(key));
+        manager
+    }
+
+    /// The owner master key, if one has been set or drawn yet (`None`
+    /// before the first ingest of a [`new`](Self::new)-built manager).
+    /// This is the key to persist alongside the storage root: without it
+    /// the root cannot be reopened.
+    pub fn owner_key(&self) -> Option<&OwnerKey> {
+        self.chain.as_ref().map(KeyChain::master)
+    }
+
+    /// Ensures the master-key chain exists, drawing a fresh key from `rng`
+    /// on the first ingest of a manager built without one.
+    fn ensure_chain<R: RngCore + CryptoRng>(&mut self, rng: &mut R) -> &KeyChain {
+        if self.chain.is_none() {
+            self.chain = Some(KeyChain::generate(rng));
+        }
+        self.chain.as_ref().expect("chain was just ensured")
+    }
+
     /// The storage configuration for the next index build: in-memory, or a
     /// fresh uniquely named subdirectory of the configured storage root.
-    fn next_instance_config(&mut self) -> StorageConfig {
-        match &self.config.storage_root {
+    /// Returns the build number that names (and is sealed into) the
+    /// instance.
+    fn next_instance_config(&mut self) -> (u64, StorageConfig) {
+        let build_id = self.next_build;
+        self.next_build += 1;
+        let config = match &self.config.storage_root {
             None => StorageConfig::in_memory(self.config.shard_bits),
             Some(root) => {
-                let dir = root.join(format!("instance-{:08}", self.next_build));
-                self.next_build += 1;
+                let dir = root.join(ManagerManifest::instance_dir_name(build_id));
                 let config = StorageConfig::on_disk(self.config.shard_bits, dir);
                 match self.config.cache_budget {
                     Some(budget) => config.with_cache_budget(budget),
                     None => config,
                 }
             }
+        };
+        (build_id, config)
+    }
+
+    /// The root manifest describing the manager's current durable state.
+    fn manifest(&self) -> ManagerManifest {
+        ManagerManifest {
+            scheme: S::NAME.to_string(),
+            domain_size: self.domain.size(),
+            consolidation_step: self.config.consolidation_step as u64,
+            shard_bits: self.config.shard_bits,
+            cache_budget: self.config.cache_budget.map(|b| b as u64),
+            next_seq: self.next_seq,
+            next_build: self.next_build,
+            batches_ingested: self.batches_ingested as u64,
+            consolidations: self.consolidations as u64,
+            levels: self
+                .levels
+                .iter()
+                .map(|level| level.iter().map(BatchInstance::manifest_record).collect())
+                .collect(),
+        }
+    }
+
+    /// Commits the root manifest (atomic tmp + rename). No-op without a
+    /// storage root: an in-memory manager has no durable state to record.
+    fn persist_manifest(&self) -> Result<(), StorageError> {
+        match &self.config.storage_root {
+            None => Ok(()),
+            Some(root) => write_manager_manifest(root, &self.manifest()),
         }
     }
 
@@ -222,6 +411,31 @@ impl<S: RangeScheme> UpdateManager<S> {
         entries: Vec<UpdateEntry>,
         rng: &mut R,
     ) -> Result<(), StorageError> {
+        self.try_ingest_batch_inner(entries, rng, None)
+    }
+
+    /// Test support: runs [`try_ingest_batch`](Self::try_ingest_batch) but
+    /// simulates a process kill at the given [`KillPoint`] — every disk
+    /// write up to that stage has happened, nothing after it has (in
+    /// particular, the root manifest is left stale). The manager object
+    /// must be discarded afterwards, exactly as a killed process would be;
+    /// reopen the root with [`open_root`](Self::open_root).
+    #[doc(hidden)]
+    pub fn try_ingest_batch_kill_at<R: RngCore + CryptoRng>(
+        &mut self,
+        entries: Vec<UpdateEntry>,
+        rng: &mut R,
+        kill: KillPoint,
+    ) -> Result<(), StorageError> {
+        self.try_ingest_batch_inner(entries, rng, Some(kill))
+    }
+
+    fn try_ingest_batch_inner<R: RngCore + CryptoRng>(
+        &mut self,
+        entries: Vec<UpdateEntry>,
+        rng: &mut R,
+        kill: Option<KillPoint>,
+    ) -> Result<(), StorageError> {
         for entry in &entries {
             assert!(
                 self.domain.contains(entry.record.value),
@@ -230,9 +444,22 @@ impl<S: RangeScheme> UpdateManager<S> {
                 self.domain.size()
             );
         }
+        self.ensure_chain(rng);
+        let mut seed = [0u8; SEED_LEN];
+        rng.fill_bytes(&mut seed);
         let seq = self.next_seq;
-        let config = self.next_instance_config();
-        let instance = match BatchInstance::build(self.domain, seq, entries, &config, rng) {
+        let (build_id, config) = self.next_instance_config();
+        let chain = self.chain.as_ref().expect("chain ensured above");
+        let instance = match BatchInstance::build(
+            self.domain,
+            build_id,
+            seq,
+            0,
+            entries,
+            &config,
+            chain,
+            seed,
+        ) {
             Ok(instance) => instance,
             Err(error) => {
                 // Don't leak a half-written instance directory.
@@ -248,28 +475,46 @@ impl<S: RangeScheme> UpdateManager<S> {
             self.levels.push(Vec::new());
         }
         self.levels[0].push(instance);
-        self.consolidate_due_levels(rng)
+        if kill == Some(KillPoint::AfterBatchBuild) {
+            return Ok(());
+        }
+        if self.consolidate_due_levels(rng, kill)? {
+            return Ok(()); // killed mid-consolidation: no manifest commit
+        }
+        // The manifest is committed last, once every instance directory it
+        // references is durable: a crash anywhere above leaves a manifest
+        // describing the previous consistent state, which open_root heals
+        // (rolling an uncommitted batch back, a committed consolidation
+        // forward).
+        self.persist_manifest()
     }
 
+    /// Runs every due consolidation. Returns `true` if a simulated kill
+    /// stopped the work mid-way (test support; the caller must then skip
+    /// the manifest commit, exactly as a killed process would have).
     fn consolidate_due_levels<R: RngCore + CryptoRng>(
         &mut self,
         rng: &mut R,
-    ) -> Result<(), StorageError> {
+        kill: Option<KillPoint>,
+    ) -> Result<bool, StorageError> {
         let step = self.config.consolidation_step;
         if step == 0 {
-            return Ok(());
+            return Ok(false);
         }
         let mut level = 0;
         while level < self.levels.len() {
             if self.levels[level].len() >= step {
                 let group: Vec<BatchInstance<S>> = self.levels[level].drain(..).collect();
-                match self.merge_instances(group, rng) {
-                    Ok(merged) => {
+                match self.merge_instances(group, level, rng, kill) {
+                    Ok((merged, killed)) => {
                         if self.levels.len() <= level + 1 {
                             self.levels.push(Vec::new());
                         }
                         self.levels[level + 1].push(merged);
                         self.consolidations += 1;
+                        if killed {
+                            return Ok(true);
+                        }
                     }
                     Err((group, error)) => {
                         // Roll back: the inputs stay active, nothing lost.
@@ -280,7 +525,7 @@ impl<S: RangeScheme> UpdateManager<S> {
             }
             level += 1;
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Merges a group of instances into one: replays their updates in
@@ -301,8 +546,10 @@ impl<S: RangeScheme> UpdateManager<S> {
     fn merge_instances<R: RngCore + CryptoRng>(
         &mut self,
         mut group: Vec<BatchInstance<S>>,
+        level: usize,
         rng: &mut R,
-    ) -> Result<BatchInstance<S>, (Vec<BatchInstance<S>>, StorageError)> {
+        kill: Option<KillPoint>,
+    ) -> Result<(BatchInstance<S>, bool), (Vec<BatchInstance<S>>, StorageError)> {
         group.sort_by_key(|instance| instance.seq);
         let newest_seq = group.last().map(|i| i.seq).unwrap_or(0);
         let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
@@ -331,15 +578,36 @@ impl<S: RangeScheme> UpdateManager<S> {
                 },
             })
             .collect();
-        let config = self.next_instance_config();
-        match BatchInstance::build(self.domain, newest_seq, surviving, &config, rng) {
+        let mut seed = [0u8; SEED_LEN];
+        rng.fill_bytes(&mut seed);
+        let (build_id, config) = self.next_instance_config();
+        let chain = self
+            .chain
+            .as_ref()
+            .expect("consolidation only runs after an ingest ensured the chain");
+        match BatchInstance::build(
+            self.domain,
+            build_id,
+            newest_seq,
+            (level + 1) as u32,
+            surviving,
+            &config,
+            chain,
+            seed,
+        ) {
             Ok(merged) => {
+                if kill == Some(KillPoint::AfterMergeBuild) {
+                    // Simulated kill between the merged instance's commit
+                    // and the GC of its inputs: both generations exist on
+                    // disk, the manifest references only the old one.
+                    return Ok((merged, true));
+                }
                 // The merged instance is durably built; the inputs' indexes
                 // are now superseded and their directories can go.
                 for instance in &group {
                     instance.remove_dir();
                 }
-                Ok(merged)
+                Ok((merged, kill == Some(KillPoint::AfterGc)))
             }
             Err(error) => {
                 // Clean up the half-written merged index, keep the inputs.
@@ -430,6 +698,387 @@ impl<S: RangeScheme> UpdateManager<S> {
             .filter(|(_, entry)| !entry.is_deletion() && range.contains(entry.record.value))
             .map(|(_, entry)| entry.record.id)
             .collect()
+    }
+
+    /// Reopens a whole manager from the durable state at `root`: the
+    /// `manager.meta` manifest, the per-instance directories, and their
+    /// encrypted `owner.meta` sidecars — everything a restarted process
+    /// needs besides the owner master `key`.
+    ///
+    /// Each instance's client re-derives byte-identically by replaying its
+    /// persisted build seed, and its server reopens through
+    /// [`RangeScheme::open_stored`], so the reopened manager answers
+    /// [`try_query`](Self::try_query) exactly as the pre-crash manager
+    /// did. `config` selects how the instances are served going forward:
+    ///
+    /// * `config.storage_root == Some(root)` — instances cold-open from
+    ///   their directories (paged reads, bounded by
+    ///   `config.cache_budget`), future ingests keep persisting, and the
+    ///   healed manifest is re-committed;
+    /// * `config.storage_root == None` — the durable state is **restored
+    ///   into RAM**: every instance rebuilds in memory from its persisted
+    ///   update log, nothing at `root` is modified beyond crash cleanup,
+    ///   and the reopened manager continues as a purely in-memory one.
+    ///
+    /// # Crash recovery
+    ///
+    /// The manifest commits only after the instance directories it
+    /// references are durable, so a crash between an index commit and the
+    /// manifest commit leaves one of three windows, each of which this
+    /// method heals:
+    ///
+    /// * a **batch instance** committed but unreferenced — the ingest
+    ///   never returned to the caller, so it is rolled back (the
+    ///   directory is swept after its sidecar authenticates);
+    /// * a **consolidated instance** committed but unreferenced — the
+    ///   merge is rolled *forward*: the merged instance supersedes every
+    ///   referenced instance one level down with a sequence number at or
+    ///   below its own (their directories, GC'd or still present, are
+    ///   resolved), and the consolidation counter advances;
+    /// * a manifest referencing an instance whose directory was already
+    ///   **GC'd** — tolerated exactly when a committed consolidation
+    ///   supersedes it (the previous case); otherwise the root is
+    ///   genuinely damaged and the open fails typed.
+    ///
+    /// # Errors
+    ///
+    /// Everything malformed surfaces as a typed [`StorageError`]: a
+    /// missing or corrupt manifest, a scheme-kind mismatch, a referenced
+    /// instance directory that is missing (with no superseding
+    /// consolidation), foreign or stale sidecars (sequence or level
+    /// disagreeing with the manifest), and owner payloads failing
+    /// authentication — the wrong master key refuses to open rather than
+    /// misinterpreting the root, and **nothing is deleted before the
+    /// sidecars of the directories involved have authenticated** under
+    /// the supplied key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use rand_chacha::ChaCha20Rng;
+    /// use rsse_core::schemes::log_brc_urc::LogScheme;
+    /// use rsse_cover::{Domain, Range};
+    /// use rsse_updates::{OwnerKey, UpdateConfig, UpdateEntry, UpdateManager};
+    ///
+    /// let root = std::env::temp_dir().join(format!("rsse-open-root-doc-{}", std::process::id()));
+    /// let mut rng = ChaCha20Rng::seed_from_u64(1);
+    /// let key = OwnerKey::generate(&mut rng);
+    /// let config = UpdateConfig {
+    ///     storage_root: Some(root.clone()),
+    ///     ..UpdateConfig::default()
+    /// };
+    ///
+    /// // A persisted manager: every batch index and the owner state land
+    /// // under `root`.
+    /// let mut manager: UpdateManager<LogScheme> =
+    ///     UpdateManager::with_key(key.clone(), Domain::new(256), config.clone());
+    /// manager.ingest_batch((0..10).map(|i| UpdateEntry::insert(i, i * 20)).collect(), &mut rng);
+    /// let before = manager.query(Range::new(0, 255));
+    /// drop(manager); // the process "dies"
+    ///
+    /// // A new process reopens the root from disk alone and answers
+    /// // byte-identically.
+    /// let reopened: UpdateManager<LogScheme> =
+    ///     UpdateManager::open_root(key, &root, config).unwrap();
+    /// assert_eq!(reopened.query(Range::new(0, 255)), before);
+    /// # std::fs::remove_dir_all(&root).unwrap();
+    /// ```
+    pub fn open_root(
+        key: OwnerKey,
+        root: impl AsRef<Path>,
+        config: UpdateConfig,
+    ) -> Result<Self, StorageError> {
+        let root = root.as_ref();
+        if let Some(configured) = &config.storage_root {
+            if configured != root {
+                return Err(StorageError::Unsupported(
+                    "open_root: config.storage_root must be the opened root (or None \
+                     to restore the instances into memory)",
+                ));
+            }
+        }
+        let manifest = read_manager_manifest(root)?;
+        let manifest_path = root.join(rsse_sse::storage::MANAGER_MANIFEST_FILE);
+        let corrupt = |detail: String| StorageError::CorruptDirectory {
+            path: manifest_path.clone(),
+            detail,
+        };
+        if manifest.scheme != S::NAME {
+            return Err(corrupt(format!(
+                "root was built by scheme \"{}\", reopened as \"{}\"",
+                manifest.scheme,
+                S::NAME
+            )));
+        }
+        // Validate before Domain::new, whose own bounds are assertions —
+        // a corrupt size must surface typed, not panic.
+        if manifest.domain_size == 0 || manifest.domain_size > 1 << 63 {
+            return Err(corrupt(format!(
+                "manifest claims an invalid domain size {}",
+                manifest.domain_size
+            )));
+        }
+        let domain = Domain::new(manifest.domain_size);
+        let chain = KeyChain::new(key);
+
+        // Inventory the canonical instance directories under the root.
+        let mut on_disk: HashMap<u64, PathBuf> = HashMap::new();
+        let dir_iter = std::fs::read_dir(root).map_err(|e| StorageError::Io {
+            path: root.to_path_buf(),
+            error: e,
+        })?;
+        for entry in dir_iter {
+            let entry = entry.map_err(|e| StorageError::Io {
+                path: root.to_path_buf(),
+                error: e,
+            })?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(build_id) = ManagerManifest::parse_instance_dir_name(name) {
+                // Only the exact names the manager writes; anything else
+                // (a user's `instance-1`, scratch siblings) is left alone.
+                if name == ManagerManifest::instance_dir_name(build_id) && entry.path().is_dir() {
+                    on_disk.insert(build_id, entry.path());
+                }
+            }
+        }
+        let referenced: HashSet<u64> = manifest
+            .levels
+            .iter()
+            .flatten()
+            .map(|instance| instance.build_id)
+            .collect();
+
+        // Read every commit record (owner sidecar). A referenced directory
+        // without one is damaged; an unreferenced one is a half-built
+        // instance a crash left behind — swept below.
+        let mut sidecars: HashMap<u64, OwnerMeta> = HashMap::new();
+        let mut half_built: Vec<PathBuf> = Vec::new();
+        for (&build_id, dir) in &on_disk {
+            match read_owner_meta(dir) {
+                Ok(meta) => {
+                    if meta.build_id != build_id {
+                        return Err(StorageError::CorruptDirectory {
+                            path: dir.clone(),
+                            detail: format!(
+                                "owner sidecar names build {} inside directory {} — \
+                                 a foreign instance",
+                                meta.build_id,
+                                ManagerManifest::instance_dir_name(build_id)
+                            ),
+                        });
+                    }
+                    sidecars.insert(build_id, meta);
+                }
+                Err(_) if !referenced.contains(&build_id) => half_built.push(dir.clone()),
+                Err(error) => return Err(error),
+            }
+        }
+
+        // Working level table seeded from the manifest; referenced
+        // sidecars must agree with it on sequence number and level.
+        let mut levels: Vec<Vec<(u64, u64, Option<ManifestInstance>)>> = manifest
+            .levels
+            .iter()
+            .map(|level| {
+                level
+                    .iter()
+                    .map(|instance| (instance.build_id, instance.seq, Some(instance.clone())))
+                    .collect()
+            })
+            .collect();
+        for (level_index, level) in levels.iter().enumerate() {
+            for &(build_id, seq, _) in level {
+                if let Some(meta) = sidecars.get(&build_id) {
+                    if meta.seq != seq || meta.level != level_index as u32 {
+                        return Err(StorageError::CorruptDirectory {
+                            path: on_disk[&build_id].clone(),
+                            detail: format!(
+                                "owner sidecar says (seq {}, level {}) but the manifest \
+                                 records (seq {seq}, level {level_index}) — a stale or \
+                                 foreign instance",
+                                meta.seq, meta.level
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Resolve committed-but-unreferenced instances, in (level, seq)
+        // order so cascaded consolidations adopt bottom-up.
+        let mut orphans: Vec<(u32, u64, u64)> = sidecars
+            .iter()
+            .filter(|(build_id, _)| !referenced.contains(build_id))
+            .map(|(&build_id, meta)| (meta.level, meta.seq, build_id))
+            .collect();
+        orphans.sort_unstable();
+        let mut sweep: Vec<u64> = Vec::new();
+        let mut adopted_consolidations = 0u64;
+        for (level, seq, build_id) in orphans {
+            if level == 0 {
+                // A batch whose ingest never committed its manifest: the
+                // caller never saw the ingest succeed, so roll it back.
+                sweep.push(build_id);
+                continue;
+            }
+            // A committed consolidation: roll it forward. It supersedes
+            // every instance one level down with seq at or below its own
+            // (exactly its inputs — a merge drains the whole level).
+            let input_level = (level - 1) as usize;
+            if let Some(inputs) = levels.get_mut(input_level) {
+                let mut kept = Vec::with_capacity(inputs.len());
+                for input in inputs.drain(..) {
+                    if input.1 <= seq {
+                        if on_disk.contains_key(&input.0) {
+                            sweep.push(input.0); // late-GC leftover
+                        }
+                    } else {
+                        kept.push(input);
+                    }
+                }
+                *inputs = kept;
+            }
+            while levels.len() <= level as usize {
+                levels.push(Vec::new());
+            }
+            levels[level as usize].push((build_id, seq, None));
+            adopted_consolidations += 1;
+        }
+
+        // After adoption, every remaining instance must have its
+        // directory: a missing one is genuine damage, not a GC artifact.
+        for level in &levels {
+            for &(build_id, seq, _) in level {
+                if !on_disk.contains_key(&build_id) {
+                    return Err(corrupt(format!(
+                        "instance {} (seq {seq}) is referenced by the manifest but its \
+                         directory is missing and no committed consolidation supersedes it",
+                        ManagerManifest::instance_dir_name(build_id)
+                    )));
+                }
+            }
+        }
+
+        // Decrypt and authenticate every owner payload involved — the kept
+        // instances and the directories about to be swept — BEFORE
+        // touching the disk: a wrong master key must fail the open, never
+        // delete.
+        let mut opened: HashMap<u64, ([u8; SEED_LEN], Vec<UpdateEntry>)> = HashMap::new();
+        for level in &levels {
+            for &(build_id, _, _) in level {
+                let meta = &sidecars[&build_id];
+                let dir = &on_disk[&build_id];
+                opened.insert(
+                    build_id,
+                    persist::open_payload(&chain, build_id, dir, &meta.payload)?,
+                );
+            }
+        }
+        for &build_id in &sweep {
+            let meta = &sidecars[&build_id];
+            persist::open_payload(&chain, build_id, &on_disk[&build_id], &meta.payload)?;
+        }
+
+        // Reconstruct the instances in level order.
+        let persist_instances = config.storage_root.is_some();
+        let mut rebuilt: Vec<Vec<BatchInstance<S>>> = Vec::with_capacity(levels.len());
+        for level in &levels {
+            let mut instances = Vec::with_capacity(level.len());
+            for (build_id, seq, record) in level {
+                let dir = &on_disk[build_id];
+                let (seed, entries) = opened.remove(build_id).expect("payload opened above");
+                if let Some(record) = record {
+                    let (mut inserts, mut modifies, mut deletes) = (0u64, 0u64, 0u64);
+                    for entry in &entries {
+                        match entry.op {
+                            UpdateOp::Insert => inserts += 1,
+                            UpdateOp::Modify => modifies += 1,
+                            UpdateOp::Delete => deletes += 1,
+                        }
+                    }
+                    if entries.len() as u64 != record.entry_count
+                        || inserts != record.inserts
+                        || modifies != record.modifies
+                        || deletes != record.deletes
+                    {
+                        return Err(StorageError::CorruptDirectory {
+                            path: dir.clone(),
+                            detail: format!(
+                                "owner payload holds {} entries \
+                                 ({inserts}/{modifies}/{deletes} ins/mod/del) but the \
+                                 manifest records {} ({}/{}/{}) — manifest and instance \
+                                 disagree",
+                                entries.len(),
+                                record.entry_count,
+                                record.inserts,
+                                record.modifies,
+                                record.deletes
+                            ),
+                        });
+                    }
+                }
+                let instance_config = if persist_instances {
+                    let cfg = StorageConfig::on_disk(manifest.shard_bits, dir.clone());
+                    match config.cache_budget {
+                        Some(budget) => cfg.with_cache_budget(budget),
+                        None => cfg,
+                    }
+                } else {
+                    StorageConfig::in_memory(manifest.shard_bits)
+                };
+                instances.push(BatchInstance::reopen(
+                    domain,
+                    *build_id,
+                    *seq,
+                    entries,
+                    &instance_config,
+                    seed,
+                )?);
+            }
+            rebuilt.push(instances);
+        }
+
+        // Commit the cleanup: superseded and rolled-back directories (all
+        // authenticated above) and half-built leftovers go.
+        for build_id in sweep {
+            let _ = std::fs::remove_dir_all(&on_disk[&build_id]);
+        }
+        for dir in half_built {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+
+        // Counters: adopted consolidations advance them past the stale
+        // manifest's values (an adopted merge whose newest input was the
+        // crashed ingest's batch also advances the batch counters).
+        let max_seq = rebuilt
+            .iter()
+            .flatten()
+            .map(|instance| instance.seq + 1)
+            .max()
+            .unwrap_or(0);
+        let next_seq = manifest.next_seq.max(max_seq);
+        let next_build = on_disk
+            .keys()
+            .map(|id| id + 1)
+            .max()
+            .unwrap_or(0)
+            .max(manifest.next_build);
+        let manager = Self {
+            domain,
+            config,
+            chain: Some(chain),
+            levels: rebuilt,
+            next_seq,
+            next_build,
+            batches_ingested: (manifest.batches_ingested + (next_seq - manifest.next_seq)) as usize,
+            consolidations: (manifest.consolidations + adopted_consolidations) as usize,
+        };
+        // Re-commit the healed manifest (no-op for an in-memory restore),
+        // so the next crash starts from this consistent state.
+        manager.persist_manifest()?;
+        Ok(manager)
     }
 }
 
@@ -734,19 +1383,22 @@ mod tests {
             },
         );
         mgr.ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng);
+        // The root holds the instance directory plus the manager.meta
+        // manifest committed at the end of the ingest.
         assert_eq!(
             root.subdir_count(),
-            1,
-            "one persisted instance after one batch"
+            2,
+            "one persisted instance + the root manifest after one batch"
         );
         mgr.ingest_batch(vec![UpdateEntry::insert(2, 20)], &mut rng);
         // s = 2: the two level-0 instances merged into one level-1 instance;
-        // their directories are gone, only the merged one remains.
+        // their directories are gone, only the merged one (and the
+        // manifest) remains.
         assert_eq!(mgr.active_instances(), 1);
         assert_eq!(
             root.subdir_count(),
-            mgr.active_instances(),
-            "exactly one directory per active instance after consolidation"
+            mgr.active_instances() + 1,
+            "exactly one directory per active instance + the manifest"
         );
         assert_eq!(sorted(mgr.query(Range::new(0, 255)).ids), vec![1, 2]);
     }

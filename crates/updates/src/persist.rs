@@ -1,0 +1,214 @@
+//! Owner-state persistence for the update manager.
+//!
+//! The durable footprint of an [`UpdateManager`](crate::UpdateManager) is:
+//!
+//! * one **`manager.meta`** manifest at the storage root — public
+//!   bookkeeping (scheme kind and parameters, counters, the level table
+//!   with per-instance sequence numbers and operation counts), serialized
+//!   by [`rsse_sse::storage`]'s `ManagerManifest` codec;
+//! * one **`owner.meta`** sidecar per instance directory — the instance's
+//!   identity plus an encrypted, authenticated payload holding the
+//!   owner's secrets for that instance: the 32-byte **build seed** (from
+//!   which the instance's whole key material re-derives) and the
+//!   plaintext **update log** (the entries the instance indexes, needed
+//!   for result refinement and future consolidations).
+//!
+//! This module implements the payload cryptography and codec. The payload
+//! is encrypted with the workspace [`StreamCipher`] under a key derived
+//! from the owner's master key and the instance's build number, then
+//! authenticated encrypt-then-MAC with a PRF tag under an independently
+//! derived key. A wrong master key, a bit flip, or a sidecar transplanted
+//! from another instance all fail the tag check and surface as typed
+//! [`StorageError`]s — recovery never acts on unauthenticated owner state.
+
+use crate::batch::{UpdateEntry, UpdateOp};
+use rsse_core::{Record, StorageError};
+use rsse_crypto::{cipher::NONCE_LEN, Key, KeyChain, Prf, StreamCipher, KEY_LEN};
+use std::path::Path;
+
+/// Length of the per-instance build seed (a full ChaCha20 seed).
+pub const SEED_LEN: usize = 32;
+
+/// Bytes per serialized update entry: id + value + op tag.
+const ENTRY_LEN: usize = 17;
+
+/// The authentication tag is a full PRF output.
+const TAG_LEN: usize = KEY_LEN;
+
+/// Derives the payload encryption key for one instance.
+fn payload_cipher(chain: &KeyChain, build_id: u64) -> StreamCipher {
+    StreamCipher::new(&chain.derive_indexed(b"owner-meta-enc", build_id))
+}
+
+/// Derives the payload MAC for one instance.
+fn payload_mac(chain: &KeyChain, build_id: u64) -> Prf {
+    Prf::new(&chain.derive_indexed(b"owner-meta-mac", build_id))
+}
+
+/// Serializes, encrypts, and authenticates one instance's owner secrets
+/// (`seed` + update log) into the opaque `owner.meta` payload.
+///
+/// Keys are unique per `(master key, build id)` pair and the payload is
+/// written exactly once per instance, so a fixed all-zero nonce is safe
+/// and keeps the output deterministic.
+pub(crate) fn seal_payload(
+    chain: &KeyChain,
+    build_id: u64,
+    seed: &[u8; SEED_LEN],
+    entries: &[UpdateEntry],
+) -> Vec<u8> {
+    let mut plain = Vec::with_capacity(SEED_LEN + 8 + entries.len() * ENTRY_LEN);
+    plain.extend_from_slice(seed);
+    plain.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for entry in entries {
+        plain.extend_from_slice(&entry.record.id.to_le_bytes());
+        plain.extend_from_slice(&entry.record.value.to_le_bytes());
+        plain.push(match entry.op {
+            UpdateOp::Insert => 0,
+            UpdateOp::Modify => 1,
+            UpdateOp::Delete => 2,
+        });
+    }
+    let mut sealed = payload_cipher(chain, build_id).encrypt_with_nonce(&[0u8; NONCE_LEN], &plain);
+    let tag = payload_mac(chain, build_id).eval(&sealed);
+    sealed.extend_from_slice(&tag);
+    sealed
+}
+
+/// Verifies and decrypts one instance's owner payload back into its build
+/// seed and update log.
+///
+/// # Errors
+///
+/// A failed tag check (wrong master key, tampering, or a sidecar copied
+/// from a different instance) and every structural inconsistency surface
+/// as typed [`StorageError::CorruptDirectory`]s naming `dir`.
+pub(crate) fn open_payload(
+    chain: &KeyChain,
+    build_id: u64,
+    dir: &Path,
+    payload: &[u8],
+) -> Result<([u8; SEED_LEN], Vec<UpdateEntry>), StorageError> {
+    let corrupt = |detail: String| StorageError::CorruptDirectory {
+        path: dir.join(rsse_sse::storage::OWNER_META_FILE),
+        detail,
+    };
+    if payload.len() < TAG_LEN + NONCE_LEN {
+        return Err(corrupt(format!(
+            "owner payload of {} bytes is shorter than nonce + tag",
+            payload.len()
+        )));
+    }
+    let (sealed, tag) = payload.split_at(payload.len() - TAG_LEN);
+    let expected = payload_mac(chain, build_id).eval(sealed);
+    // Not constant-time; the comparison guards the owner's own local state
+    // against corruption, not a remote oracle.
+    if tag != expected {
+        return Err(corrupt(
+            "owner payload failed authentication — wrong owner key, tampered \
+             sidecar, or a sidecar copied from another instance"
+                .to_string(),
+        ));
+    }
+    let plain = payload_cipher(chain, build_id)
+        .decrypt(sealed)
+        .ok_or_else(|| corrupt("owner payload shorter than its nonce".to_string()))?;
+    if plain.len() < SEED_LEN + 8 {
+        return Err(corrupt(format!(
+            "owner payload plaintext of {} bytes is shorter than seed + count",
+            plain.len()
+        )));
+    }
+    let mut seed = [0u8; SEED_LEN];
+    seed.copy_from_slice(&plain[..SEED_LEN]);
+    let count = u64::from_le_bytes(plain[SEED_LEN..SEED_LEN + 8].try_into().expect("8 bytes"));
+    let body = &plain[SEED_LEN + 8..];
+    if body.len() as u64 != count.saturating_mul(ENTRY_LEN as u64) {
+        return Err(corrupt(format!(
+            "owner payload claims {count} entries but holds {} body bytes",
+            body.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for chunk in body.chunks_exact(ENTRY_LEN) {
+        let id = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+        let value = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
+        let op = match chunk[16] {
+            0 => UpdateOp::Insert,
+            1 => UpdateOp::Modify,
+            2 => UpdateOp::Delete,
+            other => {
+                return Err(corrupt(format!("unknown update-op tag {other}")));
+            }
+        };
+        entries.push(UpdateEntry {
+            record: Record::new(id, value),
+            op,
+        });
+    }
+    Ok((seed, entries))
+}
+
+/// The owner's master key: the single secret from which every durable
+/// manager state re-derives — payload encryption and MAC keys per
+/// instance. Losing it orphans the storage root (the encrypted indexes
+/// stay intact but the owner can no longer interpret them); it should be
+/// stored like any other long-term symmetric key.
+pub type OwnerKey = Key;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn chain() -> KeyChain {
+        KeyChain::new(Key::from_bytes([7u8; KEY_LEN]))
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let seed = [42u8; SEED_LEN];
+        let entries = vec![
+            UpdateEntry::insert(1, 10),
+            UpdateEntry::modify(2, 20),
+            UpdateEntry::delete(3, 30),
+        ];
+        let sealed = seal_payload(&chain(), 5, &seed, &entries);
+        let (got_seed, got_entries) =
+            open_payload(&chain(), 5, Path::new("/x"), &sealed).expect("round trip");
+        assert_eq!(got_seed, seed);
+        assert_eq!(got_entries, entries);
+    }
+
+    #[test]
+    fn wrong_key_fails_authentication() {
+        let sealed = seal_payload(&chain(), 1, &[1u8; SEED_LEN], &[UpdateEntry::insert(1, 1)]);
+        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let other = KeyChain::generate(&mut rng);
+        let err = open_payload(&other, 1, Path::new("/x"), &sealed).expect_err("must fail");
+        assert!(matches!(err, StorageError::CorruptDirectory { .. }));
+    }
+
+    #[test]
+    fn wrong_build_id_fails_authentication() {
+        // A sidecar transplanted into another instance's directory must not
+        // authenticate: the MAC key is bound to the build id.
+        let sealed = seal_payload(&chain(), 1, &[1u8; SEED_LEN], &[]);
+        assert!(open_payload(&chain(), 2, Path::new("/x"), &sealed).is_err());
+    }
+
+    #[test]
+    fn bit_flips_fail_authentication() {
+        let mut sealed = seal_payload(&chain(), 3, &[9u8; SEED_LEN], &[UpdateEntry::insert(4, 4)]);
+        for at in [0, sealed.len() / 2, sealed.len() - 1] {
+            sealed[at] ^= 1;
+            assert!(
+                open_payload(&chain(), 3, Path::new("/x"), &sealed).is_err(),
+                "flip at {at} must fail"
+            );
+            sealed[at] ^= 1;
+        }
+        assert!(open_payload(&chain(), 3, Path::new("/x"), &sealed).is_ok());
+    }
+}

@@ -10,7 +10,7 @@
 //! 2. the server state is dropped entirely;
 //! 3. a "fresh process" cold-opens the index with [`QueryServer::open_dir`]
 //!    — shard bucket directories load, ciphertext regions stay on disk —
-//!    and answers a batch of range queries through `answer_many`, with
+//!    and answers a batch of range queries through `answer_many_strict`, with
 //!    paged reads faulting in only the probed blocks (a failed read
 //!    surfaces as a typed `StorageError`, never as a silently empty
 //!    result);
@@ -105,7 +105,9 @@ fn main() {
     // ---------------------------------------------------------------
     // 4. Reopen with a block-cache budget: resident ciphertext blocks are
     //    capped by a clock cache while outcomes stay identical. The
-    //    fallible serving API (`answer_many` returning a Result) is what
+    //    fallible serving API — `answer_many` returns one Result per
+    //    query (with a single retry for transient faults), and
+    //    `answer_many_strict` collects them all-or-nothing — is what
     //    lets a production server distinguish "no matches" from "the disk
     //    failed mid-search".
     // ---------------------------------------------------------------

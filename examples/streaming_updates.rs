@@ -1,11 +1,16 @@
 //! Streaming-updates scenario: nightly batches of inserts, edits and
 //! deletions over an encrypted, range-searchable dataset with forward
-//! privacy (Section 7 of the paper).
+//! privacy (Section 7 of the paper) — plus a **process restart**: the
+//! manager is dropped mid-stream and reopened from its storage root with
+//! [`UpdateManager::open_root`], answering byte-identically.
 //!
 //! Each batch becomes a fresh static index under a fresh key; the manager
 //! consolidates batches hierarchically (log-structured merge, step `s`), so
 //! the number of live indexes — and therefore per-query overhead — stays
-//! logarithmic in the number of batches.
+//! logarithmic in the number of batches. With a storage root configured,
+//! every instance persists to its own directory next to a `manager.meta`
+//! manifest and an encrypted `owner.meta` sidecar per instance, so the
+//! owner's whole state survives the process (see `docs/FORMATS.md`).
 //!
 //! Run with:
 //! ```sh
@@ -21,19 +26,24 @@ use rsse::prelude::*;
 fn main() {
     let mut rng = ChaCha20Rng::seed_from_u64(7);
     let domain = Domain::new(1 << 16);
+    let root = std::env::temp_dir().join(format!("rsse-streaming-updates-{}", std::process::id()));
+    // The master key sealing the owner's durable state: with the root
+    // directory, it is everything a restarted process needs.
+    let key = OwnerKey::generate(&mut rng);
     let config = UpdateConfig {
         consolidation_step: 4,
         // Consolidation rebuilds go through the sharded BuildIndex: 2^4
         // label-prefix shards assemble in parallel on every merge.
         shard_bits: 4,
-        // In-memory instances; see examples/persistent_server.rs for the
-        // on-disk backend (UpdateConfig::storage_root).
-        storage_root: None,
-        // Only meaningful with a storage_root: bounds the resident
-        // ciphertext blocks of each persisted instance.
-        cache_budget: None,
+        // Persist every level of the merge hierarchy under one root: each
+        // instance streams to its own subdirectory during the build and is
+        // served from disk via paged reads.
+        storage_root: Some(root.clone()),
+        // Bound the resident ciphertext blocks of each persisted instance.
+        cache_budget: Some(4 << 20),
     };
-    let mut manager: UpdateManager<LogScheme> = UpdateManager::new(domain, config);
+    let mut manager: UpdateManager<LogScheme> =
+        UpdateManager::with_key(key.clone(), domain, config.clone());
 
     println!("ingesting 20 nightly batches (consolidation step s = 4)\n");
     println!(
@@ -87,7 +97,9 @@ fn main() {
 
     // Verify a few range queries against the owner's plaintext bookkeeping.
     println!("\nverifying query results against the plaintext state:");
-    for (lo, hi) in [(0u64, 1 << 15), (1 << 14, 3 << 14), (60_000, 65_535)] {
+    let check_ranges = [(0u64, 1 << 15), (1 << 14, 3 << 14), (60_000, 65_535)];
+    let mut pre_restart: Vec<QueryOutcome> = Vec::new();
+    for &(lo, hi) in &check_ranges {
         let range = Range::new(lo, hi);
         let outcome = manager.query(range);
         let mut expected: Vec<u64> = live
@@ -105,11 +117,55 @@ fn main() {
             outcome.stats.tokens_sent,
             manager.active_instances()
         );
+        pre_restart.push(outcome);
     }
+
+    // --- Process restart -------------------------------------------------
+    // Drop the manager (the "process dies") and reopen the whole thing
+    // from the storage root + master key alone: manifest, instance
+    // directories and encrypted owner sidecars are all it needs. The
+    // reopened manager answers byte-identically — same ids, same order,
+    // same per-query stats.
+    let instances_before = manager.active_instances();
+    drop(manager);
+    println!(
+        "\nprocess restart: reopening {} instances from {}",
+        instances_before,
+        root.display()
+    );
+    let mut manager: UpdateManager<LogScheme> =
+        UpdateManager::open_root(key, &root, config).expect("reopen from the storage root");
+    assert_eq!(manager.active_instances(), instances_before);
+    for (&(lo, hi), expected) in check_ranges.iter().zip(&pre_restart) {
+        let outcome = manager.query(Range::new(lo, hi));
+        assert_eq!(
+            &outcome, expected,
+            "reopened manager must answer byte-identically"
+        );
+    }
+    println!(
+        "  all {} verification queries answered byte-identically after reopen",
+        check_ranges.len()
+    );
+
+    // The reopened manager keeps ingesting — night 21 lands in the same
+    // merge hierarchy.
+    let value = rng.gen_range(0..domain.size());
+    manager.ingest_batch(vec![UpdateEntry::insert(next_id, value)], &mut rng);
+    live.push((next_id, value));
+    println!(
+        "  night 21 ingested after the restart: {} active indexes, {} batches total",
+        manager.active_instances(),
+        manager.batches_ingested()
+    );
 
     println!(
         "\nForward privacy: every batch is encrypted under its own key, so search\n\
          tokens issued before a batch existed cannot decrypt anything inside it;\n\
-         consolidation re-encrypts merged batches with yet another fresh key."
+         consolidation re-encrypts merged batches with yet another fresh key.\n\
+         Durability: the owner's state (seeds + update logs) persists encrypted\n\
+         under the master key next to each index — kill the process at any\n\
+         point and UpdateManager::open_root self-heals from the root."
     );
+    let _ = std::fs::remove_dir_all(&root);
 }

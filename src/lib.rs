@@ -62,6 +62,6 @@ pub mod prelude {
     };
     pub use rsse_cover::{Domain, Range};
     pub use rsse_sse::ShardedIndex;
-    pub use rsse_updates::{UpdateConfig, UpdateEntry, UpdateManager, UpdateOp};
+    pub use rsse_updates::{OwnerKey, UpdateConfig, UpdateEntry, UpdateManager, UpdateOp};
     pub use rsse_workload::{gowalla_like, usps_like, DatasetProfile};
 }

@@ -102,12 +102,13 @@ impl ConstantServer {
             depth: read_depth_meta(dir)?,
         })
     }
+}
 
-    /// Test support: makes every dictionary probe after the first
-    /// `successful_probes` fail with a typed storage error.
-    #[doc(hidden)]
-    pub fn inject_read_faults(&mut self, successful_probes: u64) {
-        self.index.inject_read_faults(successful_probes);
+/// Chaos-harness support (see the `rsse_sse::fault` module): injected
+/// faults wrap this server's dictionary.
+impl rsse_sse::FaultInjectable for ConstantServer {
+    fn fault_indexes(&mut self) -> Vec<&mut ShardedIndex> {
+        vec![&mut self.index]
     }
 }
 

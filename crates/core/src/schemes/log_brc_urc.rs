@@ -74,13 +74,13 @@ impl LogServer {
             index: ShardedIndex::open_dir(dir)?,
         })
     }
+}
 
-    /// Test support: makes every dictionary probe after the first
-    /// `successful_probes` fail with a typed storage error (see
-    /// `ShardedIndex::inject_read_faults`).
-    #[doc(hidden)]
-    pub fn inject_read_faults(&mut self, successful_probes: u64) {
-        self.index.inject_read_faults(successful_probes);
+/// Chaos-harness support (see the `rsse_sse::fault` module): injected
+/// faults wrap this server's dictionary.
+impl rsse_sse::FaultInjectable for LogServer {
+    fn fault_indexes(&mut self) -> Vec<&mut ShardedIndex> {
+        vec![&mut self.index]
     }
 }
 

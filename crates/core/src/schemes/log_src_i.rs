@@ -71,14 +71,14 @@ impl LogSrcIServer {
             index2: ShardedIndex::open_dir(dir.join(Self::I2_SUBDIR))?,
         })
     }
+}
 
-    /// Test support: makes every probe of **both** indexes after the first
-    /// `successful_probes` (counted per index) fail with a typed storage
-    /// error.
-    #[doc(hidden)]
-    pub fn inject_read_faults(&mut self, successful_probes: u64) {
-        self.index1.inject_read_faults(successful_probes);
-        self.index2.inject_read_faults(successful_probes);
+/// Chaos-harness support (see the `rsse_sse::fault` module): injected
+/// faults wrap **both** indexes, sharing one injector — probe counting is
+/// global across the two dictionaries.
+impl rsse_sse::FaultInjectable for LogSrcIServer {
+    fn fault_indexes(&mut self) -> Vec<&mut ShardedIndex> {
+        vec![&mut self.index1, &mut self.index2]
     }
 }
 

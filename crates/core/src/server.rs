@@ -28,8 +28,72 @@ use crate::metrics::QueryStats;
 use crate::traits::QueryOutcome;
 use rayon::prelude::*;
 use rsse_crypto::StreamCipher;
-use rsse_sse::{SearchToken, ShardedIndex, SseScheme, StorageError};
+use rsse_sse::{IndexLookup, SearchToken, ShardedIndex, SseScheme, StorageError};
 use std::path::Path;
+
+/// Runs one range query's whole token vector against any fallible index in
+/// a single lockstep scan, decrypting and decoding every hit into
+/// `per_token` (one id group per token, in token order, each group in
+/// storage-counter order). Returns the per-token entry counts on success.
+///
+/// This is the probe-and-decode core of [`QueryServer::answer`], exposed so
+/// serving layers (the `rsse-serve` crate) can wrap the index — deadlines,
+/// per-probe retries, circuit breakers — while producing **byte-identical
+/// outcomes** to the raw server: same scan order, same scratch reuse, same
+/// decode.
+///
+/// # Errors
+///
+/// A failed probe aborts the scan with its typed [`StorageError`]. On
+/// error, `per_token` keeps every id decoded before the failure — the
+/// lockstep scan visits all tokens in counter rounds, so the groups are a
+/// faithful "what was resolved so far" snapshot a caller can surface as a
+/// typed partial result.
+pub fn scan_query_into<I>(
+    index: &I,
+    tokens: &[SearchToken],
+    per_token: &mut Vec<Vec<DocId>>,
+) -> Result<Vec<usize>, StorageError>
+where
+    I: IndexLookup<Error = StorageError>,
+{
+    per_token.clear();
+    per_token.resize_with(tokens.len(), Vec::new);
+    let ciphers: Vec<StreamCipher> = tokens.iter().map(SearchToken::payload_cipher).collect();
+    let mut scratch: Vec<u8> = Vec::new();
+    SseScheme::search_batch_scan(index, tokens, |t, ciphertext| {
+        if ciphers[t].decrypt_into(ciphertext, &mut scratch) {
+            if let Some(id) = decode_id_payload(&scratch) {
+                per_token[t].push(id);
+            }
+        }
+    })
+}
+
+/// Flattens the per-token id groups of a completed [`scan_query_into`] pass
+/// into the [`QueryOutcome`] the serving APIs return — the single place the
+/// outcome shape (id order and [`QueryStats`] accounting) is defined, so
+/// every serving layer reports identically.
+pub fn assemble_outcome(
+    tokens: &[SearchToken],
+    per_token: Vec<Vec<DocId>>,
+    counts: &[usize],
+) -> QueryOutcome {
+    let mut ids: Vec<DocId> = Vec::with_capacity(per_token.iter().map(Vec::len).sum());
+    for group in per_token {
+        ids.extend(group);
+    }
+    QueryOutcome {
+        ids,
+        stats: QueryStats {
+            tokens_sent: tokens.len(),
+            token_bytes: tokens.len() * SearchToken::SIZE_BYTES,
+            rounds: 1,
+            entries_touched: counts.iter().sum(),
+            result_groups: tokens.len(),
+        },
+    }
+}
 
 /// A server-side search endpoint answering whole token vectors — and whole
 /// batches of concurrent queries — over one sharded encrypted dictionary.
@@ -123,24 +187,6 @@ impl QueryServer {
         self.index.shard_bits()
     }
 
-    /// Test support: makes every dictionary probe after the first
-    /// `successful_probes` fail with a typed storage error (see
-    /// `ShardedIndex::inject_read_faults`).
-    #[doc(hidden)]
-    pub fn inject_read_faults(&mut self, successful_probes: u64) {
-        self.index.inject_read_faults(successful_probes);
-    }
-
-    /// Test support: transient variant of
-    /// [`inject_read_faults`](Self::inject_read_faults) — after the first
-    /// `successful_probes` probes, exactly `failing_probes` fail, then the
-    /// storage recovers (see `ShardedIndex::inject_transient_read_faults`).
-    #[doc(hidden)]
-    pub fn inject_transient_read_faults(&mut self, successful_probes: u64, failing_probes: u64) {
-        self.index
-            .inject_transient_read_faults(successful_probes, failing_probes);
-    }
-
     /// Answers one range query's whole token vector in a single batched
     /// pass.
     ///
@@ -157,30 +203,9 @@ impl QueryServer {
     /// the caller can tell "label absent" (an empty group in `Ok`) from
     /// "the disk failed" (`Err`) per query. In-memory indexes never fail.
     pub fn answer(&self, tokens: &[SearchToken]) -> Result<QueryOutcome, StorageError> {
-        let ciphers: Vec<StreamCipher> = tokens.iter().map(SearchToken::payload_cipher).collect();
-        let mut per_token: Vec<Vec<DocId>> = tokens.iter().map(|_| Vec::new()).collect();
-        let mut scratch: Vec<u8> = Vec::new();
-        let counts = SseScheme::search_batch_scan(&self.index, tokens, |t, ciphertext| {
-            if ciphers[t].decrypt_into(ciphertext, &mut scratch) {
-                if let Some(id) = decode_id_payload(&scratch) {
-                    per_token[t].push(id);
-                }
-            }
-        })?;
-        let mut ids: Vec<DocId> = Vec::with_capacity(per_token.iter().map(Vec::len).sum());
-        for group in per_token {
-            ids.extend(group);
-        }
-        Ok(QueryOutcome {
-            ids,
-            stats: QueryStats {
-                tokens_sent: tokens.len(),
-                token_bytes: tokens.len() * SearchToken::SIZE_BYTES,
-                rounds: 1,
-                entries_touched: counts.iter().sum(),
-                result_groups: tokens.len(),
-            },
-        })
+        let mut per_token: Vec<Vec<DocId>> = Vec::new();
+        let counts = scan_query_into(&self.index, tokens, &mut per_token)?;
+        Ok(assemble_outcome(tokens, per_token, &counts))
     }
 
     /// Answers a batch of concurrent queries — one token vector per client
@@ -193,25 +218,24 @@ impl QueryServer {
     ///
     /// # Partial-batch error reporting
     ///
-    /// Queries are independent, so one query's storage fault no longer
-    /// aborts its whole batch: each slot carries its own `Result`, and a
-    /// healthy query in a faulted batch still returns `Ok`. A query whose
-    /// probe fails is **retried once** before its slot reports the typed
-    /// [`StorageError`] — failed blocks are never cached, so the retry
-    /// re-reads from storage and genuinely recovers a transient fault
-    /// (a dead disk fails both attempts and surfaces the second error).
-    /// Callers that want the old all-or-nothing behavior can `collect`
-    /// the slots into a `Result<Vec<_>, _>`.
+    /// Queries are independent, so one query's storage fault does not abort
+    /// its whole batch: each slot carries its own `Result`, and a healthy
+    /// query in a faulted batch still returns `Ok`. This is the **raw**
+    /// serving path — a probe failure surfaces immediately as its typed
+    /// [`StorageError`] with no retry. Production callers that want
+    /// transient faults absorbed (budgeted per-probe retries with jittered
+    /// backoff, deadlines, per-shard circuit breakers) should serve through
+    /// `rsse_serve::ResilientServer`, which wraps this server and keeps
+    /// outcomes byte-identical. Callers that want all-or-nothing collection
+    /// can `collect` the slots into a `Result<Vec<_>, _>` (that is
+    /// [`answer_many_strict`](Self::answer_many_strict)).
     pub fn answer_many(
         &self,
         queries: &[Vec<SearchToken>],
     ) -> Vec<Result<QueryOutcome, StorageError>> {
         queries
             .par_iter()
-            .map(|tokens| {
-                self.answer(tokens)
-                    .or_else(|_transient| self.answer(tokens))
-            })
+            .map(|tokens| self.answer(tokens))
             .collect()
     }
 
@@ -266,6 +290,15 @@ impl QueryServer {
                 Self::open_dir_with_budget(dir, budget)
             })
             .collect()
+    }
+}
+
+/// Chaos-harness support: faults injected into a `QueryServer` wrap its
+/// dictionary's shards (see the `rsse_sse::fault` module). Test support
+/// only — production servers never carry fault wrappers.
+impl rsse_sse::FaultInjectable for QueryServer {
+    fn fault_indexes(&mut self) -> Vec<&mut ShardedIndex> {
+        vec![&mut self.index]
     }
 }
 

@@ -1,0 +1,605 @@
+//! The resilient request loop: admission → deadline-guarded, breaker-gated,
+//! budget-retried probe fan-out → typed outcome.
+//!
+//! [`ResilientServer`] wraps any [`ServeIndex`] backend (a
+//! [`QueryServer`], a bare [`ShardedIndex`], or anything else that can
+//! resolve labeled probes) and serves range queries through a guarded probe
+//! loop:
+//!
+//! 1. **Admission** — direct calls check cache pressure; queued requests
+//!    ([`enqueue`](ResilientServer::enqueue) /
+//!    [`drain`](ResilientServer::drain)) additionally pass the bounded
+//!    per-tenant queues of the [`admission`](crate::admission) module.
+//!    Shed requests fail typed without consuming serving resources.
+//! 2. **Deadline** — each admitted query carries an absolute deadline
+//!    (queue wait counts); the guarded scan checks it before every probe
+//!    and cuts the fan-out mid-batch, returning the partially resolved ids
+//!    as a typed [`ServeError::DeadlineExceeded`].
+//! 3. **Breakers** — every probe is gated by its shard's circuit breaker
+//!    ([`breaker`](crate::breaker) module): a shard with too many
+//!    consecutive failures fails fast without touching storage until a
+//!    cooldown trial heals it.
+//! 4. **Retries** — a failed probe is retried *at probe granularity* under
+//!    the server-wide budget of the [`retry`](crate::retry) module, with
+//!    seeded decorrelated-jitter backoff. Only the failed block is re-read;
+//!    the query's already-resolved probes stand.
+//!
+//! Outcomes are **byte-identical** to the raw [`QueryServer`] path: the
+//! guarded loop reuses `rsse_core`'s `scan_query_into`/`assemble_outcome`
+//! primitives, so resilience changes when probes happen, never what a
+//! completed query returns.
+
+use crate::admission::{AdmissionConfig, AdmissionQueue, Pending, Ticket};
+use crate::breaker::{Admit, BreakerConfig, BreakerState, ShardHealth};
+use crate::clock::{Clock, SystemClock};
+use crate::error::{OverloadReason, PartialOutcome, ServeError};
+use crate::retry::{RetryConfig, RetryPolicy};
+use rayon::prelude::*;
+use rsse_core::server::{assemble_outcome, scan_query_into};
+use rsse_core::{DocId, QueryOutcome, QueryServer};
+use rsse_sse::{
+    CacheStats, CipherSpan, IndexLookup, Label, SearchToken, ShardedIndex, StorageError,
+};
+use std::cell::Cell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The narrow boundary between the serving loop and an index backend: a
+/// fallible labeled probe plus the shard topology and cache telemetry the
+/// resilience machinery keys off. Implemented for [`ShardedIndex`] and
+/// [`QueryServer`]; serving layers stay generic over it.
+pub trait ServeIndex: Sync {
+    /// Resolves one dictionary probe (`Ok(None)` = label absent).
+    fn probe(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError>;
+    /// The shard the label's probe hits (the circuit-breaker unit).
+    fn shard_of(&self, label: &Label) -> u32;
+    /// Number of shards (breaker table size).
+    fn shard_count(&self) -> usize;
+    /// Block-cache counters (the admission pressure signal).
+    fn cache_stats(&self) -> CacheStats;
+}
+
+impl ServeIndex for ShardedIndex {
+    fn probe(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        ShardedIndex::try_get(self, label)
+    }
+
+    fn shard_of(&self, label: &Label) -> u32 {
+        ShardedIndex::shard_of(self, label) as u32
+    }
+
+    fn shard_count(&self) -> usize {
+        ShardedIndex::shard_count(self)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        ShardedIndex::cache_stats(self)
+    }
+}
+
+impl ServeIndex for QueryServer {
+    fn probe(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        self.index().try_get(label)
+    }
+
+    fn shard_of(&self, label: &Label) -> u32 {
+        self.index().shard_of(label) as u32
+    }
+
+    fn shard_count(&self) -> usize {
+        self.index().shard_count()
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.index().cache_stats()
+    }
+}
+
+/// Complete tuning of one resilient server.
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfig {
+    /// Queue bounds and shed thresholds.
+    pub admission: AdmissionConfig,
+    /// Retry budget and backoff shape.
+    pub retry: RetryConfig,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Deadline applied to queries that don't bring their own (`None` =
+    /// unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Seed of the backoff jitter RNG (deterministic tests pin it).
+    pub seed: u64,
+}
+
+/// Counters of everything the resilience machinery did, sampled with
+/// [`ResilientServer::stats`]. All counts are since server construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries admitted to serving (direct or drained).
+    pub admitted: u64,
+    /// Queries completing with a full outcome.
+    pub served_ok: u64,
+    /// Requests shed for a full tenant queue.
+    pub shed_tenant_full: u64,
+    /// Requests shed for the global queue bound.
+    pub shed_global_full: u64,
+    /// Requests shed for cache pressure.
+    pub shed_pressure: u64,
+    /// Queries cut off by their deadline.
+    pub deadline_expired: u64,
+    /// Queries failed fast on an open shard breaker.
+    pub shard_unavailable: u64,
+    /// Queries that ran out of retry attempts or budget.
+    pub retry_exhausted: u64,
+    /// Probes resolved successfully.
+    pub probes_resolved: u64,
+    /// Failed probe attempts that a later retry of the same probe absorbed
+    /// (transient faults the caller never saw).
+    pub faults_absorbed: u64,
+    /// Retries performed (budget tokens consumed).
+    pub retries: u64,
+    /// Retries denied because the budget pool was dry.
+    pub retry_denials: u64,
+    /// Retry tokens currently in the pool.
+    pub retry_tokens: u64,
+    /// Breaker open transitions (including trial-failure reopens).
+    pub breaker_opened: u64,
+    /// Half-open trial probes admitted.
+    pub breaker_trials: u64,
+    /// Successful trials that re-closed a breaker.
+    pub breaker_reclosed: u64,
+    /// Probes refused by an open breaker without touching storage.
+    pub breaker_fail_fast: u64,
+    /// Requests currently queued.
+    pub queued: u64,
+}
+
+/// Internal atomic counters behind [`ServeStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    admitted: AtomicU64,
+    served_ok: AtomicU64,
+    shed_tenant_full: AtomicU64,
+    shed_global_full: AtomicU64,
+    shed_pressure: AtomicU64,
+    deadline_expired: AtomicU64,
+    shard_unavailable: AtomicU64,
+    retry_exhausted: AtomicU64,
+    probes_resolved: AtomicU64,
+    faults_absorbed: AtomicU64,
+}
+
+/// Why the guarded scan aborted (recorded by the probe loop, translated
+/// into the query's typed [`ServeError`] after the scan unwinds).
+enum Trip {
+    Deadline,
+    Breaker {
+        shard: u32,
+        open_for: Duration,
+    },
+    Exhausted {
+        attempts: u32,
+        budget_empty: bool,
+        source: StorageError,
+    },
+}
+
+/// The per-query guarded view of the backend: an [`IndexLookup`] whose
+/// `try_get` runs the deadline/breaker/retry loop around every probe.
+struct QueryGuard<'a, B: ServeIndex> {
+    server: &'a ResilientServer<B>,
+    /// Absolute deadline on the server clock, if any.
+    deadline: Option<Duration>,
+    trip: Cell<Option<Trip>>,
+    probes_resolved: Cell<u64>,
+    faults_absorbed: Cell<u64>,
+}
+
+impl<B: ServeIndex> QueryGuard<'_, B> {
+    /// The placeholder error returned to abort the scan once `trip` is
+    /// recorded; never surfaced to callers.
+    fn tripped() -> StorageError {
+        StorageError::Io {
+            path: PathBuf::from("<resilient-serve-trip>"),
+            error: io::Error::other("guarded scan aborted"),
+        }
+    }
+}
+
+impl<B: ServeIndex> IndexLookup for QueryGuard<'_, B> {
+    type Error = StorageError;
+
+    fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
+        let server = self.server;
+        let shard = server.backend.shard_of(label);
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(deadline) = self.deadline {
+                if server.clock.now() >= deadline {
+                    self.trip.set(Some(Trip::Deadline));
+                    return Err(Self::tripped());
+                }
+            }
+            match server.breakers.admit(shard, server.clock.now()) {
+                Admit::Proceed | Admit::Trial => {}
+                Admit::FailFast { open_for } => {
+                    self.trip.set(Some(Trip::Breaker { shard, open_for }));
+                    return Err(Self::tripped());
+                }
+            }
+            match server.backend.probe(label) {
+                Ok(span) => {
+                    server.breakers.record_success(shard);
+                    self.probes_resolved.set(self.probes_resolved.get() + 1);
+                    self.faults_absorbed
+                        .set(self.faults_absorbed.get() + u64::from(attempt));
+                    return Ok(span);
+                }
+                Err(source) => {
+                    server.breakers.record_failure(shard, server.clock.now());
+                    attempt += 1;
+                    if attempt >= server.config.retry.max_attempts.max(1) {
+                        self.trip.set(Some(Trip::Exhausted {
+                            attempts: attempt,
+                            budget_empty: false,
+                            source,
+                        }));
+                        return Err(Self::tripped());
+                    }
+                    if !server.retry.try_consume() {
+                        self.trip.set(Some(Trip::Exhausted {
+                            attempts: attempt,
+                            budget_empty: true,
+                            source,
+                        }));
+                        return Err(Self::tripped());
+                    }
+                    server.clock.sleep(server.retry.backoff(attempt));
+                }
+            }
+        }
+    }
+}
+
+/// A resilient serving frontend over any [`ServeIndex`] backend — see the
+/// [module docs](self) for the request loop.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rsse_core::schemes::{log_brc_urc::LogScheme, CoverKind};
+/// use rsse_core::{Dataset, RangeScheme, Record};
+/// use rsse_cover::{Domain, Range};
+/// use rsse_serve::{ResilientServer, ServeConfig};
+///
+/// let dataset = Dataset::new(
+///     Domain::new(1 << 10),
+///     (0..200).map(|i| Record::new(i, (i * 37) % 1024)).collect(),
+/// )
+/// .unwrap();
+/// let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(7);
+/// let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, 4, &mut rng);
+/// let serve = ResilientServer::new(server.into_query_server(), ServeConfig::default());
+///
+/// let tokens = client.trapdoor(Range::new(0, 100)).unwrap();
+/// let outcome = serve.answer(&tokens).unwrap();
+/// let mut got = outcome.ids.clone();
+/// let mut expected = dataset.matching_ids(Range::new(0, 100));
+/// got.sort();
+/// expected.sort();
+/// assert_eq!(got, expected);
+/// assert_eq!(serve.stats().served_ok, 1);
+/// ```
+pub struct ResilientServer<B: ServeIndex = QueryServer> {
+    backend: B,
+    config: ServeConfig,
+    clock: Arc<dyn Clock>,
+    breakers: ShardHealth,
+    retry: RetryPolicy,
+    admission: Mutex<AdmissionQueue>,
+    counters: Counters,
+}
+
+impl<B: ServeIndex + std::fmt::Debug> std::fmt::Debug for ResilientServer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientServer")
+            .field("backend", &self.backend)
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: ServeIndex> ResilientServer<B> {
+    /// Wraps a backend under the given tuning, on the system clock.
+    pub fn new(backend: B, config: ServeConfig) -> Self {
+        Self::with_clock(backend, config, Arc::new(SystemClock::new()))
+    }
+
+    /// Wraps a backend on an explicit clock — the deterministic tests pass
+    /// a [`VirtualClock`](crate::clock::VirtualClock).
+    pub fn with_clock(backend: B, config: ServeConfig, clock: Arc<dyn Clock>) -> Self {
+        let breakers = ShardHealth::new(backend.shard_count(), config.breaker.clone());
+        let retry = RetryPolicy::new(config.retry.clone(), config.seed);
+        let admission = Mutex::new(AdmissionQueue::new(config.admission.clone()));
+        Self {
+            backend,
+            config,
+            clock,
+            breakers,
+            retry,
+            admission,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The tuning this server runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The server's clock (shared with tests driving a virtual clock).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The breaker state of `shard`.
+    pub fn breaker_state(&self, shard: u32) -> BreakerState {
+        self.breakers.state_of(shard)
+    }
+
+    /// Retry tokens currently in the budget pool.
+    pub fn retry_tokens_remaining(&self) -> u64 {
+        self.retry.tokens_remaining()
+    }
+
+    /// Samples every resilience counter.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        ServeStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            served_ok: c.served_ok.load(Ordering::Relaxed),
+            shed_tenant_full: c.shed_tenant_full.load(Ordering::Relaxed),
+            shed_global_full: c.shed_global_full.load(Ordering::Relaxed),
+            shed_pressure: c.shed_pressure.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            shard_unavailable: c.shard_unavailable.load(Ordering::Relaxed),
+            retry_exhausted: c.retry_exhausted.load(Ordering::Relaxed),
+            probes_resolved: c.probes_resolved.load(Ordering::Relaxed),
+            faults_absorbed: c.faults_absorbed.load(Ordering::Relaxed),
+            retries: self.retry.retries_performed(),
+            retry_denials: self.retry.denials(),
+            retry_tokens: self.retry.tokens_remaining(),
+            breaker_opened: self.breakers.opened(),
+            breaker_trials: self.breakers.trials(),
+            breaker_reclosed: self.breakers.reclosed(),
+            breaker_fail_fast: self.breakers.fail_fast(),
+            queued: self.admission.lock().expect("admission lock").queued() as u64,
+        }
+    }
+
+    /// Records a shed and returns it.
+    fn count_shed(&self, err: ServeError) -> ServeError {
+        if let ServeError::Overloaded { reason, .. } = &err {
+            match reason {
+                OverloadReason::TenantQueueFull => &self.counters.shed_tenant_full,
+                OverloadReason::GlobalQueueFull => &self.counters.shed_global_full,
+                OverloadReason::CachePressure => &self.counters.shed_pressure,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+        }
+        err
+    }
+
+    /// Admission-time cache-pressure check for the direct (unqueued)
+    /// serving paths.
+    fn check_pressure(&self, tenant: &str) -> Result<(), ServeError> {
+        if let Some(limit) = self.config.admission.shed_at_resident_bytes {
+            let resident = self.backend.cache_stats().resident_bytes;
+            if resident > limit {
+                return Err(self.count_shed(ServeError::Overloaded {
+                    tenant: tenant.to_string(),
+                    reason: OverloadReason::CachePressure,
+                    queued: self.admission.lock().expect("admission lock").queued(),
+                    limit,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The admitted-query core: runs the guarded scan against an absolute
+    /// deadline and translates any trip into its typed error.
+    fn serve_admitted(
+        &self,
+        tokens: &[SearchToken],
+        admitted_at: Duration,
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ServeError> {
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.retry.credit_query();
+        let guard = QueryGuard {
+            server: self,
+            deadline,
+            trip: Cell::new(None),
+            probes_resolved: Cell::new(0),
+            faults_absorbed: Cell::new(0),
+        };
+        let mut per_token: Vec<Vec<DocId>> = Vec::new();
+        let scanned = scan_query_into(&guard, tokens, &mut per_token);
+        self.counters
+            .probes_resolved
+            .fetch_add(guard.probes_resolved.get(), Ordering::Relaxed);
+        self.counters
+            .faults_absorbed
+            .fetch_add(guard.faults_absorbed.get(), Ordering::Relaxed);
+        match scanned {
+            Ok(counts) => {
+                self.counters.served_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(assemble_outcome(tokens, per_token, &counts))
+            }
+            Err(raw) => Err(match guard.trip.take() {
+                Some(Trip::Deadline) => {
+                    self.counters
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    let deadline = deadline.expect("deadline trip implies a deadline");
+                    ServeError::DeadlineExceeded {
+                        deadline: deadline.saturating_sub(admitted_at),
+                        elapsed: self.clock.now().saturating_sub(admitted_at),
+                        partial: PartialOutcome {
+                            ids: per_token.into_iter().flatten().collect(),
+                            probes_resolved: guard.probes_resolved.get(),
+                            tokens_total: tokens.len(),
+                        },
+                    }
+                }
+                Some(Trip::Breaker { shard, open_for }) => {
+                    self.counters
+                        .shard_unavailable
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServeError::ShardUnavailable { shard, open_for }
+                }
+                Some(Trip::Exhausted {
+                    attempts,
+                    budget_empty,
+                    source,
+                }) => {
+                    self.counters
+                        .retry_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServeError::RetriesExhausted {
+                        attempts,
+                        budget_empty,
+                        source,
+                    }
+                }
+                // Every guard-loop error records a trip; a backend error
+                // can't reach the scan without one. Surface it faithfully
+                // if it somehow does.
+                None => {
+                    self.counters
+                        .retry_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
+                    ServeError::RetriesExhausted {
+                        attempts: 1,
+                        budget_empty: false,
+                        source: raw,
+                    }
+                }
+            }),
+        }
+    }
+
+    /// Answers one query under the configured
+    /// [`default_deadline`](ServeConfig::default_deadline).
+    pub fn answer(&self, tokens: &[SearchToken]) -> Result<QueryOutcome, ServeError> {
+        match self.config.default_deadline {
+            Some(deadline) => self.answer_within(tokens, deadline),
+            None => {
+                self.check_pressure("adhoc")?;
+                self.serve_admitted(tokens, self.clock.now(), None)
+            }
+        }
+    }
+
+    /// Answers one query with an explicit deadline budget, measured from
+    /// admission.
+    pub fn answer_within(
+        &self,
+        tokens: &[SearchToken],
+        deadline: Duration,
+    ) -> Result<QueryOutcome, ServeError> {
+        self.check_pressure("adhoc")?;
+        let admitted_at = self.clock.now();
+        self.serve_admitted(tokens, admitted_at, Some(admitted_at + deadline))
+    }
+
+    /// Answers a batch of queries in parallel (rayon fan-out, outcomes in
+    /// query order), every query under the full guarded loop and the
+    /// **shared** retry budget and breakers. This is the resilient
+    /// counterpart of [`QueryServer::answer_many`].
+    pub fn answer_many(
+        &self,
+        queries: &[Vec<SearchToken>],
+    ) -> Vec<Result<QueryOutcome, ServeError>> {
+        queries
+            .par_iter()
+            .map(|tokens| self.answer(tokens))
+            .collect()
+    }
+
+    /// Queues one tenant's query for a later [`drain`](Self::drain),
+    /// shedding typed if a bound is hit. The configured default deadline
+    /// starts **now** — time spent queued counts against it.
+    pub fn enqueue(&self, tenant: &str, tokens: Vec<SearchToken>) -> Result<Ticket, ServeError> {
+        let now = self.clock.now();
+        let deadline = self.config.default_deadline.map(|d| now + d);
+        let resident = self.backend.cache_stats().resident_bytes;
+        let mut queue = self.admission.lock().expect("admission lock");
+        queue
+            .enqueue(tenant, tokens, deadline, resident)
+            .map_err(|err| self.count_shed(err))
+    }
+
+    /// Serves everything queued, in oldest-tenant-fair round-robin order
+    /// (see the [`admission`](crate::admission) module), sequentially and
+    /// deterministically. Returns each request's ticket with its outcome,
+    /// in serving order.
+    pub fn drain(&self) -> Vec<(Ticket, Result<QueryOutcome, ServeError>)> {
+        let plan: Vec<Pending> = self.admission.lock().expect("admission lock").drain_plan();
+        plan.into_iter()
+            .map(|pending| {
+                let admitted_at = self.clock.now();
+                let outcome = self.serve_admitted(&pending.tokens, admitted_at, pending.deadline);
+                (pending.ticket, outcome)
+            })
+            .collect()
+    }
+}
+
+impl ResilientServer<QueryServer> {
+    /// Cold-opens a resilient endpoint over an index persisted with
+    /// `ShardedIndex::save_to_dir` (or built on disk): the resilient
+    /// counterpart of [`QueryServer::open_dir`].
+    pub fn open_dir(dir: impl AsRef<Path>, config: ServeConfig) -> Result<Self, StorageError> {
+        Ok(Self::new(QueryServer::open_dir(dir)?, config))
+    }
+
+    /// Like [`open_dir`](Self::open_dir) with a block-cache budget bounding
+    /// resident ciphertext bytes (see [`QueryServer::open_dir_with_budget`])
+    /// — pairs naturally with
+    /// [`AdmissionConfig::shed_at_resident_bytes`] pressure shedding.
+    pub fn open_dir_with_budget(
+        dir: impl AsRef<Path>,
+        cache_budget: Option<usize>,
+        config: ServeConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(Self::new(
+            QueryServer::open_dir_with_budget(dir, cache_budget)?,
+            config,
+        ))
+    }
+
+    /// Reopens one resilient endpoint per active instance of a persisted
+    /// update manager (see [`QueryServer::open_manager_root`]), all under
+    /// the same tuning.
+    pub fn open_manager_root(
+        root: impl AsRef<Path>,
+        config: &ServeConfig,
+    ) -> Result<Vec<Self>, StorageError> {
+        Ok(QueryServer::open_manager_root(root)?
+            .into_iter()
+            .map(|server| Self::new(server, config.clone()))
+            .collect())
+    }
+}

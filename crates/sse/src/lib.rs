@@ -23,6 +23,9 @@
 //!   BuildIndex and served via paged reads ([`FileShard`]), selected by a
 //!   [`StorageConfig`] and persisted/reopened with
 //!   [`ShardedIndex::save_to_dir`] / [`ShardedIndex::open_dir`];
+//! * [`fault`] — deterministic fault injection (seeded [`FaultPlan`]s
+//!   behind the [`FaultInjectable`] trait) shared by the resilience tests,
+//!   the chaos battery and the bench harness;
 //! * [`padding`] — owner-side padding of the multimap to a fixed size, the
 //!   countermeasure the paper prescribes for Quadratic and Logarithmic-SRC
 //!   so that the index size leaks only `n` and `m`;
@@ -32,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod database;
+pub mod fault;
 pub mod leakage;
 pub mod padding;
 pub mod pibas;
@@ -39,9 +43,10 @@ pub mod sharded;
 pub mod storage;
 
 pub use database::SseDatabase;
+pub use fault::{DelayHook, FaultInjectable, FaultInjector, FaultPlan};
 pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
 pub use pibas::{
-    CipherSpan, CorruptEntry, EncryptedIndex, IndexLookup, SearchError, SearchToken, SseKey,
+    CipherSpan, CorruptEntry, EncryptedIndex, IndexLookup, Label, SearchError, SearchToken, SseKey,
     SseScheme,
 };
 pub use sharded::{FaultShard, Shard, ShardedIndex};

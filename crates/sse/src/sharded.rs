@@ -51,9 +51,7 @@ use crate::storage::{
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
 use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Maximum supported shard bits (`2^16` shards). Past this point per-shard
@@ -83,7 +81,7 @@ pub enum Shard {
     /// A disk-resident shard served via paged reads.
     File(FileShard),
     /// A fault-injection wrapper around another shard (test support; see
-    /// [`ShardedIndex::inject_read_faults`]).
+    /// the [`fault`](crate::fault) module).
     Fault(FaultShard),
 }
 
@@ -150,24 +148,26 @@ impl ShardStorage for Shard {
     }
 }
 
-/// A [`ShardStorage`] wrapper that lets a configurable number of probes
-/// through and then fails every subsequent one with a typed
-/// [`StorageError::Io`] — simulating a disk that dies mid-search.
+/// A [`ShardStorage`] wrapper that routes every probe through a shared
+/// [`FaultInjector`](crate::fault::FaultInjector) before delegating to the
+/// wrapped shard — failing probes surface as typed [`StorageError::Io`]s,
+/// exactly what a real failed block read produces.
 ///
-/// The countdown is shared across every shard wrapped in one
-/// [`ShardedIndex::inject_read_faults`] call (and across clones), so "the
-/// N-th block read of the index fails" holds regardless of which shard the
-/// N-th probe happens to land in. Used by the fault-injection tests that
-/// pin the end-to-end error path; not part of the serving configuration.
+/// The injector is shared across every shard wrapped in one
+/// [`FaultInjectable`](crate::fault::FaultInjectable) injection call (and
+/// across clones), so probe counting is global: "the N-th block read of the
+/// index fails" holds regardless of which shard the N-th probe lands in.
+/// Used by the fault-injection tests and the chaos harness; a production
+/// index never contains fault wrappers.
 #[derive(Clone, Debug)]
 pub struct FaultShard {
     inner: Box<Shard>,
-    /// Remaining successful probes (shared; negative once failing).
-    countdown: Arc<AtomicI64>,
-    /// Remaining *failing* probes once the countdown is exhausted (shared).
-    /// `None` fails forever — a dead disk; `Some(n)` recovers after `n`
-    /// failures — a transient blip, the case one retry is meant to absorb.
-    failures_left: Option<Arc<AtomicI64>>,
+    /// The wrapped shard's id (label-prefix value) — the unit of per-shard
+    /// fault targeting.
+    shard_id: u32,
+    /// The shared fault-decision state (see the [`fault`](crate::fault)
+    /// module).
+    injector: Arc<crate::fault::FaultInjector>,
 }
 
 impl FaultShard {
@@ -177,18 +177,7 @@ impl FaultShard {
 
 impl ShardStorage for FaultShard {
     fn try_get(&self, label: &Label) -> Result<Option<CipherSpan<'_>>, StorageError> {
-        if self.countdown.fetch_sub(1, Ordering::SeqCst) <= 0 {
-            let still_failing = match &self.failures_left {
-                None => true,
-                Some(failures) => failures.fetch_sub(1, Ordering::SeqCst) > 0,
-            };
-            if still_failing {
-                return Err(StorageError::Io {
-                    path: PathBuf::from(Self::FAULT_PATH),
-                    error: io::Error::other("injected block-read fault"),
-                });
-            }
-        }
+        self.injector.decide(self.shard_id)?;
         ShardStorage::try_get(&*self.inner, label)
     }
 
@@ -402,37 +391,18 @@ impl ShardedIndex {
         Ok(out)
     }
 
-    /// Wraps every shard in a [`FaultShard`] sharing one countdown: the
-    /// first `successful_probes` dictionary probes succeed, every later
-    /// one fails with a typed [`StorageError::Io`]. Test support for
-    /// pinning the end-to-end error path of the fallible search API —
-    /// a production index never contains fault wrappers.
-    pub fn inject_read_faults(&mut self, successful_probes: u64) {
-        self.inject_faults(successful_probes, None);
-    }
-
-    /// Like [`inject_read_faults`](Self::inject_read_faults), but the
-    /// fault is **transient**: after the first `successful_probes` probes,
-    /// exactly `failing_probes` probes fail, and every probe after that
-    /// succeeds again — a disk blip rather than a dead disk. Test support
-    /// for pinning that a single retry recovers a query (failed blocks are
-    /// never cached, so the retried probe re-reads from storage).
-    pub fn inject_transient_read_faults(&mut self, successful_probes: u64, failing_probes: u64) {
-        self.inject_faults(successful_probes, Some(failing_probes));
-    }
-
-    fn inject_faults(&mut self, successful_probes: u64, failing_probes: Option<u64>) {
-        let countdown = Arc::new(AtomicI64::new(
-            i64::try_from(successful_probes).unwrap_or(i64::MAX),
-        ));
-        let failures_left =
-            failing_probes.map(|n| Arc::new(AtomicI64::new(i64::try_from(n).unwrap_or(i64::MAX))));
-        for shard in &mut self.shards {
+    /// Wraps every shard in a [`FaultShard`] consulting the given shared
+    /// [`FaultInjector`](crate::fault::FaultInjector) — the primitive
+    /// underneath the [`FaultInjectable`](crate::fault::FaultInjectable)
+    /// trait, which is the surface tests should use. Test support; a
+    /// production index never contains fault wrappers.
+    pub fn attach_fault_injector(&mut self, injector: &Arc<crate::fault::FaultInjector>) {
+        for (shard_id, shard) in self.shards.iter_mut().enumerate() {
             let inner = Box::new(shard.clone());
             *shard = Shard::Fault(FaultShard {
                 inner,
-                countdown: Arc::clone(&countdown),
-                failures_left: failures_left.clone(),
+                shard_id: shard_id as u32,
+                injector: Arc::clone(injector),
             });
         }
     }
@@ -752,6 +722,7 @@ impl SseScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultInjectable;
     use crate::pibas::LABEL_LEN;
     use crate::storage::test_support::TempDir;
     use proptest::prelude::*;

@@ -677,6 +677,26 @@ impl<S: RangeScheme> UpdateManager<S> {
         Ok(QueryOutcome { ids, stats })
     }
 
+    /// Resilient variant of [`try_query`](Self::try_query): storage
+    /// failures are retried whole-query under a shared
+    /// [`RetryPolicy`](rsse_serve::RetryPolicy) — its budget and jittered
+    /// backoff — instead of aborting on the first failed block read.
+    /// Exhaustion (attempt limit or dry budget) surfaces as the policy's
+    /// typed [`ServeError`](rsse_serve::ServeError).
+    ///
+    /// The retry is whole-query because manager-side refinement folds every
+    /// instance's results together; per-probe retry lives in
+    /// `rsse_serve::ResilientServer`, below this layer. Passing one policy
+    /// (and clock) across managers gives all of them one repair budget.
+    pub fn try_query_resilient(
+        &self,
+        range: Range,
+        policy: &rsse_serve::RetryPolicy,
+        clock: &dyn rsse_serve::Clock,
+    ) -> Result<QueryOutcome, rsse_serve::ServeError> {
+        policy.run(clock, || self.try_query(range))
+    }
+
     /// The plaintext ground truth of the manager's current logical state —
     /// what a trusted database would answer. Used by tests and the update
     /// ablation experiment.

@@ -1,12 +1,15 @@
-//! Sharded dictionaries + batched multi-client search.
+//! Sharded dictionaries + batched multi-client search, behind the
+//! resilient serving layer.
 //!
 //! A server answering many concurrent range queries should not pay
 //! per-token fixed costs: each query expands into a whole vector of
 //! BRC/URC cover tokens, and a batch of clients multiplies that again.
 //! This example builds a Logarithmic-BRC index over a 2^8-way sharded
-//! dictionary, stands up a [`QueryServer`], and answers a burst of client
-//! queries in one batched call — then checks the answers against both the
-//! plaintext ground truth and the classic one-token-at-a-time path.
+//! dictionary, stands up a [`ResilientServer`] over the batched
+//! [`QueryServer`], and answers a burst of client queries in one batched
+//! call — then checks the answers against both the plaintext ground truth
+//! and the classic one-token-at-a-time path, and shows the serving layer
+//! absorbing a transient storage fault without changing a byte of output.
 //!
 //! Run with:
 //! ```sh
@@ -17,6 +20,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use rsse::core::schemes::log_brc_urc::LogScheme;
 use rsse::prelude::*;
+use rsse::sse::{FaultInjectable, FaultPlan, SearchToken};
 
 fn main() {
     // ---------------------------------------------------------------
@@ -39,10 +43,12 @@ fn main() {
         server.shard_bits(),
     );
 
-    // Keep a copy for the sequential comparison, then stand up the batched
-    // query server (shards are immutable — concurrent reads are lock-free).
+    // Keep a copy for the sequential comparison, then stand up the serving
+    // frontend: admission control, per-shard circuit breakers, and budgeted
+    // per-probe retries around the batched query server (shards are
+    // immutable — concurrent reads are lock-free).
     let sequential_server = server.clone();
-    let query_server = server.into_query_server();
+    let serve = ResilientServer::new(server.into_query_server(), ServeConfig::default());
 
     // ---------------------------------------------------------------
     // 2. A burst of concurrent clients, each with its own range query.
@@ -53,9 +59,15 @@ fn main() {
             Range::new(lo, lo + 1_999)
         })
         .collect();
-    let outcomes = client
-        .query_many(&query_server, &ranges)
-        .expect("in-memory server cannot fail");
+    let queries: Vec<Vec<SearchToken>> = ranges
+        .iter()
+        .map(|&r| client.trapdoor(r).expect("in-domain range"))
+        .collect();
+    let outcomes: Vec<QueryOutcome> = serve
+        .answer_many(&queries)
+        .into_iter()
+        .map(|slot| slot.expect("healthy in-memory backend"))
+        .collect();
 
     // ---------------------------------------------------------------
     // 3. Verify: exact results, identical to the per-token path.
@@ -82,5 +94,29 @@ fn main() {
         ranges.len(),
         total_tokens,
         total_results,
+    );
+
+    // ---------------------------------------------------------------
+    // 4. Degraded mode: a transient fault window hits the first probes,
+    //    the serving layer retries just the failed blocks under its token
+    //    budget, and the batch comes back byte-identical.
+    // ---------------------------------------------------------------
+    let mut chaotic = sequential_server.into_query_server();
+    chaotic.inject_fault_plan(FaultPlan::transient_window(0, 3));
+    let degraded = ResilientServer::new(chaotic, ServeConfig::default());
+    let recovered: Vec<QueryOutcome> = degraded
+        .answer_many(&queries)
+        .into_iter()
+        .map(|slot| slot.expect("per-probe retries absorb the blip"))
+        .collect();
+    assert_eq!(
+        recovered, outcomes,
+        "outcomes under transient faults must be byte-identical"
+    );
+    let stats = degraded.stats();
+    println!(
+        "degraded run: {} transient faults absorbed by {} retries, {} retry tokens left — \
+         outcomes byte-identical",
+        stats.faults_absorbed, stats.retries, stats.retry_tokens,
     );
 }

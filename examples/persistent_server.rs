@@ -1,4 +1,5 @@
-//! Durable encrypted indexes: build to disk, drop, cold-open, serve.
+//! Durable encrypted indexes: build to disk, drop, cold-open, serve — all
+//! through the resilient serving layer.
 //!
 //! Before PR 3 an encrypted index lived and died with the process and
 //! every shard's ciphertext arena was pinned in RAM. This example walks
@@ -8,15 +9,18 @@
 //!    (`StorageConfig::on_disk`) — the built index is file-backed from the
 //!    first moment;
 //! 2. the server state is dropped entirely;
-//! 3. a "fresh process" cold-opens the index with [`QueryServer::open_dir`]
-//!    — shard bucket directories load, ciphertext regions stay on disk —
-//!    and answers a batch of range queries through `answer_many_strict`, with
-//!    paged reads faulting in only the probed blocks (a failed read
-//!    surfaces as a typed `StorageError`, never as a silently empty
-//!    result);
-//! 4. the same index is reopened with `open_dir_with_budget`, which caps
-//!    resident ciphertext blocks with a clock cache — residency then
-//!    tracks the working set, not everything ever touched.
+//! 3. a "fresh process" cold-opens the index behind a
+//!    [`ResilientServer`] (`ResilientServer::open_dir`) — shard bucket
+//!    directories load, ciphertext regions stay on disk — and answers a
+//!    batch of range queries, with paged reads faulting in only the probed
+//!    blocks (a failed read surfaces as a typed error, never as a silently
+//!    empty result);
+//! 4. the same index is reopened with a block-cache budget
+//!    (`ResilientServer::open_dir_with_budget`), which caps resident
+//!    ciphertext blocks with a clock cache — residency then tracks the
+//!    working set, not everything ever touched;
+//! 5. a transient fault window hits the cold path and the serving layer's
+//!    budgeted per-probe retries absorb it, byte-identically.
 //!
 //! Run with:
 //! ```sh
@@ -28,6 +32,7 @@ use rand_chacha::ChaCha20Rng;
 use rsse::core::schemes::log_brc_urc::LogScheme;
 use rsse::core::StorageConfig;
 use rsse::prelude::*;
+use rsse::sse::{FaultInjectable, FaultPlan, SearchToken};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("rsse-persistent-demo-{}", std::process::id()));
@@ -61,12 +66,13 @@ fn main() {
     drop(server);
 
     // ---------------------------------------------------------------
-    // 3. Cold-open from disk and serve a batch of range queries. Only the
-    //    bucket directories are loaded; ciphertext blocks fault in as the
-    //    queries probe them.
+    // 3. Cold-open from disk behind the resilient frontend and serve a
+    //    batch of range queries. Only the bucket directories are loaded;
+    //    ciphertext blocks fault in as the queries probe them.
     // ---------------------------------------------------------------
-    let query_server = QueryServer::open_dir(&dir).expect("cold-open saved index");
-    let before = query_server.index().resident_bytes();
+    let serve =
+        ResilientServer::open_dir(&dir, ServeConfig::default()).expect("cold-open saved index");
+    let before = serve.backend().index().resident_bytes();
 
     let ranges: Vec<Range> = (0..32u64)
         .map(|c| {
@@ -74,9 +80,15 @@ fn main() {
             Range::new(lo, lo + 1_999)
         })
         .collect();
-    let outcomes = client
-        .query_many(&query_server, &ranges)
-        .expect("cold-opened index answers the batch");
+    let queries: Vec<Vec<SearchToken>> = ranges
+        .iter()
+        .map(|&r| client.trapdoor(r).expect("in-domain range"))
+        .collect();
+    let outcomes: Vec<QueryOutcome> = serve
+        .answer_many(&queries)
+        .into_iter()
+        .map(|slot| slot.expect("cold-opened index answers the batch"))
+        .collect();
 
     let mut total_results = 0usize;
     for (range, outcome) in ranges.iter().zip(&outcomes) {
@@ -87,7 +99,7 @@ fn main() {
         assert_eq!(got, expected, "cold-open answer must be exact for {range}");
         total_results += outcome.ids.len();
     }
-    let after = query_server.index().resident_bytes();
+    let after = serve.backend().index().resident_bytes();
     println!(
         "cold-open answered {} queries ({} result tuples, all exact); resident bytes \
          {} -> {} of {} total — only probed blocks were paged in",
@@ -104,25 +116,27 @@ fn main() {
 
     // ---------------------------------------------------------------
     // 4. Reopen with a block-cache budget: resident ciphertext blocks are
-    //    capped by a clock cache while outcomes stay identical. The
-    //    fallible serving API — `answer_many` returns one Result per
-    //    query (with a single retry for transient faults), and
-    //    `answer_many_strict` collects them all-or-nothing — is what
-    //    lets a production server distinguish "no matches" from "the disk
-    //    failed mid-search".
+    //    capped by a clock cache while outcomes stay identical. Typed
+    //    degraded-mode errors are what let a production server distinguish
+    //    "no matches" (an empty Ok) from "the disk failed mid-search"
+    //    (`ServeError::RetriesExhausted` once the budgeted per-probe
+    //    retries give up).
     // ---------------------------------------------------------------
-    let region_bytes = storage_bytes - query_server.index().len() * 16;
+    let region_bytes = storage_bytes - serve.backend().index().len() * 16;
     let budget = region_bytes / 10;
     let budgeted =
-        QueryServer::open_dir_with_budget(&dir, Some(budget)).expect("budgeted cold-open");
-    let budgeted_outcomes = client
-        .query_many(&budgeted, &ranges)
-        .expect("healthy disk serves the batch");
+        ResilientServer::open_dir_with_budget(&dir, Some(budget), ServeConfig::default())
+            .expect("budgeted cold-open");
+    let budgeted_outcomes: Vec<QueryOutcome> = budgeted
+        .answer_many(&queries)
+        .into_iter()
+        .map(|slot| slot.expect("healthy disk serves the batch"))
+        .collect();
     assert_eq!(
         budgeted_outcomes, outcomes,
         "budgeted outcomes must be identical to unbounded"
     );
-    let stats = budgeted.index().cache_stats();
+    let stats = budgeted.backend().index().cache_stats();
     assert!(
         stats.resident_bytes <= budget,
         "budget must bound residency"
@@ -131,6 +145,32 @@ fn main() {
         "budgeted reopen (cap {} of {} region bytes): identical answers with {} resident, \
          {} hits / {} misses / {} evictions",
         budget, region_bytes, stats.resident_bytes, stats.hits, stats.misses, stats.evictions,
+    );
+
+    // ---------------------------------------------------------------
+    // 5. Degraded mode on the persistent path: the first probes of a fresh
+    //    cold-open fail transiently (an injected fault window — say a NAS
+    //    hiccup right after a failover); failed blocks are never cached, so
+    //    each retry re-reads from disk and the batch completes
+    //    byte-identically, with the absorption visible in the stats.
+    // ---------------------------------------------------------------
+    let mut flaky = QueryServer::open_dir(&dir).expect("cold-open saved index");
+    flaky.inject_fault_plan(FaultPlan::transient_window(0, 3));
+    let degraded = ResilientServer::new(flaky, ServeConfig::default());
+    let recovered: Vec<QueryOutcome> = degraded
+        .answer_many(&queries)
+        .into_iter()
+        .map(|slot| slot.expect("per-probe retries absorb the blip"))
+        .collect();
+    assert_eq!(
+        recovered, outcomes,
+        "outcomes under transient faults must be byte-identical"
+    );
+    let stats = degraded.stats();
+    println!(
+        "degraded cold-open: {} transient faults absorbed by {} retries — outcomes \
+         byte-identical",
+        stats.faults_absorbed, stats.retries,
     );
 
     std::fs::remove_dir_all(&dir).expect("clean up demo directory");

@@ -14,6 +14,8 @@
 //! * [`sse`] — the underlying single-keyword SSE (encrypted multimap);
 //! * [`crypto`] — PRF, GGM, delegatable PRF, stream cipher;
 //! * [`bloom`] — keyed Bloom filters (used by the PB baseline);
+//! * [`serve`] — the resilient serving layer (admission control, deadlines,
+//!   retry budgets, per-shard circuit breakers);
 //! * [`updates`] — batch updates with forward privacy (LSM consolidation);
 //! * [`workload`] — synthetic Gowalla-like / USPS-like dataset and query
 //!   generators used by the experiment harness.
@@ -45,6 +47,7 @@ pub use rsse_bloom as bloom;
 pub use rsse_core as core;
 pub use rsse_cover as cover;
 pub use rsse_crypto as crypto;
+pub use rsse_serve as serve;
 pub use rsse_sse as sse;
 pub use rsse_updates as updates;
 pub use rsse_workload as workload;
@@ -61,6 +64,7 @@ pub mod prelude {
         Record,
     };
     pub use rsse_cover::{Domain, Range};
+    pub use rsse_serve::{ResilientServer, ServeConfig, ServeError};
     pub use rsse_sse::ShardedIndex;
     pub use rsse_updates::{OwnerKey, UpdateConfig, UpdateEntry, UpdateManager, UpdateOp};
     pub use rsse_workload::{gowalla_like, usps_like, DatasetProfile};

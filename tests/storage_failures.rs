@@ -16,7 +16,9 @@ use rsse::core::schemes::log_src::LogSrcScheme;
 use rsse::core::schemes::log_src_i::LogSrcIScheme;
 use rsse::core::{QueryServer, RangeScheme, StorageConfig, StorageError};
 use rsse::prelude::*;
+use rsse::serve::{ResilientServer, ServeConfig};
 use rsse::sse::test_support::TempDir;
+use rsse::sse::FaultInjectable;
 
 fn dataset(domain_size: u64, n: u64) -> Dataset {
     let domain = Domain::new(domain_size);
@@ -245,11 +247,13 @@ fn healthy_queries_in_a_faulted_batch_still_succeed() {
 }
 
 /// The retry that makes per-query results worth having: failed blocks are
-/// never cached, so retrying a failed query re-reads from storage — a
+/// never cached, so retrying a failed probe re-reads from storage — a
 /// transient fault window is absorbed invisibly, with outcomes identical
-/// to the healthy server's.
+/// to the healthy server's. The raw `answer_many` no longer retries (it
+/// reports the first failure typed); absorption is the resilient serving
+/// layer's job, observable through its stats.
 #[test]
-fn one_retry_absorbs_a_transient_fault_window() {
+fn resilient_retry_absorbs_a_transient_fault_window() {
     let data = dataset(1 << 12, 600);
     let dir = TempDir::new("fault-transient");
     let mut rng = ChaCha20Rng::seed_from_u64(8);
@@ -266,14 +270,14 @@ fn one_retry_absorbs_a_transient_fault_window() {
         .answer_many_strict(&queries)
         .expect("healthy reference");
 
-    // The first probe fails, then the "disk" recovers: exactly one query
-    // sees the failure, and its single retry re-probes a healthy backend.
-    // Every slot must come back Ok and byte-identical. (A wider window
-    // would race the retry of the first victim against the remaining
-    // failing probes; one failure is the deterministic transient blip.)
+    // The first probe fails, then the "disk" recovers: exactly one probe
+    // sees the failure, and its per-probe retry re-reads the now-healthy
+    // block. Every slot must come back Ok and byte-identical, and the
+    // absorption must be observable in the serving stats.
     let mut qs = QueryServer::open_dir(dir.path()).expect("cold-open");
     qs.inject_transient_read_faults(0, 1);
-    let slots = qs.answer_many(&queries);
+    let serve = ResilientServer::new(qs, ServeConfig::default());
+    let slots = serve.answer_many(&queries);
     for (slot, expected) in slots.iter().zip(&reference) {
         assert_eq!(
             slot.as_ref().expect("the retry absorbs the blip"),
@@ -281,6 +285,9 @@ fn one_retry_absorbs_a_transient_fault_window() {
             "post-retry outcomes must be byte-identical to the healthy server"
         );
     }
+    let stats = serve.stats();
+    assert_eq!(stats.faults_absorbed, 1, "exactly one probe blipped");
+    assert_eq!(stats.served_ok, queries.len() as u64);
 }
 
 /// The cache-budget acceptance test at the serving layer: outcomes under a

@@ -17,7 +17,6 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use rsse_core::schemes::log_brc_urc::LogScheme;
 use rsse_core::schemes::CoverKind;
-use rsse_cover::Range;
 use rsse_serve::{BreakerConfig, ResilientServer, RetryConfig, ServeConfig};
 use rsse_sse::{FaultInjectable, FaultPlan};
 use rsse_workload::gowalla_like;
@@ -58,13 +57,15 @@ fn bench_resilience(c: &mut Criterion) {
     let (client, server) = LogScheme::build_sharded_with(&dataset, CoverKind::Brc, 4, &mut rng);
     let qs = server.into_query_server();
 
+    // Same generator as the replay harness: bench and harness query
+    // populations are provably the same distribution.
     let len = domain_size / 100;
-    let ranges: Vec<Range> = (0..32u64)
-        .map(|i| {
-            let lo = (i * 7_643) % (domain_size - len);
-            Range::new(lo, lo + len - 1)
-        })
-        .collect();
+    let ranges = rsse_workload::random_queries_of_len(
+        dataset.domain(),
+        len,
+        32,
+        &mut ChaCha20Rng::seed_from_u64(11),
+    );
     let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
         .iter()
         .map(|&r| client.trapdoor(r).expect("in-domain range"))

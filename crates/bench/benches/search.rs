@@ -157,13 +157,15 @@ fn bench_search_sharded(c: &mut Criterion) {
     }
     group.finish();
 
-    // Multi-client batch: 32 queries of 1% each, spread over the domain.
-    let ranges: Vec<Range> = (0..32u64)
-        .map(|i| {
-            let lo = (i * 76_543) % (domain_size - len);
-            Range::new(lo, lo + len - 1)
-        })
-        .collect();
+    // Multi-client batch: 32 queries of 1% each, drawn from the shared
+    // workload generator so bench and replay-harness query populations
+    // come from the same distribution.
+    let ranges = rsse_workload::random_queries_of_len(
+        dataset.domain(),
+        len,
+        32,
+        &mut ChaCha20Rng::seed_from_u64(11),
+    );
     let mut group = c.benchmark_group("search_batched");
     group
         .sample_size(10)
@@ -235,12 +237,12 @@ fn bench_search_persistent(c: &mut Criterion) {
     drop(disk_server); // cold-open measures a fresh process's path
 
     let len = domain_size / 100;
-    let ranges: Vec<Range> = (0..32u64)
-        .map(|i| {
-            let lo = (i * 76_543) % (domain_size - len);
-            Range::new(lo, lo + len - 1)
-        })
-        .collect();
+    let ranges = rsse_workload::random_queries_of_len(
+        dataset.domain(),
+        len,
+        32,
+        &mut ChaCha20Rng::seed_from_u64(11),
+    );
     let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
         .iter()
         .map(|&r| client.trapdoor(r).expect("in-domain range"))
@@ -309,12 +311,12 @@ fn bench_search_persistent_budget(c: &mut Criterion) {
     drop(disk_server);
 
     let len = domain_size / 100;
-    let ranges: Vec<Range> = (0..32u64)
-        .map(|i| {
-            let lo = (i * 76_543) % (domain_size - len);
-            Range::new(lo, lo + len - 1)
-        })
-        .collect();
+    let ranges = rsse_workload::random_queries_of_len(
+        dataset.domain(),
+        len,
+        32,
+        &mut ChaCha20Rng::seed_from_u64(11),
+    );
     let queries: Vec<Vec<rsse_sse::SearchToken>> = ranges
         .iter()
         .map(|&r| client.trapdoor(r).expect("in-domain range"))

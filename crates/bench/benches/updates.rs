@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 use rsse_core::schemes::log_brc_urc::LogScheme;
 use rsse_cover::{Domain, Range};
-use rsse_updates::{OwnerKey, UpdateConfig, UpdateEntry, UpdateManager};
+use rsse_updates::{OwnerKey, UpdateConfig, UpdateManager};
 use std::time::Duration;
 
 fn ingest(batches: usize, batch_size: usize, step: usize) -> UpdateManager<LogScheme> {
@@ -22,14 +22,9 @@ fn ingest(batches: usize, batch_size: usize, step: usize) -> UpdateManager<LogSc
             ..UpdateConfig::default()
         },
     );
-    let mut id = 0u64;
-    for b in 0..batches {
-        let entries: Vec<UpdateEntry> = (0..batch_size)
-            .map(|i| {
-                id += 1;
-                UpdateEntry::insert(id, ((b * 131 + i * 17) as u64) % (1 << 16))
-            })
-            .collect();
+    // Ingest batches come from the shared workload generator (ids from 1),
+    // the same population the trace-replay harness feeds a manager.
+    for entries in rsse_workload::insert_batches(&domain, batches, batch_size, 1, &mut rng) {
         manager.ingest_batch(entries, &mut rng);
     }
     manager
@@ -86,14 +81,7 @@ fn bench_manager_reopen(c: &mut Criterion) {
         let mut rng = ChaCha20Rng::seed_from_u64(5);
         let mut manager: UpdateManager<LogScheme> =
             UpdateManager::with_key(key.clone(), domain, cfg);
-        let mut id = 0u64;
-        for b in 0..batches {
-            let entries: Vec<UpdateEntry> = (0..batch_size)
-                .map(|i| {
-                    id += 1;
-                    UpdateEntry::insert(id, ((b * 131 + i * 17) as u64) % (1 << 16))
-                })
-                .collect();
+        for entries in rsse_workload::insert_batches(&domain, batches, batch_size, 1, &mut rng) {
             manager.ingest_batch(entries, &mut rng);
         }
         manager

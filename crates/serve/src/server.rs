@@ -503,13 +503,7 @@ impl<B: ServeIndex> ResilientServer<B> {
     /// Answers one query under the configured
     /// [`default_deadline`](ServeConfig::default_deadline).
     pub fn answer(&self, tokens: &[SearchToken]) -> Result<QueryOutcome, ServeError> {
-        match self.config.default_deadline {
-            Some(deadline) => self.answer_within(tokens, deadline),
-            None => {
-                self.check_pressure("adhoc")?;
-                self.serve_admitted(tokens, self.clock.now(), None)
-            }
-        }
+        self.answer_for("adhoc", tokens, None)
     }
 
     /// Answers one query with an explicit deadline budget, measured from
@@ -519,9 +513,25 @@ impl<B: ServeIndex> ResilientServer<B> {
         tokens: &[SearchToken],
         deadline: Duration,
     ) -> Result<QueryOutcome, ServeError> {
-        self.check_pressure("adhoc")?;
+        self.answer_for("adhoc", tokens, Some(deadline))
+    }
+
+    /// Answers one query on the direct (unqueued) path, attributed to
+    /// `tenant` — sheds report the real tenant instead of `"adhoc"`. This is
+    /// the replay-harness entry point: open-loop traces tag every event with
+    /// a tenant and must never sit in a queue (queueing would hide the lag
+    /// the harness exists to measure). A `None` deadline falls back to the
+    /// configured [`default_deadline`](ServeConfig::default_deadline).
+    pub fn answer_for(
+        &self,
+        tenant: &str,
+        tokens: &[SearchToken],
+        deadline: Option<Duration>,
+    ) -> Result<QueryOutcome, ServeError> {
+        self.check_pressure(tenant)?;
         let admitted_at = self.clock.now();
-        self.serve_admitted(tokens, admitted_at, Some(admitted_at + deadline))
+        let deadline = deadline.or(self.config.default_deadline);
+        self.serve_admitted(tokens, admitted_at, deadline.map(|d| admitted_at + d))
     }
 
     /// Answers a batch of queries in parallel (rayon fan-out, outcomes in

@@ -2390,4 +2390,84 @@ mod tests {
         assert!(reopened.is_file_backed());
         assert!(reopened.try_get(&[0u8; LABEL_LEN]).unwrap().is_none());
     }
+
+    /// The documented `BlockCache` concurrency contract under adversarial
+    /// mixed hit/miss/eviction traffic: with N threads inserting
+    /// fixed-size blocks, mid-flight residency never exceeds
+    /// `budget + N × block` (each in-flight insert may overshoot by its
+    /// own block, nothing more), the eviction counter is monotone, and
+    /// once every insert returns the cache is back inside the budget with
+    /// the resident counter exactly matching the bytes actually held.
+    #[test]
+    fn block_cache_stats_stay_consistent_under_concurrent_traffic() {
+        use std::sync::atomic::AtomicBool;
+
+        const THREADS: usize = 8;
+        const BLOCK: usize = 1 << 10;
+        const BLOCKS_IN_BUDGET: usize = 24;
+        const KEY_SPACE: u32 = 192; // 8× the budget: constant eviction churn
+        let budget = BLOCKS_IN_BUDGET * BLOCK;
+        let cache = BlockCache::new(budget);
+        let stop = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS as u32 {
+                let cache = &cache;
+                let stop = &stop;
+                scope.spawn(move || {
+                    // Overlapping key windows: some keys are shared across
+                    // threads (hits + insert races), some private (misses).
+                    for round in 0..400u32 {
+                        let key = (thread % 4, (round * 13 + thread * 29) % KEY_SPACE);
+                        if cache.get(key).is_none() {
+                            cache.insert(key, vec![0u8; BLOCK].into());
+                        }
+                        // Every thread validates the mid-flight bound on
+                        // every step, not just at a sampling cadence.
+                        let resident = cache.resident_bytes();
+                        assert!(
+                            resident <= budget + THREADS * BLOCK,
+                            "mid-flight resident {resident} exceeds budget {budget} \
+                             plus one in-flight block per thread"
+                        );
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                });
+            }
+            // A dedicated sampler races the workers: counters must be
+            // monotone and residency bounded at every observation.
+            let cache = &cache;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut last_evictions = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let evictions = cache.evictions();
+                    assert!(
+                        evictions >= last_evictions,
+                        "eviction counter went backwards: {last_evictions} -> {evictions}"
+                    );
+                    last_evictions = evictions;
+                    assert!(cache.resident_bytes() <= budget + THREADS * BLOCK);
+                    std::thread::yield_now();
+                }
+            });
+        });
+
+        // Quiescent: no insert mid-flight, so the budget holds exactly and
+        // the resident counter agrees byte-for-byte with the slots held.
+        let resident = cache.resident_bytes();
+        assert!(
+            resident <= budget,
+            "quiescent resident {resident} exceeds budget {budget}"
+        );
+        let held: usize = (0..4).map(|s| cache.shard_resident_bytes(s)).sum();
+        assert_eq!(
+            resident, held,
+            "resident counter must match the bytes actually cached"
+        );
+        assert!(
+            cache.evictions() > 0,
+            "a working set 8× the budget must evict"
+        );
+    }
 }

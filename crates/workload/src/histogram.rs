@@ -1,0 +1,341 @@
+//! A mergeable log-bucketed latency histogram.
+//!
+//! The replay engine runs one recorder per worker thread and merges them at
+//! the end, so the recorder must be **mergeable**: bucket counts are plain
+//! element-wise sums and merging is associative and commutative. Buckets
+//! are log-linear (HDR style): values below 64ns get exact single-value
+//! buckets; above that, each power-of-two octave is split into 32
+//! sub-buckets, so every bucket's width is at most `2^-5 ≈ 3.2%` of its
+//! lower bound. Quantiles are reported as the **upper edge** of the bucket
+//! holding the requested rank, which bounds the quantile error by one
+//! bucket width — cheap enough to record every event of a multi-million
+//! event trace, precise enough for p999.
+
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Values below this get exact single-value buckets.
+const EXACT_LIMIT: u64 = 1 << (SUB_BITS + 1);
+/// Total bucket count, enough to index any `u64` nanosecond value.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + (1 << SUB_BITS);
+
+/// Maps a nanosecond value to its bucket index. Monotone: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`.
+fn bucket_index(value_ns: u64) -> usize {
+    if value_ns < EXACT_LIMIT {
+        return value_ns as usize;
+    }
+    let msb = 63 - value_ns.leading_zeros(); // >= SUB_BITS + 1
+    let shift = msb - SUB_BITS;
+    let sub = ((value_ns >> shift) as usize) & ((1 << SUB_BITS) - 1);
+    (((msb - SUB_BITS) as usize) << SUB_BITS) + (1 << SUB_BITS) + sub
+}
+
+/// The inclusive `[lo, hi]` nanosecond bounds of bucket `index`.
+fn bucket_range(index: usize) -> (u64, u64) {
+    if index < EXACT_LIMIT as usize {
+        return (index as u64, index as u64);
+    }
+    let block = (index >> SUB_BITS) as u32; // >= 2
+    let shift = block - 1;
+    let sub = (index & ((1 << SUB_BITS) - 1)) as u64;
+    let lo = ((1u64 << SUB_BITS) + sub) << shift;
+    (lo, lo + ((1u64 << shift) - 1))
+}
+
+/// The inclusive bounds of the bucket that `value_ns` falls into — the
+/// maximum error of a quantile estimate for a value in that bucket.
+pub fn bucket_bounds(value_ns: u64) -> (u64, u64) {
+    bucket_range(bucket_index(value_ns))
+}
+
+/// A mergeable log-bucketed histogram of nanosecond latencies (see the
+/// [module docs](self) for the bucket layout and error bound).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one latency sample given in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_index(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Adds every sample of `other` into `self`. Element-wise, so merging
+    /// is associative and commutative and loses no information.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded sample, or zero when empty.
+    pub fn min(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample, or zero when empty.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Exact mean of the recorded samples (sums are kept exactly; only
+    /// quantiles are bucketed), or zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), reported as the upper edge of the
+    /// bucket containing the `⌈q·count⌉`-th smallest sample — an
+    /// overestimate by at most one bucket width (≈3.2% relative). Returns
+    /// zero when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Clamp to the recorded max: the true quantile can't exceed
+                // it, and the top bucket's edge may be far above it.
+                return Duration::from_nanos(bucket_range(index).1.min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.quantile(0.50))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut last = bucket_index(0);
+        for v in 1u64..10_000 {
+            let index = bucket_index(v);
+            assert!(index == last || index == last + 1, "gap at {v}");
+            last = index;
+        }
+        // Spot-check bounds: the bucket containing v must contain v.
+        for v in [0, 1, 63, 64, 65, 1000, 123_456_789, u64::MAX] {
+            let (lo, hi) = bucket_bounds(v);
+            assert!(lo <= v && v <= hi, "bucket [{lo},{hi}] misses {v}");
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 63] {
+            h.record_ns(v);
+        }
+        assert_eq!(h.quantile(0.25), Duration::from_nanos(0));
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(63));
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::from_nanos(63));
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_bucket() {
+        let mut h = LatencyHistogram::new();
+        let mut values: Vec<u64> = (0..5_000u64)
+            .map(|i| (i * 7919 + 13) % 90_000_000)
+            .collect();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let estimate = h.quantile(q).as_nanos() as u64;
+            let (lo, hi) = bucket_bounds(exact);
+            assert!(
+                estimate >= exact && estimate <= hi,
+                "q={q}: estimate {estimate} not in [{exact}, {hi}] (bucket lo {lo})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = (i * 31) % 100_000;
+            if i % 2 == 0 {
+                left.record_ns(v);
+            } else {
+                right.record_ns(v);
+            }
+            all.record_ns(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.mean(), all.mean());
+        for q in [0.1, 0.5, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn zero_quantile_rejected() {
+        let _ = LatencyHistogram::new().quantile(0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hist_of(values: &[u64]) -> LatencyHistogram {
+            let mut h = LatencyHistogram::new();
+            for &v in values {
+                h.record_ns(v);
+            }
+            h
+        }
+
+        /// Observable state of a histogram for equality checks.
+        fn fingerprint(h: &LatencyHistogram) -> (u64, Duration, Duration, Duration, Vec<Duration>) {
+            let quantiles = [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0]
+                .iter()
+                .map(|&q| h.quantile(q))
+                .collect();
+            (h.count(), h.min(), h.max(), h.mean(), quantiles)
+        }
+
+        proptest! {
+            #[test]
+            fn merge_is_associative_and_commutative(
+                a in proptest::collection::vec(0u64..10_000_000_000, 1..100),
+                b in proptest::collection::vec(0u64..10_000_000_000, 1..100),
+                c in proptest::collection::vec(0u64..10_000_000_000, 1..100),
+            ) {
+                // (a ⊕ b) ⊕ c
+                let mut left = hist_of(&a);
+                left.merge(&hist_of(&b));
+                left.merge(&hist_of(&c));
+                // a ⊕ (b ⊕ c)
+                let mut bc = hist_of(&b);
+                bc.merge(&hist_of(&c));
+                let mut right = hist_of(&a);
+                right.merge(&bc);
+                prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+                // c ⊕ (b ⊕ a): commutativity
+                let mut ba = hist_of(&b);
+                ba.merge(&hist_of(&a));
+                let mut rev = hist_of(&c);
+                rev.merge(&ba);
+                prop_assert_eq!(fingerprint(&left), fingerprint(&rev));
+                // And both equal recording everything into one histogram.
+                let mut all = a.clone();
+                all.extend(&b);
+                all.extend(&c);
+                prop_assert_eq!(fingerprint(&left), fingerprint(&hist_of(&all)));
+            }
+
+            #[test]
+            fn quantile_error_at_most_one_bucket_width(
+                mut values in proptest::collection::vec(0u64..100_000_000_000, 1..200),
+                q_millis in 1u32..=1000,
+            ) {
+                let q = q_millis as f64 / 1000.0;
+                let h = hist_of(&values);
+                values.sort_unstable();
+                let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+                let exact = values[rank - 1];
+                let estimate = h.quantile(q).as_nanos() as u64;
+                let (_, hi) = bucket_bounds(exact);
+                // Never an underestimate, and over by at most the width of
+                // the exact value's bucket (clamped to the recorded max).
+                prop_assert!(estimate >= exact, "estimate {estimate} < exact {exact}");
+                prop_assert!(estimate <= hi, "estimate {estimate} > bucket hi {hi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Timestamped, multi-tenant event traces: *what* is sent *when* by *whom*.
+//!
+//! A [`Trace`] is the replay harness's unit of work: a time-sorted list of
+//! [`TraceEvent`]s — range queries with Zipf-skewed hotspot centers
+//! interleaved with insert batches — each tagged with the tenant that sends
+//! it, so the admission layer's per-tenant queues see realistic mixed
+//! traffic. Traces are generated from a declarative [`TraceSpec`] and one
+//! seeded RNG: the same spec and seed produce a **byte-identical** trace
+//! (checkable via [`Trace::to_bytes`]), which is what makes replay runs
+//! comparable across machines and CI runs.
+
+use crate::arrivals::ArrivalProcess;
+use rand::Rng;
+use rsse_cover::{Domain, Range};
+use rsse_updates::UpdateEntry;
+use std::time::Duration;
+
+/// What a trace event asks the server to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A range query.
+    Query(Range),
+    /// A batch of updates routed through the update manager.
+    InsertBatch(Vec<UpdateEntry>),
+}
+
+/// One timestamped, tenant-tagged event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Scheduled send time, relative to the start of the replay.
+    pub at: Duration,
+    /// Index into [`Trace::tenants`].
+    pub tenant: u32,
+    /// The request itself.
+    pub kind: EventKind,
+}
+
+/// A deterministic, time-sorted event stream (see the [module docs](self)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// The domain queries and inserts draw values from.
+    pub domain: Domain,
+    /// Tenant names; events refer to them by index.
+    pub tenants: Vec<String>,
+    /// Events, sorted by [`TraceEvent::at`].
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of query events.
+    pub fn query_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Query(_)))
+            .count()
+    }
+
+    /// Number of insert-batch events.
+    pub fn insert_count(&self) -> usize {
+        self.len() - self.query_count()
+    }
+
+    /// Scheduled time of the last event, or zero for an empty trace.
+    pub fn horizon(&self) -> Duration {
+        self.events.last().map(|e| e.at).unwrap_or(Duration::ZERO)
+    }
+
+    /// Canonical byte encoding of the whole trace. Two traces are equal iff
+    /// their encodings are equal, so "same seed ⇒ byte-identical trace" is
+    /// directly testable (and a digest of it can fingerprint a bench run).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.events.len() * 32);
+        out.extend_from_slice(b"RSSE-TRACE-v1");
+        out.extend_from_slice(&self.domain.size().to_le_bytes());
+        out.extend_from_slice(&(self.tenants.len() as u32).to_le_bytes());
+        for tenant in &self.tenants {
+            out.extend_from_slice(&(tenant.len() as u32).to_le_bytes());
+            out.extend_from_slice(tenant.as_bytes());
+        }
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for event in &self.events {
+            out.extend_from_slice(&(event.at.as_nanos() as u64).to_le_bytes());
+            out.extend_from_slice(&event.tenant.to_le_bytes());
+            match &event.kind {
+                EventKind::Query(range) => {
+                    out.push(0);
+                    out.extend_from_slice(&range.lo().to_le_bytes());
+                    out.extend_from_slice(&range.hi().to_le_bytes());
+                }
+                EventKind::InsertBatch(entries) => {
+                    out.push(1);
+                    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                    for entry in entries {
+                        out.push(match entry.op {
+                            rsse_updates::UpdateOp::Insert => 0,
+                            rsse_updates::UpdateOp::Modify => 1,
+                            rsse_updates::UpdateOp::Delete => 2,
+                        });
+                        out.extend_from_slice(&entry.record.id.to_le_bytes());
+                        out.extend_from_slice(&entry.record.value.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`to_bytes`](Self::to_bytes) — a cheap fingerprint
+    /// for bench reports ("these two runs replayed the same trace").
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.to_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+/// Declarative description of a trace; [`generate`](TraceSpec::generate)
+/// turns it into a concrete [`Trace`] with one seeded RNG.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Domain queried and inserted into.
+    pub domain: Domain,
+    /// When events fire.
+    pub arrivals: ArrivalProcess,
+    /// Trace length in (virtual) time.
+    pub horizon: Duration,
+    /// Number of tenants; events are tagged uniformly at random. Must be at
+    /// least 1.
+    pub tenants: usize,
+    /// Length of every query range.
+    pub range_len: u64,
+    /// Number of hotspot centers queries cluster around. Must be at least 1.
+    pub hotspots: usize,
+    /// Zipf exponent over the hotspot centers (0 = uniform across
+    /// hotspots; ~1 = classic web skew).
+    pub hotspot_skew: f64,
+    /// Fraction of events that are insert batches instead of queries
+    /// (`0.0..=1.0`).
+    pub insert_fraction: f64,
+    /// Entries per insert batch.
+    pub insert_batch: usize,
+    /// First [`rsse_core::DocId`] handed to generated inserts; successive
+    /// entries get successive ids, so keep this above the ids of any
+    /// pre-loaded dataset.
+    pub first_insert_id: u64,
+}
+
+impl TraceSpec {
+    /// A query-only spec with sane defaults: 4 tenants, 8 hotspots at skew
+    /// 0.9, ranges covering 1% of the domain.
+    pub fn queries_only(domain: Domain, arrivals: ArrivalProcess, horizon: Duration) -> Self {
+        Self {
+            domain,
+            arrivals,
+            horizon,
+            tenants: 4,
+            range_len: (domain.size() / 100).max(1),
+            hotspots: 8,
+            hotspot_skew: 0.9,
+            insert_fraction: 0.0,
+            insert_batch: 0,
+            first_insert_id: 1 << 32,
+        }
+    }
+
+    /// Generates the trace. Pure function of `(self, rng stream)`: the same
+    /// spec and seed yield a byte-identical trace.
+    ///
+    /// Queries are centered on one of `hotspots` randomly placed centers,
+    /// chosen Zipf(`hotspot_skew`)-distributed so a few centers absorb most
+    /// of the traffic, then jittered by up to one range length so repeated
+    /// hits on a hotspot are near-identical rather than identical ranges.
+    ///
+    /// # Panics
+    /// Panics if `tenants` or `hotspots` is zero, `insert_fraction` is
+    /// outside `[0, 1]`, a positive `insert_fraction` comes with a zero
+    /// `insert_batch`, or `range_len` exceeds the domain.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Trace {
+        assert!(self.tenants >= 1, "need at least one tenant");
+        assert!(self.hotspots >= 1, "need at least one hotspot");
+        assert!(
+            (0.0..=1.0).contains(&self.insert_fraction),
+            "insert_fraction must be in [0, 1]"
+        );
+        assert!(
+            self.insert_fraction == 0.0 || self.insert_batch > 0,
+            "insert events need a positive batch size"
+        );
+        assert!(
+            self.range_len >= 1 && self.range_len <= self.domain.size(),
+            "range_len must fit the domain"
+        );
+
+        let stamps = self.arrivals.timestamps(self.horizon, rng);
+        let centers: Vec<u64> = (0..self.hotspots)
+            .map(|_| rng.gen_range(0..self.domain.size()))
+            .collect();
+        let hotspot_dist = crate::distributions::Zipf::new(centers, self.hotspot_skew);
+
+        let mut next_id = self.first_insert_id;
+        let events = stamps
+            .into_iter()
+            .map(|at| {
+                let tenant = rng.gen_range(0..self.tenants) as u32;
+                let is_insert =
+                    self.insert_fraction > 0.0 && rng.gen_range(0.0..1.0) < self.insert_fraction;
+                let kind = if is_insert {
+                    let entries = insert_batch(&self.domain, self.insert_batch, next_id, rng);
+                    next_id += self.insert_batch as u64;
+                    EventKind::InsertBatch(entries)
+                } else {
+                    use crate::distributions::ValueDistribution;
+                    let center = hotspot_dist.sample(&self.domain, rng);
+                    let jitter = rng.gen_range(0..=self.range_len);
+                    let lo = center
+                        .saturating_add(jitter)
+                        .saturating_sub(self.range_len)
+                        .min(self.domain.size() - self.range_len);
+                    EventKind::Query(Range::new(lo, lo + self.range_len - 1))
+                };
+                TraceEvent { at, tenant, kind }
+            })
+            .collect();
+
+        Trace {
+            domain: self.domain,
+            tenants: (0..self.tenants).map(|i| format!("tenant-{i}")).collect(),
+            events,
+        }
+    }
+}
+
+/// One batch of `size` fresh insertions with ids `first_id..first_id+size`
+/// and uniform values over `domain`. Shared by the trace generator and the
+/// update benches so their ingest populations are the same distribution.
+pub fn insert_batch<R: Rng + ?Sized>(
+    domain: &Domain,
+    size: usize,
+    first_id: u64,
+    rng: &mut R,
+) -> Vec<UpdateEntry> {
+    (0..size as u64)
+        .map(|i| UpdateEntry::insert(first_id + i, rng.gen_range(0..domain.size())))
+        .collect()
+}
+
+/// `batches` consecutive [`insert_batch`]es of `size` entries each, with
+/// globally unique ids starting at `first_id`.
+pub fn insert_batches<R: Rng + ?Sized>(
+    domain: &Domain,
+    batches: usize,
+    size: usize,
+    first_id: u64,
+    rng: &mut R,
+) -> Vec<Vec<UpdateEntry>> {
+    (0..batches as u64)
+        .map(|b| insert_batch(domain, size, first_id + b * size as u64, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn spec() -> TraceSpec {
+        TraceSpec {
+            domain: Domain::new(1 << 16),
+            arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: 2000.0,
+            },
+            horizon: Duration::from_millis(500),
+            tenants: 3,
+            range_len: 256,
+            hotspots: 4,
+            hotspot_skew: 1.1,
+            insert_fraction: 0.2,
+            insert_batch: 8,
+            first_insert_id: 1 << 32,
+        }
+    }
+
+    #[test]
+    fn same_seed_byte_identical_trace() {
+        let a = spec().generate(&mut ChaCha20Rng::seed_from_u64(42));
+        let b = spec().generate(&mut ChaCha20Rng::seed_from_u64(42));
+        let c = spec().generate(&mut ChaCha20Rng::seed_from_u64(43));
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn trace_mixes_queries_and_inserts_in_time_order() {
+        let trace = spec().generate(&mut ChaCha20Rng::seed_from_u64(7));
+        assert!(
+            trace.len() > 500,
+            "expected ~1000 events, got {}",
+            trace.len()
+        );
+        assert!(trace.query_count() > 0 && trace.insert_count() > 0);
+        assert_eq!(trace.query_count() + trace.insert_count(), trace.len());
+        assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(trace.horizon() < Duration::from_millis(500));
+        // Insert fraction lands in the right ballpark (20% ± 10pp).
+        let fraction = trace.insert_count() as f64 / trace.len() as f64;
+        assert!((0.1..0.3).contains(&fraction), "insert fraction {fraction}");
+    }
+
+    #[test]
+    fn queries_fit_the_domain_and_requested_length() {
+        let spec = spec();
+        let trace = spec.generate(&mut ChaCha20Rng::seed_from_u64(9));
+        for event in &trace.events {
+            assert!((event.tenant as usize) < trace.tenants.len());
+            match &event.kind {
+                EventKind::Query(range) => {
+                    assert_eq!(range.len(), spec.range_len);
+                    assert!(range.hi() < spec.domain.size());
+                }
+                EventKind::InsertBatch(entries) => {
+                    assert_eq!(entries.len(), spec.insert_batch);
+                    for entry in entries {
+                        assert!(spec.domain.contains(entry.record.value));
+                        assert!(entry.record.id >= spec.first_insert_id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_ids_are_globally_unique() {
+        let trace = spec().generate(&mut ChaCha20Rng::seed_from_u64(11));
+        let mut ids = std::collections::BTreeSet::new();
+        for event in &trace.events {
+            if let EventKind::InsertBatch(entries) = &event.kind {
+                for entry in entries {
+                    assert!(
+                        ids.insert(entry.record.id),
+                        "duplicate id {}",
+                        entry.record.id
+                    );
+                }
+            }
+        }
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn hotspots_skew_query_mass() {
+        let mut spec = spec();
+        spec.insert_fraction = 0.0;
+        spec.hotspot_skew = 1.3;
+        let trace = spec.generate(&mut ChaCha20Rng::seed_from_u64(5));
+        // Count queries per distinct range start bucket; with 4 hotspots at
+        // skew 1.3 the busiest hotspot should hold well over 1/4 of mass.
+        let mut by_bucket = std::collections::HashMap::new();
+        for event in &trace.events {
+            if let EventKind::Query(range) = event.kind {
+                *by_bucket.entry(range.lo() / 1024).or_insert(0usize) += 1;
+            }
+        }
+        let max = by_bucket.values().copied().max().unwrap();
+        assert!(
+            max * 3 > trace.len(),
+            "hottest bucket {max} of {} queries is not skewed",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn insert_batches_helper_is_deterministic_and_unique() {
+        let domain = Domain::new(1 << 12);
+        let a = insert_batches(&domain, 4, 16, 100, &mut ChaCha20Rng::seed_from_u64(1));
+        let b = insert_batches(&domain, 4, 16, 100, &mut ChaCha20Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let ids: std::collections::BTreeSet<u64> =
+            a.iter().flatten().map(|e| e.record.id).collect();
+        assert_eq!(ids.len(), 64);
+        assert_eq!(ids.iter().next(), Some(&100));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn insert_fraction_without_batch_size_rejected() {
+        let mut bad = spec();
+        bad.insert_batch = 0;
+        let _ = bad.generate(&mut ChaCha20Rng::seed_from_u64(0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Cap cases: every case generates a full trace.
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn any_seed_and_shape_regenerates_byte_identically(
+                seed in any::<u64>(),
+                domain_bits in 8u32..20,
+                tenants in 1usize..8,
+                hotspots in 1usize..12,
+                skew_tenths in 0u32..15,
+                insert_percent in 0u32..50,
+            ) {
+                let skew = skew_tenths as f64 / 10.0;
+                let insert_fraction = insert_percent as f64 / 100.0;
+                let spec = TraceSpec {
+                    domain: Domain::with_bits(domain_bits),
+                    arrivals: ArrivalProcess::Poisson { rate_per_sec: 5_000.0 },
+                    horizon: Duration::from_millis(40),
+                    tenants,
+                    range_len: (1u64 << domain_bits) / 64 + 1,
+                    hotspots,
+                    hotspot_skew: skew,
+                    insert_fraction,
+                    insert_batch: 4,
+                    first_insert_id: 1 << 40,
+                };
+                let a = spec.generate(&mut ChaCha20Rng::seed_from_u64(seed));
+                let b = spec.generate(&mut ChaCha20Rng::seed_from_u64(seed));
+                prop_assert_eq!(a.to_bytes(), b.to_bytes());
+                // Well-formedness holds for every shape, not just defaults.
+                prop_assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+                for event in &a.events {
+                    prop_assert!((event.tenant as usize) < tenants);
+                    if let EventKind::Query(range) = event.kind {
+                        prop_assert!(range.hi() < spec.domain.size());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -597,3 +597,143 @@ fn chaos_runs_are_deterministic_for_a_fixed_seed() {
         "either everything was absorbed or exhaustion was typed — never silent"
     );
 }
+
+/// The zero-probe `PartialOutcome` edge: a deadline that has already
+/// expired when the guarded scan starts trips before the *first* probe, so
+/// the typed partial outcome reports no ids, zero probes resolved, and the
+/// full token count — and the tenant-attributed direct path reports the
+/// real tenant if the request is shed later.
+#[test]
+fn deadline_expired_before_first_probe_yields_zero_probe_partial() {
+    let (_data, client, mut qs, _guard) = endpoint("chaos-zero-probe", 2, 29);
+    let tokens = client.trapdoor(Range::new(0, 3000)).expect("in-domain");
+    let clock = Arc::new(VirtualClock::new());
+    let injector = qs.inject_fault_plan_with_delay(
+        FaultPlan::seeded(chaos_seed()).latency(Duration::from_millis(1)),
+        clock.delay_hook(),
+    );
+    let serve = ResilientServer::with_clock(qs, chaos_config(chaos_seed()), clock.clone());
+
+    // A zero budget is expired at the very first deadline check — before
+    // probe 0. The scan must stop with an empty-but-typed partial outcome,
+    // not a panic and not a silently empty Ok.
+    match serve.answer_for("tenant-0", &tokens, Some(Duration::ZERO)) {
+        Err(ServeError::DeadlineExceeded {
+            deadline,
+            elapsed,
+            partial,
+        }) => {
+            assert_eq!(deadline, Duration::ZERO);
+            assert_eq!(elapsed, Duration::ZERO, "no probe ran, no time passed");
+            assert_eq!(partial.probes_resolved, 0);
+            assert!(partial.ids.is_empty(), "zero probes resolve zero ids");
+            assert_eq!(partial.tokens_total, tokens.len());
+        }
+        other => panic!("expected a zero-probe deadline cut, got {other:?}"),
+    }
+    assert_eq!(
+        injector.probes_issued(),
+        0,
+        "an expired deadline must not touch storage"
+    );
+    let stats = serve.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.probes_resolved, 0);
+
+    // The same query with real budget serves in full on the same server.
+    let full = serve
+        .answer_for("tenant-0", &tokens, None)
+        .expect("an unbounded pass serves in full");
+    assert!(!full.ids.is_empty());
+}
+
+/// Slow is not dead: a latency-only fault plan makes every probe take 1ms
+/// of (virtual) time but never fail. Deadline-expired queries against the
+/// slow shard must never open its breaker — only *failures* count — and a
+/// breaker opened by a real outage must re-close through its half-open
+/// trial even when the healed shard is still slow.
+#[test]
+fn latency_only_faults_never_open_breaker_and_slow_trial_recloses() {
+    let (_data, client, mut qs, _guard) = endpoint("chaos-slow-not-dead", 0, 31);
+    let tokens = client.trapdoor(Range::new(0, 2000)).expect("in-domain");
+    let clock = Arc::new(VirtualClock::new());
+    // Global probes 0 and 1 fail (a real outage), then the shard heals but
+    // stays slow: every probe costs 1ms of virtual time forever.
+    let injector = qs.inject_fault_plan_with_delay(
+        FaultPlan::seeded(chaos_seed())
+            .shard_outage(0, 0, 2)
+            .latency(Duration::from_millis(1)),
+        clock.delay_hook(),
+    );
+    let serve = ResilientServer::with_clock(
+        qs,
+        ServeConfig {
+            retry: RetryConfig {
+                max_attempts: 3,
+                backoff_base: Duration::from_micros(10),
+                backoff_cap: Duration::from_micros(200),
+                ..RetryConfig::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(10),
+            },
+            seed: chaos_seed(),
+            ..ServeConfig::default()
+        },
+        clock.clone(),
+    );
+
+    // The outage opens the breaker: two consecutive real failures.
+    match serve.answer(&tokens) {
+        Err(ServeError::ShardUnavailable { shard: 0, .. }) => {}
+        other => panic!("expected the outage to open the breaker, got {other:?}"),
+    }
+    assert_eq!(serve.breaker_state(0), BreakerState::Open);
+    assert_eq!(serve.stats().breaker_opened, 1);
+
+    // Past the cooldown, the half-open trial probe lands on a shard that
+    // is healed but *slow* (1ms per probe). Slow success is still success:
+    // the trial passes, the breaker re-closes, the query completes.
+    clock.advance(Duration::from_millis(10));
+    let reference = serve
+        .answer(&tokens)
+        .expect("slow-but-healthy shard must pass its trial");
+    assert_eq!(serve.breaker_state(0), BreakerState::Closed);
+    let healed = serve.stats();
+    assert_eq!(healed.breaker_trials, 1);
+    assert_eq!(healed.breaker_reclosed, 1);
+
+    // Now hammer the slow shard with deadline-expired queries: each one
+    // resolves a few 1ms probes and then trips its 2.5ms deadline. The
+    // breaker sees only successful (if slow) probes — it must stay closed
+    // and the opened counter must not move. Slow ≠ dead.
+    let probes_before = injector.probes_issued();
+    for _ in 0..5 {
+        match serve.answer_within(&tokens, Duration::from_micros(2500)) {
+            Err(ServeError::DeadlineExceeded { partial, .. }) => {
+                assert!(
+                    partial.probes_resolved >= 1,
+                    "the deadline outlives at least the first slow probe"
+                );
+            }
+            other => panic!("expected deadline cuts on the slow shard, got {other:?}"),
+        }
+        assert_eq!(
+            serve.breaker_state(0),
+            BreakerState::Closed,
+            "latency alone must never open the breaker"
+        );
+    }
+    let stats = serve.stats();
+    assert_eq!(stats.breaker_opened, 1, "no new opens from slowness");
+    assert_eq!(stats.deadline_expired, 5);
+    assert!(
+        injector.probes_issued() > probes_before,
+        "deadline queries really probed the slow shard"
+    );
+
+    // And a full-budget query still serves, byte-identical to the healed
+    // reference.
+    assert_eq!(serve.answer(&tokens).expect("still healthy"), reference);
+}

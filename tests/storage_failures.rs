@@ -351,3 +351,107 @@ fn cache_budget_bounds_server_residency_with_identical_outcomes() {
         "the unbounded server never evicts"
     );
 }
+
+/// Cache stats under *concurrent* mixed hit/miss/eviction traffic on the
+/// public serving surface: eight threads replay overlapping query sets
+/// against one budgeted server while a sampler watches the counters. Every
+/// observation must show monotone hit/miss/eviction counters and residency
+/// inside the budget plus the documented transient overshoot (at most one
+/// in-flight ~64 KiB block per probing thread); at quiescence the budget
+/// holds exactly.
+#[test]
+fn cache_stats_stay_consistent_under_concurrent_query_traffic() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const THREADS: usize = 8;
+    // Block slack: blocks are cut at a 64 KiB target plus at most one
+    // entry, so 128 KiB per in-flight thread is a safe per-block bound.
+    const BLOCK_SLACK: usize = 128 << 10;
+
+    let data = dataset(1 << 12, 3_000);
+    let dir = TempDir::new("budget-concurrent");
+    let mut rng = ChaCha20Rng::seed_from_u64(17);
+    let (client, server) =
+        LogScheme::build_stored(&data, &StorageConfig::on_disk(2, dir.path()), &mut rng)
+            .expect("on-disk build");
+    let region_bytes = {
+        let index = server.index();
+        index.storage_bytes() - index.len() * 16
+    };
+    drop(server);
+
+    let queries: Vec<Vec<rsse::sse::SearchToken>> = (0..24u64)
+        .map(|i| {
+            client
+                .trapdoor(Range::new(i * 170, i * 170 + 240))
+                .expect("in-domain range")
+        })
+        .collect();
+
+    let budget = region_bytes / 4;
+    let budgeted =
+        QueryServer::open_dir_with_budget(dir.path(), Some(budget)).expect("budgeted open");
+    let reference = budgeted
+        .answer_many_strict(&queries)
+        .expect("warm reference");
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let budgeted = &budgeted;
+            let queries = &queries;
+            let reference = &reference;
+            let stop = &stop;
+            scope.spawn(move || {
+                // Each thread walks the query set from its own offset, so
+                // at any instant some threads hit warm blocks while others
+                // miss and force evictions.
+                for round in 0..3 {
+                    for offset in 0..queries.len() {
+                        let at = (thread + round * 3 + offset) % queries.len();
+                        let outcome = budgeted.answer(&queries[at]).expect("budgeted serves");
+                        assert_eq!(
+                            &outcome, &reference[at],
+                            "concurrent budgeted outcome must stay byte-identical"
+                        );
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        let budgeted = &budgeted;
+        let stop = &stop;
+        scope.spawn(move || {
+            let mut last = budgeted.index().cache_stats();
+            while !stop.load(Ordering::Relaxed) {
+                let stats = budgeted.index().cache_stats();
+                assert!(
+                    stats.hits >= last.hits
+                        && stats.misses >= last.misses
+                        && stats.evictions >= last.evictions,
+                    "cache counters must be monotone: {last:?} -> {stats:?}"
+                );
+                assert!(
+                    stats.resident_bytes <= budget + THREADS * BLOCK_SLACK,
+                    "mid-flight resident {} exceeds budget {budget} + slack",
+                    stats.resident_bytes
+                );
+                last = stats;
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let stats = budgeted.index().cache_stats();
+    assert!(
+        stats.resident_bytes <= budget,
+        "quiescent resident {} exceeds the {budget}-byte budget",
+        stats.resident_bytes
+    );
+    assert!(stats.hits > 0, "repeated queries must hit: {stats:?}");
+    assert!(stats.misses > 0);
+    assert!(
+        stats.evictions > 0,
+        "a 25% budget under concurrent traffic must evict: {stats:?}"
+    );
+}

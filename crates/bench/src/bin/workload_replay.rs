@@ -2,7 +2,7 @@
 //! as a standalone binary (independent of `cargo bench`).
 //!
 //! ```sh
-//! cargo run -p rsse-bench --release --bin workload_replay -- --out BENCH_pr7.json
+//! cargo run -p rsse-bench --release --bin workload_replay -- --out BENCH_pr8.json
 //! cargo run -p rsse-bench --release --bin workload_replay -- --smoke
 //! ```
 //!
@@ -35,11 +35,12 @@ use rsse_core::schemes::log_brc_urc::LogScheme;
 use rsse_core::schemes::CoverKind;
 use rsse_core::{QueryServer, RangeScheme, StorageConfig};
 use rsse_cover::{Domain, Range};
+use rsse_serve::BatchConfig;
 use rsse_serve::{ResilientServer, RetryConfig, RetryPolicy, ServeConfig};
 use rsse_updates::{OwnerKey, UpdateConfig, UpdateManager};
 use rsse_workload::{
-    gowalla_like, insert_batches, replay, ArrivalProcess, ManagedTarget, ReplayConfig,
-    ReplayReport, ResilientTarget, Trace, TraceSpec,
+    gowalla_like, insert_batches, replay, ArrivalProcess, EventKind, LatencyHistogram,
+    ManagedTarget, ReplayConfig, ReplayReport, ResilientTarget, Trace, TraceSpec,
 };
 use std::time::{Duration, Instant};
 
@@ -53,7 +54,7 @@ options:
   --time-scale F  replay compression: 2.0 = twice as fast as the trace says
                   (default 1.0)
   --workers N     replay worker threads (default: available parallelism)
-  --out PATH      where to write the JSON report (default BENCH_pr7.json)
+  --out PATH      where to write the JSON report (default BENCH_pr8.json)
   --smoke         CI-sized run: --records 5000 --horizon-ms 500
                   --time-scale 4 unless given explicitly
 ";
@@ -127,7 +128,7 @@ fn parse_opts() -> Opts {
                 .map(|n| n.get())
                 .unwrap_or(4)
         }),
-        out: out.unwrap_or_else(|| "BENCH_pr7.json".to_string()),
+        out: out.unwrap_or_else(|| "BENCH_pr8.json".to_string()),
     }
 }
 
@@ -229,6 +230,172 @@ fn run_query_scenarios<B: rsse_serve::ServeIndex + Sync>(
             }
         })
         .collect()
+}
+
+/// One execution mode's half of the dedup comparison.
+struct DedupModeResult {
+    probes_demanded: u64,
+    probes_unique: u64,
+    hit_rate: f64,
+    latency: LatencyHistogram,
+    outcomes: Vec<rsse_core::QueryOutcome>,
+}
+
+/// Micro-batches `queries` through [`ResilientServer::answer_batch`] on a
+/// fresh budgeted on-disk server and measures per-query batch latency.
+fn run_dedup_mode(
+    dir: &std::path::Path,
+    cache_budget: usize,
+    dedup: bool,
+    queries: &[Vec<rsse_sse::SearchToken>],
+    batch_size: usize,
+    opts: &Opts,
+) -> DedupModeResult {
+    let qs = QueryServer::open_dir_with_budget(dir, Some(cache_budget)).expect("open saved index");
+    let server = ResilientServer::new(
+        qs,
+        ServeConfig {
+            batch: BatchConfig {
+                dedup,
+                workers: Some(opts.workers),
+            },
+            // No deadline: the comparison wants every query completed, so
+            // outcome equality across modes is a hard check.
+            default_deadline: None,
+            ..serve_config(opts.seed)
+        },
+    );
+    // Untimed warmup pass: fills the block cache (and the OS page cache) to
+    // its steady state so the timed pass compares serving work, not which
+    // mode ran first against cold storage.
+    for batch in queries.chunks(batch_size) {
+        for slot in server.answer_batch(batch) {
+            slot.expect("healthy backend, no deadline");
+        }
+    }
+    let warm = server.stats();
+    let mut latency = LatencyHistogram::new();
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for batch in queries.chunks(batch_size) {
+        let t0 = Instant::now();
+        let slots = server.answer_batch(batch);
+        let elapsed = t0.elapsed();
+        // Open-loop batch service: every query in the round completes when
+        // the round does, so each is charged the full batch latency.
+        for _ in 0..batch.len() {
+            latency.record(elapsed);
+        }
+        for slot in slots {
+            outcomes.push(slot.expect("healthy backend, no deadline"));
+        }
+    }
+    // Counter deltas over the timed pass only (the warmup pass demanded the
+    // same probes once already).
+    let stats = server.stats();
+    let probes_demanded = stats.batch_probes_demanded - warm.batch_probes_demanded;
+    let probes_unique = stats.batch_probes_unique - warm.batch_probes_unique;
+    DedupModeResult {
+        probes_demanded,
+        probes_unique,
+        hit_rate: if probes_demanded > 0 {
+            (probes_demanded - probes_unique) as f64 / probes_demanded as f64
+        } else {
+            0.0
+        },
+        latency,
+        outcomes,
+    }
+}
+
+/// The tentpole's headline measurement: the `steady_zipf` query population
+/// with 8 tenants, micro-batched through the batch executor on two
+/// identically-built budgeted on-disk servers — cross-query probe dedup on
+/// vs off. Returns the JSON section and whether outcomes diverged.
+fn run_dedup_comparison(
+    dir: &std::path::Path,
+    cache_budget: usize,
+    client: &impl Fn(Range) -> Option<Vec<rsse_sse::SearchToken>>,
+    domain: Domain,
+    opts: &Opts,
+) -> (String, bool) {
+    let mut spec = TraceSpec::queries_only(
+        domain,
+        ArrivalProcess::Poisson {
+            rate_per_sec: 1_500.0,
+        },
+        opts.horizon,
+    );
+    spec.tenants = 8;
+    let trace = spec.generate(&mut ChaCha20Rng::seed_from_u64(opts.seed));
+    let queries: Vec<Vec<rsse_sse::SearchToken>> = trace
+        .events
+        .iter()
+        .filter_map(|event| match &event.kind {
+            EventKind::Query(range) => client(*range),
+            EventKind::InsertBatch(_) => None,
+        })
+        .collect();
+    let batch_size = 64.min(queries.len().max(1));
+    println!(
+        "dedup comparison on steady_zipf/disk_budget25: {} queries, 8 tenants, \
+         batches of {batch_size} ...",
+        queries.len()
+    );
+
+    let on = run_dedup_mode(dir, cache_budget, true, &queries, batch_size, opts);
+    let off = run_dedup_mode(dir, cache_budget, false, &queries, batch_size, opts);
+    let diverged = on.outcomes != off.outcomes;
+    if diverged {
+        eprintln!("FAIL: dedup-on and dedup-off outcomes differ");
+    }
+
+    let reduction = if off.probes_unique > 0 {
+        1.0 - on.probes_unique as f64 / off.probes_unique as f64
+    } else {
+        0.0
+    };
+    let p99_on = on.latency.quantile(0.99).as_secs_f64() * 1e3;
+    let p99_off = off.latency.quantile(0.99).as_secs_f64() * 1e3;
+    let mode_json = |label: &str, mode: &DedupModeResult| {
+        format!(
+            "\"{label}\":{{\"probes_demanded\":{},\"storage_probes\":{},\
+             \"dedup_hit_rate\":{:.4},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"mean_ms\":{:.3}}}",
+            mode.probes_demanded,
+            mode.probes_unique,
+            mode.hit_rate,
+            mode.latency.quantile(0.50).as_secs_f64() * 1e3,
+            mode.latency.quantile(0.99).as_secs_f64() * 1e3,
+            mode.latency.mean().as_secs_f64() * 1e3,
+        )
+    };
+    println!(
+        "dedup on : {} demanded -> {} storage probes ({:.1}% shared), p99 {:.3}ms",
+        on.probes_demanded,
+        on.probes_unique,
+        on.hit_rate * 100.0,
+        p99_on,
+    );
+    println!(
+        "dedup off: {} demanded -> {} storage probes, p99 {:.3}ms  \
+         (reduction {:.1}%, outcomes identical: {})",
+        off.probes_demanded,
+        off.probes_unique,
+        p99_off,
+        reduction * 100.0,
+        !diverged,
+    );
+    let json = format!(
+        "{{\"scenario\":\"steady_zipf\",\"backend\":\"disk_budget25\",\"tenants\":8,\
+         \"batch_size\":{batch_size},\"queries\":{},\"trace_digest\":\"{:#018x}\",\
+         {},{},\"storage_probe_reduction\":{:.4},\"outcomes_identical\":{}}}",
+        queries.len(),
+        trace.digest(),
+        mode_json("dedup_on", &on),
+        mode_json("dedup_off", &off),
+        reduction,
+        !diverged,
+    );
+    (json, diverged)
 }
 
 /// The mixed insert + query scenario on an `UpdateManager`, in-memory or
@@ -342,6 +509,15 @@ fn main() {
         &config,
     ));
 
+    // --- Batch executor: dedup-on vs dedup-off on the same disk index ---
+    let (dedup_json, dedup_diverged) = run_dedup_comparison(
+        &dir,
+        region_bytes / 4,
+        &disk_trapdoor,
+        *dataset.domain(),
+        &opts,
+    );
+
     // --- Mixed scenario: in-memory and durable update managers ---
     let key = OwnerKey::from_bytes([9u8; 32]);
     let mixed_config = UpdateConfig {
@@ -398,7 +574,8 @@ fn main() {
          \"seed\": {},\n  \"records\": {},\n  \"horizon_ms\": {},\n  \
          \"time_scale\": {},\n  \"workers\": {},\n  \"unexpected_errors\": {},\n  \
          \"summary\": \"{}\",\n  \
-         \"cold_start\": {},\n  \"scenarios\": [\n    {}\n  ]\n}}\n",
+         \"cold_start\": {},\n  \"dedup_comparison\": {},\n  \
+         \"scenarios\": [\n    {}\n  ]\n}}\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(0),
@@ -410,6 +587,7 @@ fn main() {
         unexpected,
         summary,
         cold_start,
+        dedup_json,
         scenarios_json.join(",\n    ")
     );
     std::fs::write(&opts.out, &json).expect("write report");
@@ -433,8 +611,10 @@ fn main() {
         );
     }
 
-    if unexpected > 0 {
-        eprintln!("FAIL: {unexpected} unexpected errors across scenarios");
+    if unexpected > 0 || dedup_diverged {
+        if unexpected > 0 {
+            eprintln!("FAIL: {unexpected} unexpected errors across scenarios");
+        }
         std::process::exit(1);
     }
     println!(

@@ -31,6 +31,51 @@ use rsse_crypto::StreamCipher;
 use rsse_sse::{IndexLookup, SearchToken, ShardedIndex, SseScheme, StorageError};
 use std::path::Path;
 
+/// Decrypts one probe hit with its token's payload cipher (into the reused
+/// `plaintext` buffer) and decodes the tuple id. Returns `None` for a
+/// corrupt (undecryptable or undecodable) entry — the scan skips it, it is
+/// never a panic.
+///
+/// This is the single definition of hit decoding: the sequential scan
+/// ([`scan_query_into`]) and the batch executor in `rsse-serve` both decode
+/// through it, which is what makes their outcomes byte-identical.
+pub fn decode_hit_into(
+    cipher: &StreamCipher,
+    ciphertext: &[u8],
+    plaintext: &mut Vec<u8>,
+) -> Option<DocId> {
+    if cipher.decrypt_into(ciphertext, plaintext) {
+        decode_id_payload(plaintext)
+    } else {
+        None
+    }
+}
+
+/// Reusable per-query scan state: the per-token payload ciphers and the one
+/// plaintext buffer every hit decrypts into. A serving layer answering many
+/// queries keeps one `ScanScratch` per worker thread and rekeys it per
+/// query, so steady-state serving does no per-query scratch allocation.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    ciphers: Vec<StreamCipher>,
+    plaintext: Vec<u8>,
+}
+
+impl ScanScratch {
+    /// (Re)derives the payload ciphers of `tokens` into the reused vector.
+    pub fn rekey(&mut self, tokens: &[SearchToken]) {
+        self.ciphers.clear();
+        self.ciphers
+            .extend(tokens.iter().map(SearchToken::payload_cipher));
+    }
+
+    /// Decodes one hit of token `t` (see [`decode_hit_into`]). Call
+    /// [`rekey`](Self::rekey) with the query's tokens first.
+    pub fn decode_hit(&mut self, t: usize, ciphertext: &[u8]) -> Option<DocId> {
+        decode_hit_into(&self.ciphers[t], ciphertext, &mut self.plaintext)
+    }
+}
+
 /// Runs one range query's whole token vector against any fallible index in
 /// a single lockstep scan, decrypting and decoding every hit into
 /// `per_token` (one id group per token, in token order, each group in
@@ -57,15 +102,28 @@ pub fn scan_query_into<I>(
 where
     I: IndexLookup<Error = StorageError>,
 {
+    let mut scratch = ScanScratch::default();
+    scan_query_into_with(index, tokens, per_token, &mut scratch)
+}
+
+/// [`scan_query_into`] with caller-owned scratch, for serving layers that
+/// answer many queries and want the per-token ciphers and the decrypt
+/// buffer reused across queries instead of reallocated per query.
+pub fn scan_query_into_with<I>(
+    index: &I,
+    tokens: &[SearchToken],
+    per_token: &mut Vec<Vec<DocId>>,
+    scratch: &mut ScanScratch,
+) -> Result<Vec<usize>, StorageError>
+where
+    I: IndexLookup<Error = StorageError>,
+{
     per_token.clear();
     per_token.resize_with(tokens.len(), Vec::new);
-    let ciphers: Vec<StreamCipher> = tokens.iter().map(SearchToken::payload_cipher).collect();
-    let mut scratch: Vec<u8> = Vec::new();
+    scratch.rekey(tokens);
     SseScheme::search_batch_scan(index, tokens, |t, ciphertext| {
-        if ciphers[t].decrypt_into(ciphertext, &mut scratch) {
-            if let Some(id) = decode_id_payload(&scratch) {
-                per_token[t].push(id);
-            }
+        if let Some(id) = scratch.decode_hit(t, ciphertext) {
+            per_token[t].push(id);
         }
     })
 }

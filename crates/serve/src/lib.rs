@@ -18,6 +18,9 @@
 //!   [`ServeError`], including partial results for expired deadlines.
 //! - [`server`] — [`ResilientServer`], the guarded probe loop tying it all
 //!   together over any [`ServeIndex`] backend.
+//! - [`executor`] — the shard-affine batch executor behind
+//!   [`ResilientServer::answer_batch`]: cross-query probe deduplication
+//!   with per-shard worker lanes, byte-identical outcomes.
 //!
 //! Completed queries are byte-identical to the raw `rsse_core` path; the
 //! resilience machinery only changes *when* probes happen and how failures
@@ -31,6 +34,7 @@ pub mod admission;
 pub mod breaker;
 pub mod clock;
 pub mod error;
+pub mod executor;
 pub mod retry;
 pub mod server;
 
@@ -38,5 +42,6 @@ pub use admission::{AdmissionConfig, Ticket};
 pub use breaker::{Admit, BreakerConfig, BreakerState, ShardHealth};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use error::{OverloadReason, PartialOutcome, ServeError};
+pub use executor::BatchConfig;
 pub use retry::{RetryConfig, RetryPolicy};
 pub use server::{ResilientServer, ServeConfig, ServeIndex, ServeStats};

@@ -33,9 +33,10 @@ use crate::admission::{AdmissionConfig, AdmissionQueue, Pending, Ticket};
 use crate::breaker::{Admit, BreakerConfig, BreakerState, ShardHealth};
 use crate::clock::{Clock, SystemClock};
 use crate::error::{OverloadReason, PartialOutcome, ServeError};
+use crate::executor::{execute_batch, BatchConfig, BatchItem};
 use crate::retry::{RetryConfig, RetryPolicy};
 use rayon::prelude::*;
-use rsse_core::server::{assemble_outcome, scan_query_into};
+use rsse_core::server::{assemble_outcome, scan_query_into_with, ScanScratch};
 use rsse_core::{DocId, QueryOutcome, QueryServer};
 use rsse_sse::{
     CacheStats, CipherSpan, IndexLookup, Label, SearchToken, ShardedIndex, StorageError,
@@ -99,7 +100,7 @@ impl ServeIndex for QueryServer {
 }
 
 /// Complete tuning of one resilient server.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Queue bounds and shed thresholds.
     pub admission: AdmissionConfig,
@@ -107,11 +108,40 @@ pub struct ServeConfig {
     pub retry: RetryConfig,
     /// Circuit-breaker thresholds.
     pub breaker: BreakerConfig,
+    /// Batch-executor tuning (cross-query probe dedup, shard-lane workers).
+    pub batch: BatchConfig,
     /// Deadline applied to queries that don't bring their own (`None` =
     /// unbounded).
     pub default_deadline: Option<Duration>,
+    /// Tenant that unattributed queries ([`ResilientServer::answer`],
+    /// [`answer_within`](ResilientServer::answer_within),
+    /// [`answer_many`](ResilientServer::answer_many),
+    /// [`answer_batch`](ResilientServer::answer_batch)) are admitted as.
+    ///
+    /// Admission implication: every unattributed query charges this one
+    /// tenant's bounded queue and shows up as it in shed errors, so a
+    /// multi-tenant deployment that mixes attributed
+    /// ([`answer_for`](ResilientServer::answer_for) /
+    /// [`enqueue`](ResilientServer::enqueue)) and unattributed traffic
+    /// shares the default tenant's fairness slot across all unattributed
+    /// callers. Defaults to `"adhoc"`.
+    pub default_tenant: String,
     /// Seed of the backoff jitter RNG (deterministic tests pin it).
     pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionConfig::default(),
+            retry: RetryConfig::default(),
+            breaker: BreakerConfig::default(),
+            batch: BatchConfig::default(),
+            default_deadline: None,
+            default_tenant: "adhoc".to_string(),
+            seed: 0,
+        }
+    }
 }
 
 /// Counters of everything the resilience machinery did, sampled with
@@ -155,26 +185,57 @@ pub struct ServeStats {
     pub breaker_fail_fast: u64,
     /// Requests currently queued.
     pub queued: u64,
+    /// Batch-executor counter rounds run (all batches).
+    pub batch_rounds: u64,
+    /// Probes batch queries demanded (the leakage-profile count: every
+    /// query's logical probe, whether or not storage was actually read).
+    pub batch_probes_demanded: u64,
+    /// Unique probes the batch executor actually issued to storage after
+    /// cross-query dedup (equals `batch_probes_demanded` with dedup off).
+    pub batch_probes_unique: u64,
+    /// Demanded probes satisfied by another query's identical probe
+    /// (`batch_probes_demanded - batch_probes_unique`).
+    pub batch_dedup_hits: u64,
+    /// Deepest shard lane (unique probes on one shard in one round) seen.
+    pub batch_max_lane_depth: u64,
+}
+
+impl ServeStats {
+    /// Fraction of demanded batch probes satisfied by dedup instead of
+    /// storage (`0.0` when no batch ran).
+    pub fn batch_dedup_hit_rate(&self) -> f64 {
+        if self.batch_probes_demanded == 0 {
+            0.0
+        } else {
+            self.batch_dedup_hits as f64 / self.batch_probes_demanded as f64
+        }
+    }
 }
 
 /// Internal atomic counters behind [`ServeStats`].
 #[derive(Debug, Default)]
-struct Counters {
-    admitted: AtomicU64,
-    served_ok: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) admitted: AtomicU64,
+    pub(crate) served_ok: AtomicU64,
     shed_tenant_full: AtomicU64,
     shed_global_full: AtomicU64,
     shed_pressure: AtomicU64,
-    deadline_expired: AtomicU64,
-    shard_unavailable: AtomicU64,
-    retry_exhausted: AtomicU64,
-    probes_resolved: AtomicU64,
-    faults_absorbed: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) shard_unavailable: AtomicU64,
+    pub(crate) retry_exhausted: AtomicU64,
+    pub(crate) probes_resolved: AtomicU64,
+    pub(crate) faults_absorbed: AtomicU64,
+    pub(crate) batch_rounds: AtomicU64,
+    pub(crate) batch_probes_demanded: AtomicU64,
+    pub(crate) batch_probes_unique: AtomicU64,
+    pub(crate) batch_max_lane_depth: AtomicU64,
 }
 
 /// Why the guarded scan aborted (recorded by the probe loop, translated
-/// into the query's typed [`ServeError`] after the scan unwinds).
-enum Trip {
+/// into the query's typed [`ServeError`] after the scan unwinds). Shared
+/// with the batch executor, whose per-probe guarded loop records the same
+/// trips (minus `Deadline`, which batches check at round boundaries).
+pub(crate) enum Trip {
     Deadline,
     Breaker {
         shard: u32,
@@ -295,13 +356,13 @@ impl<B: ServeIndex> IndexLookup for QueryGuard<'_, B> {
 /// assert_eq!(serve.stats().served_ok, 1);
 /// ```
 pub struct ResilientServer<B: ServeIndex = QueryServer> {
-    backend: B,
-    config: ServeConfig,
-    clock: Arc<dyn Clock>,
-    breakers: ShardHealth,
-    retry: RetryPolicy,
+    pub(crate) backend: B,
+    pub(crate) config: ServeConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) breakers: ShardHealth,
+    pub(crate) retry: RetryPolicy,
     admission: Mutex<AdmissionQueue>,
-    counters: Counters,
+    pub(crate) counters: Counters,
 }
 
 impl<B: ServeIndex + std::fmt::Debug> std::fmt::Debug for ResilientServer<B> {
@@ -384,6 +445,14 @@ impl<B: ServeIndex> ResilientServer<B> {
             breaker_reclosed: self.breakers.reclosed(),
             breaker_fail_fast: self.breakers.fail_fast(),
             queued: self.admission.lock().expect("admission lock").queued() as u64,
+            batch_rounds: c.batch_rounds.load(Ordering::Relaxed),
+            batch_probes_demanded: c.batch_probes_demanded.load(Ordering::Relaxed),
+            batch_probes_unique: c.batch_probes_unique.load(Ordering::Relaxed),
+            batch_dedup_hits: c
+                .batch_probes_demanded
+                .load(Ordering::Relaxed)
+                .saturating_sub(c.batch_probes_unique.load(Ordering::Relaxed)),
+            batch_max_lane_depth: c.batch_max_lane_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -425,6 +494,21 @@ impl<B: ServeIndex> ResilientServer<B> {
         admitted_at: Duration,
         deadline: Option<Duration>,
     ) -> Result<QueryOutcome, ServeError> {
+        let mut scratch = ScanScratch::default();
+        self.serve_admitted_with(tokens, admitted_at, deadline, &mut scratch)
+    }
+
+    /// [`serve_admitted`](Self::serve_admitted) with caller-owned scan
+    /// scratch — batch paths keep one `ScanScratch` per worker thread so
+    /// the per-token ciphers and the decrypt buffer are reused across the
+    /// queries of a batch instead of reallocated per query.
+    fn serve_admitted_with(
+        &self,
+        tokens: &[SearchToken],
+        admitted_at: Duration,
+        deadline: Option<Duration>,
+        scratch: &mut ScanScratch,
+    ) -> Result<QueryOutcome, ServeError> {
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
         self.retry.credit_query();
         let guard = QueryGuard {
@@ -435,7 +519,7 @@ impl<B: ServeIndex> ResilientServer<B> {
             faults_absorbed: Cell::new(0),
         };
         let mut per_token: Vec<Vec<DocId>> = Vec::new();
-        let scanned = scan_query_into(&guard, tokens, &mut per_token);
+        let scanned = scan_query_into_with(&guard, tokens, &mut per_token, scratch);
         self.counters
             .probes_resolved
             .fetch_add(guard.probes_resolved.get(), Ordering::Relaxed);
@@ -501,19 +585,22 @@ impl<B: ServeIndex> ResilientServer<B> {
     }
 
     /// Answers one query under the configured
-    /// [`default_deadline`](ServeConfig::default_deadline).
+    /// [`default_deadline`](ServeConfig::default_deadline), admitted as the
+    /// configured [`default_tenant`](ServeConfig::default_tenant) (see
+    /// there for the admission implication of unattributed traffic).
     pub fn answer(&self, tokens: &[SearchToken]) -> Result<QueryOutcome, ServeError> {
-        self.answer_for("adhoc", tokens, None)
+        self.answer_for(&self.config.default_tenant, tokens, None)
     }
 
     /// Answers one query with an explicit deadline budget, measured from
-    /// admission.
+    /// admission, admitted as the configured
+    /// [`default_tenant`](ServeConfig::default_tenant).
     pub fn answer_within(
         &self,
         tokens: &[SearchToken],
         deadline: Duration,
     ) -> Result<QueryOutcome, ServeError> {
-        self.answer_for("adhoc", tokens, Some(deadline))
+        self.answer_for(&self.config.default_tenant, tokens, Some(deadline))
     }
 
     /// Answers one query on the direct (unqueued) path, attributed to
@@ -537,14 +624,77 @@ impl<B: ServeIndex> ResilientServer<B> {
     /// Answers a batch of queries in parallel (rayon fan-out, outcomes in
     /// query order), every query under the full guarded loop and the
     /// **shared** retry budget and breakers. This is the resilient
-    /// counterpart of [`QueryServer::answer_many`].
+    /// counterpart of [`QueryServer::answer_many`]. Scan scratch (payload
+    /// ciphers, decrypt buffer) is thread-local and reused across the
+    /// queries a worker serves, not reallocated per query.
+    ///
+    /// Queries here stay fully independent; to share work between them
+    /// (dedupe identical probes across the batch) use
+    /// [`answer_batch`](Self::answer_batch).
     pub fn answer_many(
         &self,
         queries: &[Vec<SearchToken>],
     ) -> Vec<Result<QueryOutcome, ServeError>> {
         queries
             .par_iter()
-            .map(|tokens| self.answer(tokens))
+            .map_init(ScanScratch::default, |scratch, tokens| {
+                self.check_pressure(&self.config.default_tenant)?;
+                let admitted_at = self.clock.now();
+                let deadline = self
+                    .config
+                    .default_deadline
+                    .map(|budget| admitted_at + budget);
+                self.serve_admitted_with(tokens, admitted_at, deadline, scratch)
+            })
+            .collect()
+    }
+
+    /// Answers a batch of queries through the shard-affine batch executor
+    /// (see the [`executor`](crate::executor) module): all live tokens'
+    /// labels for a counter round are expanded first, identical probes
+    /// across the batch are deduplicated into one storage read (when
+    /// [`BatchConfig::dedup`] is on), and the unique probes run grouped by
+    /// shard so one slow block only stalls its shard's lane. Outcomes are
+    /// **byte-identical** to serving each query alone, in query order.
+    ///
+    /// The whole batch is admitted at one instant (queries shed for cache
+    /// pressure fail typed without joining the batch), and the configured
+    /// [`default_deadline`](ServeConfig::default_deadline) runs from that
+    /// instant. A query whose deadline passes is cut at the next round
+    /// boundary — shared probes that other queries still demand proceed.
+    pub fn answer_batch(
+        &self,
+        queries: &[Vec<SearchToken>],
+    ) -> Vec<Result<QueryOutcome, ServeError>> {
+        let admitted_at = self.clock.now();
+        let deadline = self
+            .config
+            .default_deadline
+            .map(|budget| admitted_at + budget);
+        let mut slots: Vec<Option<Result<QueryOutcome, ServeError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut admitted: Vec<usize> = Vec::with_capacity(queries.len());
+        let mut items: Vec<BatchItem<'_>> = Vec::with_capacity(queries.len());
+        for (slot, tokens) in queries.iter().enumerate() {
+            match self.check_pressure(&self.config.default_tenant) {
+                Ok(()) => {
+                    admitted.push(slot);
+                    items.push(BatchItem {
+                        tokens,
+                        admitted_at,
+                        deadline,
+                    });
+                }
+                Err(shed) => slots[slot] = Some(Err(shed)),
+            }
+        }
+        let outcomes = execute_batch(self, items);
+        for (slot, outcome) in admitted.into_iter().zip(outcomes) {
+            slots[slot] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot resolves"))
             .collect()
     }
 
@@ -573,6 +723,32 @@ impl<B: ServeIndex> ResilientServer<B> {
                 let outcome = self.serve_admitted(&pending.tokens, admitted_at, pending.deadline);
                 (pending.ticket, outcome)
             })
+            .collect()
+    }
+
+    /// Serves everything queued as **one batch** through the shard-affine
+    /// batch executor: the drain plan's queries (same oldest-tenant-fair
+    /// order as [`drain`](Self::drain)) are admitted together, identical
+    /// probes across them are deduplicated, and each request's ticket comes
+    /// back with its outcome in plan order. Every request keeps the
+    /// deadline it was enqueued under — one whose deadline passed while
+    /// queued is cut at the first round boundary with a typed partial,
+    /// without cancelling probes other requests share.
+    pub fn drain_batched(&self) -> Vec<(Ticket, Result<QueryOutcome, ServeError>)> {
+        let plan: Vec<Pending> = self.admission.lock().expect("admission lock").drain_plan();
+        let admitted_at = self.clock.now();
+        let items: Vec<BatchItem<'_>> = plan
+            .iter()
+            .map(|pending| BatchItem {
+                tokens: &pending.tokens,
+                admitted_at,
+                deadline: pending.deadline,
+            })
+            .collect();
+        let outcomes = execute_batch(self, items);
+        plan.into_iter()
+            .map(|pending| pending.ticket)
+            .zip(outcomes)
             .collect()
     }
 }

@@ -46,8 +46,8 @@ pub use database::SseDatabase;
 pub use fault::{DelayHook, FaultInjectable, FaultInjector, FaultPlan};
 pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
 pub use pibas::{
-    CipherSpan, CorruptEntry, EncryptedIndex, IndexLookup, Label, SearchError, SearchToken, SseKey,
-    SseScheme,
+    CipherSpan, CorruptEntry, EncryptedIndex, IndexLookup, Label, LabelHasher, SearchError,
+    SearchToken, SseKey, SseScheme, TokenLabeler,
 };
 pub use sharded::{FaultShard, Shard, ShardedIndex};
 pub use storage::{

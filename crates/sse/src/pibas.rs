@@ -119,6 +119,40 @@ impl SearchToken {
     }
 }
 
+/// Incremental label expansion for one token: the counter-scan's label
+/// schedule `F(K1_w, 0), F(K1_w, 1), …` exposed **separately from probing**,
+/// so batch executors can plan a counter round's probes — dedupe identical
+/// labels across queries, group them by shard — before touching storage.
+///
+/// Trapdoors are deterministic (that *is* the search-pattern leakage), so
+/// two equal tokens yield identical label sequences; a planner that merges
+/// their probes reveals nothing the per-query scan would not. The PRF key
+/// schedule is cached at construction and shared across every call, exactly
+/// as in the sequential scan loop.
+#[derive(Clone, Debug)]
+pub struct TokenLabeler {
+    prf: Prf,
+}
+
+impl TokenLabeler {
+    /// Caches the label-PRF key schedule of `token`.
+    pub fn new(token: &SearchToken) -> Self {
+        Self {
+            prf: Prf::new(&token.label_key),
+        }
+    }
+
+    /// The dictionary label the scan probes at `counter` (the truncated PRF
+    /// output `F(K1_w, counter)`).
+    pub fn label_at(&self, counter: u64) -> Label {
+        let mut full = [0u8; KEY_LEN];
+        self.prf.eval_u64_into(counter, &mut full);
+        let mut label = [0u8; LABEL_LEN];
+        label.copy_from_slice(&full[..LABEL_LEN]);
+        label
+    }
+}
+
 /// A ciphertext resolved by a dictionary probe.
 ///
 /// In-memory arenas hand out plain borrows of their arena bytes; budgeted
@@ -583,13 +617,10 @@ impl SseScheme {
         token: &SearchToken,
         mut visit: impl FnMut(&[u8]),
     ) -> Result<usize, I::Error> {
-        let label_prf = Prf::new(&token.label_key);
-        let mut label_full = [0u8; KEY_LEN];
-        let mut label = [0u8; LABEL_LEN];
+        let labeler = TokenLabeler::new(token);
         let mut counter = 0u64;
         loop {
-            label_prf.eval_u64_into(counter, &mut label_full);
-            label.copy_from_slice(&label_full[..LABEL_LEN]);
+            let label = labeler.label_at(counter);
             match index.try_get(&label)? {
                 Some(ciphertext) => {
                     visit(&ciphertext);
@@ -680,23 +711,18 @@ impl SseScheme {
         mut visit: impl FnMut(usize, &[u8]),
     ) -> Result<Vec<usize>, I::Error> {
         let mut counts = vec![0usize; tokens.len()];
-        let prfs: Vec<Prf> = tokens
-            .iter()
-            .map(|token| Prf::new(&token.label_key))
-            .collect();
+        // One cached PRF key schedule per token, shared across rounds (the
+        // label-expansion half of the scan, reused by external batch
+        // planners through [`TokenLabeler`]).
+        let labelers: Vec<TokenLabeler> = tokens.iter().map(TokenLabeler::new).collect();
         let mut live: Vec<u32> = (0..tokens.len() as u32).collect();
         let mut labels: Vec<Label> = Vec::with_capacity(live.len());
         let mut hits: Vec<Option<CipherSpan<'a>>> = Vec::with_capacity(live.len());
-        // One label-PRF output buffer shared across every token and round.
-        let mut label_full = [0u8; KEY_LEN];
         let mut counter = 0u64;
         while !live.is_empty() {
             labels.clear();
             for &t in &live {
-                prfs[t as usize].eval_u64_into(counter, &mut label_full);
-                let mut label = [0u8; LABEL_LEN];
-                label.copy_from_slice(&label_full[..LABEL_LEN]);
-                labels.push(label);
+                labels.push(labelers[t as usize].label_at(counter));
             }
             index.try_get_many(&labels, &mut hits)?;
             let mut kept = 0usize;

@@ -43,6 +43,14 @@ pub struct ParMap<I, F> {
     f: F,
 }
 
+/// A parallel map pipeline with per-worker state: each worker thread calls
+/// `init` once and threads the value through every item it maps.
+pub struct ParMapInit<I, G, F> {
+    items: Vec<I>,
+    init: G,
+    f: F,
+}
+
 impl<I: Send> ParIter<I> {
     /// Attaches the mapping function.
     pub fn map<R, F>(self, f: F) -> ParMap<I, F>
@@ -52,6 +60,23 @@ impl<I: Send> ParIter<I> {
     {
         ParMap {
             items: self.items,
+            f,
+        }
+    }
+
+    /// Attaches a mapping function with per-worker state: `init` runs once
+    /// per worker thread, and the resulting value is passed (mutably) to
+    /// every item that worker maps — the rayon idiom for scratch buffers
+    /// reused across a worker's items instead of reallocated per item.
+    pub fn map_init<T, R, G, F>(self, init: G, f: F) -> ParMapInit<I, G, F>
+    where
+        G: Fn() -> T + Sync,
+        F: Fn(&mut T, I) -> R + Sync,
+        R: Send,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
             f,
         }
     }
@@ -66,6 +91,19 @@ impl<I: Send, F> ParMap<I, F> {
         C: FromParallelIterator<R>,
     {
         C::from_results(parallel_map(self.items, &self.f))
+    }
+}
+
+impl<I: Send, G, F> ParMapInit<I, G, F> {
+    /// Executes the map on a scoped thread pool and collects in input order.
+    pub fn collect<C, T, R>(self) -> C
+    where
+        G: Fn() -> T + Sync,
+        F: Fn(&mut T, I) -> R + Sync,
+        R: Send,
+        C: FromParallelIterator<R>,
+    {
+        C::from_results(parallel_map_init(self.items, &self.init, &self.f))
     }
 }
 
@@ -87,10 +125,21 @@ where
     R: Send,
     F: Fn(I) -> R + Sync,
 {
+    parallel_map_init(items, &|| (), &|(), item| f(item))
+}
+
+fn parallel_map_init<I, T, R, G, F>(items: Vec<I>, init: &G, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    G: Fn() -> T + Sync,
+    F: Fn(&mut T, I) -> R + Sync,
+{
     let len = items.len();
     let threads = current_num_threads().min(len.max(1));
     if threads <= 1 || len <= 1 {
-        return items.into_iter().map(f).collect();
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
 
     // Workers pull indices from a shared counter (dynamic load balancing —
@@ -109,6 +158,7 @@ where
                 let slots = &slots;
                 let next = &next;
                 s.spawn(move || {
+                    let mut state = init();
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -120,7 +170,7 @@ where
                             .expect("no poisoning: slots are taken exactly once")
                             .take()
                             .expect("each slot is claimed by exactly one worker");
-                        out.push((i, f(item)));
+                        out.push((i, f(&mut state, item)));
                     }
                     out
                 })
@@ -237,6 +287,23 @@ mod tests {
         let one: Vec<u8> = vec![9];
         let out: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn map_init_is_ordered_and_reuses_state() {
+        let input: Vec<u64> = (0..5_000).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map_init(
+                || Vec::with_capacity(8),
+                |scratch: &mut Vec<u64>, &x| {
+                    scratch.clear();
+                    scratch.push(x);
+                    scratch[0] * 2
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..5_000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -76,6 +76,7 @@ fn bench_manager_reopen(c: &mut Criterion) {
         shard_bits: 2,
         storage_root: Some(root.clone()),
         cache_budget: None,
+        build_budget: None,
     };
     let drive = |cfg: UpdateConfig| -> UpdateManager<LogScheme> {
         let mut rng = ChaCha20Rng::seed_from_u64(5);

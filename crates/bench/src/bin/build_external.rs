@@ -1,0 +1,277 @@
+//! `build_external` — peak-RSS benchmark of the external-memory BuildIndex.
+//!
+//! ```sh
+//! cargo run -p rsse-bench --release --bin build_external -- --out BENCH_pr9.json
+//! cargo run -p rsse-bench --release --bin build_external -- --smoke
+//! ```
+//!
+//! Builds the same Constant-BRC index (one entry per record — the paper's
+//! `O(n)`-storage scheme, so a 10M-record dataset means a 10M-entry
+//! dictionary) twice through the on-disk backend:
+//!
+//! * **in_ram**   — the ordinary stored build: the whole grouped plaintext
+//!   multimap is resident while the index streams out;
+//! * **external** — the same build with a [`BuildBudget`] attached, so the
+//!   entries spill to sorted `RSSE-SPL` runs and merge back in bounded
+//!   memory. The budget is set to **25% of the measured in-RAM peak RSS**
+//!   (capped at 256 MiB), so the report demonstrates the headline claim
+//!   directly: the external build completes within a quarter of the in-RAM
+//!   build's peak.
+//!
+//! Each mode runs in its **own subprocess** (the binary re-executes itself
+//! with `--child`) so peak RSS — `VmHWM` from `/proc/self/status` — is
+//! measured per build, not across both. The two builds draw from the same
+//! seed and produce byte-identical index directories; the driver verifies
+//! that too, then writes a JSON report with wall time and peak RSS per
+//! mode.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use rsse_core::schemes::constant::ConstantScheme;
+use rsse_core::schemes::CoverKind;
+use rsse_core::{BuildBudget, StorageConfig};
+use rsse_workload::gowalla_like;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: build_external [OPTIONS]
+
+options:
+  --records N     dataset size (default 10000000)
+  --shard-bits N  label-prefix shard bits (default 4)
+  --seed N        build RNG seed (default 7)
+  --out PATH      where to write the JSON report (default BENCH_pr9.json)
+  --smoke         CI-sized run: --records 200000 unless given explicitly
+";
+
+struct Opts {
+    records: usize,
+    shard_bits: u32,
+    seed: u64,
+    out: String,
+    smoke: bool,
+    /// Child mode: build once, print one JSON result line, exit.
+    child: Option<String>,
+    /// Child-only: index output directory.
+    dir: Option<PathBuf>,
+    /// Child-only (external): build budget in bytes.
+    budget_bytes: Option<usize>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        records: 0,
+        shard_bits: 4,
+        seed: 7,
+        out: "BENCH_pr9.json".to_string(),
+        smoke: false,
+        child: None,
+        dir: None,
+        budget_bytes: None,
+    };
+    let mut records_given = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--records" => {
+                opts.records = value("--records").parse().expect("--records");
+                records_given = true;
+            }
+            "--shard-bits" => {
+                opts.shard_bits = value("--shard-bits").parse().expect("--shard-bits")
+            }
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed"),
+            "--out" => opts.out = value("--out"),
+            "--smoke" => opts.smoke = true,
+            "--child" => opts.child = Some(value("--child")),
+            "--dir" => opts.dir = Some(PathBuf::from(value("--dir"))),
+            "--budget-bytes" => {
+                opts.budget_bytes = Some(value("--budget-bytes").parse().expect("--budget-bytes"))
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !records_given {
+        opts.records = if opts.smoke { 200_000 } else { 10_000_000 };
+    }
+    opts
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM`), 0 if the
+/// kernel does not expose it (non-Linux).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Child process: build one index in the requested mode and report on
+/// stdout as a single `RESULT {json}` line.
+fn run_child(opts: &Opts, mode: &str) -> ! {
+    let dir = opts.dir.clone().expect("--dir is required with --child");
+    let domain_size = 1u64 << 20;
+    let mut data_rng = ChaCha20Rng::seed_from_u64(5);
+    let dataset = gowalla_like(opts.records, domain_size, &mut data_rng);
+    let mut config = StorageConfig::on_disk(opts.shard_bits, &dir);
+    if mode == "external" {
+        let budget = opts
+            .budget_bytes
+            .expect("--budget-bytes is required for the external child");
+        config = config.with_build_budget(BuildBudget::with_memory(budget));
+    }
+    let started = Instant::now();
+    let mut rng = ChaCha20Rng::seed_from_u64(opts.seed);
+    let (_client, _server) =
+        ConstantScheme::build_stored_with(&dataset, CoverKind::Brc, &config, &mut rng)
+            .expect("stored build");
+    let wall_ms = started.elapsed().as_millis();
+    println!(
+        "RESULT {{\"mode\":\"{mode}\",\"records\":{},\"wall_ms\":{wall_ms},\"peak_rss_bytes\":{},\"budget_bytes\":{}}}",
+        opts.records,
+        peak_rss_bytes(),
+        opts.budget_bytes.unwrap_or(0)
+    );
+    std::process::exit(0);
+}
+
+/// Spawns this binary as a child in `mode` and parses its `RESULT` line.
+fn spawn_child(opts: &Opts, mode: &str, dir: &Path, budget_bytes: Option<usize>) -> (u128, u64) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--child")
+        .arg(mode)
+        .arg("--records")
+        .arg(opts.records.to_string())
+        .arg("--shard-bits")
+        .arg(opts.shard_bits.to_string())
+        .arg("--seed")
+        .arg(opts.seed.to_string())
+        .arg("--dir")
+        .arg(dir);
+    if let Some(bytes) = budget_bytes {
+        cmd.arg("--budget-bytes").arg(bytes.to_string());
+    }
+    let output = cmd.output().expect("spawn child build");
+    if !output.status.success() {
+        eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        panic!("child build ({mode}) failed: {}", output.status);
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT "))
+        .expect("child RESULT line");
+    // Minimal field extraction — the line is machine-written just above.
+    let field = |name: &str| -> u128 {
+        let key = format!("\"{name}\":");
+        let rest = &line[line.find(&key).expect("field") + key.len()..];
+        rest.chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .expect("field value")
+    };
+    (field("wall_ms"), field("peak_rss_bytes") as u64)
+}
+
+/// Byte compare of the two index directories.
+fn dirs_equal(a: &Path, b: &Path) -> bool {
+    let list = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = list(a);
+    names == list(b)
+        && names
+            .iter()
+            .all(|n| fs::read(a.join(n)).unwrap() == fs::read(b.join(n)).unwrap())
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Some(mode) = opts.child.clone() {
+        run_child(&opts, &mode);
+    }
+
+    let scratch = std::env::temp_dir().join(format!("rsse-build-external-{}", std::process::id()));
+    let in_ram_dir = scratch.join("in_ram");
+    let external_dir = scratch.join("external");
+    fs::create_dir_all(&in_ram_dir).unwrap();
+    fs::create_dir_all(&external_dir).unwrap();
+
+    println!(
+        "in-RAM stored build: {} records, 2^{} shards ...",
+        opts.records, opts.shard_bits
+    );
+    let (ram_wall_ms, ram_peak) = spawn_child(&opts, "in_ram", &in_ram_dir, None);
+    println!(
+        "  wall {ram_wall_ms} ms, peak RSS {:.1} MiB",
+        ram_peak as f64 / (1 << 20) as f64
+    );
+
+    // The headline configuration: a budget no larger than a quarter of the
+    // in-RAM build's peak, capped at the 256 MiB default.
+    let budget_bytes = ((ram_peak / 4) as usize).clamp(8 << 20, 256 << 20);
+    println!(
+        "external build under a {:.1} MiB budget ({}% of in-RAM peak) ...",
+        budget_bytes as f64 / (1 << 20) as f64,
+        budget_bytes as u64 * 100 / ram_peak.max(1)
+    );
+    let (ext_wall_ms, ext_peak) = spawn_child(&opts, "external", &external_dir, Some(budget_bytes));
+    println!(
+        "  wall {ext_wall_ms} ms, peak RSS {:.1} MiB",
+        ext_peak as f64 / (1 << 20) as f64
+    );
+
+    let identical = dirs_equal(&in_ram_dir, &external_dir);
+    assert!(identical, "external build must be byte-identical to in-RAM");
+    let _ = fs::remove_dir_all(&scratch);
+
+    let report = format!(
+        "{{\n  \"source\": \"build_external\",\n  \"scheme\": \"Constant-BRC\",\n  \"records\": {},\n  \"shard_bits\": {},\n  \"seed\": {},\n  \"byte_identical\": {},\n  \"budget_fraction_of_in_ram_peak\": {:.4},\n  \"modes\": [\n    {{\"mode\": \"in_ram\", \"wall_ms\": {}, \"peak_rss_bytes\": {}}},\n    {{\"mode\": \"external\", \"wall_ms\": {}, \"peak_rss_bytes\": {}, \"budget_bytes\": {}}}\n  ]\n}}\n",
+        opts.records,
+        opts.shard_bits,
+        opts.seed,
+        identical,
+        budget_bytes as f64 / ram_peak.max(1) as f64,
+        ram_wall_ms,
+        ram_peak,
+        ext_wall_ms,
+        ext_peak,
+        budget_bytes
+    );
+    fs::write(&opts.out, &report).expect("write report");
+    println!("report written to {}:\n{report}", opts.out);
+}

@@ -17,6 +17,8 @@
 //! | Cover ablation (BRC/URC/SRC)      | [`experiments::ablation_cover`] |
 //! | Update-consolidation ablation     | [`experiments::ablation_updates`] |
 
+#![deny(missing_docs)]
+
 pub mod experiments;
 pub mod report;
 pub mod scale;

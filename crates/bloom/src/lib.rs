@@ -20,6 +20,8 @@
 //!   element count and target false-positive rate, as fixed per node by Li
 //!   et al.
 
+#![deny(missing_docs)]
+
 use rsse_crypto::{Key, Prf};
 
 /// Sizing parameters of a Bloom filter.

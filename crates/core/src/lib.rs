@@ -61,4 +61,4 @@ pub use traits::{QueryOutcome, RangeScheme};
 
 // Storage-backend selection and errors surface through `RangeScheme::
 // build_stored` and the persistence entry points, so re-export them here.
-pub use rsse_sse::{StorageBackend, StorageConfig, StorageError};
+pub use rsse_sse::{BuildBudget, StorageBackend, StorageConfig, StorageError};

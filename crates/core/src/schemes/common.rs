@@ -162,6 +162,11 @@ pub fn grouped_fixed_index_sharded<const K: usize, const P: usize, R: RngCore + 
 /// identical grouping, keyed shuffle, per-keyword encryption and RNG
 /// consumption, with the shards assembled in memory or streamed straight to
 /// their serialized files as the [`StorageConfig`] backend selects.
+///
+/// When the configuration carries a [`BuildBudget`](rsse_sse::BuildBudget),
+/// the sort-and-group runs through the external-memory spill/merge pipeline
+/// instead of in RAM — byte-identical output, peak RSS bounded by the
+/// budget rather than `entries.len()`.
 pub fn grouped_fixed_index_stored<const K: usize, const P: usize, R: RngCore + CryptoRng>(
     key: &SseKey,
     shuffle_key: &rsse_crypto::Key,
@@ -169,7 +174,29 @@ pub fn grouped_fixed_index_stored<const K: usize, const P: usize, R: RngCore + C
     config: &StorageConfig,
     rng: &mut R,
 ) -> Result<ShardedIndex, StorageError> {
+    if config.build_budget.is_some() {
+        return rsse_sse::build_index_fixed_external(key, shuffle_key, entries, config, rng);
+    }
     SseScheme::build_index_fixed_stored(key, &grouped_lists(shuffle_key, entries), config, rng)
+}
+
+/// Streaming variant of [`grouped_fixed_index_stored`] for budgeted
+/// builds: takes the `(keyword, payload)` entries as an iterator, so the
+/// caller never materializes the transformed corpus at all (the Log/SRC
+/// schemes generate entries on the fly from records × covering nodes).
+/// Falls back to collecting into the in-RAM grouped build when the
+/// configuration carries no budget.
+pub fn grouped_fixed_index_external<const K: usize, const P: usize, R: RngCore + CryptoRng>(
+    key: &SseKey,
+    shuffle_key: &rsse_crypto::Key,
+    entries: impl IntoIterator<Item = ([u8; K], [u8; P])>,
+    config: &StorageConfig,
+    rng: &mut R,
+) -> Result<ShardedIndex, StorageError> {
+    if config.build_budget.is_some() {
+        return rsse_sse::build_index_fixed_external(key, shuffle_key, entries, config, rng);
+    }
+    grouped_fixed_index_stored(key, shuffle_key, entries.into_iter().collect(), config, rng)
 }
 
 /// The grouping core shared by the two builds above: sort flat entries by

@@ -197,6 +197,50 @@ impl ConstantScheme {
         let dprf = Dprf::new(&chain.derive(b"dprf"), domain.bits());
         let shuffle_key = chain.derive(b"shuffle");
 
+        if config.build_budget.is_some() {
+            // Budgeted build: spill (value, id) entries to sorted runs and
+            // merge them back, deriving each value's token from a single
+            // DPRF walk as its group closes. Big-endian keywords make the
+            // lexicographic merge order the numeric value order of the
+            // BTreeMap below; the stable ByKeyword merge keeps each
+            // value's payloads in dataset order, so the keyed shuffle —
+            // and every output byte — matches the in-RAM path.
+            let entries = dataset
+                .records()
+                .iter()
+                .map(|record| (record.value.to_be_bytes(), record.id_payload_array()));
+            let index = rsse_sse::build_index_external_with(
+                entries,
+                rsse_sse::SpillOrder::ByKeyword,
+                |keyword: &[u8; 8], payloads: &mut Vec<[u8; 8]>| {
+                    let value = u64::from_be_bytes(*keyword);
+                    permute::keyed_shuffle(&shuffle_key, &value.to_le_bytes(), payloads);
+                    SearchToken::derive_from_seed(&dprf.eval(value))
+                },
+                config,
+                rng,
+            )?;
+            if let StorageBackend::OnDisk(dir) = &config.backend {
+                if let Err(error) = write_depth_meta(dir, domain.bits()) {
+                    rsse_sse::storage::cleanup_partial_index(dir, 1usize << config.shard_bits);
+                    return Err(error);
+                }
+            }
+            return Ok((
+                Self {
+                    dprf,
+                    shuffle_key,
+                    domain,
+                    kind,
+                    history: Vec::new(),
+                },
+                ConstantServer {
+                    index,
+                    depth: domain.bits(),
+                },
+            ));
+        }
+
         // Group tuple-id payloads by attribute value: each value is a
         // keyword, and its SSE token is derived from the DPRF value so the
         // server can recreate it after GGM expansion.

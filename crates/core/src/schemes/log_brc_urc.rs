@@ -12,7 +12,8 @@
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::{
-    clamp_query, grouped_fixed_index_stored, search_ids, try_search_ids, CoverKind,
+    clamp_query, grouped_fixed_index_external, grouped_fixed_index_stored, search_ids,
+    try_search_ids, CoverKind,
 };
 use crate::server::QueryServer;
 use crate::traits::{QueryOutcome, RangeScheme};
@@ -116,6 +117,18 @@ impl LogScheme {
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), false);
             padding::pad_to(&mut db, target, 8);
             SseScheme::build_index_stored(&key, &db, config, rng)?
+        } else if config.build_budget.is_some() {
+            // Budgeted build: stream the (node keyword, id) entries into
+            // the external spill/merge pipeline without ever collecting
+            // them — RAM stays bounded by the budget, output stays
+            // byte-identical to the collected path below.
+            let entries = dataset.records().iter().flat_map(|record| {
+                let payload = record.id_payload_array();
+                Node::path_to_root(&domain, record.value)
+                    .into_iter()
+                    .map(move |node| (node.keyword(), payload))
+            });
+            grouped_fixed_index_external(&key, &shuffle_key, entries, config, rng)?
         } else {
             // Unpadded fast path: flat (node keyword, id) entries, grouped
             // by one sort — no per-entry allocations before encryption.

@@ -12,7 +12,9 @@
 
 use crate::dataset::Dataset;
 use crate::metrics::{IndexStats, QueryStats};
-use crate::schemes::common::{clamp_query, grouped_fixed_index_stored, try_search_ids};
+use crate::schemes::common::{
+    clamp_query, grouped_fixed_index_external, grouped_fixed_index_stored, try_search_ids,
+};
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Range, Tdag};
@@ -114,6 +116,17 @@ impl LogSrcScheme {
             let target = padding::logarithmic_padding_target(dataset.len(), domain.size(), true);
             padding::pad_to(&mut db, target, 8);
             SseScheme::build_index_stored(&key, &db, config, rng)?
+        } else if config.build_budget.is_some() {
+            // Budgeted build: stream (TDAG keyword, id) entries straight
+            // into the external spill/merge pipeline — nothing
+            // corpus-sized is ever collected, output is byte-identical.
+            let entries = dataset.records().iter().flat_map(|record| {
+                let payload = record.id_payload_array();
+                tdag.covering_nodes(record.value)
+                    .into_iter()
+                    .map(move |node| (node.keyword(), payload))
+            });
+            grouped_fixed_index_external(&key, &shuffle_key, entries, config, rng)?
         } else {
             // Unpadded fast path: flat (TDAG keyword, id) entries grouped by
             // one sort, keyed-shuffled per keyword inside the helper.

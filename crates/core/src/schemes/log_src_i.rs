@@ -21,8 +21,8 @@
 use crate::dataset::{Dataset, Record};
 use crate::metrics::{IndexStats, QueryStats};
 use crate::schemes::common::{
-    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index_stored,
-    try_search_ids,
+    clamp_query, decode_value_span, encode_value_span_array, grouped_fixed_index_external,
+    grouped_fixed_index_stored, try_search_ids,
 };
 use crate::traits::{QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
@@ -156,18 +156,21 @@ impl LogSrcIScheme {
             rng,
         )?;
 
-        // TDAG2 over positions 0..n indexes the tuples themselves.
+        // TDAG2 over positions 0..n indexes the tuples themselves. This is
+        // the corpus-sized index, so it streams entries into the grouped
+        // build: with a build budget set, nothing n·log n-sized is ever
+        // collected (the value-sorted record array itself stays resident —
+        // a scheme-level floor documented in ARCHITECTURE.md).
         let position_domain = Domain::new(sorted.len().max(1) as u64);
         let tdag2 = Tdag::new(position_domain);
-        let mut entries2: Vec<([u8; 13], [u8; 8])> =
-            Vec::with_capacity(sorted.len() * (position_domain.bits() as usize + 2));
-        for (position, record) in sorted.iter().enumerate() {
+        let entries2 = sorted.iter().enumerate().flat_map(|(position, record)| {
             let payload = record.id_payload_array();
-            for node in tdag2.covering_nodes(position as u64) {
-                entries2.push((node.keyword(), payload));
-            }
-        }
-        let index2 = match grouped_fixed_index_stored(
+            tdag2
+                .covering_nodes(position as u64)
+                .into_iter()
+                .map(move |node| (node.keyword(), payload))
+        });
+        let index2 = match grouped_fixed_index_external(
             &key2,
             &chain.derive(b"shuffle-i2"),
             entries2,

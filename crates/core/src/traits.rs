@@ -4,7 +4,7 @@ use crate::dataset::{Dataset, DocId};
 use crate::metrics::{IndexStats, QueryStats};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::Range;
-use rsse_sse::{StorageBackend, StorageConfig, StorageError};
+use rsse_sse::{BuildBudget, StorageBackend, StorageConfig, StorageError};
 
 /// The owner-visible outcome of a range query.
 ///
@@ -115,6 +115,35 @@ pub trait RangeScheme: Sized {
             StorageBackend::InMemory => Ok(Self::build_sharded(dataset, config.shard_bits, rng)),
             StorageBackend::OnDisk(_) => Err(StorageError::Unsupported(Self::NAME)),
         }
+    }
+
+    /// External-memory variant of [`build_stored`](Self::build_stored):
+    /// the build's peak working set is bounded by the configuration's
+    /// [`BuildBudget`] (defaulted in if `config` carries none) instead of
+    /// growing with the corpus, by spilling the transformed entries to
+    /// sorted runs on disk and merge-encrypting them back in bounded
+    /// batches — see the `rsse_sse::external` module.
+    ///
+    /// The output is **bit-identical** to `build_stored` for the same
+    /// dataset, configuration and RNG stream, at any budget, on both
+    /// backends (property-tested in `tests/external_build.rs`): this is a
+    /// residency knob, never a semantic one. The default implementation
+    /// delegates to `build_stored` with the budget filled in; schemes
+    /// whose build paths honor `StorageConfig::build_budget` (the grouped
+    /// fixed-stride family and Constant-BRC/URC) get the external pipeline
+    /// through exactly that dispatch. Schemes that never materialize a
+    /// corpus-sized working set anyway (Quadratic, PB's filter tree) run
+    /// their ordinary build.
+    fn build_external<R: RngCore + CryptoRng>(
+        dataset: &Dataset,
+        config: &StorageConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Self::Server), StorageError> {
+        let mut config = config.clone();
+        if config.build_budget.is_none() {
+            config.build_budget = Some(BuildBudget::default());
+        }
+        Self::build_stored(dataset, &config, rng)
     }
 
     /// Reopens the owner state and server of an index previously built by

@@ -24,6 +24,8 @@
 //! Keyword byte-labels for index nodes (used as SSE keywords by the schemes)
 //! are produced by [`Node::keyword`] and [`TdagNode::keyword`].
 
+#![deny(missing_docs)]
+
 pub mod brc;
 pub mod domain;
 pub mod node;

@@ -23,6 +23,10 @@
 //!   BuildIndex and served via paged reads ([`FileShard`]), selected by a
 //!   [`StorageConfig`] and persisted/reopened with
 //!   [`ShardedIndex::save_to_dir`] / [`ShardedIndex::open_dir`];
+//! * [`external`] — the external-memory `BuildIndex` pipeline: entries
+//!   spill to sorted `RSSE-SPL` runs on disk and are k-way-merged back
+//!   through the encrypt/scatter stages, so peak RSS is bounded by a
+//!   [`BuildBudget`] rather than corpus size, with byte-identical output;
 //! * [`fault`] — deterministic fault injection (seeded [`FaultPlan`]s
 //!   behind the [`FaultInjectable`] trait) shared by the resilience tests,
 //!   the chaos battery and the bench harness;
@@ -35,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod database;
+pub mod external;
 pub mod fault;
 pub mod leakage;
 pub mod padding;
@@ -43,6 +48,7 @@ pub mod sharded;
 pub mod storage;
 
 pub use database::SseDatabase;
+pub use external::{build_index_external_with, build_index_fixed_external, SpillOrder};
 pub use fault::{DelayHook, FaultInjectable, FaultInjector, FaultPlan};
 pub use leakage::{AccessPattern, IndexLeakage, QueryLeakage, SearchPattern};
 pub use pibas::{
@@ -51,7 +57,7 @@ pub use pibas::{
 };
 pub use sharded::{FaultShard, Shard, ShardedIndex};
 pub use storage::{
-    CacheStats, FileShard, ManagerManifest, ManifestInstance, OwnerMeta, ShardStorage,
+    BuildBudget, CacheStats, FileShard, ManagerManifest, ManifestInstance, OwnerMeta, ShardStorage,
     StorageBackend, StorageConfig, StorageError,
 };
 

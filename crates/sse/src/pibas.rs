@@ -410,9 +410,9 @@ fn encrypt_list(
     )
 }
 
-/// Generic encryption core shared by the `Vec`-payload and fixed-stride
-/// build paths.
-fn encrypt_payloads<'a>(
+/// Generic encryption core shared by the `Vec`-payload, fixed-stride and
+/// external-memory build paths.
+pub(crate) fn encrypt_payloads<'a>(
     token: &SearchToken,
     payloads: impl Iterator<Item = &'a [u8]>,
     count: usize,

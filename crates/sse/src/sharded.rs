@@ -60,7 +60,7 @@ pub const MAX_SHARD_BITS: u32 = 16;
 
 /// Returns the shard (top `bits` bits of the label, read big-endian) an
 /// entry with this label belongs to. `bits == 0` maps everything to shard 0.
-fn shard_of_label(label: &Label, bits: u32) -> usize {
+pub(crate) fn shard_of_label(label: &Label, bits: u32) -> usize {
     if bits == 0 {
         return 0;
     }
@@ -266,6 +266,14 @@ impl Default for ShardedIndex {
 }
 
 impl ShardedIndex {
+    /// Assembles an index from already-built shards (the external-memory
+    /// build path constructs its shards incrementally instead of through
+    /// [`shard_chunks`]). `shards.len()` must be `2^bits`.
+    pub(crate) fn from_parts(bits: u32, shards: Vec<Shard>) -> Self {
+        debug_assert_eq!(shards.len(), 1usize << bits);
+        Self { bits, shards }
+    }
+
     /// The number of label-prefix bits selecting a shard (`k`).
     pub fn shard_bits(&self) -> u32 {
         self.bits

@@ -293,6 +293,80 @@ pub enum StorageBackend {
     OnDisk(PathBuf),
 }
 
+/// Memory budget for an **external-memory** `BuildIndex` (see the
+/// [`external`](crate::external) module).
+///
+/// When a [`StorageConfig`] carries a budget, builds that honor it (the
+/// range schemes' grouped paths and the update manager's consolidation
+/// rebuilds) stop materializing the whole transformed corpus in RAM.
+/// Instead they stream `(keyword, payload)` entries into sorted `RSSE-SPL`
+/// spill runs of at most ~`memory_bytes / 2` bytes each, then k-way merge
+/// the runs, encrypting and scattering one bounded batch of keyword groups
+/// at a time into the existing streaming shard writers — so peak RSS is
+/// bounded by the budget (run buffer + merge scratch + write buffers), not
+/// by corpus size, at ~2 I/O passes over the entries.
+///
+/// The budget is a *target*, not a hard allocator limit. Two floors apply
+/// regardless of how small it is set: the largest single posting list must
+/// fit in RAM (the keyed shuffle and its encrypted chunk need the whole
+/// list), and each spill run holds at least a minimum number of entries so
+/// a pathological budget cannot explode the run count (and with it the
+/// merge's file handles). See `docs/OPERATIONS.md` for sizing guidance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildBudget {
+    /// Target peak working-set size of the build, in bytes.
+    pub memory_bytes: usize,
+    /// Where spill files for **in-memory** indexes go (an on-disk build
+    /// spills into `spill.tmp` inside its own index directory and ignores
+    /// this). `None` uses a uniquely named directory under
+    /// [`std::env::temp_dir`].
+    pub spill_root: Option<PathBuf>,
+}
+
+impl BuildBudget {
+    /// Floor on entries per spill run: keeps the run count — and the open
+    /// readers of the merge phase — bounded even under absurdly small
+    /// budgets.
+    pub(crate) const MIN_RUN_ENTRIES: usize = 512;
+
+    /// A budget targeting `memory_bytes` of peak build working set.
+    pub fn with_memory(memory_bytes: usize) -> Self {
+        Self {
+            memory_bytes,
+            spill_root: None,
+        }
+    }
+
+    /// Sets the directory spill files of in-memory builds are created
+    /// under (each build still gets its own uniquely named subdirectory).
+    pub fn with_spill_root(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_root = Some(dir.into());
+        self
+    }
+
+    /// Entries per sorted spill run for `entry_bytes`-sized entries: half
+    /// the budget (the other half is merge + encrypt + write scratch),
+    /// floored at [`Self::MIN_RUN_ENTRIES`].
+    pub(crate) fn run_entry_limit(&self, entry_bytes: usize) -> usize {
+        let per_entry = entry_bytes.max(1);
+        (self.memory_bytes / 2 / per_entry).max(Self::MIN_RUN_ENTRIES)
+    }
+
+    /// Ciphertext bytes a merge-phase encrypt batch may accumulate before
+    /// it is flushed through the shard writers (a quarter of the budget;
+    /// batching is what keeps the per-group encryption parallel).
+    pub(crate) fn encrypt_batch_bytes(&self) -> usize {
+        (self.memory_bytes / 4).max(64 << 10)
+    }
+}
+
+impl Default for BuildBudget {
+    /// 256 MiB of build working set, spilling under the OS temp directory.
+    fn default() -> Self {
+        Self::with_memory(256 << 20)
+    }
+}
+
 /// Storage configuration threaded through `BuildIndex`: how many
 /// label-prefix shards to cut the dictionary into, and which
 /// [`StorageBackend`] holds them.
@@ -326,6 +400,15 @@ pub struct StorageConfig {
     /// [`ShardedIndex::cache_stats`](crate::ShardedIndex::cache_stats).
     /// In-memory backends ignore it.
     pub cache_budget: Option<usize>,
+    /// Memory budget for the build itself. `None` (the default) keeps the
+    /// classic in-RAM build: sort, encrypt and scatter the whole corpus in
+    /// memory. `Some` routes budget-aware builds (the range schemes'
+    /// grouped paths, `RangeScheme::build_external` in `rsse-core`, and
+    /// update-manager consolidations past the threshold) through the
+    /// external-memory spill-and-merge pipeline of the
+    /// [`external`](crate::external) module — **byte-identical output**,
+    /// bounded peak RSS.
+    pub build_budget: Option<BuildBudget>,
 }
 
 impl StorageConfig {
@@ -335,6 +418,7 @@ impl StorageConfig {
             shard_bits,
             backend: StorageBackend::InMemory,
             cache_budget: None,
+            build_budget: None,
         }
     }
 
@@ -345,6 +429,7 @@ impl StorageConfig {
             shard_bits,
             backend: StorageBackend::OnDisk(dir.into()),
             cache_budget: None,
+            build_budget: None,
         }
     }
 
@@ -355,9 +440,18 @@ impl StorageConfig {
         self
     }
 
+    /// Bounds the peak working set of the build itself: budget-aware build
+    /// paths switch to the external-memory spill-and-merge pipeline (see
+    /// [`BuildBudget`] and the [`external`](crate::external) module).
+    pub fn with_build_budget(mut self, budget: BuildBudget) -> Self {
+        self.build_budget = Some(budget);
+        self
+    }
+
     /// Derives the configuration for a named sub-index: on-disk backends
     /// descend into `dir/name`, in-memory configs are returned unchanged.
-    /// The cache budget carries over (each sub-index gets its own cache).
+    /// The cache and build budgets carry over (each sub-index gets its own
+    /// cache, and spills into its own directory).
     pub fn subdir(&self, name: &str) -> Self {
         match &self.backend {
             StorageBackend::InMemory => self.clone(),
@@ -365,6 +459,7 @@ impl StorageConfig {
                 shard_bits: self.shard_bits,
                 backend: StorageBackend::OnDisk(dir.join(name)),
                 cache_budget: self.cache_budget,
+                build_budget: self.build_budget.clone(),
             },
         }
     }
@@ -1071,7 +1166,11 @@ impl ShardStorage for FileShard {
 // ---------------------------------------------------------------------------
 
 /// Writes the fixed 32-byte shard-file header.
-fn write_shard_header<W: Write>(writer: &mut W, entries: u64, region_len: u64) -> io::Result<()> {
+pub(crate) fn write_shard_header<W: Write>(
+    writer: &mut W,
+    entries: u64,
+    region_len: u64,
+) -> io::Result<()> {
     writer.write_all(&SHARD_MAGIC)?;
     writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
     writer.write_all(&0u32.to_le_bytes())?;
@@ -1096,7 +1195,7 @@ fn write_shard_directory<W: Write>(
 }
 
 /// The scratch name `path` is written under before the atomic rename.
-fn tmp_path(path: &Path) -> PathBuf {
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(".tmp");
     path.with_file_name(name)
@@ -1108,7 +1207,7 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// open `FileShard` handles keep reading the old inode while the new file
 /// is written, so the serializer's own read-back never sees a truncated
 /// file — and a failed write can never destroy an existing good file.
-fn write_file_atomic(
+pub(crate) fn write_file_atomic(
     path: &Path,
     write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
 ) -> Result<(), StorageError> {
@@ -1203,6 +1302,11 @@ pub fn cleanup_partial_index(dir: &Path, shard_count: usize) {
         let _ = fs::remove_file(tmp_path(&shard));
         let _ = fs::remove_file(shard);
     }
+    // An interrupted external-memory build may also have left a spill
+    // directory behind; sweep its recognized files the same way (foreign
+    // files are never touched, so the remove_dir below only succeeds once
+    // everything left in `dir` is ours).
+    crate::external::sweep_spill_dir(&dir.join(crate::external::SPILL_DIR));
     let _ = fs::remove_dir(dir);
 }
 

@@ -6,8 +6,8 @@ use crate::persist::{self, OwnerKey, SEED_LEN};
 use rand::{CryptoRng, RngCore, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use rsse_core::{
-    Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record, StorageConfig,
-    StorageError,
+    BuildBudget, Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record,
+    StorageConfig, StorageError,
 };
 use rsse_cover::{Domain, Range};
 use rsse_crypto::KeyChain;
@@ -48,6 +48,17 @@ pub struct UpdateConfig {
     /// resident ciphertext blocks. `None` (the default) leaves residency
     /// unbounded; ignored without a [`storage_root`](Self::storage_root).
     pub cache_budget: Option<usize>,
+    /// Memory budget for **large index builds** (see
+    /// `rsse_sse::BuildBudget`): when set, any batch build or consolidation
+    /// rebuild whose estimated in-RAM working set exceeds
+    /// `build_budget.memory_bytes` runs through the external-memory
+    /// spill/merge pipeline instead — byte-identical index files, peak RSS
+    /// bounded by the budget. Small builds keep the in-RAM path (the spill
+    /// round-trip would only add I/O). This is a runtime knob like
+    /// [`cache_budget`](Self::cache_budget): it is not persisted in the
+    /// root manifest, so pass it again when reopening with `open_root`.
+    /// `None` (the default) never spills.
+    pub build_budget: Option<BuildBudget>,
 }
 
 impl Default for UpdateConfig {
@@ -57,6 +68,7 @@ impl Default for UpdateConfig {
             shard_bits: 0,
             storage_root: None,
             cache_budget: None,
+            build_budget: None,
         }
     }
 }
@@ -304,14 +316,20 @@ impl<S: RangeScheme> UpdateManager<S> {
         self.chain.as_ref().expect("chain was just ensured")
     }
 
-    /// The storage configuration for the next index build: in-memory, or a
-    /// fresh uniquely named subdirectory of the configured storage root.
-    /// Returns the build number that names (and is sealed into) the
-    /// instance.
-    fn next_instance_config(&mut self) -> (u64, StorageConfig) {
+    /// The storage configuration for the next index build of `entry_count`
+    /// update entries: in-memory, or a fresh uniquely named subdirectory of
+    /// the configured storage root. Returns the build number that names
+    /// (and is sealed into) the instance.
+    ///
+    /// When the manager carries a [`build_budget`](UpdateConfig::build_budget)
+    /// and this build's estimated in-RAM working set exceeds it — which is
+    /// exactly the consolidation-rebuild case once a level has grown large
+    /// — the budget is attached to the instance configuration, routing the
+    /// scheme's build through the external-memory pipeline.
+    fn next_instance_config(&mut self, entry_count: usize) -> (u64, StorageConfig) {
         let build_id = self.next_build;
         self.next_build += 1;
-        let config = match &self.config.storage_root {
+        let mut config = match &self.config.storage_root {
             None => StorageConfig::in_memory(self.config.shard_bits),
             Some(root) => {
                 let dir = root.join(ManagerManifest::instance_dir_name(build_id));
@@ -322,7 +340,24 @@ impl<S: RangeScheme> UpdateManager<S> {
                 }
             }
         };
+        if let Some(budget) = &self.config.build_budget {
+            if self.estimated_build_bytes(entry_count) > budget.memory_bytes {
+                config = config.with_build_budget(budget.clone());
+            }
+        }
         (build_id, config)
+    }
+
+    /// Rough upper bound on the in-RAM working set of building an index
+    /// over `entry_count` records: each record expands into up to
+    /// `domain bits + 2` (keyword, payload) entries (the logarithmic
+    /// schemes' covering nodes; Constant's single entry is well below
+    /// this), each costing on the order of 64 bytes across the sort, the
+    /// encrypted chunks and the scatter. A heuristic, not an accounting —
+    /// it only decides when spilling is worth the extra I/O pass.
+    fn estimated_build_bytes(&self, entry_count: usize) -> usize {
+        let per_record = (self.domain.bits() as usize + 2) * 64;
+        entry_count.saturating_mul(per_record)
     }
 
     /// The root manifest describing the manager's current durable state.
@@ -448,7 +483,7 @@ impl<S: RangeScheme> UpdateManager<S> {
         let mut seed = [0u8; SEED_LEN];
         rng.fill_bytes(&mut seed);
         let seq = self.next_seq;
-        let (build_id, config) = self.next_instance_config();
+        let (build_id, config) = self.next_instance_config(entries.len());
         let chain = self.chain.as_ref().expect("chain ensured above");
         let instance = match BatchInstance::build(
             self.domain,
@@ -580,7 +615,7 @@ impl<S: RangeScheme> UpdateManager<S> {
             .collect();
         let mut seed = [0u8; SEED_LEN];
         rng.fill_bytes(&mut seed);
-        let (build_id, config) = self.next_instance_config();
+        let (build_id, config) = self.next_instance_config(surviving.len());
         let chain = self
             .chain
             .as_ref()
@@ -1321,6 +1356,7 @@ mod tests {
                 shard_bits: 4,
                 storage_root: None,
                 cache_budget: None,
+                build_budget: None,
             },
         );
         for b in 0..9u64 {
@@ -1367,6 +1403,7 @@ mod tests {
                 shard_bits: 2,
                 storage_root: Some(root.path().to_path_buf()),
                 cache_budget: None,
+                build_budget: None,
             },
         );
         for b in 0..9u64 {
@@ -1400,6 +1437,7 @@ mod tests {
                 shard_bits: 0,
                 storage_root: Some(root.path().to_path_buf()),
                 cache_budget: None,
+                build_budget: None,
             },
         );
         mgr.ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng);
@@ -1439,6 +1477,7 @@ mod tests {
                 shard_bits: 0,
                 storage_root: Some(root.path().to_path_buf()),
                 cache_budget: None,
+                build_budget: None,
             },
         );
         let err = mgr
@@ -1469,6 +1508,7 @@ mod tests {
                 shard_bits: 0,
                 storage_root: Some(file_path.join("sub")),
                 cache_budget: None,
+                build_budget: None,
             },
         );
         let err = mgr

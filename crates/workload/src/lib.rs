@@ -28,6 +28,8 @@
 //! * [`histogram`] — the mergeable log-bucketed latency histogram the
 //!   engine reports tails with.
 
+#![deny(missing_docs)]
+
 pub mod arrivals;
 pub mod datasets;
 pub mod distributions;

@@ -41,6 +41,9 @@ fn main() {
         storage_root: Some(root.clone()),
         // Bound the resident ciphertext blocks of each persisted instance.
         cache_budget: Some(4 << 20),
+        // No memory-budgeted external builds in this small demo; large
+        // consolidation rebuilds would set `Some(BuildBudget::with_memory(..))`.
+        build_budget: None,
     };
     let mut manager: UpdateManager<LogScheme> =
         UpdateManager::with_key(key.clone(), domain, config.clone());

@@ -43,6 +43,8 @@
 //! assert!(eval.is_complete());
 //! ```
 
+#![deny(missing_docs)]
+
 pub use rsse_bloom as bloom;
 pub use rsse_core as core;
 pub use rsse_cover as cover;

@@ -38,6 +38,7 @@ fn config(root: &Path) -> UpdateConfig {
         shard_bits: 2,
         storage_root: Some(root.to_path_buf()),
         cache_budget: None,
+        build_budget: None,
     }
 }
 
@@ -450,6 +451,7 @@ fn src_i_manager_reopens_through_its_two_index_layout() {
         shard_bits: 0,
         storage_root: Some(root.path().to_path_buf()),
         cache_budget: None,
+        build_budget: None,
     };
     let mut manager: UpdateManager<LogSrcIScheme> =
         UpdateManager::with_key(owner_key(), Domain::new(128), cfg.clone());

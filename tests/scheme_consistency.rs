@@ -5,10 +5,16 @@
 //! (as the CI on-disk lane does) builds every scheme through the file-backed
 //! backend with a small block-cache budget instead, so the same battery
 //! exercises streamed builds, paged reads, and budgeted eviction.
+//!
+//! Build path: setting `RSSE_TEST_BUILD=external` (the CI constrained-memory
+//! lane) additionally attaches a deliberately tiny `BuildBudget`, so every
+//! budget-honoring scheme builds through the external spill/merge pipeline —
+//! which must leave every answer unchanged, since the index bytes are
+//! identical by contract.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
-use rsse::core::StorageConfig;
+use rsse::core::{BuildBudget, StorageConfig};
 use rsse::prelude::*;
 use rsse::sse::test_support::TempDir;
 
@@ -27,13 +33,25 @@ fn build_scheme(
     rng: &mut rand_chacha::ChaCha20Rng,
     tag: &str,
 ) -> (AnyScheme, Option<TempDir>) {
+    let external = std::env::var("RSSE_TEST_BUILD").as_deref() == Ok("external");
+    // Small enough that every external build spills several sorted runs.
+    let budget = || BuildBudget::with_memory(64 << 10);
     match std::env::var("RSSE_TEST_STORAGE").as_deref() {
         Ok("on_disk") => {
             let dir = TempDir::new(tag);
-            let config = StorageConfig::on_disk(2, dir.path()).with_cache_budget(256 << 10);
+            let mut config = StorageConfig::on_disk(2, dir.path()).with_cache_budget(256 << 10);
+            if external {
+                config = config.with_build_budget(budget());
+            }
             let scheme = AnyScheme::build_stored(kind, dataset, &config, rng)
                 .expect("on-disk build must succeed");
             (scheme, Some(dir))
+        }
+        _ if external => {
+            let config = StorageConfig::in_memory(2).with_build_budget(budget());
+            let scheme = AnyScheme::build_stored(kind, dataset, &config, rng)
+                .expect("external in-memory build must succeed");
+            (scheme, None)
         }
         _ => (AnyScheme::build(kind, dataset, rng), None),
     }

@@ -77,6 +77,7 @@ fn bench_manager_reopen(c: &mut Criterion) {
         storage_root: Some(root.clone()),
         cache_budget: None,
         build_budget: None,
+        consolidation_mode: rsse_updates::ConsolidationMode::default(),
     };
     let drive = |cfg: UpdateConfig| -> UpdateManager<LogScheme> {
         let mut rng = ChaCha20Rng::seed_from_u64(5);

@@ -16,7 +16,7 @@ use crate::schemes::common::{
     try_search_ids, CoverKind,
 };
 use crate::server::QueryServer;
-use crate::traits::{QueryOutcome, RangeScheme};
+use crate::traits::{MergeInput, QueryOutcome, RangeScheme};
 use rand::{CryptoRng, RngCore};
 use rsse_cover::{Domain, Node, Range};
 use rsse_crypto::{permute, Key, KeyChain};
@@ -349,6 +349,69 @@ impl RangeScheme for LogScheme {
                 ))
             }
         }
+    }
+
+    /// The server is one encrypted multimap probed by exact label lookups
+    /// under per-instance keys: distinct instances' labels are disjoint
+    /// (w.h.p.), so a disjoint union of the dictionaries answers every
+    /// input client exactly as its own dictionary did.
+    fn supports_structural_merge() -> bool {
+        true
+    }
+
+    /// Structural merge of committed dictionaries: ciphertext regions are
+    /// copied verbatim and the label directories re-emitted — see
+    /// [`ShardedIndex::merge_in_memory`] / [`ShardedIndex::merge_dirs`].
+    /// No payload decrypt or re-encrypt happens on this path.
+    fn merge_stored(
+        inputs: &[MergeInput<'_, Self::Server>],
+        config: &StorageConfig,
+    ) -> Result<Self::Server, StorageError> {
+        let index = match &config.backend {
+            StorageBackend::InMemory => {
+                let indexes: Vec<&ShardedIndex> =
+                    inputs.iter().map(|input| input.server.index()).collect();
+                ShardedIndex::merge_in_memory(&indexes)?
+            }
+            StorageBackend::OnDisk(out) => {
+                let dirs = inputs
+                    .iter()
+                    .map(|input| {
+                        input.dir.ok_or(StorageError::Unsupported(
+                            "structural on-disk merge of an instance without a saved directory",
+                        ))
+                    })
+                    .collect::<Result<Vec<&Path>, StorageError>>()?;
+                ShardedIndex::merge_dirs(&dirs, out, config.cache_budget)?
+            }
+        };
+        Ok(LogServer { index })
+    }
+
+    /// Exactly the key-material draws `build_full_stored` makes before it
+    /// reads the dataset — replaying an instance's seed reproduces the
+    /// client whose trapdoors match its persisted (or merged) dictionary.
+    fn derive_client<R: RngCore + CryptoRng>(
+        domain: &Domain,
+        rng: &mut R,
+    ) -> Result<Self, StorageError> {
+        let chain = KeyChain::generate(rng);
+        Ok(Self {
+            key: SseScheme::key_from(chain.derive(b"sse")),
+            shuffle_key: chain.derive(b"shuffle"),
+            domain: *domain,
+            kind: CoverKind::Brc,
+        })
+    }
+
+    fn open_merged(dir: &Path, config: &StorageConfig) -> Result<Self::Server, StorageError> {
+        let index = match &config.backend {
+            StorageBackend::InMemory => ShardedIndex::open_dir_resident(dir)?,
+            StorageBackend::OnDisk(_) => {
+                ShardedIndex::open_dir_with_budget(dir, config.cache_budget)?
+            }
+        };
+        Ok(LogServer { index })
     }
 
     fn try_query(&self, server: &Self::Server, range: Range) -> Result<QueryOutcome, StorageError> {

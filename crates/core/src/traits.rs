@@ -3,8 +3,25 @@
 use crate::dataset::{Dataset, DocId};
 use crate::metrics::{IndexStats, QueryStats};
 use rand::{CryptoRng, RngCore};
-use rsse_cover::Range;
+use rsse_cover::{Domain, Range};
 use rsse_sse::{BuildBudget, StorageBackend, StorageConfig, StorageError};
+use std::path::Path;
+
+/// One input instance of a structural merge (see
+/// [`RangeScheme::merge_stored`]).
+///
+/// The merge consumes committed server state only: the opened server, plus
+/// — for file-backed instances — the saved index directory whose shard
+/// files the merge copies from. The input's owner state is untouched; after
+/// the merge its client keeps querying the merged server with its original
+/// trapdoors.
+#[derive(Clone, Copy, Debug)]
+pub struct MergeInput<'a, Srv> {
+    /// The input instance's opened server.
+    pub server: &'a Srv,
+    /// The instance's saved index directory, when file-backed.
+    pub dir: Option<&'a Path>,
+}
 
 /// The owner-visible outcome of a range query.
 ///
@@ -172,6 +189,88 @@ pub trait RangeScheme: Sized {
         rng: &mut R,
     ) -> Result<(Self, Self::Server), StorageError> {
         Self::build_stored(dataset, config, rng)
+    }
+
+    /// Whether this scheme's server state supports **structural merges**
+    /// ([`merge_stored`](Self::merge_stored)): combining several committed
+    /// servers by copying their already-encrypted entries, with no payload
+    /// decrypt/re-encrypt, while every input client's trapdoors keep
+    /// answering exactly as before against the merged server.
+    ///
+    /// This holds for schemes whose server is a single encrypted multimap
+    /// probed by exact label lookups under per-instance keys
+    /// (Logarithmic-BRC/URC): distinct instances' labels are disjoint with
+    /// overwhelming probability, so the union of the dictionaries is
+    /// itself a valid dictionary for each input client. Schemes whose
+    /// query processing depends on global index structure — SRC's single
+    /// covering node over the whole corpus, SRC-i's id-domain second
+    /// index, PB's filter tree, the Constant schemes' DPRF-positioned
+    /// subtrees — cannot merge structurally and report `false`, keeping
+    /// the rebuild consolidation path.
+    fn supports_structural_merge() -> bool {
+        false
+    }
+
+    /// Structurally merges committed input servers into one server on the
+    /// backend `config` selects, **copying ciphertext verbatim** — no
+    /// payload is decrypted or re-encrypted. In-memory inputs merge arena
+    /// to arena; file-backed inputs merge shard files into the output
+    /// directory of an on-disk `config`.
+    ///
+    /// The merged server answers each input client's queries exactly as
+    /// that input did (the merge is a disjoint union of encrypted
+    /// dictionaries); the caller — the update manager — keeps the input
+    /// clients and routes their trapdoors to the merged server.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Unsupported`] when the scheme cannot merge
+    /// structurally ([`supports_structural_merge`](Self::supports_structural_merge)
+    /// is `false`), when the inputs' layouts are incompatible, or on a
+    /// cross-instance label collision — in every case the caller's correct
+    /// response is to fall back to a rebuild consolidation. Genuine I/O
+    /// and corruption failures surface as their usual typed errors.
+    fn merge_stored(
+        inputs: &[MergeInput<'_, Self::Server>],
+        config: &StorageConfig,
+    ) -> Result<Self::Server, StorageError> {
+        let _ = (inputs, config);
+        Err(StorageError::Unsupported(Self::NAME))
+    }
+
+    /// Re-derives the owner state from the RNG stream alone — the key
+    /// draws [`build_stored`](Self::build_stored) makes before it reads
+    /// the dataset — without building or opening any server.
+    ///
+    /// This is how the update manager restores the per-part clients of a
+    /// structurally merged instance: each part's 32-byte seed replays the
+    /// key material, while the merged server is reopened separately via
+    /// [`open_merged`](Self::open_merged). Only meaningful for schemes
+    /// with [`supports_structural_merge`](Self::supports_structural_merge);
+    /// others report [`StorageError::Unsupported`].
+    fn derive_client<R: RngCore + CryptoRng>(
+        domain: &Domain,
+        rng: &mut R,
+    ) -> Result<Self, StorageError> {
+        let _ = (domain, rng);
+        Err(StorageError::Unsupported(Self::NAME))
+    }
+
+    /// Reopens a structurally merged server from its saved index
+    /// directory. An in-memory `config` loads the shards fully resident
+    /// (byte-identical arenas — the restore-into-RAM path); an on-disk
+    /// `config` serves them via paged reads under the configured cache
+    /// budget.
+    ///
+    /// Unlike [`open_stored`](Self::open_stored) this cannot fall back to
+    /// a rebuild: a merged directory's physical layout is not reproducible
+    /// from any single dataset, so the files themselves are authoritative.
+    /// Only meaningful for schemes with
+    /// [`supports_structural_merge`](Self::supports_structural_merge);
+    /// others report [`StorageError::Unsupported`].
+    fn open_merged(dir: &Path, config: &StorageConfig) -> Result<Self::Server, StorageError> {
+        let _ = (dir, config);
+        Err(StorageError::Unsupported(Self::NAME))
     }
 
     /// Issues a range query against the server, surfacing storage

@@ -10,9 +10,43 @@
 
 use crate::prf::{Key, Prf, KEY_LEN};
 use rand::{CryptoRng, RngCore};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Length of the random per-message nonce, in bytes.
 pub const NONCE_LEN: usize = 16;
+
+/// Process-wide count of payload encryption operations (see
+/// [`encrypt_call_count`]).
+static ENCRYPT_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of payload decryption operations (see
+/// [`decrypt_call_count`]).
+static DECRYPT_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`StreamCipher`] encryption operations performed by this
+/// process so far, across all threads.
+///
+/// Instrumentation for tests that pin *where* ciphertext is produced —
+/// e.g. that a structural index merge copies ciphertext without
+/// re-encrypting. Each of [`StreamCipher::encrypt`],
+/// [`StreamCipher::encrypt_to`] and [`StreamCipher::encrypt_with_nonce`]
+/// counts as one operation (the randomized entry points delegate to the
+/// nonce-explicit one, which is counted exactly once per message). The
+/// counter is monotone and relaxed — read a delta around the region under
+/// test rather than an absolute value.
+pub fn encrypt_call_count() -> u64 {
+    ENCRYPT_CALLS.load(Ordering::Relaxed)
+}
+
+/// Number of [`StreamCipher`] decryption operations performed by this
+/// process so far, across all threads.
+///
+/// Counterpart of [`encrypt_call_count`]: [`StreamCipher::decrypt`] and
+/// [`StreamCipher::decrypt_into`] each count as one operation, whether or
+/// not the ciphertext turns out to be well-formed.
+pub fn decrypt_call_count() -> u64 {
+    DECRYPT_CALLS.load(Ordering::Relaxed)
+}
 
 /// Counter-mode stream cipher keyed by a PRF.
 #[derive(Clone, Debug)]
@@ -45,6 +79,7 @@ impl StreamCipher {
         plaintext: &[u8],
         out: &mut Vec<u8>,
     ) -> usize {
+        ENCRYPT_CALLS.fetch_add(1, Ordering::Relaxed);
         let start = out.len();
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill_bytes(&mut nonce);
@@ -60,6 +95,7 @@ impl StreamCipher {
     /// plaintexts; the randomized [`encrypt`](Self::encrypt) is the default
     /// entry point and the schemes only use this variant in tests.
     pub fn encrypt_with_nonce(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8]) -> Vec<u8> {
+        ENCRYPT_CALLS.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len());
         out.extend_from_slice(nonce);
         out.extend_from_slice(plaintext);
@@ -71,6 +107,7 @@ impl StreamCipher {
     ///
     /// Returns `None` if the ciphertext is too short to contain a nonce.
     pub fn decrypt(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        DECRYPT_CALLS.fetch_add(1, Ordering::Relaxed);
         if ciphertext.len() < NONCE_LEN {
             return None;
         }
@@ -89,6 +126,7 @@ impl StreamCipher {
     /// vector decrypts thousands of entries with one scratch buffer instead
     /// of one heap allocation per entry.
     pub fn decrypt_into(&self, ciphertext: &[u8], out: &mut Vec<u8>) -> bool {
+        DECRYPT_CALLS.fetch_add(1, Ordering::Relaxed);
         if ciphertext.len() < NONCE_LEN {
             return false;
         }
@@ -190,6 +228,24 @@ mod tests {
         }
         // Too-short ciphertexts are rejected without touching the contract.
         assert!(!c.decrypt_into(&[0u8; NONCE_LEN - 1], &mut scratch));
+    }
+
+    #[test]
+    fn call_counters_track_every_entry_point_once() {
+        let c = cipher(11);
+        let mut rng = ChaCha20Rng::seed_from_u64(11);
+        let (e0, d0) = (encrypt_call_count(), decrypt_call_count());
+        let ct = c.encrypt(&mut rng, b"counted"); // delegates, counts once
+        let mut buf = Vec::new();
+        c.encrypt_to(&mut rng, b"counted", &mut buf);
+        c.encrypt_with_nonce(&[1u8; NONCE_LEN], b"counted");
+        // Other tests in this binary run concurrently and also encrypt, so
+        // the deltas are lower bounds; the monotone >= checks still pin
+        // that each entry point is counted.
+        assert!(encrypt_call_count() >= e0 + 3);
+        c.decrypt(&ct).unwrap();
+        c.decrypt_into(&ct, &mut buf);
+        assert!(decrypt_call_count() >= d0 + 2);
     }
 
     #[test]

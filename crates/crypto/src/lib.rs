@@ -30,7 +30,7 @@ pub mod ggm;
 pub mod permute;
 pub mod prf;
 
-pub use cipher::StreamCipher;
+pub use cipher::{decrypt_call_count, encrypt_call_count, StreamCipher};
 pub use dprf::{Dprf, DprfToken, GgmNodeSeed};
 pub use ggm::Ggm;
 pub use prf::{Key, Prf, KEY_LEN};

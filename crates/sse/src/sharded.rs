@@ -45,8 +45,9 @@ use crate::pibas::{
     SseKey, SseScheme,
 };
 use crate::storage::{
-    open_shards_from_dir, save_shards_to_dir, shard_file_name, write_chunk_shard, write_manifest,
-    BlockCache, CacheStats, FileShard, ShardStorage, StorageBackend, StorageConfig, StorageError,
+    merge_shard_files, open_shards_from_dir, read_manifest, save_shards_to_dir, shard_file_name,
+    write_chunk_shard, write_manifest, BlockCache, CacheStats, FileShard, ShardStorage,
+    StorageBackend, StorageConfig, StorageError,
 };
 use rand::{CryptoRng, RngCore};
 use rayon::prelude::*;
@@ -456,6 +457,164 @@ impl ShardedIndex {
             bits,
             shards: shards.into_iter().map(Shard::File).collect(),
         })
+    }
+
+    /// Opens a saved index directory fully **memory-resident**: every
+    /// shard's ciphertext region is loaded into an in-memory arena whose
+    /// bytes, entry order and offset table are exactly what the shard file
+    /// serializes — so a resident open, a paged open, and the index that
+    /// was originally saved all resolve every label to identical bytes.
+    ///
+    /// This is the restore path for hosts where the index fits in RAM (the
+    /// update manager's `storage_root: None` reopen uses it for
+    /// structurally merged instances, whose physical layout is not
+    /// reproducible from a rebuild).
+    pub fn open_dir_resident(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let (bits, shards) = open_shards_from_dir(dir.as_ref(), None)?;
+        let loaded: Vec<Result<Shard, StorageError>> = shards
+            .into_par_iter()
+            .map(|shard| shard.to_memory().map(Shard::Memory))
+            .collect();
+        let shards = loaded
+            .into_iter()
+            .collect::<Result<Vec<Shard>, StorageError>>()?;
+        Ok(Self { bits, shards })
+    }
+
+    /// Structurally merges `inputs` into one in-memory index: per shard,
+    /// the inputs' ciphertext arenas are concatenated **verbatim** in input
+    /// order and the label table is re-emitted over the rebased offsets.
+    /// No ciphertext is decrypted or re-encrypted; the merged index stores
+    /// exactly the union of the inputs' `(label, ciphertext)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Unsupported`] — the caller's fall-back-to-rebuild
+    /// signal — if the inputs disagree on shard bits, any input shard is
+    /// not memory-resident, a merged arena would exceed the 4 GiB bound,
+    /// or two inputs store the same label (a cross-part PRF collision).
+    pub fn merge_in_memory(inputs: &[&ShardedIndex]) -> Result<Self, StorageError> {
+        let bits = match inputs.first() {
+            Some(first) => first.bits,
+            None => return Err(StorageError::Unsupported("structural merge of zero inputs")),
+        };
+        if inputs.iter().any(|index| index.bits != bits) {
+            return Err(StorageError::Unsupported(
+                "structural merge across differing shard layouts",
+            ));
+        }
+        let shards = (0..1usize << bits)
+            .map(|s| {
+                let parts = inputs
+                    .iter()
+                    .map(|index| {
+                        index.shards[s].as_memory().ok_or(StorageError::Unsupported(
+                            "structural in-memory merge of a non-resident shard",
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, StorageError>>()?;
+                let entries: usize = parts.iter().map(|part| part.len()).sum();
+                let bytes: u64 = parts.iter().map(|part| part.arena_raw().len() as u64).sum();
+                if bytes > u64::from(u32::MAX) {
+                    return Err(StorageError::Unsupported(
+                        "structural shard merge past the 4 GiB region bound",
+                    ));
+                }
+                let mut merged = EncryptedIndex::with_capacity(entries, bytes as usize);
+                for part in parts {
+                    for (label, offset, len) in part.entries_by_offset() {
+                        if merged.get(&label).is_some() {
+                            return Err(StorageError::Unsupported(
+                                "structural shard merge with a cross-part label collision",
+                            ));
+                        }
+                        merged.append_entry(
+                            label,
+                            &part.arena_raw()[offset as usize..(offset as usize + len as usize)],
+                        );
+                    }
+                }
+                Ok(Shard::Memory(merged))
+            })
+            .collect::<Result<Vec<Shard>, StorageError>>()?;
+        Ok(Self { bits, shards })
+    }
+
+    /// Structurally merges saved index directories into a new index
+    /// directory at `out`: per shard, the inputs' shard files are merged
+    /// by `merge_shard_files` — ciphertext regions concatenated verbatim
+    /// in input order, directory re-emitted with rebased offsets — and the
+    /// merged files are opened as paged [`FileShard`]s (sharing one
+    /// budgeted block cache when `cache_budget` is set).
+    ///
+    /// The output directory follows the standard commit discipline of the
+    /// streamed build: `index.meta` is written first, shard files after
+    /// (each tmp+renamed), and any failure sweeps the partial output
+    /// before the error propagates. The caller owns the durable commit
+    /// record (the update manager writes its `owner.meta` sidecar last).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Unsupported`] if the inputs disagree on shard bits,
+    /// a merged shard would exceed the 4 GiB region bound, or two inputs
+    /// store the same label — the caller's signal to fall back to a
+    /// rebuild. All other failures surface as the usual typed errors.
+    pub fn merge_dirs(
+        inputs: &[&Path],
+        out: &Path,
+        cache_budget: Option<usize>,
+    ) -> Result<Self, StorageError> {
+        let opened = inputs
+            .iter()
+            .map(|dir| open_shards_from_dir(dir, None))
+            .collect::<Result<Vec<(u32, Vec<FileShard>)>, StorageError>>()?;
+        let bits = match opened.first() {
+            Some(&(bits, _)) => bits,
+            None => return Err(StorageError::Unsupported("structural merge of zero inputs")),
+        };
+        if opened.iter().any(|&(b, _)| b != bits) {
+            return Err(StorageError::Unsupported(
+                "structural merge across differing shard layouts",
+            ));
+        }
+        fs::create_dir_all(out).map_err(|e| StorageError::Io {
+            path: out.to_path_buf(),
+            error: e,
+        })?;
+        let built = (|| {
+            write_manifest(out, bits)?;
+            let cache = cache_budget.map(|budget| Arc::new(BlockCache::new(budget)));
+            let results: Vec<Result<Shard, StorageError>> = (0..1usize << bits)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|s| {
+                    let parts: Vec<FileShard> =
+                        opened.iter().map(|(_, shards)| shards[s].clone()).collect();
+                    let path = out.join(shard_file_name(s));
+                    merge_shard_files(&parts, &path)?;
+                    match &cache {
+                        Some(cache) => FileShard::open_cached(&path, s as u32, Arc::clone(cache))
+                            .map(Shard::File),
+                        None => FileShard::open(&path).map(Shard::File),
+                    }
+                })
+                .collect();
+            let shards = results
+                .into_iter()
+                .collect::<Result<Vec<Shard>, StorageError>>()?;
+            Ok(ShardedIndex { bits, shards })
+        })();
+        if built.is_err() {
+            crate::storage::cleanup_partial_index(out, 1usize << bits);
+        }
+        built
+    }
+
+    /// Validates that `dir` holds a saved index with this layout's shard
+    /// bits (cheap manifest read — used by merge planning to reject
+    /// mismatched inputs before any shard file is touched).
+    pub fn dir_shard_bits(dir: impl AsRef<Path>) -> Result<u32, StorageError> {
+        read_manifest(dir.as_ref())
     }
 }
 
@@ -1202,6 +1361,140 @@ mod tests {
             prop_assert!(dirs_equal(saved.path(), streamed.path()),
                 "streamed build must write the bytes save_to_dir writes");
         }
+    }
+
+    /// Builds one in-memory index per key byte over disjoint keyword sets,
+    /// so cross-part labels are distinct (different SSE keys).
+    fn merge_parts(bits: u32, key_bytes: &[u8]) -> Vec<(SseKey, ShardedIndex)> {
+        key_bytes
+            .iter()
+            .map(|&byte| {
+                let key = SseScheme::key_from(Key::from_bytes([byte; KEY_LEN]));
+                let db = db_from(
+                    &(0..24u64)
+                        .map(|i| {
+                            (
+                                format!("p{byte}-kw{}", i % 6).into_bytes(),
+                                (u64::from(byte) * 1000 + i).to_le_bytes().to_vec(),
+                            )
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                let mut rng = ChaCha20Rng::seed_from_u64(u64::from(byte));
+                let index = SseScheme::build_index_sharded(&key, &db, bits, &mut rng);
+                (key, index)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_memory_merge_keeps_every_part_searchable() {
+        let parts = merge_parts(2, &[1, 2, 3]);
+        let inputs: Vec<&ShardedIndex> = parts.iter().map(|(_, index)| index).collect();
+        let merged = ShardedIndex::merge_in_memory(&inputs).unwrap();
+        assert_eq!(merged.shard_bits(), 2);
+        assert_eq!(
+            merged.len(),
+            parts.iter().map(|(_, index)| index.len()).sum::<usize>()
+        );
+        for (key, index) in &parts {
+            for kw in 0..7u64 {
+                for byte in 1u8..=3 {
+                    let token = SseScheme::trapdoor(key, format!("p{byte}-kw{kw}").as_bytes());
+                    let merged_hits = SseScheme::search(&merged, &token).unwrap();
+                    let part_hits = SseScheme::search(index, &token).unwrap();
+                    assert_eq!(
+                        merged_hits, part_hits,
+                        "part key must see exactly its own entries in the merge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dir_merge_answers_like_the_in_memory_merge_and_reopens_resident() {
+        let parts = merge_parts(2, &[5, 6, 7]);
+        let dirs: Vec<TempDir> = (0..parts.len())
+            .map(|i| TempDir::new(&format!("merge-in-{i}")))
+            .collect();
+        for ((_, index), dir) in parts.iter().zip(&dirs) {
+            index.save_to_dir(dir.path()).unwrap();
+        }
+        let out = TempDir::new("merge-out");
+        let input_paths: Vec<&Path> = dirs.iter().map(|d| d.path()).collect();
+        let merged_paged = ShardedIndex::merge_dirs(&input_paths, out.path(), None).unwrap();
+        assert!(merged_paged.is_file_backed());
+        assert_eq!(ShardedIndex::dir_shard_bits(out.path()).unwrap(), 2);
+
+        let inputs: Vec<&ShardedIndex> = parts.iter().map(|(_, index)| index).collect();
+        let merged_memory = ShardedIndex::merge_in_memory(&inputs).unwrap();
+        assert_eq!(merged_paged.len(), merged_memory.len());
+
+        // A resident reopen of the merged directory is byte-identical to
+        // the in-memory merge: same arena bytes, same offset tables.
+        let resident = ShardedIndex::open_dir_resident(out.path()).unwrap();
+        assert!(!resident.is_file_backed());
+        for (a, b) in resident.shards().iter().zip(merged_memory.shards()) {
+            let a = a.as_memory().unwrap();
+            let b = b.as_memory().unwrap();
+            assert_eq!(a.arena_bytes_raw(), b.arena_bytes_raw());
+            assert_eq!(a.table_raw(), b.table_raw());
+        }
+
+        // And every probe through the paged merge answers like the
+        // in-memory one.
+        for (key, _) in &parts {
+            for kw in 0..6u64 {
+                for byte in 5u8..=7 {
+                    let token = SseScheme::trapdoor(key, format!("p{byte}-kw{kw}").as_bytes());
+                    assert_eq!(
+                        SseScheme::search(&merged_paged, &token).unwrap(),
+                        SseScheme::search(&merged_memory, &token).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_layout_mismatch_collisions_and_empty_input() {
+        let a = merge_parts(2, &[9]).remove(0).1;
+        let b = merge_parts(3, &[10]).remove(0).1;
+        assert!(matches!(
+            ShardedIndex::merge_in_memory(&[&a, &b]),
+            Err(StorageError::Unsupported(_))
+        ));
+        // Merging an index with itself duplicates every label.
+        assert!(matches!(
+            ShardedIndex::merge_in_memory(&[&a, &a]),
+            Err(StorageError::Unsupported(_))
+        ));
+        assert!(matches!(
+            ShardedIndex::merge_in_memory(&[]),
+            Err(StorageError::Unsupported(_))
+        ));
+
+        let dir_a = TempDir::new("merge-err-a");
+        let dir_b = TempDir::new("merge-err-b");
+        a.save_to_dir(dir_a.path()).unwrap();
+        b.save_to_dir(dir_b.path()).unwrap();
+        let out = TempDir::new("merge-err-out");
+        assert!(matches!(
+            ShardedIndex::merge_dirs(&[dir_a.path(), dir_b.path()], out.path(), None),
+            Err(StorageError::Unsupported(_))
+        ));
+        // The failed merge swept its partial output.
+        let leftovers: Vec<_> = fs::read_dir(out.path())
+            .map(|it| it.map(|e| e.unwrap().file_name()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "failed merge left {leftovers:?}");
+
+        let out_dup = TempDir::new("merge-err-dup");
+        assert!(matches!(
+            ShardedIndex::merge_dirs(&[dir_a.path(), dir_a.path()], out_dup.path(), None),
+            Err(StorageError::Unsupported(_))
+        ));
     }
 
     /// Compares two saved index directories file by file.

@@ -1119,17 +1119,45 @@ impl FileShard {
     /// Serializes this shard back into `writer` (byte-identical to the file
     /// it was opened from).
     fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
-        let inner = &*self.inner;
-        let mut entries: Vec<(Label, u32, u32)> = inner
+        let entries = self.entries_by_offset();
+        write_shard_header(
+            writer,
+            entries.len() as u64,
+            u64::from(self.inner.region_len),
+        )?;
+        write_shard_directory(writer, entries.iter().map(|&(label, _, len)| (label, len)))?;
+        self.stream_region_to(writer)
+    }
+
+    /// The directory entries sorted by region offset — the deterministic
+    /// serialization order (and the physical arena order: spans tile the
+    /// region ascending).
+    pub(crate) fn entries_by_offset(&self) -> Vec<(Label, u32, u32)> {
+        let mut entries: Vec<(Label, u32, u32)> = self
+            .inner
             .table
             .iter()
             .map(|(label, &(offset, len))| (*label, offset, len))
             .collect();
         entries.sort_unstable_by_key(|&(_, offset, _)| offset);
-        write_shard_header(writer, entries.len() as u64, u64::from(inner.region_len))?;
-        write_shard_directory(writer, entries.iter().map(|&(label, _, len)| (label, len)))?;
-        // Stream the region straight off disk, block-cache bypassed, in
-        // bounded chunks.
+        entries
+    }
+
+    /// Ciphertext-region length in bytes.
+    pub(crate) fn region_len(&self) -> u32 {
+        self.inner.region_len
+    }
+
+    /// The labels stored in this shard, in table order.
+    pub(crate) fn labels(&self) -> impl Iterator<Item = &Label> {
+        self.inner.table.keys()
+    }
+
+    /// Streams the raw ciphertext region into `writer` in bounded chunks,
+    /// straight off disk (block cache bypassed). The bytes are copied
+    /// verbatim — nothing is decrypted.
+    fn stream_region_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        let inner = &*self.inner;
         let mut remaining = u64::from(inner.region_len);
         let mut at = inner.region_offset;
         let mut buf = vec![0u8; BLOCK_TARGET];
@@ -1141,6 +1169,25 @@ impl FileShard {
             remaining -= take as u64;
         }
         Ok(())
+    }
+
+    /// Loads this shard fully into an in-memory arena, **byte-identical**
+    /// to the arena the shard file serializes: same entry order (ascending
+    /// offset), same ciphertext bytes, same offset table.
+    pub(crate) fn to_memory(&self) -> Result<EncryptedIndex, StorageError> {
+        let inner = &*self.inner;
+        let mut region = vec![0u8; inner.region_len as usize];
+        read_exact_at(&inner.file, &mut region, inner.region_offset)
+            .map_err(|e| io_err(&inner.path, e))?;
+        let entries = self.entries_by_offset();
+        let mut index = EncryptedIndex::with_capacity(entries.len(), region.len());
+        for (label, offset, len) in entries {
+            index.append_entry(
+                label,
+                &region[offset as usize..(offset as usize + len as usize)],
+            );
+        }
+        Ok(index)
     }
 }
 
@@ -1280,6 +1327,56 @@ pub(crate) fn write_chunk_shard(
             let chunk = &chunks[c as usize];
             let (offset, len) = chunk.spans[e as usize];
             writer.write_all(&chunk.buf[offset as usize..(offset + len) as usize])?;
+        }
+        Ok(())
+    })
+}
+
+/// Structurally merges already-encrypted shard files into one shard file
+/// at `path`: the inputs' ciphertext regions are concatenated **verbatim**
+/// in input order, and the offset-sorted label directory is re-emitted
+/// with every offset rebased by the running region sum — the merged spans
+/// tile the merged region by construction. No ciphertext byte is
+/// decrypted or re-encrypted on this path; the inputs' bytes are streamed
+/// straight through.
+///
+/// Returns [`StorageError::Unsupported`] — the caller's signal to fall
+/// back to a rebuild — if the merged region would exceed the 4 GiB
+/// per-shard bound, or if two inputs store the same 16-byte label (only
+/// possible by PRF-output collision across independently keyed parts, so
+/// astronomically rare; a rebuild handles it correctly).
+pub(crate) fn merge_shard_files(inputs: &[FileShard], path: &Path) -> Result<(), StorageError> {
+    let total_entries: u64 = inputs.iter().map(|s| ShardStorage::len(s) as u64).sum();
+    let total_region: u64 = inputs.iter().map(|s| u64::from(s.region_len())).sum();
+    if total_region > u64::from(u32::MAX) {
+        return Err(StorageError::Unsupported(
+            "structural shard merge past the 4 GiB region bound",
+        ));
+    }
+    let mut seen =
+        LabelTable::with_capacity_and_hasher(total_entries as usize, BuildHasherDefault::default());
+    for shard in inputs {
+        for label in shard.labels() {
+            if seen.insert(*label, (0, 0)).is_some() {
+                return Err(StorageError::Unsupported(
+                    "structural shard merge with a cross-part label collision",
+                ));
+            }
+        }
+    }
+    write_file_atomic(path, |writer| {
+        write_shard_header(writer, total_entries, total_region)?;
+        write_shard_directory(
+            writer,
+            inputs.iter().flat_map(|shard| {
+                shard
+                    .entries_by_offset()
+                    .into_iter()
+                    .map(|(label, _, len)| (label, len))
+            }),
+        )?;
+        for shard in inputs {
+            shard.stream_region_to(writer)?;
         }
         Ok(())
     })
@@ -1698,8 +1795,15 @@ pub struct ManagerManifest {
     pub next_build: u64,
     /// Raw batches ingested so far.
     pub batches_ingested: u64,
-    /// Consolidation operations performed so far.
+    /// Consolidation operations performed so far (always the sum of the
+    /// two strategy counters below).
     pub consolidations: u64,
+    /// Consolidations realized as structural merges: ciphertext copied
+    /// verbatim from the input instances, no re-encryption.
+    pub structural_consolidations: u64,
+    /// Consolidations realized as full rebuilds (the reference path every
+    /// scheme supports).
+    pub rebuild_consolidations: u64,
     /// The level table: `levels[l]` lists the active instances at height
     /// `l` of the merge hierarchy, in insertion (ascending-seq) order.
     pub levels: Vec<Vec<ManifestInstance>>,
@@ -1739,6 +1843,8 @@ impl ManagerManifest {
         bytes.extend_from_slice(&self.next_build.to_le_bytes());
         bytes.extend_from_slice(&self.batches_ingested.to_le_bytes());
         bytes.extend_from_slice(&self.consolidations.to_le_bytes());
+        bytes.extend_from_slice(&self.structural_consolidations.to_le_bytes());
+        bytes.extend_from_slice(&self.rebuild_consolidations.to_le_bytes());
         bytes.extend_from_slice(&(self.levels.len() as u32).to_le_bytes());
         for level in &self.levels {
             bytes.extend_from_slice(&(level.len() as u32).to_le_bytes());
@@ -1854,6 +1960,14 @@ pub fn read_manager_manifest(root: &Path) -> Result<ManagerManifest, StorageErro
     let next_build = reader.u64()?;
     let batches_ingested = reader.u64()?;
     let consolidations = reader.u64()?;
+    let structural_consolidations = reader.u64()?;
+    let rebuild_consolidations = reader.u64()?;
+    if structural_consolidations.checked_add(rebuild_consolidations) != Some(consolidations) {
+        return Err(corrupt(format!(
+            "strategy counters ({structural_consolidations} structural + \
+             {rebuild_consolidations} rebuild) do not sum to {consolidations} consolidations"
+        )));
+    }
     let level_count = reader.u32()? as usize;
     if level_count > 64 {
         return Err(corrupt(format!(
@@ -1913,6 +2027,8 @@ pub fn read_manager_manifest(root: &Path) -> Result<ManagerManifest, StorageErro
         next_build,
         batches_ingested,
         consolidations,
+        structural_consolidations,
+        rebuild_consolidations,
         levels,
     })
 }

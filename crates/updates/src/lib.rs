@@ -29,6 +29,16 @@
 //! fall back to the trait's default, which supports the in-memory backend
 //! and rejects on-disk requests with a typed error.
 //!
+//! [`ConsolidationMode::Structural`] replaces the re-encrypting rebuild
+//! with a **structural merge** for capable schemes: the inputs' committed
+//! shards are merge-joined by copying ciphertext verbatim (zero payload
+//! decrypt/encrypt calls on the merge path) and the owner sidecar
+//! compacts to the deduped latest-per-id update log at the same commit.
+//! Answers are identical to the rebuild strategy; see
+//! `docs/OPERATIONS.md` for the trade-offs (no physical purge, part
+//! correlation) and `docs/FORMATS.md` for the merged-directory commit
+//! protocol.
+//!
 //! [`RangeScheme`]: rsse_core::RangeScheme
 //! [`RangeScheme::build_stored`]: rsse_core::RangeScheme::build_stored
 
@@ -52,5 +62,5 @@ pub mod manager;
 pub mod persist;
 
 pub use batch::{UpdateEntry, UpdateOp};
-pub use manager::{UpdateConfig, UpdateManager};
+pub use manager::{ConsolidationMode, UpdateConfig, UpdateManager};
 pub use persist::OwnerKey;

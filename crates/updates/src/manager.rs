@@ -2,12 +2,12 @@
 //! instances, and hierarchical consolidation.
 
 use crate::batch::{UpdateEntry, UpdateOp};
-use crate::persist::{self, OwnerKey, SEED_LEN};
+use crate::persist::{self, OwnerKey, OwnerPayload, SEED_LEN};
 use rand::{CryptoRng, RngCore, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use rsse_core::{
-    BuildBudget, Dataset, DocId, IndexStats, QueryOutcome, QueryStats, RangeScheme, Record,
-    StorageConfig, StorageError,
+    BuildBudget, Dataset, DocId, IndexStats, MergeInput, QueryOutcome, QueryStats, RangeScheme,
+    Record, StorageConfig, StorageError,
 };
 use rsse_cover::{Domain, Range};
 use rsse_crypto::KeyChain;
@@ -17,6 +17,30 @@ use rsse_sse::storage::{
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
+
+/// How the manager realizes a due consolidation (see
+/// [`UpdateConfig::consolidation_mode`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConsolidationMode {
+    /// The paper's "download, merge, re-encrypt": replay the group's
+    /// surviving updates and rebuild one index under a fresh key. Always
+    /// available, physically purges superseded versions and met
+    /// tombstones, and is the reference implementation the structural
+    /// path is differenced against.
+    #[default]
+    Rebuild,
+    /// Re-encryption-free structural merge for schemes that support it
+    /// ([`RangeScheme::supports_structural_merge`]): the inputs'
+    /// already-encrypted dictionaries are combined by copying ciphertext
+    /// verbatim — zero payload decrypt/encrypt operations on the merge
+    /// path — and each input's client keeps querying the merged server,
+    /// refined by an owner-side authority map. Falls back to
+    /// [`Rebuild`](Self::Rebuild) per consolidation whenever the scheme
+    /// or the inputs cannot merge structurally. Superseded versions are
+    /// hidden by refinement but not physically removed until a rebuild
+    /// consolidation meets them.
+    Structural,
+}
 
 /// Configuration of the update manager.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,6 +83,13 @@ pub struct UpdateConfig {
     /// root manifest, so pass it again when reopening with `open_root`.
     /// `None` (the default) never spills.
     pub build_budget: Option<BuildBudget>,
+    /// How due consolidations are realized (see [`ConsolidationMode`]).
+    /// A runtime knob like [`build_budget`](Self::build_budget): it is not
+    /// persisted in the root manifest, so pass it again when reopening
+    /// with `open_root`. Instances that were structurally merged reopen
+    /// structurally regardless of this mode — their physical layout is
+    /// authoritative — while future consolidations follow the mode.
+    pub consolidation_mode: ConsolidationMode,
 }
 
 impl Default for UpdateConfig {
@@ -69,6 +100,7 @@ impl Default for UpdateConfig {
             storage_root: None,
             cache_budget: None,
             build_budget: None,
+            consolidation_mode: ConsolidationMode::default(),
         }
     }
 }
@@ -83,11 +115,15 @@ struct BatchInstance<S: RangeScheme> {
     /// Monotonic build counter naming the instance directory; also binds
     /// the instance's owner sidecar to its directory.
     build_id: u64,
-    client: S,
+    /// The owner-side client(s) — one for a built instance, one per
+    /// flattened part for a structurally merged one.
+    kind: InstanceKind<S>,
     server: S::Server,
     /// The plaintext updates of this instance (owner-side only; persisted
     /// encrypted in the instance's `owner.meta` sidecar, as the paper's
-    /// consolidation step needs them back).
+    /// consolidation step needs them back). For a structural instance this
+    /// is the **compacted** log: the deduped latest-per-id surviving
+    /// entries, not the raw update history.
     entries: Vec<UpdateEntry>,
     /// Latest operation per id inside this instance.
     ops: HashMap<DocId, UpdateOp>,
@@ -95,6 +131,32 @@ struct BatchInstance<S: RangeScheme> {
     /// runs on an on-disk backend; removed when the instance is consumed by
     /// a consolidation.
     dir: Option<PathBuf>,
+}
+
+/// The owner-side query state of an instance.
+enum InstanceKind<S: RangeScheme> {
+    /// A batch build or rebuild consolidation: one client, whose build
+    /// seed replays its whole key material.
+    Plain { client: S, seed: [u8; SEED_LEN] },
+    /// A structural consolidation: the merged server physically contains
+    /// every input part's encrypted entries, and each part's client still
+    /// queries it with the part's original trapdoors. The authority map
+    /// records, per live id, the flattened part holding its newest
+    /// version; hits from any other part are stale copies and are
+    /// filtered owner-side.
+    Structural {
+        /// One `(client, seed)` per flattened part, in merge order.
+        parts: Vec<(S, [u8; SEED_LEN])>,
+        /// `id → flattened part index` of the authoritative version.
+        authority: HashMap<DocId, u32>,
+    },
+}
+
+impl<S: RangeScheme> InstanceKind<S> {
+    /// Whether this is a structurally merged instance.
+    fn is_structural(&self) -> bool {
+        matches!(self, Self::Structural { .. })
+    }
 }
 
 /// Dedupes a batch's raw update log into its effective records and ops:
@@ -142,14 +204,14 @@ impl<S: RangeScheme> BatchInstance<S> {
                     build_id,
                     seq,
                     level,
-                    payload: persist::seal_payload(chain, build_id, &seed, &entries),
+                    payload: persist::seal_plain_payload(chain, build_id, &seed, &entries),
                 },
             )?;
         }
         Ok(Self {
             seq,
             build_id,
-            client,
+            kind: InstanceKind::Plain { client, seed },
             server,
             entries,
             ops,
@@ -185,12 +247,85 @@ impl<S: RangeScheme> BatchInstance<S> {
         Ok(Self {
             seq,
             build_id,
-            client,
+            kind: InstanceKind::Plain { client, seed },
             server,
             entries,
             ops,
             dir,
         })
+    }
+
+    /// Reopens a structurally merged instance: each part's client
+    /// re-derives from its replayed seed, and the merged server — whose
+    /// physical layout is not reproducible from any dataset — reopens
+    /// from its saved directory via [`RangeScheme::open_merged`]: paged
+    /// on an on-disk config, loaded fully resident (byte-identical
+    /// arenas) on an in-memory restore.
+    fn reopen_structural(
+        domain: Domain,
+        build_id: u64,
+        seq: u64,
+        seeds: Vec<[u8; SEED_LEN]>,
+        tagged_entries: Vec<(UpdateEntry, u32)>,
+        dir: &Path,
+        config: &StorageConfig,
+    ) -> Result<Self, StorageError> {
+        let parts = seeds
+            .into_iter()
+            .map(|seed| {
+                let mut rng = ChaCha20Rng::from_seed(seed);
+                S::derive_client(&domain, &mut rng).map(|client| (client, seed))
+            })
+            .collect::<Result<Vec<(S, [u8; SEED_LEN])>, StorageError>>()?;
+        let server = S::open_merged(dir, config)?;
+        let entries: Vec<UpdateEntry> = tagged_entries.iter().map(|(entry, _)| *entry).collect();
+        let ops: HashMap<DocId, UpdateOp> = entries
+            .iter()
+            .map(|entry| (entry.record.id, entry.op))
+            .collect();
+        let authority: HashMap<DocId, u32> = tagged_entries
+            .iter()
+            .map(|(entry, part)| (entry.record.id, *part))
+            .collect();
+        let keep_dir = matches!(&config.backend, rsse_core::StorageBackend::OnDisk(_));
+        Ok(Self {
+            seq,
+            build_id,
+            kind: InstanceKind::Structural { parts, authority },
+            server,
+            entries,
+            ops,
+            dir: keep_dir.then(|| dir.to_path_buf()),
+        })
+    }
+
+    /// Issues a range query against this instance's server. A plain
+    /// instance asks its one client; a structural instance asks every
+    /// part's client in part order, keeping only the hits the part is
+    /// authoritative for (stale copies of an id in other parts are
+    /// refined away) and accumulating the parts' costs.
+    fn try_query(&self, range: Range) -> Result<QueryOutcome, StorageError> {
+        match &self.kind {
+            InstanceKind::Plain { client, .. } => client.try_query(&self.server, range),
+            InstanceKind::Structural { parts, authority } => {
+                let mut ids: Vec<DocId> = Vec::new();
+                let mut stats = QueryStats::default();
+                for (index, (client, _)) in parts.iter().enumerate() {
+                    let outcome = client.try_query(&self.server, range)?;
+                    stats.tokens_sent += outcome.stats.tokens_sent;
+                    stats.token_bytes += outcome.stats.token_bytes;
+                    stats.rounds = stats.rounds.max(outcome.stats.rounds);
+                    stats.entries_touched += outcome.stats.entries_touched;
+                    stats.result_groups += outcome.stats.result_groups;
+                    for id in outcome.ids {
+                        if authority.get(&id) == Some(&(index as u32)) {
+                            ids.push(id);
+                        }
+                    }
+                }
+                Ok(QueryOutcome { ids, stats })
+            }
+        }
     }
 
     /// The manifest record of this instance (public bookkeeping only).
@@ -243,6 +378,63 @@ pub enum KillPoint {
     /// input directories are removed; the root manifest is stale — it
     /// still references the GC'd inputs.
     AfterGc,
+    /// The process died **mid-merge-copy**: the first due consolidation's
+    /// output directory holds `index.meta`, some merged shard files and a
+    /// `.shd.tmp` in flight, but no owner sidecar — the commit record was
+    /// never written. The inputs are untouched, the root manifest is
+    /// stale. Reopen must sweep the debris and converge on the pre-merge
+    /// state.
+    MidMergeCopy,
+    /// The process died **mid-sidecar-compaction**: the merged index is
+    /// fully written and the compacted `owner.meta` was being staged (an
+    /// `owner.meta.tmp` is in flight) but never renamed into place. Same
+    /// healing obligation as [`MidMergeCopy`](Self::MidMergeCopy): without
+    /// an authenticated sidecar the directory is debris.
+    MidSidecarCompaction,
+}
+
+/// The outcome of one consolidation attempt (see
+/// [`UpdateManager::merge_instances`]).
+enum Merged<S: RangeScheme> {
+    /// The merged instance is durably committed. `structural` names the
+    /// strategy that produced it; `killed` is set when a simulated kill
+    /// stopped the ingest after the commit (manifest must stay stale).
+    Committed {
+        instance: BatchInstance<S>,
+        structural: bool,
+        killed: bool,
+    },
+    /// A simulated kill struck **before** the merged instance's commit
+    /// record was written: the inputs stay the active state and only
+    /// debris is left on disk.
+    KilledEarly { group: Vec<BatchInstance<S>> },
+}
+
+/// Test support: turns a fully committed merged-instance directory into
+/// the on-disk state a process kill at `kill` would have left behind —
+/// the owner sidecar (the commit record, always written last) is gone,
+/// plus the in-flight temporaries of the interrupted stage.
+fn simulate_commit_kill(dir: &Path, kill: KillPoint) {
+    let _ = std::fs::remove_file(dir.join(rsse_sse::storage::OWNER_META_FILE));
+    match kill {
+        KillPoint::MidMergeCopy => {
+            // One merged shard vanished mid-copy and its temporary is
+            // still in flight.
+            let shard = dir.join(rsse_sse::storage::shard_file_name(0));
+            let _ = std::fs::remove_file(&shard);
+            let _ = std::fs::write(
+                dir.join(format!("{}.tmp", rsse_sse::storage::shard_file_name(0))),
+                b"in-flight merge copy",
+            );
+        }
+        KillPoint::MidSidecarCompaction => {
+            let _ = std::fs::write(
+                dir.join(format!("{}.tmp", rsse_sse::storage::OWNER_META_FILE)),
+                b"in-flight compacted sidecar",
+            );
+        }
+        _ => {}
+    }
 }
 
 /// Owner-side manager of a dynamically updated, privately searchable
@@ -263,7 +455,11 @@ pub struct UpdateManager<S: RangeScheme> {
     /// collide.
     next_build: u64,
     batches_ingested: usize,
-    consolidations: usize,
+    /// Consolidations realized as re-encryption-free structural merges.
+    structural_consolidations: usize,
+    /// Consolidations realized as full rebuilds (including structural-mode
+    /// fallbacks).
+    rebuild_consolidations: usize,
 }
 
 impl<S: RangeScheme> UpdateManager<S> {
@@ -285,7 +481,8 @@ impl<S: RangeScheme> UpdateManager<S> {
             next_seq: 0,
             next_build: 0,
             batches_ingested: 0,
-            consolidations: 0,
+            structural_consolidations: 0,
+            rebuild_consolidations: 0,
         }
     }
 
@@ -371,7 +568,9 @@ impl<S: RangeScheme> UpdateManager<S> {
             next_seq: self.next_seq,
             next_build: self.next_build,
             batches_ingested: self.batches_ingested as u64,
-            consolidations: self.consolidations as u64,
+            consolidations: (self.structural_consolidations + self.rebuild_consolidations) as u64,
+            structural_consolidations: self.structural_consolidations as u64,
+            rebuild_consolidations: self.rebuild_consolidations as u64,
             levels: self
                 .levels
                 .iter()
@@ -404,9 +603,39 @@ impl<S: RangeScheme> UpdateManager<S> {
         self.batches_ingested
     }
 
-    /// Number of consolidation (merge + re-encrypt) operations performed.
+    /// Total number of consolidation operations performed, across both
+    /// merge strategies — always
+    /// [`structural_consolidations`](Self::structural_consolidations)` + `
+    /// [`rebuild_consolidations`](Self::rebuild_consolidations).
     pub fn consolidations(&self) -> usize {
-        self.consolidations
+        self.structural_consolidations + self.rebuild_consolidations
+    }
+
+    /// Number of consolidations realized as re-encryption-free structural
+    /// merges (only ever non-zero under
+    /// [`ConsolidationMode::Structural`]).
+    pub fn structural_consolidations(&self) -> usize {
+        self.structural_consolidations
+    }
+
+    /// Number of consolidations realized as full merge-and-re-encrypt
+    /// rebuilds — the paper's baseline strategy, including any
+    /// structural-mode consolidations that fell back to it.
+    pub fn rebuild_consolidations(&self) -> usize {
+        self.rebuild_consolidations
+    }
+
+    /// Number of currently active instances that are structurally merged
+    /// (multi-part). Unlike
+    /// [`structural_consolidations`](Self::structural_consolidations) this
+    /// counts live state, not history: a structural instance that is later
+    /// consolidated away (or rebuilt) stops counting.
+    pub fn structural_instances(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .filter(|instance| instance.kind.is_structural())
+            .count()
     }
 
     /// Combined index statistics over all active instances.
@@ -541,15 +770,30 @@ impl<S: RangeScheme> UpdateManager<S> {
             if self.levels[level].len() >= step {
                 let group: Vec<BatchInstance<S>> = self.levels[level].drain(..).collect();
                 match self.merge_instances(group, level, rng, kill) {
-                    Ok((merged, killed)) => {
+                    Ok(Merged::Committed {
+                        instance,
+                        structural,
+                        killed,
+                    }) => {
                         if self.levels.len() <= level + 1 {
                             self.levels.push(Vec::new());
                         }
-                        self.levels[level + 1].push(merged);
-                        self.consolidations += 1;
+                        self.levels[level + 1].push(instance);
+                        if structural {
+                            self.structural_consolidations += 1;
+                        } else {
+                            self.rebuild_consolidations += 1;
+                        }
                         if killed {
                             return Ok(true);
                         }
+                    }
+                    Ok(Merged::KilledEarly { group }) => {
+                        // The merged instance never committed: the inputs
+                        // stay the active state (exactly what reopen will
+                        // reconstruct once the debris is swept).
+                        self.levels[level] = group;
+                        return Ok(true);
                     }
                     Err((group, error)) => {
                         // Roll back: the inputs stay active, nothing lost.
@@ -584,13 +828,35 @@ impl<S: RangeScheme> UpdateManager<S> {
         level: usize,
         rng: &mut R,
         kill: Option<KillPoint>,
-    ) -> Result<(BatchInstance<S>, bool), (Vec<BatchInstance<S>>, StorageError)> {
+    ) -> Result<Merged<S>, (Vec<BatchInstance<S>>, StorageError)> {
         group.sort_by_key(|instance| instance.seq);
         let newest_seq = group.last().map(|i| i.seq).unwrap_or(0);
-        let mut latest: BTreeMap<DocId, UpdateEntry> = BTreeMap::new();
+        // The flattened part layout of a prospective structural merge:
+        // group member `g`'s parts occupy flat indexes starting at
+        // `flat_base[g]` (one part for a plain instance, its own part
+        // count for an already-structural one).
+        let mut flat_base: Vec<u32> = Vec::with_capacity(group.len());
+        let mut part_total = 0u32;
         for instance in &group {
+            flat_base.push(part_total);
+            part_total += match &instance.kind {
+                InstanceKind::Plain { .. } => 1,
+                InstanceKind::Structural { parts, .. } => parts.len() as u32,
+            };
+        }
+        // Latest entry per id across the group (instances iterate in seq
+        // order, so later inserts win), each tagged with the flattened
+        // part whose dictionary holds that authoritative version.
+        let mut latest: BTreeMap<DocId, (UpdateEntry, u32)> = BTreeMap::new();
+        for (g, instance) in group.iter().enumerate() {
             for entry in &instance.entries {
-                latest.insert(entry.record.id, *entry);
+                let part = match &instance.kind {
+                    InstanceKind::Plain { .. } => flat_base[g],
+                    InstanceKind::Structural { authority, .. } => {
+                        flat_base[g] + authority[&entry.record.id]
+                    }
+                };
+                latest.insert(entry.record.id, (*entry, part));
             }
         }
         // `self.levels` no longer contains the drained group, so every
@@ -601,18 +867,59 @@ impl<S: RangeScheme> UpdateManager<S> {
             .flatten()
             .flat_map(|instance| instance.ops.keys().copied())
             .collect();
-        let surviving: Vec<UpdateEntry> = latest
+        let surviving: Vec<(UpdateEntry, u32)> = latest
             .into_values()
-            .filter(|entry| !entry.is_deletion() || touched_elsewhere.contains(&entry.record.id))
-            .map(|entry| UpdateEntry {
-                record: entry.record,
-                op: if entry.is_deletion() {
-                    UpdateOp::Delete
-                } else {
-                    UpdateOp::Insert
-                },
+            .filter(|(entry, _)| {
+                !entry.is_deletion() || touched_elsewhere.contains(&entry.record.id)
+            })
+            .map(|(entry, part)| {
+                (
+                    UpdateEntry {
+                        record: entry.record,
+                        op: if entry.is_deletion() {
+                            UpdateOp::Delete
+                        } else {
+                            UpdateOp::Insert
+                        },
+                    },
+                    part,
+                )
             })
             .collect();
+
+        // Structural merge first, when the mode and the scheme allow it.
+        // A typed Unsupported — scheme can't merge, incompatible layouts,
+        // a label collision — falls back to the rebuild below (burning a
+        // build number, which is harmless: directory names only need to
+        // be unique, not dense). Anything else is a real failure.
+        if self.config.consolidation_mode == ConsolidationMode::Structural
+            && S::supports_structural_merge()
+        {
+            match self.merge_structural(&group, level, newest_seq, &surviving, kill) {
+                Ok(Some(instance)) => {
+                    if kill == Some(KillPoint::AfterMergeBuild) {
+                        return Ok(Merged::Committed {
+                            instance,
+                            structural: true,
+                            killed: true,
+                        });
+                    }
+                    for instance in &group {
+                        instance.remove_dir();
+                    }
+                    return Ok(Merged::Committed {
+                        instance,
+                        structural: true,
+                        killed: kill == Some(KillPoint::AfterGc),
+                    });
+                }
+                Ok(None) => return Ok(Merged::KilledEarly { group }),
+                Err(StorageError::Unsupported(_)) => {}
+                Err(error) => return Err((group, error)),
+            }
+        }
+
+        let surviving: Vec<UpdateEntry> = surviving.into_iter().map(|(entry, _)| entry).collect();
         let mut seed = [0u8; SEED_LEN];
         rng.fill_bytes(&mut seed);
         let (build_id, config) = self.next_instance_config(surviving.len());
@@ -631,18 +938,38 @@ impl<S: RangeScheme> UpdateManager<S> {
             seed,
         ) {
             Ok(merged) => {
+                if matches!(
+                    kill,
+                    Some(KillPoint::MidMergeCopy | KillPoint::MidSidecarCompaction)
+                ) {
+                    // Simulated kill before the commit record: demote the
+                    // fully built directory to the matching debris state
+                    // and keep the inputs active.
+                    if let Some(dir) = &merged.dir {
+                        simulate_commit_kill(dir, kill.expect("matched above"));
+                    }
+                    return Ok(Merged::KilledEarly { group });
+                }
                 if kill == Some(KillPoint::AfterMergeBuild) {
                     // Simulated kill between the merged instance's commit
                     // and the GC of its inputs: both generations exist on
                     // disk, the manifest references only the old one.
-                    return Ok((merged, true));
+                    return Ok(Merged::Committed {
+                        instance: merged,
+                        structural: false,
+                        killed: true,
+                    });
                 }
                 // The merged instance is durably built; the inputs' indexes
                 // are now superseded and their directories can go.
                 for instance in &group {
                     instance.remove_dir();
                 }
-                Ok((merged, kill == Some(KillPoint::AfterGc)))
+                Ok(Merged::Committed {
+                    instance: merged,
+                    structural: false,
+                    killed: kill == Some(KillPoint::AfterGc),
+                })
             }
             Err(error) => {
                 // Clean up the half-written merged index, keep the inputs.
@@ -652,6 +979,115 @@ impl<S: RangeScheme> UpdateManager<S> {
                 Err((group, error))
             }
         }
+    }
+
+    /// Attempts the re-encryption-free structural merge of `group` into
+    /// one instance at `level + 1`: the inputs' committed dictionaries
+    /// are combined via [`RangeScheme::merge_stored`] (ciphertext copied
+    /// verbatim), the flattened parts' clients re-derive from their
+    /// retained seeds, and — for persisted managers — the **compacted**
+    /// owner sidecar (deduped latest-per-id log, kind byte `1`) commits
+    /// the instance durably, written last like every other commit record.
+    ///
+    /// Returns `Ok(None)` when a simulated pre-commit kill left debris on
+    /// disk instead of a committed instance (test support), and
+    /// [`StorageError::Unsupported`] when the merge cannot proceed
+    /// structurally — the caller falls back to a rebuild.
+    fn merge_structural(
+        &mut self,
+        group: &[BatchInstance<S>],
+        level: usize,
+        newest_seq: u64,
+        surviving: &[(UpdateEntry, u32)],
+        kill: Option<KillPoint>,
+    ) -> Result<Option<BatchInstance<S>>, StorageError> {
+        let mut seeds: Vec<[u8; SEED_LEN]> = Vec::new();
+        for instance in group {
+            match &instance.kind {
+                InstanceKind::Plain { seed, .. } => seeds.push(*seed),
+                InstanceKind::Structural { parts, .. } => {
+                    seeds.extend(parts.iter().map(|(_, seed)| *seed));
+                }
+            }
+        }
+        let parts = seeds
+            .iter()
+            .map(|&seed| {
+                let mut rng = ChaCha20Rng::from_seed(seed);
+                S::derive_client(&self.domain, &mut rng).map(|client| (client, seed))
+            })
+            .collect::<Result<Vec<(S, [u8; SEED_LEN])>, StorageError>>()?;
+        let (build_id, config) = self.next_instance_config(surviving.len());
+        let chain = self
+            .chain
+            .as_ref()
+            .expect("consolidation only runs after an ingest ensured the chain");
+        let inputs: Vec<MergeInput<'_, S::Server>> = group
+            .iter()
+            .map(|instance| MergeInput {
+                server: &instance.server,
+                dir: instance.dir.as_deref(),
+            })
+            .collect();
+        let built = (|| -> Result<S::Server, StorageError> {
+            let server = S::merge_stored(&inputs, &config)?;
+            if let rsse_core::StorageBackend::OnDisk(dir) = &config.backend {
+                write_owner_meta(
+                    dir,
+                    &OwnerMeta {
+                        build_id,
+                        seq: newest_seq,
+                        level: (level + 1) as u32,
+                        payload: persist::seal_structural_payload(
+                            chain, build_id, &seeds, surviving,
+                        ),
+                    },
+                )?;
+            }
+            Ok(server)
+        })();
+        let server = match built {
+            Ok(server) => server,
+            Err(error) => {
+                // Don't leak a half-merged output directory — whether the
+                // error falls back to a rebuild or aborts the ingest.
+                if let rsse_core::StorageBackend::OnDisk(dir) = &config.backend {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                return Err(error);
+            }
+        };
+        let dir = match &config.backend {
+            rsse_core::StorageBackend::InMemory => None,
+            rsse_core::StorageBackend::OnDisk(dir) => Some(dir.clone()),
+        };
+        if matches!(
+            kill,
+            Some(KillPoint::MidMergeCopy | KillPoint::MidSidecarCompaction)
+        ) {
+            if let Some(dir) = &dir {
+                simulate_commit_kill(dir, kill.expect("matched above"));
+            }
+            return Ok(None);
+        }
+        let entries: Vec<UpdateEntry> = surviving.iter().map(|(entry, _)| *entry).collect();
+        let ops: HashMap<DocId, UpdateOp> = entries
+            .iter()
+            .map(|entry| (entry.record.id, entry.op))
+            .collect();
+        let authority: HashMap<DocId, u32> = surviving
+            .iter()
+            .map(|(entry, part)| (entry.record.id, *part))
+            .collect();
+        Ok(Some(BatchInstance {
+            seq: newest_seq,
+            build_id,
+            kind: InstanceKind::Structural { parts, authority },
+            server,
+            entries,
+            ops,
+            dir,
+        }))
     }
 
     /// Issues a range query against every active instance, merges the
@@ -689,7 +1125,7 @@ impl<S: RangeScheme> UpdateManager<S> {
         let mut seen: HashSet<DocId> = HashSet::new();
         let mut stats = QueryStats::default();
         for instance in self.levels.iter().flatten() {
-            let outcome = instance.client.try_query(&instance.server, range)?;
+            let outcome = instance.try_query(range)?;
             stats.tokens_sent += outcome.stats.tokens_sent;
             stats.token_bytes += outcome.stats.token_bytes;
             stats.rounds = stats.rounds.max(outcome.stats.rounds);
@@ -970,7 +1406,7 @@ impl<S: RangeScheme> UpdateManager<S> {
             .collect();
         orphans.sort_unstable();
         let mut sweep: Vec<u64> = Vec::new();
-        let mut adopted_consolidations = 0u64;
+        let mut adopted: HashSet<u64> = HashSet::new();
         for (level, seq, build_id) in orphans {
             if level == 0 {
                 // A batch whose ingest never committed its manifest: the
@@ -999,7 +1435,7 @@ impl<S: RangeScheme> UpdateManager<S> {
                 levels.push(Vec::new());
             }
             levels[level as usize].push((build_id, seq, None));
-            adopted_consolidations += 1;
+            adopted.insert(build_id);
         }
 
         // After adoption, every remaining instance must have its
@@ -1020,15 +1456,24 @@ impl<S: RangeScheme> UpdateManager<S> {
         // instances and the directories about to be swept — BEFORE
         // touching the disk: a wrong master key must fail the open, never
         // delete.
-        let mut opened: HashMap<u64, ([u8; SEED_LEN], Vec<UpdateEntry>)> = HashMap::new();
+        // An adopted consolidation's kind — structural merge or rebuild —
+        // is recorded in its payload's kind byte; classify while opening
+        // so the split counters advance the right way.
+        let mut opened: HashMap<u64, OwnerPayload> = HashMap::new();
+        let mut adopted_structural = 0u64;
+        let mut adopted_rebuild = 0u64;
         for level in &levels {
             for &(build_id, _, _) in level {
                 let meta = &sidecars[&build_id];
                 let dir = &on_disk[&build_id];
-                opened.insert(
-                    build_id,
-                    persist::open_payload(&chain, build_id, dir, &meta.payload)?,
-                );
+                let payload = persist::open_payload(&chain, build_id, dir, &meta.payload)?;
+                if adopted.contains(&build_id) {
+                    match &payload {
+                        OwnerPayload::Plain { .. } => adopted_rebuild += 1,
+                        OwnerPayload::Structural { .. } => adopted_structural += 1,
+                    }
+                }
+                opened.insert(build_id, payload);
             }
         }
         for &build_id in &sweep {
@@ -1043,17 +1488,30 @@ impl<S: RangeScheme> UpdateManager<S> {
             let mut instances = Vec::with_capacity(level.len());
             for (build_id, seq, record) in level {
                 let dir = &on_disk[build_id];
-                let (seed, entries) = opened.remove(build_id).expect("payload opened above");
+                let payload = opened.remove(build_id).expect("payload opened above");
                 if let Some(record) = record {
                     let (mut inserts, mut modifies, mut deletes) = (0u64, 0u64, 0u64);
-                    for entry in &entries {
-                        match entry.op {
+                    let (entry_count, ops) = match &payload {
+                        OwnerPayload::Plain { entries, .. } => (
+                            entries.len(),
+                            entries.iter().map(|entry| entry.op).collect::<Vec<_>>(),
+                        ),
+                        OwnerPayload::Structural { entries, .. } => (
+                            entries.len(),
+                            entries
+                                .iter()
+                                .map(|(entry, _)| entry.op)
+                                .collect::<Vec<_>>(),
+                        ),
+                    };
+                    for op in ops {
+                        match op {
                             UpdateOp::Insert => inserts += 1,
                             UpdateOp::Modify => modifies += 1,
                             UpdateOp::Delete => deletes += 1,
                         }
                     }
-                    if entries.len() as u64 != record.entry_count
+                    if entry_count as u64 != record.entry_count
                         || inserts != record.inserts
                         || modifies != record.modifies
                         || deletes != record.deletes
@@ -1061,15 +1519,11 @@ impl<S: RangeScheme> UpdateManager<S> {
                         return Err(StorageError::CorruptDirectory {
                             path: dir.clone(),
                             detail: format!(
-                                "owner payload holds {} entries \
+                                "owner payload holds {entry_count} entries \
                                  ({inserts}/{modifies}/{deletes} ins/mod/del) but the \
                                  manifest records {} ({}/{}/{}) — manifest and instance \
                                  disagree",
-                                entries.len(),
-                                record.entry_count,
-                                record.inserts,
-                                record.modifies,
-                                record.deletes
+                                record.entry_count, record.inserts, record.modifies, record.deletes
                             ),
                         });
                     }
@@ -1083,14 +1537,30 @@ impl<S: RangeScheme> UpdateManager<S> {
                 } else {
                     StorageConfig::in_memory(manifest.shard_bits)
                 };
-                instances.push(BatchInstance::reopen(
-                    domain,
-                    *build_id,
-                    *seq,
-                    entries,
-                    &instance_config,
-                    seed,
-                )?);
+                instances.push(match payload {
+                    OwnerPayload::Plain { seed, entries } => BatchInstance::reopen(
+                        domain,
+                        *build_id,
+                        *seq,
+                        entries,
+                        &instance_config,
+                        seed,
+                    )?,
+                    OwnerPayload::Structural { seeds, entries } => {
+                        // A structural instance reopens structurally no
+                        // matter the current consolidation mode: its
+                        // payload kind, not the runtime knob, dictates.
+                        BatchInstance::reopen_structural(
+                            domain,
+                            *build_id,
+                            *seq,
+                            seeds,
+                            entries,
+                            dir,
+                            &instance_config,
+                        )?
+                    }
+                });
             }
             rebuilt.push(instances);
         }
@@ -1128,7 +1598,9 @@ impl<S: RangeScheme> UpdateManager<S> {
             next_seq,
             next_build,
             batches_ingested: (manifest.batches_ingested + (next_seq - manifest.next_seq)) as usize,
-            consolidations: (manifest.consolidations + adopted_consolidations) as usize,
+            structural_consolidations: (manifest.structural_consolidations + adopted_structural)
+                as usize,
+            rebuild_consolidations: (manifest.rebuild_consolidations + adopted_rebuild) as usize,
         };
         // Re-commit the healed manifest (no-op for an in-memory restore),
         // so the next crash starts from this consistent state.
@@ -1237,6 +1709,89 @@ mod tests {
         assert_eq!(mgr.active_instances(), 1);
         // All inserted tuples remain visible after the merges.
         assert_eq!(mgr.query(Range::new(0, 255)).ids.len(), batches * 5);
+    }
+
+    #[test]
+    fn structural_mode_answers_like_rebuild_and_splits_the_counters() {
+        // Same batches into a rebuild-mode and a structural-mode manager:
+        // answers must agree with each other and with ground truth, while
+        // the consolidation counters attribute the work to the right
+        // strategy. Step 2 forces multi-level telescoping, so structural
+        // instances are themselves structurally re-merged.
+        let step = 2;
+        let config = |mode| UpdateConfig {
+            consolidation_step: step,
+            consolidation_mode: mode,
+            ..UpdateConfig::default()
+        };
+        let mut rng_a = ChaCha20Rng::seed_from_u64(40);
+        let mut rng_b = ChaCha20Rng::seed_from_u64(40);
+        let mut rebuild = LogManager::new(Domain::new(256), config(ConsolidationMode::Rebuild));
+        let mut structural =
+            LogManager::new(Domain::new(256), config(ConsolidationMode::Structural));
+        for b in 0..8u64 {
+            let mut entries: Vec<UpdateEntry> = (0..5u64)
+                .map(|i| UpdateEntry::insert(b * 10 + i, (b * 37 + i * 11) % 256))
+                .collect();
+            if b >= 2 {
+                // Delete one tuple from an earlier batch, modify another.
+                entries.push(UpdateEntry::delete((b - 2) * 10, ((b - 2) * 37) % 256));
+                entries.push(UpdateEntry::modify((b - 1) * 10 + 1, (b * 53) % 256));
+            }
+            rebuild.ingest_batch(entries.clone(), &mut rng_a);
+            structural.ingest_batch(entries, &mut rng_b);
+            for lo in [0u64, 64, 128] {
+                let range = Range::new(lo, lo + 90);
+                assert_eq!(
+                    sorted(rebuild.query(range).ids),
+                    sorted(structural.query(range).ids),
+                    "modes disagree after batch {b} on {range:?}"
+                );
+            }
+        }
+        let range = Range::new(0, 255);
+        assert_eq!(
+            sorted(structural.query(range).ids),
+            sorted(structural.ground_truth(range))
+        );
+        assert_eq!(rebuild.consolidations(), structural.consolidations());
+        assert_eq!(rebuild.structural_consolidations(), 0);
+        assert_eq!(structural.rebuild_consolidations(), 0);
+        assert!(structural.structural_consolidations() > 0);
+        assert!(structural.structural_instances() > 0);
+        assert_eq!(rebuild.structural_instances(), 0);
+    }
+
+    #[test]
+    fn structural_mode_falls_back_to_rebuild_on_layout_mismatch() {
+        // LogSrcIScheme has no structural-merge capability, so structural
+        // mode must silently fall back to the rebuild path and attribute
+        // the consolidations accordingly.
+        let mut rng = ChaCha20Rng::seed_from_u64(41);
+        let mut mgr: UpdateManager<LogSrcIScheme> = UpdateManager::new(
+            Domain::new(128),
+            UpdateConfig {
+                consolidation_step: 2,
+                consolidation_mode: ConsolidationMode::Structural,
+                ..UpdateConfig::default()
+            },
+        );
+        for b in 0..4u64 {
+            mgr.ingest_batch(
+                (0..4u64)
+                    .map(|i| UpdateEntry::insert(b * 10 + i, (b * 17 + i * 5) % 128))
+                    .collect(),
+                &mut rng,
+            );
+        }
+        assert!(mgr.consolidations() > 0);
+        assert_eq!(mgr.structural_consolidations(), 0);
+        assert_eq!(mgr.rebuild_consolidations(), mgr.consolidations());
+        let range = Range::new(0, 127);
+        assert_eq!(
+            sorted(mgr.query(range).ids),
+            sorted(mgr.ground_truth(range))
+        );
     }
 
     #[test]
@@ -1357,6 +1912,7 @@ mod tests {
                 storage_root: None,
                 cache_budget: None,
                 build_budget: None,
+                consolidation_mode: ConsolidationMode::default(),
             },
         );
         for b in 0..9u64 {
@@ -1404,6 +1960,7 @@ mod tests {
                 storage_root: Some(root.path().to_path_buf()),
                 cache_budget: None,
                 build_budget: None,
+                consolidation_mode: ConsolidationMode::default(),
             },
         );
         for b in 0..9u64 {
@@ -1438,6 +1995,7 @@ mod tests {
                 storage_root: Some(root.path().to_path_buf()),
                 cache_budget: None,
                 build_budget: None,
+                consolidation_mode: ConsolidationMode::default(),
             },
         );
         mgr.ingest_batch(vec![UpdateEntry::insert(1, 10)], &mut rng);
@@ -1478,6 +2036,7 @@ mod tests {
                 storage_root: Some(root.path().to_path_buf()),
                 cache_budget: None,
                 build_budget: None,
+                consolidation_mode: ConsolidationMode::default(),
             },
         );
         let err = mgr
@@ -1509,6 +2068,7 @@ mod tests {
                 storage_root: Some(file_path.join("sub")),
                 cache_budget: None,
                 build_budget: None,
+                consolidation_mode: ConsolidationMode::default(),
             },
         );
         let err = mgr

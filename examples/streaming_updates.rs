@@ -44,14 +44,18 @@ fn main() {
         // No memory-budgeted external builds in this small demo; large
         // consolidation rebuilds would set `Some(BuildBudget::with_memory(..))`.
         build_budget: None,
+        // Consolidate structurally: merged levels are assembled by copying
+        // the input instances' ciphertext verbatim (no decrypt/re-encrypt);
+        // schemes that can't merge structurally fall back to rebuilds.
+        consolidation_mode: ConsolidationMode::Structural,
     };
     let mut manager: UpdateManager<LogScheme> =
         UpdateManager::with_key(key.clone(), domain, config.clone());
 
-    println!("ingesting 20 nightly batches (consolidation step s = 4)\n");
+    println!("ingesting 20 nightly batches (consolidation step s = 4, structural merges)\n");
     println!(
-        "{:<8} {:>10} {:>16} {:>14} {:>14}",
-        "night", "live ids", "active indexes", "index entries", "consolidations"
+        "{:<8} {:>10} {:>16} {:>14} {:>12} {:>10}",
+        "night", "live ids", "active indexes", "index entries", "structural", "rebuilds"
     );
 
     let mut next_id: u64 = 0;
@@ -89,12 +93,13 @@ fn main() {
 
         manager.ingest_batch(batch, &mut rng);
         println!(
-            "{:<8} {:>10} {:>16} {:>14} {:>14}",
+            "{:<8} {:>10} {:>16} {:>14} {:>12} {:>10}",
             night,
             live.len(),
             manager.active_instances(),
             manager.index_stats().entries,
-            manager.consolidations()
+            manager.structural_consolidations(),
+            manager.rebuild_consolidations()
         );
     }
 
@@ -164,8 +169,10 @@ fn main() {
 
     println!(
         "\nForward privacy: every batch is encrypted under its own key, so search\n\
-         tokens issued before a batch existed cannot decrypt anything inside it;\n\
-         consolidation re-encrypts merged batches with yet another fresh key.\n\
+         tokens issued before a batch existed cannot decrypt anything inside it.\n\
+         Structural consolidation merges levels by copying ciphertext verbatim —\n\
+         zero payload decrypt/encrypt calls on the merge path — while the owner's\n\
+         sidecar compacts to the deduped latest-per-id update log.\n\
          Durability: the owner's state (seeds + update logs) persists encrypted\n\
          under the master key next to each index — kill the process at any\n\
          point and UpdateManager::open_root self-heals from the root."

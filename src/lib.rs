@@ -68,6 +68,8 @@ pub mod prelude {
     pub use rsse_cover::{Domain, Range};
     pub use rsse_serve::{ResilientServer, ServeConfig, ServeError};
     pub use rsse_sse::ShardedIndex;
-    pub use rsse_updates::{OwnerKey, UpdateConfig, UpdateEntry, UpdateManager, UpdateOp};
+    pub use rsse_updates::{
+        ConsolidationMode, OwnerKey, UpdateConfig, UpdateEntry, UpdateManager, UpdateOp,
+    };
     pub use rsse_workload::{gowalla_like, usps_like, DatasetProfile};
 }

@@ -247,6 +247,7 @@ fn budgeted_manager_consolidations_stay_byte_identical() {
         storage_root: Some(root.to_path_buf()),
         cache_budget: None,
         build_budget: budget,
+        consolidation_mode: rsse::updates::ConsolidationMode::default(),
     };
     let drive = |cfg: UpdateConfig| -> UpdateManager<LogScheme> {
         let mut manager = UpdateManager::with_key(key.clone(), domain, cfg);

@@ -32,6 +32,17 @@ fn owner_key() -> OwnerKey {
     OwnerKey::from_bytes([41u8; 32])
 }
 
+/// Consolidation strategy under test: `RSSE_TEST_CONSOLIDATE=structural`
+/// runs this whole battery over re-encryption-free structural merges (the
+/// CI lane), anything else over the default rebuild path. Every recovery
+/// guarantee must hold identically in both modes.
+fn consolidation_mode() -> ConsolidationMode {
+    match std::env::var("RSSE_TEST_CONSOLIDATE").as_deref() {
+        Ok("structural") => ConsolidationMode::Structural,
+        _ => ConsolidationMode::Rebuild,
+    }
+}
+
 fn config(root: &Path) -> UpdateConfig {
     UpdateConfig {
         consolidation_step: 3,
@@ -39,6 +50,7 @@ fn config(root: &Path) -> UpdateConfig {
         storage_root: Some(root.to_path_buf()),
         cache_budget: None,
         build_budget: None,
+        consolidation_mode: consolidation_mode(),
     }
 }
 
@@ -241,6 +253,72 @@ fn kill_between_index_and_manifest_commit_heals_on_reopen() {
             ingest(&mut reopened, 2..3);
             assert_eq!(&fingerprint(&reopened), &rolled_forward);
         }
+    }
+}
+
+/// The consolidation-commit kill windows introduced with structural
+/// merges: a kill while the merged shards are still being copied
+/// (`MidMergeCopy`) and a kill while the compacted owner sidecar is being
+/// written (`MidSidecarCompaction`). In both, the merged directory never
+/// gained its `owner.meta` commit record, so recovery must roll the whole
+/// interrupted ingest back and sweep the debris — under either
+/// consolidation mode.
+#[test]
+fn kill_inside_the_consolidation_commit_rolls_back_and_sweeps_debris() {
+    let ref_root = TempDir::new("ckill-ref");
+    let mut reference =
+        LogManager::with_key(owner_key(), Domain::new(DOMAIN), config(ref_root.path()));
+    ingest(&mut reference, 0..2);
+    let rolled_back = fingerprint(&reference);
+    ingest(&mut reference, 2..3);
+    let rolled_forward = fingerprint(&reference);
+
+    for (kill, label) in [
+        (KillPoint::MidMergeCopy, "mid-merge-copy"),
+        (KillPoint::MidSidecarCompaction, "mid-sidecar-compaction"),
+    ] {
+        let root = TempDir::new("ckill");
+        let cfg = config(root.path());
+        let mut victim = LogManager::with_key(owner_key(), Domain::new(DOMAIN), cfg.clone());
+        ingest(&mut victim, 0..2);
+        victim
+            .try_ingest_batch_kill_at(batch_entries(2), &mut batch_rng(2), kill)
+            .expect("the simulated kill is not a storage failure");
+        drop(victim);
+
+        // The kill left a merged directory without its commit record —
+        // and, for these windows, in-flight `.tmp` debris inside it.
+        let debris: Vec<String> = fs::read_dir(root.path())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.is_dir())
+            .flat_map(|p| fs::read_dir(p).unwrap())
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        assert!(
+            !debris.is_empty(),
+            "kill point {label} must leave in-flight debris to sweep"
+        );
+
+        // A file that is NOT the manager's must survive the sweep.
+        let foreign = root.path().join("keep.txt");
+        fs::write(&foreign, b"not yours").unwrap();
+
+        let reopened = LogManager::open_root(owner_key(), root.path(), cfg).unwrap();
+        assert_eq!(&fingerprint(&reopened), &rolled_back, "kill point {label}");
+        assert_eq!(
+            instance_dirs(root.path()),
+            reopened.active_instances(),
+            "kill point {label} must sweep the uncommitted merge directory"
+        );
+        assert!(foreign.exists(), "recovery must not touch foreign files");
+
+        // Re-driving the interrupted batch converges with the
+        // uninterrupted manager, byte for byte.
+        let mut reopened = reopened;
+        ingest(&mut reopened, 2..3);
+        assert_eq!(&fingerprint(&reopened), &rolled_forward, "{label} re-drive");
     }
 }
 
@@ -452,6 +530,7 @@ fn src_i_manager_reopens_through_its_two_index_layout() {
         storage_root: Some(root.path().to_path_buf()),
         cache_budget: None,
         build_budget: None,
+        consolidation_mode: consolidation_mode(),
     };
     let mut manager: UpdateManager<LogSrcIScheme> =
         UpdateManager::with_key(owner_key(), Domain::new(128), cfg.clone());
